@@ -1,0 +1,59 @@
+"""Ablation: batching (§2.2).
+
+The verifier's query setup is paid once per batch; this bench measures
+the verifier's amortized per-instance cost at β ∈ {1, 2, 4, 8} and
+checks it falls toward the per-instance floor — the mechanism behind
+every breakeven number in Figure 7.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.argument import ArgumentConfig, ZaatarArgument
+from repro.pcp import SoundnessParams
+
+from _harness import FIELD, compiled, fmt_seconds, print_table, sizes_key
+
+APP = "longest_common_subsequence"
+SIZES = {"m": 4}
+BATCHES = [1, 2, 4, 8]
+
+
+def test_batching_amortization(benchmark):
+    def run():
+        app = ALL_APPS[APP]
+        prog = compiled(APP, sizes_key(SIZES))
+        rng = random.Random(23)
+        out = {}
+        for beta in BATCHES:
+            arg = ZaatarArgument(
+                prog, ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+            )
+            batch = [app.generate_inputs(rng, SIZES) for _ in range(beta)]
+            result = arg.run_batch(batch)
+            assert result.all_accepted
+            v = result.stats.verifier
+            out[beta] = (
+                (v.query_setup + v.per_instance) / beta,
+                v.query_setup,
+                v.per_instance / beta,
+            )
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        [str(beta), fmt_seconds(amortized), fmt_seconds(setup), fmt_seconds(per)]
+        for beta, (amortized, setup, per) in sorted(results.items())
+    ]
+    print_table(
+        "Ablation: verifier cost amortization over batch size",
+        ["batch size", "amortized per-instance", "setup (once)", "per-instance"],
+        rows,
+    )
+    amortized = [results[b][0] for b in BATCHES]
+    # amortized cost must fall monotonically (generously: each doubling
+    # cuts at least 25%)
+    for smaller, larger in zip(amortized, amortized[1:]):
+        assert larger < smaller * 0.9, amortized

@@ -1,0 +1,73 @@
+"""Ablation: network costs, full queries vs the §A.1 seed optimization.
+
+"The network costs are (a) a full query sent from V to P, and (b) a
+random seed from which V and P derive the PCP queries pseudorandomly."
+This bench tallies actual bytes on the wire in both transports for a
+real benchmark computation and projects the gap at the paper's
+production soundness parameters (where ρ·ℓ' = 992 query vectors of
+length |u| would otherwise ship).
+"""
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.argument import ArgumentConfig, ZaatarArgument, transport_costs
+from repro.argument.wire import element_width
+from repro.pcp import PAPER_PARAMS, SoundnessParams
+
+from _harness import BENCH_PARAMS, FIELD, compiled, print_table, sizes_key
+
+APP = "longest_common_subsequence"
+SIZES = {"m": 6}
+
+
+def test_network_costs(benchmark):
+    def run():
+        import random
+
+        app = ALL_APPS[APP]
+        prog = compiled(APP, sizes_key(SIZES))
+        rng = random.Random(31)
+        batch = [app.generate_inputs(rng, SIZES) for _ in range(2)]
+        out = {}
+        for mode in ("full", "seeded"):
+            arg = ZaatarArgument(prog, ArgumentConfig(params=BENCH_PARAMS))
+            tally, ok = transport_costs(arg, batch, mode=mode)
+            assert ok
+            out[mode] = tally
+        return prog, out
+
+    prog, tallies = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for mode, tally in tallies.items():
+        rows.append(
+            [
+                mode,
+                f"{tally.verifier_to_prover:,} B",
+                f"{tally.prover_to_verifier:,} B",
+                f"{tally.components.get('queries', 0):,} B",
+                f"{tally.components.get('seed', 0) + tally.components.get('consistency query t', 0):,} B",
+            ]
+        )
+    print_table(
+        f"Ablation: transport bytes ({APP}, batch of 2, bench soundness params)",
+        ["mode", "V->P", "P->V", "explicit queries", "seed + t"],
+        rows,
+    )
+
+    # projection at production parameters: queries alone would be
+    # ρ·ℓ'·|u| elements in full mode, vs 32 B + one |u| vector seeded
+    u_len = prog.quadratic.proof_vector_length()
+    width = element_width(FIELD)
+    full_queries = PAPER_PARAMS.rho * PAPER_PARAMS.zaatar_queries_per_repetition() * u_len * width
+    seeded_queries = 32 + u_len * width
+    print(
+        f"\nprojection at paper params (rho_lin=20, rho=8): explicit queries "
+        f"{full_queries / 1e6:.1f} MB vs seeded {seeded_queries / 1e3:.1f} KB "
+        f"({full_queries / seeded_queries:.0f}x)"
+    )
+    full = tallies["full"]
+    seeded = tallies["seeded"]
+    assert seeded.verifier_to_prover < full.verifier_to_prover
+    assert seeded.prover_to_verifier == full.prover_to_verifier
+    assert full_queries / seeded_queries > 100

@@ -1,0 +1,94 @@
+"""Ablation: both systems *measured* on each system's home turf.
+
+§1 frames the prior-work tradeoff: Ginger "achieve[s] efficiency for
+hand-tailored protocols for particular computations (e.g., matrix
+multiplication)" while paying quadratically elsewhere.  The matmul
+extension app compiles to constraints with |Z_ginger| ≈ 0 (all
+products involve bound inputs), so Ginger's (z, z⊗z) proof is tiny
+there — whereas on a general computation (LCS) it explodes.
+
+Both provers run for real at small sizes (the only regime where the
+Ginger prover is runnable at all), and the hybrid chooser's verdicts
+are checked against the measured winner.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import ALL_APPS, MATMUL
+from repro.argument import (
+    ArgumentConfig,
+    GingerArgument,
+    ZaatarArgument,
+    choose_encoding,
+)
+from repro.pcp import SoundnessParams
+
+from _harness import FIELD, compiled, fmt_seconds, print_table, sizes_key
+
+PARAMS = SoundnessParams(rho_lin=2, rho=1)
+
+
+def _measure_both(prog, inputs):
+    out = {}
+    for label, cls in (("zaatar", ZaatarArgument), ("ginger", GingerArgument)):
+        arg = cls(prog, ArgumentConfig(params=PARAMS))
+        result = arg.run_batch([inputs])
+        assert result.all_accepted, label
+        out[label] = result.stats.mean_prover().e2e
+    return out
+
+
+def test_tailored_crossover(benchmark):
+    def run():
+        rng = random.Random(41)
+        matmul_prog = MATMUL.compile(FIELD, {"m": 3})
+        matmul_inputs = MATMUL.generate_inputs(rng, {"m": 3})
+        lcs = ALL_APPS["longest_common_subsequence"]
+        lcs_prog = compiled("longest_common_subsequence", sizes_key({"m": 4}))
+        lcs_inputs = lcs.generate_inputs(rng, {"m": 4})
+        return {
+            "matmul m=3 (Ginger's home turf)": (
+                matmul_prog,
+                _measure_both(matmul_prog, matmul_inputs),
+            ),
+            "LCS m=4 (general computation)": (
+                lcs_prog,
+                _measure_both(lcs_prog, lcs_inputs),
+            ),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for label, (prog, times) in results.items():
+        decision = choose_encoding(prog)
+        rows.append(
+            [
+                label,
+                fmt_seconds(times["zaatar"]),
+                fmt_seconds(times["ginger"]),
+                "zaatar" if times["zaatar"] < times["ginger"] else "ginger",
+                decision.system,
+            ]
+        )
+    print_table(
+        "Ablation: measured prover time on each system's home turf",
+        ["computation", "Zaatar", "Ginger", "measured winner", "chooser says"],
+        rows,
+    )
+    print(
+        "\nnote: the chooser scores Ginger by the paper's accounting, where the\n"
+        "proof covers only UNBOUND variables (matmul has none — which is why\n"
+        "hand-tailored matmul protocols were efficient).  Our executable Ginger\n"
+        "baseline is general-purpose and carries all variables plus binding\n"
+        "rows, so measured Zaatar can win even where the idealized/tailored\n"
+        "Ginger would not — the generality-vs-efficiency tension of §1 itself."
+    )
+    matmul_prog, matmul_times = results["matmul m=3 (Ginger's home turf)"]
+    lcs_prog, lcs_times = results["LCS m=4 (general computation)"]
+    # the general computation is Zaatar's win, measured
+    assert lcs_times["zaatar"] < lcs_times["ginger"]
+    # and the chooser's verdicts match the structure
+    assert choose_encoding(matmul_prog).system == "ginger"
+    assert choose_encoding(lcs_prog).system == "zaatar"

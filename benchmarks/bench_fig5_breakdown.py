@@ -1,0 +1,61 @@
+"""Figure 5: decomposition of the Zaatar prover's per-instance cost.
+
+Paper columns: local | solve constraints | construct u | crypto ops |
+answer queries | e2e CPU time.  The headline shape: the prover's e2e
+is orders of magnitude above local execution, with the work split
+roughly between proof-vector construction, crypto, and query answering
+(§5.2: "about 35% ... crypto, about 40% ... proof vectors, and the
+remainder ... answering queries").
+"""
+
+import pytest
+
+from _harness import (
+    APP_ORDER,
+    RESULTS,
+    fmt_seconds,
+    measure_zaatar,
+    print_table,
+)
+
+
+def test_fig5_breakdown(benchmark):
+    def run():
+        return {name: measure_zaatar(name) for name in APP_ORDER}
+
+    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name in APP_ORDER:
+        m = measured[name]
+        p = m.prover
+        RESULTS[("fig5", name)] = m
+        rows.append(
+            [
+                name,
+                fmt_seconds(m.local),
+                fmt_seconds(p.solve_constraints),
+                fmt_seconds(p.construct_u),
+                fmt_seconds(p.crypto_ops),
+                fmt_seconds(p.answer_queries),
+                fmt_seconds(p.e2e),
+            ]
+        )
+    print_table(
+        "Figure 5: Zaatar prover cost decomposition (per instance)",
+        [
+            "computation",
+            "local",
+            "solve constraints",
+            "construct u",
+            "crypto ops",
+            "answer queries",
+            "e2e CPU",
+        ],
+        rows,
+    )
+    for name in APP_ORDER:
+        m = measured[name]
+        # prover is far more expensive than local execution (paper shape)
+        assert m.prover.e2e > 10 * m.local, name
+        # every phase contributes nontrivially
+        assert m.prover.construct_u > 0 and m.prover.crypto_ops > 0, name

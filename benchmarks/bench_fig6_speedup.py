@@ -1,0 +1,105 @@
+"""Figure 6: distributed-prover speedups (PAM and all-pairs shortest path).
+
+Paper: batches of β=60 distributed over up to 60 cores (+GPUs);
+"Zaatar's prover achieves near-linear speedup as it gets more hardware
+resources" and "GPU acceleration improves per-instance latency by
+about 20%".
+
+Substitution (DESIGN.md): this environment exposes a single CPU core
+and no GPU, so the multi-machine configurations are *modeled* from
+measured per-instance latencies — distribution of a β-instance batch
+over W independent workers has latency ceil(β/W)·t_instance (instances
+are embarrassingly parallel; the multiprocess fan-out itself is
+implemented in ``repro.argument.parallel`` and validated functionally
+by the test suite, plus measured here when >1 core is available).
+GPU configurations scale the measured crypto phase by the paper's ≈20%
+per-instance latency observation.
+"""
+
+import math
+import os
+
+import pytest
+
+from _harness import RESULTS, measure_zaatar, print_table
+
+#: measured GPU gain from the paper (§5.2): ~20% of per-instance latency
+GPU_CRYPTO_LATENCY_FACTOR = 0.8
+
+CASES = {
+    "pam_clustering": {"m": 4, "d": 4},
+    "all_pairs_shortest_path": {"m": 4},
+}
+BATCH = 60  # the paper's β
+WORKER_COUNTS = [4, 15, 20, 30, 60]  # the paper's configurations
+
+
+def test_fig6_speedup(benchmark):
+    def run():
+        out = {}
+        for name, sizes in CASES.items():
+            measured = measure_zaatar(name, sizes)
+            out[name] = measured.prover
+        return out
+
+    prover_stats = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    speedups = {}
+    for name, prover in prover_stats.items():
+        t_instance = prover.e2e
+        crypto_fraction = prover.crypto_ops / t_instance if t_instance else 0
+        serial_latency = BATCH * t_instance
+        for workers in WORKER_COUNTS:
+            batch_latency = math.ceil(BATCH / workers) * t_instance
+            speedup = serial_latency / batch_latency
+            speedups[(name, workers)] = speedup
+            RESULTS[("fig6", name, workers)] = speedup
+            rows.append([name, f"{workers}C", f"{speedup:.1f}x", "modeled from measured t_instance"])
+            # paired GPU configuration (paper runs 15C+15G, 30C+30G)
+            gpu_instance = t_instance * (
+                1 - crypto_fraction * (1 - GPU_CRYPTO_LATENCY_FACTOR)
+            )
+            gpu_latency = math.ceil(BATCH / workers) * gpu_instance
+            rows.append(
+                [
+                    name,
+                    f"{workers}C+{workers}G",
+                    f"{serial_latency / gpu_latency:.1f}x",
+                    f"crypto {crypto_fraction:.0%} of prover, x{GPU_CRYPTO_LATENCY_FACTOR} modeled",
+                ]
+            )
+    # If real cores exist, also measure true multiprocess speedup.
+    if (os.cpu_count() or 1) > 1:
+        import random
+
+        from repro.apps import ALL_APPS
+        from repro.argument import ArgumentConfig, ZaatarArgument, run_parallel_batch
+        from repro.pcp import SoundnessParams
+
+        from _harness import compiled, sizes_key
+
+        name, sizes = next(iter(CASES.items()))
+        app = ALL_APPS[name]
+        prog = compiled(name, sizes_key(sizes))
+        arg = ZaatarArgument(prog, ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1)))
+        rng = random.Random(17)
+        batch = [app.generate_inputs(rng, sizes) for _ in range(8)]
+        base = run_parallel_batch(arg, batch, num_workers=1).wall_seconds
+        multi = run_parallel_batch(arg, batch, num_workers=min(4, os.cpu_count())).wall_seconds
+        rows.append([name, f"{min(4, os.cpu_count())}C (measured)", f"{base / multi:.2f}x", "real multiprocess run"])
+
+    print_table(
+        f"Figure 6: prover speedup over single core (batch of {BATCH})",
+        ["computation", "configuration", "speedup", "note"],
+        rows,
+    )
+    for name in CASES:
+        # near-linear scaling: at W=60 with β=60, one instance per
+        # worker → speedup equals β exactly in the model
+        assert speedups[(name, 60)] == pytest.approx(60.0)
+        # monotone in workers
+        series = [speedups[(name, w)] for w in WORKER_COUNTS]
+        assert series == sorted(series)
+        # within 15% of ideal for every configuration (ceil effects only)
+        for w in WORKER_COUNTS:
+            assert speedups[(name, w)] >= 0.85 * min(w, BATCH), (name, w)

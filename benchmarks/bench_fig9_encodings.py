@@ -1,0 +1,87 @@
+"""Figure 9: computation and proof encodings for both systems.
+
+Paper columns: |Z_ginger|, |Z_zaatar|, |C_ginger|, |C_zaatar|,
+|u_ginger|, |u_zaatar| per benchmark.  The headline: "For all
+computations, Zaatar's proof vector is significantly shorter than
+Ginger's", with |u_zaatar| linear in the running time and |u_ginger|
+quadratic.
+
+This bench counts the quantities from the actually-compiled constraint
+systems (not formulas), at the three sweep sizes, and checks the
+growth orders against the paper's complexity column.
+"""
+
+import math
+
+import pytest
+
+from repro.apps import ALL_APPS
+
+from _harness import APP_ORDER, RESULTS, compiled, fmt_count, print_table, sizes_key
+
+
+def test_fig9_encodings(benchmark):
+    def run():
+        out = {}
+        for name in APP_ORDER:
+            app = ALL_APPS[name]
+            out[name] = [
+                (dict(sizes), compiled(name, sizes_key(dict(sizes))).stats())
+                for sizes in app.sweep
+            ]
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for name in APP_ORDER:
+        for sizes, st in results[name]:
+            rows.append(
+                [
+                    name,
+                    str(sizes.get("m")),
+                    fmt_count(st.z_ginger),
+                    fmt_count(st.z_zaatar),
+                    fmt_count(st.c_ginger),
+                    fmt_count(st.c_zaatar),
+                    fmt_count(st.u_ginger),
+                    fmt_count(st.u_zaatar),
+                    f"{st.proof_shrink_factor:.0f}x",
+                ]
+            )
+        RESULTS[("fig9", name)] = results[name]
+    print_table(
+        "Figure 9: computation and proof encodings",
+        ["computation", "m", "|Zg|", "|Zz|", "|Cg|", "|Cz|", "|ug|", "|uz|", "shrink"],
+        rows,
+    )
+    for name in APP_ORDER:
+        points = results[name]
+        # Zaatar's proof always shorter, and the shrink factor grows
+        # with size (linear vs quadratic encodings)
+        shrinks = [st.proof_shrink_factor for _, st in points]
+        assert all(s > 1 for s in shrinks), name
+        if name != "root_finding_bisection":
+            assert shrinks[-1] > shrinks[0], name
+        else:
+            # Bisection's dense degree-2 form makes K₂ grow quadratically
+            # with m, so its shrink factor plateaus instead of growing —
+            # the "relatively efficient representation under Ginger" the
+            # paper calls out for exactly this benchmark (§5.2).
+            assert shrinks[-1] > 0.5 * shrinks[0], name
+        # |u_zaatar| grows like |C_zaatar| (linear in computation);
+        # |u_ginger| grows like its square
+        c = [st.c_zaatar for _, st in points]
+        uz = [st.u_zaatar for _, st in points]
+        ug = [st.u_ginger for _, st in points]
+        slope_uz = math.log(uz[-1] / uz[0]) / math.log(c[-1] / c[0])
+        slope_ug = math.log(ug[-1] / ug[0]) / math.log(c[-1] / c[0])
+        assert 0.8 < slope_uz < 1.2, (name, slope_uz)
+        if name == "root_finding_bisection":
+            # The dense degree-2 form compiles to ONE Ginger constraint
+            # whose term count grows with m² while |Z_ginger| stays
+            # nearly flat — "degree-2 polynomial evaluation, for which
+            # the Ginger encoding is actually very concise" (§4).  So
+            # |u_ginger| does not grow quadratically here; the other
+            # four benchmarks carry the quadratic-growth check.
+            continue
+        assert slope_ug > 1.6, (name, slope_ug)

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Audit demo: record a verification session, replay it later.
+
+Zaatar is interactive and not publicly verifiable (§6) — checking
+needs the verifier's secret randomness.  But because every bit of that
+randomness derives from one seed, a session can be recorded and
+deterministically replayed: the auditor regenerates the verifier,
+feeds it the recorded prover messages, and must reach the identical
+verdict.  Useful for dispute resolution ("the cloud swears it proved
+this batch") and regression-testing deployed provers.
+
+Run:  python examples/audit_transcript.py
+"""
+
+from repro.argument import (
+    ArgumentConfig,
+    Transcript,
+    record_batch,
+    replay_transcript,
+)
+from repro.compiler import compile_source
+from repro.field import PrimeField
+from repro.pcp import SoundnessParams
+
+SOURCE = """
+input readings[6]
+output mean_x6
+output peak
+var acc
+acc = 0
+peak = 0
+for i in 0..6 {
+    acc = acc + readings[i]
+    peak = max(peak, readings[i])
+}
+mean_x6 = acc
+"""
+
+
+def main() -> None:
+    field = PrimeField.named("goldilocks")
+    program = compile_source(field, SOURCE, name="sensor-rollup", bit_width=16)
+    config = ArgumentConfig(params=SoundnessParams(rho_lin=3, rho=2))
+
+    batch = [
+        [12, 9, 30, 7, 14, 12],
+        [100, 90, 95, 110, 105, 100],
+    ]
+    transcript, accepted = record_batch(program, batch, config)
+    assert accepted
+    blob = transcript.to_json()
+    print(f"session recorded: {len(batch)} instances, {len(blob):,} bytes of transcript")
+    for rec in transcript.instances:
+        print(f"  inputs={rec.input_values} -> outputs={rec.claimed_outputs}")
+
+    # ... time passes; an auditor receives the transcript ...
+    restored = Transcript.from_json(blob)
+    verdicts = replay_transcript(program, restored)
+    print(f"\naudit replay verdicts: {verdicts}")
+    assert verdicts == [True, True]
+
+    # a forged transcript fails the replay
+    forged = Transcript.from_json(blob)
+    forged.instances[0].claimed_outputs[1] = 9999  # inflate the peak
+    print(f"forged-output replay:  {replay_transcript(program, forged)}")
+    assert replay_transcript(program, forged) == [False, True]
+
+    tampered = Transcript.from_json(blob)
+    tampered.instances[1].answers[0] ^= 1  # bit-flip a recorded answer
+    print(f"tampered-answer replay: {replay_transcript(program, tampered)}")
+    assert replay_transcript(program, tampered) == [True, False]
+
+
+if __name__ == "__main__":
+    main()

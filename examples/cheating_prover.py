@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""Adversarial demo: every way a prover can cheat, and how it's caught.
+
+§2.2 enumerates the misbehaviours the protocol defends against; this
+demo mounts each one against the same computation and shows which
+protocol layer rejects it:
+
+  1. wrong output claim         → divisibility-correction test (PCP)
+  2. answers ≠ committed π      → commitment consistency test
+  3. non-linear proof function  → linearity tests (PCP)
+  4. wrong-form linear function → divisibility-correction test (PCP)
+
+Run:  python examples/cheating_prover.py
+"""
+
+import random
+
+from repro.argument import ArgumentConfig, ZaatarArgument
+from repro.compiler import compile_source
+from repro.crypto import CommitmentProver
+from repro.field import PrimeField
+from repro.pcp import SoundnessParams
+from repro.qap import build_proof_vector
+
+SOURCE = """
+input bid[4]
+output winner
+output second
+winner = 0
+second = 0
+for i in 0..4 {
+    if (winner < bid[i]) { second = winner  winner = bid[i] }
+    else { if (second < bid[i]) { second = bid[i] } }
+}
+"""
+
+FIELD = PrimeField.named("goldilocks")
+CONFIG = ArgumentConfig(params=SoundnessParams(rho_lin=3, rho=2))
+
+
+class WrongOutputProver(ZaatarArgument):
+    """Claims a different auction winner (pays less!)."""
+
+    def prove_instance(self, inputs, setup, stats):
+        sol, c, r, a = super().prove_instance(inputs, setup, stats)
+        sol.y[1] = (sol.y[1] - 5) % FIELD.p  # understate the second price
+        sol.output_values[1] = sol.y[1]
+        return sol, c, r, a
+
+
+class InconsistentAnswersProver(ZaatarArgument):
+    """Commits honestly, then answers queries with doctored values."""
+
+    def prove_instance(self, inputs, setup, stats):
+        sol, c, response, answers = super().prove_instance(inputs, setup, stats)
+        response.answers[3] = (response.answers[3] + 1) % FIELD.p
+        return sol, c, response, response.answers
+
+
+class NonLinearProver(ZaatarArgument):
+    """Answers with a random (consistent) non-linear function."""
+
+    def prove_instance(self, inputs, setup, stats):
+        sol, c, response, answers = super().prove_instance(inputs, setup, stats)
+        rng = random.Random(0)
+        response.answers[:-1] = [
+            rng.randrange(FIELD.p) for _ in response.answers[:-1]
+        ]
+        return sol, c, response, response.answers
+
+
+class WrongFormProver(ZaatarArgument):
+    """Commits to a genuine linear function (z, h') with a bogus h'."""
+
+    def prove_instance(self, inputs, setup, stats):
+        schedule, _, request, challenge = setup
+        sol = self.program.solve(inputs, check=False)
+        vector = build_proof_vector(self.qap, sol.quadratic_witness).vector
+        vector[self.qap.n_prime + 2] = (vector[self.qap.n_prime + 2] + 9) % FIELD.p
+        prover = CommitmentProver(FIELD, self.config.group(FIELD), vector)
+        commitment = prover.commit(request)
+        response = prover.answer(challenge)
+        return sol, commitment, response, response.answers
+
+
+def main() -> None:
+    program = compile_source(FIELD, SOURCE, name="second-price-auction", bit_width=12)
+    bids = [[120, 455, 309, 222]]
+
+    honest = ZaatarArgument(program, CONFIG).run_batch(bids)
+    assert honest.all_accepted
+    winner, second = honest.instances[0].output_values
+    print(f"honest prover: winner bid = {winner}, clearing price = {second}  [ACCEPTED]")
+
+    adversaries = [
+        ("wrong output claim", WrongOutputProver),
+        ("answers != committed function", InconsistentAnswersProver),
+        ("non-linear proof function", NonLinearProver),
+        ("linear but wrong-form (bogus h)", WrongFormProver),
+    ]
+    print("\nadversaries:")
+    for label, cls in adversaries:
+        result = cls(program, CONFIG).run_batch(bids)
+        instance = result.instances[0]
+        layer = (
+            "commitment consistency"
+            if not instance.commitment_ok
+            else "PCP checks"
+        )
+        verdict = "REJECTED" if not instance.accepted else "ACCEPTED (BUG!)"
+        print(f"  {label:36s} -> {verdict} by {layer}")
+        assert not instance.accepted, label
+
+
+if __name__ == "__main__":
+    main()

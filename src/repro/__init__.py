@@ -1,0 +1,35 @@
+"""Zaatar: verified computation via QAP-based linear PCPs.
+
+A from-scratch reproduction of "Resolving the conflict between
+generality and plausibility in verified computation" (Setty, Braun,
+Vu, Blumberg, Parno, Walfish -- EuroSys 2013).
+
+Quick tour of the public API::
+
+    from repro.field import PrimeField
+    from repro.compiler import compile_source
+    from repro.argument import ZaatarArgument
+
+    field = PrimeField.named("goldilocks")
+    program = compile_source(field, "input x\noutput y\ny = x * x + 1")
+    result = ZaatarArgument(program).run_batch([[3], [5]])
+    assert result.all_accepted
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record of every figure and table.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "apps",
+    "argument",
+    "compiler",
+    "constraints",
+    "costmodel",
+    "crypto",
+    "field",
+    "pcp",
+    "poly",
+    "qap",
+]

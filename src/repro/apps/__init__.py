@@ -1,0 +1,122 @@
+"""The five §5.1 benchmark computations, with the evaluation's size points.
+
+``ALL_APPS`` maps benchmark name → :class:`BenchmarkApp`.  Each app
+carries three size configurations:
+
+* ``default_sizes`` — scaled down so a pure-Python prover finishes in
+  seconds (DESIGN.md substitution);
+* ``paper_sizes`` — the §5.2 figures' parameters, runnable but slow;
+* ``sweep`` — three points with doubling input size, mirroring
+  Figure 8's "double the input size twice".
+"""
+
+from . import bisection, fannkuch, floyd_warshall, lcs, matmul, pam
+from .base import BenchmarkApp
+
+PAM = BenchmarkApp(
+    name="pam_clustering",
+    complexity="O(m^2 d)",
+    build_factory=pam.build_factory,
+    reference_fn=pam.reference,
+    input_generator=pam.generate_inputs,
+    default_sizes={"m": 6, "d": 4, "value_bits": 8},
+    paper_sizes={"m": 20, "d": 128, "value_bits": 32},
+    sweep=(
+        {"m": 3, "d": 4, "value_bits": 8},
+        {"m": 6, "d": 4, "value_bits": 8},   # m²d doubles ≈ 4x per m-doubling
+        {"m": 12, "d": 4, "value_bits": 8},
+    ),
+)
+
+BISECTION = BenchmarkApp(
+    name="root_finding_bisection",
+    complexity="O(m^2 L)",
+    build_factory=bisection.build_factory,
+    reference_fn=bisection.reference,
+    input_generator=bisection.generate_inputs,
+    default_sizes={"m": 8, "L": 6, "num_bits": 8, "den_bits": 5},
+    paper_sizes={"m": 256, "L": 8, "num_bits": 32, "den_bits": 5},
+    sweep=(
+        {"m": 4, "L": 6, "num_bits": 8, "den_bits": 5},
+        {"m": 8, "L": 6, "num_bits": 8, "den_bits": 5},
+        {"m": 16, "L": 6, "num_bits": 8, "den_bits": 5},
+    ),
+)
+
+FLOYD_WARSHALL = BenchmarkApp(
+    name="all_pairs_shortest_path",
+    complexity="O(m^3)",
+    build_factory=floyd_warshall.build_factory,
+    reference_fn=floyd_warshall.reference,
+    input_generator=floyd_warshall.generate_inputs,
+    default_sizes={"m": 5, "weight_bits": 10},
+    paper_sizes={"m": 25, "weight_bits": 32},
+    sweep=(
+        {"m": 3, "weight_bits": 10},
+        {"m": 5, "weight_bits": 10},   # paper sweeps {5,10,20}
+        {"m": 8, "weight_bits": 10},
+    ),
+)
+
+FANNKUCH = BenchmarkApp(
+    name="fannkuch",
+    complexity="O(m)",
+    build_factory=fannkuch.build_factory,
+    reference_fn=fannkuch.reference,
+    input_generator=fannkuch.generate_inputs,
+    default_sizes={"m": 4, "n": 5},
+    paper_sizes={"m": 100, "n": 13},
+    sweep=(
+        {"m": 2, "n": 5},
+        {"m": 4, "n": 5},
+        {"m": 8, "n": 5},
+    ),
+)
+
+LCS = BenchmarkApp(
+    name="longest_common_subsequence",
+    complexity="O(m^2)",
+    build_factory=lcs.build_factory,
+    reference_fn=lcs.reference,
+    input_generator=lcs.generate_inputs,
+    default_sizes={"m": 8, "alphabet_bits": 3},
+    paper_sizes={"m": 300, "alphabet_bits": 6},
+    sweep=(
+        {"m": 4, "alphabet_bits": 3},
+        {"m": 8, "alphabet_bits": 3},
+        {"m": 16, "alphabet_bits": 3},
+    ),
+)
+
+ALL_APPS: dict[str, BenchmarkApp] = {
+    app.name: app for app in (PAM, BISECTION, FLOYD_WARSHALL, FANNKUCH, LCS)
+}
+
+#: extension beyond the paper's five: the computation prior work
+#: hand-tailored (§1), here compiled generically.  Not in ALL_APPS so
+#: the figure benches keep exactly the paper's suite.
+MATMUL = BenchmarkApp(
+    name="matrix_multiplication",
+    complexity="O(m^3)",
+    build_factory=matmul.build_factory,
+    reference_fn=matmul.reference,
+    input_generator=matmul.generate_inputs,
+    default_sizes={"m": 4, "value_bits": 8},
+    paper_sizes={"m": 128, "value_bits": 32},
+    sweep=(
+        {"m": 3, "value_bits": 8},
+        {"m": 6, "value_bits": 8},
+        {"m": 12, "value_bits": 8},
+    ),
+)
+
+__all__ = [
+    "ALL_APPS",
+    "BISECTION",
+    "BenchmarkApp",
+    "FANNKUCH",
+    "FLOYD_WARSHALL",
+    "LCS",
+    "MATMUL",
+    "PAM",
+]

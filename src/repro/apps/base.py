@@ -1,0 +1,60 @@
+"""Common shape of the five §5.1 benchmark computations.
+
+Each app provides a reference implementation (plain Python — the
+"local" baseline of Figure 5), a constraint program, a random-input
+generator, and the size points used by the evaluation figures: the
+paper's defaults (§5.2) and a scaled-down default sweep that a pure
+Python prover can run in seconds (the DESIGN.md substitution; the
+sweep keeps the paper's shape of "double the input size twice").
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..compiler import CompiledProgram, compile_program
+from ..field import PrimeField
+
+SizeParams = Mapping[str, int]
+
+
+@dataclass(frozen=True)
+class BenchmarkApp:
+    """One benchmark computation, parameterized by input-size knobs."""
+
+    name: str
+    #: the paper's complexity column in Figure 9, for documentation
+    complexity: str
+    build_factory: Callable[..., Callable]
+    reference_fn: Callable[..., list[int]]
+    input_generator: Callable[..., list[int]]
+    default_sizes: dict[str, int]
+    paper_sizes: dict[str, int]
+    #: three points, doubling as in Figure 8
+    sweep: tuple[dict[str, int], ...]
+
+    def compile(self, field: PrimeField, sizes: SizeParams | None = None) -> CompiledProgram:
+        """Compile at given sizes (merged over the scaled defaults)."""
+        params = dict(self.default_sizes)
+        if sizes:
+            params.update(sizes)
+        build = self.build_factory(**params)
+        return compile_program(field, build, name=f"{self.name}{params}")
+
+    def reference(self, inputs: Sequence[int], sizes: SizeParams | None = None) -> list[int]:
+        """Plain-Python execution — the \"local\" baseline."""
+        params = dict(self.default_sizes)
+        if sizes:
+            params.update(sizes)
+        return self.reference_fn(list(inputs), **params)
+
+    def generate_inputs(
+        self, rng: random.Random, sizes: SizeParams | None = None
+    ) -> list[int]:
+        """Random valid inputs for the given sizes."""
+        params = dict(self.default_sizes)
+        if sizes:
+            params.update(sizes)
+        return self.input_generator(rng, **params)

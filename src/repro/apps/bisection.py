@@ -1,0 +1,111 @@
+"""Root finding by bisection — benchmark (b), §5.1.
+
+The paper bisects functions of "degree-2 polynomials with m variables"
+over rational inputs, for L iterations.  We find the positive root of
+
+    f(t) = t² − S,      S = Σ_{i≤j} c_{ij}·x_i·x_j  (fixed public c's)
+
+i.e. bisection converges to √S.  The dense degree-2 form S is exactly
+the structure that makes this benchmark "relatively efficient under
+Ginger" (§5.2: its Zaatar-vs-Ginger gap is only 1–2 orders of
+magnitude; Figure 9's |Z_zaatar| = m²L-ish blowup comes from the ~m²/2
+distinct degree-2 terms this form contributes to K₂).
+
+Rational handling follows the paper's fixed-denominator scheme
+(§5.1: "rational number inputs with 32-bit numerators, 5-bit
+denominators"): inputs are numerators over the static denominator
+2^den_bits, and every iteration's midpoint denominator is the static
+2^(den_bits + iteration) — so only numerators live on wires and the
+sign test is an integer comparison at a statically-known width.
+
+Outputs: the numerator of the final interval's left endpoint, at
+denominator 2^(den_bits + L) (a fixed-point approximation of √S).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..compiler import Builder, less_than, select
+
+
+def build_factory(m: int, L: int, num_bits: int = 16, den_bits: int = 5):
+    """Constraint program: L bisection iterations toward √S over m inputs."""
+    coeffs = _public_coefficients(m)
+    # S ≤ (#terms)·max_c·(2^num_bits)² over denominator 2^(2·den_bits)
+    s_bits = 2 * num_bits + max(m * (m + 1) // 2, 1).bit_length() + 4
+
+    def build(b: Builder) -> None:
+        width_needed = s_bits + 2 * den_bits + 2 * L + 6
+        if width_needed >= b.field.bits:
+            raise ValueError(
+                f"bisection(m={m}, L={L}, num_bits={num_bits}) needs "
+                f"{width_needed}-bit comparisons but the field has only "
+                f"{b.field.bits} bits — use a larger field (the paper uses "
+                f"220 bits for this benchmark) or smaller parameters"
+            )
+        xs = [b.input() for _ in range(m)]  # numerators over 2^den_bits
+        s = b.constant(0)
+        for (i, j), c in coeffs.items():
+            s = s + (xs[i] * xs[j]) * c
+        s = b.define(s)  # numerator of S over denominator 2^(2·den_bits)
+
+        # Interval [lo, hi] in fixed point; denominators double each round.
+        # Invariant at iteration t: endpoints are numerators over 2^(sh_t)
+        # where sh_t = den_bits + t.
+        hi_int = 1 << (s_bits // 2 + 1)  # static bound: sqrt(S) < hi
+        lo = b.constant(0)
+        hi = b.constant(hi_int << den_bits)
+        for t in range(L):
+            # mid at denominator 2^(den_bits + t + 1)
+            mid = lo + hi  # (lo + hi) / 2 with the denominator shift folded in
+            # f(mid) sign test: mid² vs S at a common denominator.
+            # mid/2^(sh+1) squared = mid²/2^(2sh+2); S = s/2^(2·den_bits).
+            shift = 2 * (t + 1)
+            lhs = b.define(mid * mid)
+            rhs = s * (1 << shift)
+            width = s_bits + 2 * den_bits + 2 * L + 6
+            below = less_than(b, lhs, rhs, bit_width=width)  # f(mid) < 0
+            # keep [mid, hi] if f(mid) < 0 else [lo, mid]; rescale the
+            # surviving endpoint to the new denominator (×2).
+            lo = select(b, below, mid, lo * 2)
+            hi = select(b, below, hi * 2, mid)
+        b.output(lo)
+
+    return build
+
+
+def reference(
+    inputs: list[int], m: int, L: int, num_bits: int = 16, den_bits: int = 5
+) -> list[int]:
+    """Plain-Python bisection (the local baseline)."""
+    if len(inputs) != m:
+        raise ValueError(f"expected {m} inputs, got {len(inputs)}")
+    coeffs = _public_coefficients(m)
+    s = sum(c * inputs[i] * inputs[j] for (i, j), c in coeffs.items())
+    s_bits = 2 * num_bits + max(m * (m + 1) // 2, 1).bit_length() + 4
+    hi_int = 1 << (s_bits // 2 + 1)
+    lo, hi = 0, hi_int << den_bits
+    for t in range(L):
+        mid = lo + hi  # at denominator 2^(den_bits + t + 1)
+        shift = 2 * (t + 1)
+        if mid * mid < s * (1 << shift):
+            lo, hi = mid, hi * 2
+        else:
+            lo, hi = lo * 2, mid
+    return [lo]
+
+
+def generate_inputs(
+    rng: random.Random, m: int, L: int, num_bits: int = 16, den_bits: int = 5
+) -> list[int]:
+    """Random positive numerators for the m rational inputs."""
+    return [rng.randrange(1, 1 << num_bits) for _ in range(m)]
+
+
+def _public_coefficients(m: int) -> dict[tuple[int, int], int]:
+    """Deterministic small positive coefficients c_{ij} (public data)."""
+    rng = random.Random(1234 + m)
+    return {
+        (i, j): rng.randrange(1, 8) for i in range(m) for j in range(i, m)
+    }

@@ -1,0 +1,105 @@
+"""The Fannkuch benchmark — benchmark (d), §5.1.
+
+"Pancake flipping": given a permutation of {1..n}, repeatedly reverse
+the prefix of length equal to the first element until a 1 arrives at
+the front, counting flips.  The paper runs m permutations of {1..13}
+and its constraint count is linear in m (Figure 9: 2200m) — each
+permutation costs a fixed number of constraints because the flip loop
+is unrolled to a static step bound.
+
+The data-dependent prefix length is handled the way the paper's
+compiler must (§5.4: indirect accesses expand): each step computes all
+n−1 candidate reversals and selects among them with indicator bits for
+``first == k``.  A ``done`` flag freezes the array once the first
+element is 1, so over-provisioned steps cost constraints but do not
+change the answer.  ``max_steps`` defaults to the true worst case for
+small n (we use the known maxima for n ≤ 9).
+
+Outputs: the maximum flip count across the m permutations (the
+benchmark's classic figure of merit) followed by each per-permutation
+count.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..compiler import Builder, Wire, is_equal, less_than, select
+
+#: known maximum flip counts for the single-permutation game
+_MAX_FLIPS = {1: 0, 2: 1, 3: 2, 4: 4, 5: 7, 6: 10, 7: 16, 8: 22, 9: 30}
+
+
+def _default_steps(n: int) -> int:
+    return _MAX_FLIPS.get(n, 3 * n)
+
+
+def build_factory(m: int, n: int = 5, max_steps: int | None = None):
+    """Constraint program: flip counts for m permutations of {1..n}."""
+    steps = max_steps if max_steps is not None else _default_steps(n)
+    count_bits = max(steps, 1).bit_length() + 1
+
+    def flips_for(b: Builder, perm: list[Wire]) -> Wire:
+        arr = list(perm)
+        count = b.constant(0)
+        for _ in range(steps):
+            done = is_equal(b, arr[0], 1)
+            # candidate prefix reversals for k = 2..n
+            new_arr = [arr[i] for i in range(n)]
+            chosen = [b.constant(0) for _ in range(n)]
+            for i in range(n):
+                chosen[i] = arr[i]
+            for k in range(2, n + 1):
+                hit = is_equal(b, arr[0], k)
+                reversed_k = [arr[k - 1 - i] if i < k else arr[i] for i in range(n)]
+                for i in range(min(k, n)):
+                    chosen[i] = select(b, hit, reversed_k[i], chosen[i])
+            # freeze when done
+            for i in range(n):
+                arr[i] = b.define(select(b, done, arr[i], chosen[i]))
+            count = count + (1 - done)
+        return b.define(count)
+
+    def build(b: Builder) -> None:
+        perms = [[b.input() for _ in range(n)] for _ in range(m)]
+        counts = [flips_for(b, perm) for perm in perms]
+        best = counts[0]
+        for c in counts[1:]:
+            bigger = less_than(b, best, c, bit_width=count_bits)
+            best = select(b, bigger, c, best)
+        b.output(best)
+        for c in counts:
+            b.output(c)
+
+    return build
+
+
+def flips(perm: list[int]) -> int:
+    """Host-side pancake-flip count for one permutation."""
+    arr = list(perm)
+    count = 0
+    while arr[0] != 1:
+        k = arr[0]
+        arr[:k] = reversed(arr[:k])
+        count += 1
+    return count
+
+
+def reference(inputs: list[int], m: int, n: int = 5, max_steps: int | None = None) -> list[int]:
+    """Plain-Python reference: [max count, per-permutation counts...]."""
+    if len(inputs) != m * n:
+        raise ValueError(f"expected {m * n} inputs, got {len(inputs)}")
+    counts = [flips(inputs[i * n : (i + 1) * n]) for i in range(m)]
+    return [max(counts), *counts]
+
+
+def generate_inputs(
+    rng: random.Random, m: int, n: int = 5, max_steps: int | None = None
+) -> list[int]:
+    """m random permutations of {1..n}, concatenated."""
+    out: list[int] = []
+    for _ in range(m):
+        perm = list(range(1, n + 1))
+        rng.shuffle(perm)
+        out.extend(perm)
+    return out

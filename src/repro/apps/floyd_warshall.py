@@ -1,0 +1,74 @@
+"""Floyd-Warshall all-pairs shortest paths — benchmark (c), §5.1.
+
+m nodes, dense weight matrix, the classic triple loop with a min-update
+per (i, j, k) triple: O(m³) comparison pseudoconstraints, which is
+where Figure 9's 84m³ variables come from.
+
+Edge weights are fixed-point rationals in the paper's style (32-bit
+numerators, here over a static power-of-two denominator — see
+DESIGN.md's substitution note): only numerators live on wires, so the
+min-update is an integer comparison at a statically known width.
+Missing edges are a public "infinity" constant large enough that no
+real path ever reaches it but small enough that sums stay in range.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..compiler import Builder, less_than, select
+
+
+def _infinity(m: int, weight_bits: int) -> int:
+    # strictly larger than any real path: (m-1) max-weight hops
+    return m * (1 << weight_bits) + 1
+
+
+def build_factory(m: int, weight_bits: int = 10):
+    """Constraint program: the m³ triple loop of min-updates."""
+    inf = _infinity(m, weight_bits)
+    # path sums ≤ m·inf; comparisons need headroom for sums of two cells
+    width = (2 * m * inf).bit_length() + 2
+
+    def build(b: Builder) -> None:
+        dist = [[b.input() for _ in range(m)] for _ in range(m)]
+        for k in range(m):
+            for i in range(m):
+                for j in range(m):
+                    through = b.define(dist[i][k] + dist[k][j])
+                    shorter = less_than(b, through, dist[i][j], bit_width=width)
+                    dist[i][j] = b.define(select(b, shorter, through, dist[i][j]))
+        for i in range(m):
+            for j in range(m):
+                b.output(dist[i][j])
+
+    return build
+
+
+def reference(inputs: list[int], m: int, weight_bits: int = 10) -> list[int]:
+    """Plain-Python Floyd-Warshall (the local baseline)."""
+    if len(inputs) != m * m:
+        raise ValueError(f"expected {m * m} inputs, got {len(inputs)}")
+    dist = [list(inputs[i * m : (i + 1) * m]) for i in range(m)]
+    for k in range(m):
+        for i in range(m):
+            for j in range(m):
+                through = dist[i][k] + dist[k][j]
+                if through < dist[i][j]:
+                    dist[i][j] = through
+    return [dist[i][j] for i in range(m) for j in range(m)]
+
+
+def generate_inputs(rng: random.Random, m: int, weight_bits: int = 10) -> list[int]:
+    """Random weighted digraph: ~half the edges present, zero diagonal."""
+    inf = _infinity(m, weight_bits)
+    out = []
+    for i in range(m):
+        for j in range(m):
+            if i == j:
+                out.append(0)
+            elif rng.random() < 0.5:
+                out.append(rng.randrange(1, 1 << weight_bits))
+            else:
+                out.append(inf)
+    return out

@@ -1,0 +1,60 @@
+"""Longest common subsequence — benchmark (e), §5.1.
+
+Two strings of length m over a small public alphabet; the classic
+(m+1)×(m+1) dynamic program with, per cell, one symbol-equality test
+and one max — O(m²) pseudoconstraints, matching Figure 9's 43m²
+variables-and-constraints shape.
+
+Output: the LCS length.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..compiler import Builder, is_equal, maximum, select
+
+
+def build_factory(m: int, alphabet_bits: int = 6):
+    """Constraint program: the (m+1)² LCS dynamic program."""
+    length_bits = max(m, 1).bit_length() + 1
+
+    def build(b: Builder) -> None:
+        a = [b.input() for _ in range(m)]
+        s = [b.input() for _ in range(m)]
+        zero = b.constant(0)
+        prev = [zero for _ in range(m + 1)]
+        for i in range(1, m + 1):
+            row = [zero for _ in range(m + 1)]
+            for j in range(1, m + 1):
+                same = is_equal(b, a[i - 1], s[j - 1])
+                diag = prev[j - 1] + 1
+                best = maximum(b, prev[j], row[j - 1], bit_width=length_bits)
+                row[j] = b.define(select(b, same, diag, best))
+            prev = row
+        b.output(prev[m])
+
+    return build
+
+
+def reference(inputs: list[int], m: int, alphabet_bits: int = 6) -> list[int]:
+    """Plain-Python LCS length (the local baseline)."""
+    if len(inputs) != 2 * m:
+        raise ValueError(f"expected {2 * m} inputs, got {len(inputs)}")
+    a, s = inputs[:m], inputs[m:]
+    prev = [0] * (m + 1)
+    for i in range(1, m + 1):
+        row = [0] * (m + 1)
+        for j in range(1, m + 1):
+            if a[i - 1] == s[j - 1]:
+                row[j] = prev[j - 1] + 1
+            else:
+                row[j] = max(prev[j], row[j - 1])
+        prev = row
+    return [prev[m]]
+
+
+def generate_inputs(rng: random.Random, m: int, alphabet_bits: int = 6) -> list[int]:
+    """Two random length-m strings over a small alphabet."""
+    bound = 1 << min(alphabet_bits, 3)  # small alphabet → interesting LCS
+    return [rng.randrange(bound) for _ in range(2 * m)]

@@ -1,0 +1,98 @@
+"""PAM clustering (Partitioning Around Medoids) — benchmark (a), §5.1.
+
+k = 2 clusters of m samples with d dimensions, as in the paper
+("clustered into two groups").  The computation:
+
+1. all pairwise squared-Euclidean distances — O(m²·d) arithmetic, the
+   dominant term in Figure 9's 20m²d constraint count;
+2. exhaustive medoid-pair search: for every candidate pair (i, j) the
+   clustering cost Σ_s min(D[s,i], D[s,j]), keeping the argmin pair —
+   O(m³) comparisons.
+
+Outputs: the two medoid indices plus the optimal cost (so the verifier
+learns the clustering *and* can price it).
+
+Inputs are ``value_bits``-bit unsigned coordinates (the paper uses
+32-bit signed inputs; the default here is smaller so that comparison
+pseudoconstraints stay shallow at test sizes — the knob goes up to 32).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..compiler import Builder, less_than, select
+
+
+def build_factory(m: int, d: int, value_bits: int = 8):
+    """Constraint program for PAM with m samples of dimension d."""
+    if m < 2:
+        raise ValueError("PAM needs at least two samples")
+    dist_bits = 2 * value_bits + max(d - 1, 1).bit_length() + 1
+    cost_bits = dist_bits + max(m - 1, 1).bit_length() + 1
+
+    def build(b: Builder) -> None:
+        samples = [[b.input() for _ in range(d)] for _ in range(m)]
+        # pairwise squared distances (symmetric, diagonal zero)
+        dist: dict[tuple[int, int], object] = {}
+        for i in range(m):
+            for j in range(i + 1, m):
+                acc = b.constant(0)
+                for k in range(d):
+                    diff = samples[i][k] - samples[j][k]
+                    acc = acc + diff * diff
+                dist[(i, j)] = dist[(j, i)] = b.define(acc)
+        zero = b.constant(0)
+
+        def d_of(s: int, t: int):
+            return zero if s == t else dist[(s, t)]
+
+        best_cost = None
+        best_i = b.constant(0)
+        best_j = b.constant(0)
+        for i in range(m):
+            for j in range(i + 1, m):
+                cost = b.constant(0)
+                for s in range(m):
+                    nearer = less_than(b, d_of(s, i), d_of(s, j), bit_width=dist_bits)
+                    cost = cost + select(b, nearer, d_of(s, i), d_of(s, j))
+                cost = b.define(cost)
+                if best_cost is None:
+                    best_cost, best_i, best_j = cost, b.constant(i), b.constant(j)
+                else:
+                    better = less_than(b, cost, best_cost, bit_width=cost_bits)
+                    best_cost = select(b, better, cost, best_cost)
+                    best_i = select(b, better, i, best_i)
+                    best_j = select(b, better, j, best_j)
+        b.output(best_i)
+        b.output(best_j)
+        b.output(best_cost)
+
+    return build
+
+
+def reference(inputs: list[int], m: int, d: int, value_bits: int = 8) -> list[int]:
+    """Plain-Python PAM (the "local" column of Figure 5)."""
+    if len(inputs) != m * d:
+        raise ValueError(f"expected {m * d} inputs, got {len(inputs)}")
+    samples = [inputs[i * d : (i + 1) * d] for i in range(m)]
+
+    def dist(a: list[int], b: list[int]) -> int:
+        return sum((x - y) ** 2 for x, y in zip(a, b))
+
+    matrix = [[dist(samples[i], samples[j]) for j in range(m)] for i in range(m)]
+    best = None
+    for i in range(m):
+        for j in range(i + 1, m):
+            cost = sum(min(matrix[s][i], matrix[s][j]) for s in range(m))
+            if best is None or cost < best[0]:
+                best = (cost, i, j)
+    assert best is not None
+    cost, i, j = best
+    return [i, j, cost]
+
+
+def generate_inputs(rng: random.Random, m: int, d: int, value_bits: int = 8) -> list[int]:
+    """m random d-dimensional points, flattened sample-major."""
+    bound = 1 << value_bits
+    return [rng.randrange(bound) for _ in range(m * d)]

@@ -1,0 +1,65 @@
+"""The batched efficient argument system (commitment ∘ linear PCP)."""
+
+from .hybrid import EncodingDecision, HybridArgument, choose_encoding
+from .net import (
+    NetworkBatchResult,
+    ProtocolViolation,
+    ProverServer,
+    program_hash,
+    verify_remote,
+)
+from .parallel import ParallelBatchResult, run_parallel_batch
+from .protocol import (
+    ArgumentConfig,
+    BatchResult,
+    GingerArgument,
+    InstanceResult,
+    ZaatarArgument,
+)
+from .stats import BatchStats, PhaseTimer, ProverStats, VerifierStats
+from .transcript import (
+    Transcript,
+    TranscriptError,
+    record_batch,
+    replay_transcript,
+)
+from .wire import (
+    NetworkTally,
+    decode_ciphertexts,
+    decode_elements,
+    encode_ciphertexts,
+    encode_elements,
+    transport_costs,
+)
+
+__all__ = [
+    "ArgumentConfig",
+    "BatchResult",
+    "BatchStats",
+    "EncodingDecision",
+    "GingerArgument",
+    "HybridArgument",
+    "choose_encoding",
+    "InstanceResult",
+    "NetworkBatchResult",
+    "NetworkTally",
+    "ParallelBatchResult",
+    "ProtocolViolation",
+    "ProverServer",
+    "program_hash",
+    "verify_remote",
+    "decode_ciphertexts",
+    "decode_elements",
+    "encode_ciphertexts",
+    "encode_elements",
+    "transport_costs",
+    "PhaseTimer",
+    "ProverStats",
+    "Transcript",
+    "TranscriptError",
+    "VerifierStats",
+    "ZaatarArgument",
+    "record_batch",
+    "replay_transcript",
+    "run_parallel_batch",
+]

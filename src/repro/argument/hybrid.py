@@ -1,0 +1,113 @@
+"""Hybrid encoding choice — §4 footnote 5 made executable.
+
+"The degenerate cases are detectable, so the compiler could simply
+choose to use Ginger (or [23, 55]) over Zaatar" — the direction the
+authors pursued as Allspice [57].  ``choose_encoding`` evaluates both
+columns of the Figure-3 cost model on a compiled program and picks the
+cheaper system for a given batch size; ``HybridArgument`` then runs
+whichever protocol was chosen, transparently to the caller.
+
+For every non-contrived computation this picks Zaatar (the |u| gap is
+decisive); dense degree-2 polynomial evaluation flips it to Ginger —
+see ``benchmarks/bench_ablation_degenerate.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..compiler import CompiledProgram
+from ..costmodel import (
+    PAPER_MICROBENCH_128,
+    ComputationProfile,
+    MicrobenchParams,
+    ginger_costs,
+    zaatar_costs,
+)
+from ..pcp import PAPER_PARAMS, SoundnessParams
+from .protocol import ArgumentConfig, BatchResult, GingerArgument, ZaatarArgument
+
+
+@dataclass(frozen=True)
+class EncodingDecision:
+    """The chooser's verdict plus the numbers behind it."""
+
+    system: str                 # "zaatar" | "ginger"
+    zaatar_total: float         # modeled prover+verifier seconds per instance
+    ginger_total: float
+    batch_size: int
+
+    @property
+    def advantage(self) -> float:
+        """How much cheaper the chosen system is (≥ 1)."""
+        worse = max(self.zaatar_total, self.ginger_total)
+        better = min(self.zaatar_total, self.ginger_total)
+        return worse / better if better else float("inf")
+
+
+def choose_encoding(
+    program: CompiledProgram,
+    *,
+    batch_size: int = 100,
+    microbench: MicrobenchParams = PAPER_MICROBENCH_128,
+    params: SoundnessParams = PAPER_PARAMS,
+    local_seconds: float = 0.0,
+) -> EncodingDecision:
+    """Pick the cheaper encoding for this computation via Figure 3.
+
+    The objective is total modeled cost per instance: prover work plus
+    the verifier's amortized setup and per-instance processing.  The
+    local execution time T enters both columns identically, so it may
+    be left at 0 for the comparison.
+    """
+    profile = ComputationProfile(
+        stats=program.stats(),
+        local_seconds=local_seconds,
+        num_inputs=program.num_inputs,
+        num_outputs=program.num_outputs,
+    )
+    z = zaatar_costs(profile, microbench, params)
+    g = ginger_costs(profile, microbench, params)
+    z_total = z.prover_per_instance + z.verifier_per_instance(batch_size)
+    g_total = g.prover_per_instance + g.verifier_per_instance(batch_size)
+    return EncodingDecision(
+        system="zaatar" if z_total <= g_total else "ginger",
+        zaatar_total=z_total,
+        ginger_total=g_total,
+        batch_size=batch_size,
+    )
+
+
+class HybridArgument:
+    """Runs whichever of the two systems the chooser selected."""
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        config: ArgumentConfig | None = None,
+        *,
+        batch_size_hint: int = 100,
+        microbench: MicrobenchParams = PAPER_MICROBENCH_128,
+    ):
+        self.program = program
+        self.config = config or ArgumentConfig()
+        self.decision = choose_encoding(
+            program,
+            batch_size=batch_size_hint,
+            microbench=microbench,
+            params=self.config.params,
+        )
+        if self.decision.system == "zaatar":
+            self._inner = ZaatarArgument(program, self.config)
+        else:
+            self._inner = GingerArgument(program, self.config)
+
+    @property
+    def system(self) -> str:
+        """Which protocol this instance runs (\"zaatar\" or \"ginger\")."""
+        return self.decision.system
+
+    def run_batch(self, batch_inputs: Sequence[Sequence[int]]) -> BatchResult:
+        """Delegate to the chosen system's argument."""
+        return self._inner.run_batch(batch_inputs)

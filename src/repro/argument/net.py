@@ -1,0 +1,366 @@
+"""Two-party deployment over TCP: prover server, verifier client.
+
+The paper's experiments "connect the verifier and the prover to a
+local network" (§5.1).  This module is that deployment: a prover
+daemon serving compiled programs, and a verifier client that drives
+the batched protocol over length-prefixed JSON frames.  The transport
+uses the §A.1 seed optimization — the verifier ships a 32-byte seed
+and the consistency query; the prover regenerates the PCP schedule
+locally.
+
+Message flow per session (verifier is the client and drives):
+
+    C→S  hello      program hash, field, soundness params, query seed
+    S→C  hello-ok   (or error: unknown program / hash mismatch)
+    C→S  commit     Enc(r), componentwise
+    C→S  inputs     the batch's input vectors
+    S→C  outputs    per instance: y and the commitment e_i
+    C→S  challenge  the consistency query t  (queries come from the seed)
+    S→C  answers    per instance: answers to every query + t
+    C    verdicts   commitment consistency + all Fig-10 checks
+
+Soundness note: the prover's commitments are received *before* the
+challenge is sent, preserving the commit-then-query order the
+commitment's binding argument needs; the PCP queries themselves are
+public-coin, so the prover knowing them early (via the seed) is
+exactly the standard model (§A.1 derives them from a shared seed).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import struct
+import threading
+from dataclasses import dataclass
+
+from ..compiler import CompiledProgram
+from ..constraints import quadratic_to_json
+from ..crypto import CommitmentProver, CommitmentVerifier, FieldPRG
+from ..crypto.commitment import CommitRequest, DecommitResponse
+from ..crypto.elgamal import ElGamalCiphertext
+from ..pcp import zaatar as zaatar_pcp
+from ..qap import build_proof_vector, build_qap
+from .protocol import ArgumentConfig, InstanceResult, ProverStats
+
+_HEADER = struct.Struct("!I")
+_MAX_FRAME = 256 * 1024 * 1024
+
+
+class ProtocolViolation(RuntimeError):
+    """The peer sent something outside the expected flow."""
+
+
+# -- framing ---------------------------------------------------------------
+
+
+def send_frame(sock: socket.socket, payload: dict) -> None:
+    """Write one length-prefixed JSON frame."""
+    data = json.dumps(payload).encode()
+    if len(data) > _MAX_FRAME:
+        raise ProtocolViolation(f"frame of {len(data)} bytes exceeds limit")
+    sock.sendall(_HEADER.pack(len(data)) + data)
+
+
+def recv_frame(sock: socket.socket) -> dict:
+    """Read one frame; raises ProtocolViolation on malformed data."""
+    header = _recv_exact(sock, _HEADER.size)
+    (length,) = _HEADER.unpack(header)
+    if length > _MAX_FRAME:
+        raise ProtocolViolation(f"peer announced {length}-byte frame")
+    data = _recv_exact(sock, length)
+    try:
+        payload = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise ProtocolViolation(f"bad frame: {exc}") from exc
+    if not isinstance(payload, dict) or "type" not in payload:
+        raise ProtocolViolation("frames must be objects with a 'type'")
+    return payload
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ProtocolViolation("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _expect(payload: dict, expected_type: str) -> dict:
+    if payload["type"] == "error":
+        raise ProtocolViolation(f"peer error: {payload.get('message')}")
+    if payload["type"] != expected_type:
+        raise ProtocolViolation(
+            f"expected {expected_type!r}, got {payload['type']!r}"
+        )
+    return payload
+
+
+def program_hash(program: CompiledProgram) -> str:
+    """Hash of the canonical quadratic system — what both parties must share."""
+    return hashlib.sha256(quadratic_to_json(program.quadratic).encode()).hexdigest()
+
+
+def _hex_list(values) -> list[str]:
+    return [format(v, "x") for v in values]
+
+
+def _unhex_list(values) -> list[int]:
+    return [int(v, 16) for v in values]
+
+
+# -- prover server ------------------------------------------------------------
+
+
+class ProverServer:
+    """Serves one compiled program on a TCP port, one session at a time."""
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        config: ArgumentConfig | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ):
+        self.program = program
+        self.config = config or ArgumentConfig()
+        self._sock = socket.create_server((host, port))
+        self.address = self._sock.getsockname()
+        self._thread: threading.Thread | None = None
+        self._stop = threading.Event()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ProverServer":
+        """Begin accepting sessions on a background thread."""
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop accepting and join the service thread."""
+        self._stop.set()
+        self._sock.close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ProverServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return  # socket closed
+            try:
+                with conn:
+                    self._session(conn)
+            except Exception:  # noqa: BLE001 - a bad client must never
+                continue  # take the service down; drop and keep serving
+
+    # -- one session -------------------------------------------------------------
+
+    def _session(self, conn: socket.socket) -> None:
+        field = self.program.field
+        hello = _expect(recv_frame(conn), "hello")
+        if hello.get("program") != program_hash(self.program):
+            send_frame(conn, {"type": "error", "message": "unknown program"})
+            raise ProtocolViolation("program hash mismatch")
+        params_spec = hello["params"]
+        from ..pcp import SoundnessParams
+
+        params = SoundnessParams(
+            delta=params_spec["delta"],
+            rho_lin=params_spec["rho_lin"],
+            rho=params_spec["rho"],
+        )
+        seed = bytes.fromhex(hello["seed"])
+        send_frame(conn, {"type": "hello-ok"})
+
+        # regenerate the public-coin query schedule from the seed
+        qap = build_qap(self.program.quadratic, mode=hello.get("qap_mode", "arithmetic"))
+        schedule = zaatar_pcp.generate_schedule(
+            qap, params, FieldPRG(field, seed, "queries")
+        )
+
+        commit = _expect(recv_frame(conn), "commit")
+        enc_r = [
+            ElGamalCiphertext(int(c1, 16), int(c2, 16))
+            for c1, c2 in commit["enc_r"]
+        ]
+        request = CommitRequest(enc_r)
+
+        inputs_msg = _expect(recv_frame(conn), "inputs")
+        batch = [_unhex_list(x) for x in inputs_msg["batch"]]
+
+        group = self.config.group(field)
+        provers: list[CommitmentProver] = []
+        outputs_payload = []
+        for input_values in batch:
+            sol = self.program.solve(input_values, check=False)
+            proof = build_proof_vector(qap, sol.quadratic_witness)
+            prover = CommitmentProver(field, group, proof.vector)
+            commitment = prover.commit(request)
+            provers.append(prover)
+            outputs_payload.append(
+                {
+                    "y": _hex_list(sol.output_values),
+                    "commitment": [format(commitment.c1, "x"), format(commitment.c2, "x")],
+                }
+            )
+        send_frame(conn, {"type": "outputs", "instances": outputs_payload})
+
+        challenge_msg = _expect(recv_frame(conn), "challenge")
+        t = _unhex_list(challenge_msg["t"])
+        queries = [list(q) for q in schedule.queries] + [t]
+        from ..crypto.commitment import DecommitChallenge
+
+        challenge = DecommitChallenge(queries)
+        answers_payload = []
+        for prover in provers:
+            response = prover.answer(challenge)
+            answers_payload.append(_hex_list(response.answers))
+        send_frame(conn, {"type": "answers", "instances": answers_payload})
+
+
+# -- verifier client ---------------------------------------------------------------
+
+
+@dataclass
+class NetworkBatchResult:
+    instances: list[InstanceResult]
+    bytes_sent: int
+    bytes_received: int
+
+    @property
+    def all_accepted(self) -> bool:
+        """True iff every instance verified."""
+        return all(r.accepted for r in self.instances)
+
+
+class _CountingSocket:
+    """Socket wrapper tallying traffic in both directions."""
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self.sent = 0
+        self.received = 0
+
+    def sendall(self, data: bytes) -> None:
+        self.sent += len(data)
+        self._sock.sendall(data)
+
+    def recv(self, n: int) -> bytes:
+        data = self._sock.recv(n)
+        self.received += len(data)
+        return data
+
+    def close(self) -> None:
+        self._sock.close()
+
+
+def verify_remote(
+    program: CompiledProgram,
+    batch_inputs: list[list[int]],
+    address: tuple[str, int],
+    config: ArgumentConfig | None = None,
+) -> NetworkBatchResult:
+    """Drive a full batched session against a remote ProverServer."""
+    config = config or ArgumentConfig()
+    field = program.field
+    qap = build_qap(program.quadratic, mode=config.qap_mode)
+    schedule = zaatar_pcp.generate_schedule(
+        qap, config.params, FieldPRG(field, config.seed, "queries")
+    )
+    commitment_verifier = CommitmentVerifier(
+        field,
+        config.group(field),
+        len(schedule.queries[0]),
+        FieldPRG(field, config.seed, "commitment"),
+    )
+    request = commitment_verifier.commit_request()
+    challenge = commitment_verifier.decommit_challenge(schedule.queries)
+
+    raw = socket.create_connection(address, timeout=30)
+    sock = _CountingSocket(raw)
+    try:
+        send_frame(
+            sock,
+            {
+                "type": "hello",
+                "program": program_hash(program),
+                "params": {
+                    "delta": config.params.delta,
+                    "rho_lin": config.params.rho_lin,
+                    "rho": config.params.rho,
+                },
+                "qap_mode": config.qap_mode,
+                "seed": config.seed.hex(),
+            },
+        )
+        _expect(recv_frame(sock), "hello-ok")
+        send_frame(
+            sock,
+            {
+                "type": "commit",
+                "enc_r": [
+                    [format(ct.c1, "x"), format(ct.c2, "x")]
+                    for ct in request.ciphertexts
+                ],
+            },
+        )
+        send_frame(
+            sock,
+            {"type": "inputs", "batch": [_hex_list(x) for x in batch_inputs]},
+        )
+        outputs = _expect(recv_frame(sock), "outputs")["instances"]
+        if len(outputs) != len(batch_inputs):
+            raise ProtocolViolation("instance count mismatch in outputs")
+        # queries are seed-derived on both sides; only t ships
+        send_frame(
+            sock, {"type": "challenge", "t": _hex_list(challenge.queries[-1])}
+        )
+        answers_msg = _expect(recv_frame(sock), "answers")["instances"]
+        if len(answers_msg) != len(batch_inputs):
+            raise ProtocolViolation("instance count mismatch in answers")
+
+        results: list[InstanceResult] = []
+        for input_values, out_entry, answer_hex in zip(
+            batch_inputs, outputs, answers_msg
+        ):
+            y = _unhex_list(out_entry["y"])
+            commitment = ElGamalCiphertext(
+                int(out_entry["commitment"][0], 16),
+                int(out_entry["commitment"][1], 16),
+            )
+            answers = _unhex_list(answer_hex)
+            commit_ok = commitment_verifier.verify(
+                commitment, DecommitResponse(answers)
+            )
+            x = [v % field.p for v in input_values]
+            pcp = zaatar_pcp.check_answers(
+                schedule, answers[:-1], x, [v % field.p for v in y]
+            )
+            results.append(
+                InstanceResult(
+                    accepted=commit_ok and pcp.accepted,
+                    commitment_ok=commit_ok,
+                    pcp_ok=pcp.accepted,
+                    output_values=y,
+                    prover_stats=ProverStats(),
+                )
+            )
+        return NetworkBatchResult(
+            instances=results, bytes_sent=sock.sent, bytes_received=sock.received
+        )
+    finally:
+        sock.close()

@@ -1,0 +1,253 @@
+"""The batched efficient argument: commitment ∘ linear PCP (§2.2, §A.1).
+
+``ZaatarArgument`` drives a full batch end to end, exactly as Figure 2
+(with Zaatar's shaded replacements):
+
+1.  Both parties compile Ψ to constraints (done ahead of time —
+    ``CompiledProgram``).
+2.  V generates the PCP query schedule once (amortized over the batch)
+    and the commitment material once (Enc(r) and the consistency
+    challenge).
+3.  Per instance: P solves the constraints (executes Ψ), builds the
+    proof vector u = (z, h), commits, answers every query; V checks
+    the commitment consistency and all PCP tests.
+
+``GingerArgument`` is the same composition over Ginger's PCP and
+(z, z⊗z) proof — the executable baseline (only usable at small sizes;
+the paper itself falls back to the cost model at benchmark scale).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Sequence
+
+from ..compiler import CompiledProgram
+from ..crypto import (
+    CommitmentProver,
+    CommitmentVerifier,
+    FieldPRG,
+    SchnorrGroup,
+    group_for_field,
+)
+from ..pcp import SoundnessParams, TEST_PARAMS
+from ..pcp import ginger as ginger_pcp
+from ..pcp import zaatar as zaatar_pcp
+from ..pcp.ginger import build_ginger_proof
+from ..qap import QAPInstance, build_proof_vector, build_qap
+from .stats import BatchStats, PhaseTimer, ProverStats, VerifierStats
+
+
+@dataclass
+class ArgumentConfig:
+    """Protocol knobs shared by both systems."""
+
+    params: SoundnessParams = dataclass_field(default_factory=lambda: TEST_PARAMS)
+    qap_mode: str = "arithmetic"
+    paper_scale_crypto: bool = False
+    seed: bytes = b"zaatar-argument"
+    #: skip the ElGamal layer entirely (PCP-only runs for benches that
+    #: study the proof encoding in isolation)
+    use_commitment: bool = True
+
+    def group(self, field) -> SchnorrGroup:
+        """The commitment group matching this config and field."""
+        return group_for_field(field, paper_scale=self.paper_scale_crypto)
+
+
+@dataclass
+class InstanceResult:
+    accepted: bool
+    commitment_ok: bool
+    pcp_ok: bool
+    output_values: list[int]
+    prover_stats: ProverStats
+
+
+@dataclass
+class BatchResult:
+    instances: list[InstanceResult]
+    stats: BatchStats
+
+    @property
+    def all_accepted(self) -> bool:
+        """True iff every instance in the batch verified."""
+        return all(r.accepted for r in self.instances)
+
+
+class ZaatarArgument:
+    """One compiled program + config, runnable on batches of inputs."""
+
+    def __init__(self, program: CompiledProgram, config: ArgumentConfig | None = None):
+        self.program = program
+        self.config = config or ArgumentConfig()
+        self.field = program.field
+        self.qap: QAPInstance = build_qap(program.quadratic, mode=self.config.qap_mode)
+
+    # -- verifier setup (amortized) ---------------------------------------------
+
+    def verifier_setup(self, stats: VerifierStats | None = None):
+        """Generate the query schedule + commitment material for a batch."""
+        cfg = self.config
+        timer = PhaseTimer(stats) if stats is not None else None
+        prg = FieldPRG(self.field, cfg.seed, "queries")
+
+        def _generate():
+            schedule = zaatar_pcp.generate_schedule(self.qap, cfg.params, prg)
+            commitment_verifier = None
+            request = None
+            challenge = None
+            if cfg.use_commitment:
+                commitment_verifier = CommitmentVerifier(
+                    self.field,
+                    cfg.group(self.field),
+                    len(schedule.queries[0]),
+                    FieldPRG(self.field, cfg.seed, "commitment"),
+                )
+                request = commitment_verifier.commit_request()
+                challenge = commitment_verifier.decommit_challenge(schedule.queries)
+            return schedule, commitment_verifier, request, challenge
+
+        if timer is None:
+            return _generate()
+        with timer.phase("query_setup"):
+            return _generate()
+
+    # -- prover per instance -----------------------------------------------------
+
+    def prove_instance(self, input_values: Sequence[int], setup, stats: ProverStats):
+        """Solve, build u, commit, answer — the whole per-instance prover."""
+        schedule, _, request, challenge = setup
+        timer = PhaseTimer(stats)
+        with timer.phase("solve_constraints"):
+            sol = self.program.solve(input_values, check=False)
+        with timer.phase("construct_u"):
+            proof = build_proof_vector(self.qap, sol.quadratic_witness)
+            vector = proof.vector
+        commitment = None
+        prover = None
+        if self.config.use_commitment:
+            prover = CommitmentProver(self.field, self.config.group(self.field), vector)
+            with timer.phase("crypto_ops"):
+                commitment = prover.commit(request)
+        with timer.phase("answer_queries"):
+            if prover is not None:
+                response = prover.answer(challenge)
+                answers = response.answers
+            else:
+                response = None
+                answers = [self.field.inner_product(q, vector) for q in schedule.queries]
+        return sol, commitment, response, answers
+
+    # -- full batch ------------------------------------------------------------------
+
+    def run_batch(self, batch_inputs: Sequence[Sequence[int]]) -> BatchResult:
+        """Prove and verify a whole batch (queries generated once)."""
+        verifier_stats = VerifierStats()
+        setup = self.verifier_setup(verifier_stats)
+        schedule, commitment_verifier, _, _ = setup
+        timer = PhaseTimer(verifier_stats)
+        results: list[InstanceResult] = []
+        batch = BatchStats(batch_size=len(batch_inputs), verifier=verifier_stats)
+        for input_values in batch_inputs:
+            prover_stats = ProverStats()
+            sol, commitment, response, answers = self.prove_instance(
+                input_values, setup, prover_stats
+            )
+            with timer.phase("per_instance"):
+                if self.config.use_commitment:
+                    commit_ok = commitment_verifier.verify(commitment, response)
+                    pcp_answers = answers[:-1]
+                else:
+                    commit_ok = True
+                    pcp_answers = answers
+                pcp_result = zaatar_pcp.check_answers(
+                    schedule, pcp_answers, sol.x, sol.y
+                )
+            results.append(
+                InstanceResult(
+                    accepted=commit_ok and pcp_result.accepted,
+                    commitment_ok=commit_ok,
+                    pcp_ok=pcp_result.accepted,
+                    output_values=sol.output_values,
+                    prover_stats=prover_stats,
+                )
+            )
+            batch.prover_per_instance.append(prover_stats)
+        return BatchResult(instances=results, stats=batch)
+
+
+class GingerArgument:
+    """The baseline composition: Ginger PCP + the same commitment."""
+
+    def __init__(self, program: CompiledProgram, config: ArgumentConfig | None = None):
+        self.program = program
+        self.config = config or ArgumentConfig()
+        self.field = program.field
+
+    def run_batch(self, batch_inputs: Sequence[Sequence[int]]) -> BatchResult:
+        """Prove and verify a batch under the Ginger baseline."""
+        cfg = self.config
+        gsys = self.program.ginger
+        verifier_stats = VerifierStats()
+        timer = PhaseTimer(verifier_stats)
+        with timer.phase("query_setup"):
+            prg = FieldPRG(self.field, cfg.seed, "ginger-queries")
+            schedule = ginger_pcp.generate_schedule(gsys, cfg.params, prg)
+            commitment_verifier = None
+            request = challenge = None
+            if cfg.use_commitment:
+                commitment_verifier = CommitmentVerifier(
+                    self.field,
+                    cfg.group(self.field),
+                    len(schedule.queries[0]),
+                    FieldPRG(self.field, cfg.seed, "ginger-commitment"),
+                )
+                request = commitment_verifier.commit_request()
+                challenge = commitment_verifier.decommit_challenge(schedule.queries)
+
+        results: list[InstanceResult] = []
+        batch = BatchStats(batch_size=len(batch_inputs), verifier=verifier_stats)
+        for input_values in batch_inputs:
+            prover_stats = ProverStats()
+            ptimer = PhaseTimer(prover_stats)
+            with ptimer.phase("solve_constraints"):
+                sol = self.program.solve(input_values, check=False)
+            with ptimer.phase("construct_u"):
+                vector = build_ginger_proof(gsys, sol.ginger_witness)
+            commitment = None
+            prover = None
+            if cfg.use_commitment:
+                prover = CommitmentProver(self.field, cfg.group(self.field), vector)
+                with ptimer.phase("crypto_ops"):
+                    commitment = prover.commit(request)
+            with ptimer.phase("answer_queries"):
+                if prover is not None:
+                    response = prover.answer(challenge)
+                    answers = response.answers
+                else:
+                    response = None
+                    answers = [
+                        self.field.inner_product(q, vector) for q in schedule.queries
+                    ]
+            with timer.phase("per_instance"):
+                if cfg.use_commitment:
+                    commit_ok = commitment_verifier.verify(commitment, response)
+                    pcp_answers = answers[:-1]
+                else:
+                    commit_ok = True
+                    pcp_answers = answers
+                pcp_result = ginger_pcp.check_answers(
+                    schedule, pcp_answers, sol.input_values, sol.output_values
+                )
+            results.append(
+                InstanceResult(
+                    accepted=commit_ok and pcp_result.accepted,
+                    commitment_ok=commit_ok,
+                    pcp_ok=pcp_result.accepted,
+                    output_values=sol.output_values,
+                    prover_stats=prover_stats,
+                )
+            )
+            batch.prover_per_instance.append(prover_stats)
+        return BatchResult(instances=results, stats=batch)

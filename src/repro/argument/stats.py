@@ -1,0 +1,99 @@
+"""Cost instrumentation for the argument system.
+
+``ProverStats`` mirrors the columns of Figure 5 exactly: "solve
+constraints", "construct u", "crypto ops.", "answer queries", and the
+end-to-end total; ``VerifierStats`` splits setup (amortizable over the
+batch) from per-instance work, which is what the breakeven-batch-size
+computation (§2.2, Fig 7) needs.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProverStats:
+    """Per-instance prover CPU seconds, by phase (Figure 5 columns)."""
+
+    solve_constraints: float = 0.0
+    construct_u: float = 0.0
+    crypto_ops: float = 0.0
+    answer_queries: float = 0.0
+
+    @property
+    def e2e(self) -> float:
+        """End-to-end prover seconds (the Figure-5 last column)."""
+        return (
+            self.solve_constraints
+            + self.construct_u
+            + self.crypto_ops
+            + self.answer_queries
+        )
+
+    def merge(self, other: "ProverStats") -> None:
+        """Accumulate another instance's stats into this one."""
+        self.solve_constraints += other.solve_constraints
+        self.construct_u += other.construct_u
+        self.crypto_ops += other.crypto_ops
+        self.answer_queries += other.answer_queries
+
+    def scaled(self, factor: float) -> "ProverStats":
+        """A copy with every phase multiplied by ``factor``."""
+        return ProverStats(
+            solve_constraints=self.solve_constraints * factor,
+            construct_u=self.construct_u * factor,
+            crypto_ops=self.crypto_ops * factor,
+            answer_queries=self.answer_queries * factor,
+        )
+
+
+@dataclass
+class VerifierStats:
+    """Verifier CPU seconds: batch-amortizable setup vs per-instance."""
+
+    query_setup: float = 0.0        # schedule generation + Enc(r) + challenge
+    per_instance: float = 0.0       # decrypt + consistency + PCP checks
+
+    @property
+    def total(self) -> float:
+        """Setup plus per-instance seconds."""
+        return self.query_setup + self.per_instance
+
+
+@dataclass
+class BatchStats:
+    """Everything measured while running one batch."""
+
+    batch_size: int = 0
+    prover_per_instance: list[ProverStats] = field(default_factory=list)
+    verifier: VerifierStats = field(default_factory=VerifierStats)
+    local_seconds_per_instance: float = 0.0
+
+    def mean_prover(self) -> ProverStats:
+        """Average per-instance prover stats across the batch."""
+        if not self.prover_per_instance:
+            return ProverStats()
+        acc = ProverStats()
+        for s in self.prover_per_instance:
+            acc.merge(s)
+        return acc.scaled(1 / len(self.prover_per_instance))
+
+
+class PhaseTimer:
+    """Accumulates process-CPU time into named attributes of a stats object."""
+
+    def __init__(self, stats):
+        self.stats = stats
+
+    @contextmanager
+    def phase(self, attr: str):
+        """Time a block and add the elapsed CPU seconds to ``attr``."""
+        start = time.process_time()
+        try:
+            yield
+        finally:
+            elapsed = time.process_time() - start
+            setattr(self.stats, attr, getattr(self.stats, attr) + elapsed)

@@ -1,0 +1,165 @@
+"""Command-line interface: compile, prove/verify, and microbenchmark.
+
+Examples::
+
+    python -m repro compile program.zr --field p128
+    python -m repro prove program.zr --inputs 1,2,3 --inputs 4,5,6
+    python -m repro microbench --field goldilocks
+
+``compile`` prints the encoding statistics (the Figure-9 quantities)
+and the hybrid chooser's verdict; ``prove`` runs the full batched
+argument on the given input vectors and reports outputs, acceptance,
+and the prover's Figure-5 cost decomposition.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .argument import ArgumentConfig, ZaatarArgument, choose_encoding
+from .compiler import compile_source
+from .costmodel import run_microbench
+from .field import NAMED_FIELDS, PrimeField
+from .pcp import PAPER_PARAMS, SoundnessParams
+
+
+def _field(name: str) -> PrimeField:
+    return PrimeField.named(name)
+
+
+def _load_program(path: str, field: PrimeField, bit_width: int):
+    source = Path(path).read_text()
+    return compile_source(field, source, name=Path(path).stem, bit_width=bit_width)
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    """``repro compile``: print encoding stats and the hybrid verdict."""
+    field = _field(args.field)
+    program = _load_program(args.program, field, args.bit_width)
+    stats = program.stats()
+    print(f"program          : {program.name}")
+    print(f"field            : {field.name} ({field.bits} bits)")
+    print(f"inputs / outputs : {program.num_inputs} / {program.num_outputs}")
+    print(f"|Z_ginger|       : {stats.z_ginger}")
+    print(f"|C_ginger|       : {stats.c_ginger}")
+    print(f"K / K2           : {stats.k_terms} / {stats.k2_terms}  (K2* = {stats.k2_star})")
+    print(f"|Z_zaatar|       : {stats.z_zaatar}")
+    print(f"|C_zaatar|       : {stats.c_zaatar}")
+    print(f"|u_ginger|       : {stats.u_ginger}")
+    print(f"|u_zaatar|       : {stats.u_zaatar}  ({stats.proof_shrink_factor:.1f}x shorter)")
+    decision = choose_encoding(program)
+    print(f"hybrid chooser   : {decision.system} (advantage {decision.advantage:.1f}x)")
+    return 0
+
+
+def cmd_prove(args: argparse.Namespace) -> int:
+    """``repro prove``: run the batched argument on input vectors."""
+    field = _field(args.field)
+    program = _load_program(args.program, field, args.bit_width)
+    if not args.inputs:
+        print("error: provide at least one --inputs vector", file=sys.stderr)
+        return 2
+    batch = []
+    for spec in args.inputs:
+        try:
+            batch.append([int(v) for v in spec.replace(" ", "").split(",") if v])
+        except ValueError:
+            print(f"error: bad input vector {spec!r}", file=sys.stderr)
+            return 2
+    params = (
+        PAPER_PARAMS
+        if args.paper_soundness
+        else SoundnessParams(rho_lin=args.rho_lin, rho=args.rho)
+    )
+    config = ArgumentConfig(params=params, use_commitment=not args.no_commitment)
+    argument = ZaatarArgument(program, config)
+    result = argument.run_batch(batch)
+    for inputs, instance in zip(batch, result.instances):
+        status = "ACCEPTED" if instance.accepted else "REJECTED"
+        print(f"x={inputs} -> y={instance.output_values}  [{status}]")
+    mean = result.stats.mean_prover()
+    print(
+        f"prover per instance: solve={mean.solve_constraints:.3f}s "
+        f"u={mean.construct_u:.3f}s crypto={mean.crypto_ops:.3f}s "
+        f"answer={mean.answer_queries:.3f}s e2e={mean.e2e:.3f}s"
+    )
+    v = result.stats.verifier
+    print(f"verifier: setup={v.query_setup:.3f}s per-instance={v.per_instance / max(len(batch), 1):.3f}s")
+    return 0 if result.all_accepted else 1
+
+
+def cmd_microbench(args: argparse.Namespace) -> int:
+    """``repro microbench``: measure the Figure-3 cost parameters."""
+    field = _field(args.field)
+    mb = run_microbench(field, reps=args.reps, crypto_reps=args.crypto_reps)
+    print(f"field: {field.name} ({field.bits} bits)")
+    for key, value in mb.as_row().items():
+        unit, scale = ("us", 1e6) if value >= 1e-6 else ("ns", 1e9)
+        print(f"  {key:7s}: {value * scale:10.2f} {unit}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree for the ``repro`` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Zaatar verified computation (EuroSys 2013 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--field",
+        default="goldilocks",
+        choices=sorted(NAMED_FIELDS),
+        help="prime field (default: goldilocks; the paper used p128/p220)",
+    )
+
+    p_compile = sub.add_parser(
+        "compile", parents=[common], help="compile a program, print encoding stats"
+    )
+    p_compile.add_argument("program", help="path to a .zr source file")
+    p_compile.add_argument("--bit-width", type=int, default=32)
+    p_compile.set_defaults(fn=cmd_compile)
+
+    p_prove = sub.add_parser(
+        "prove", parents=[common], help="run the batched argument on input vectors"
+    )
+    p_prove.add_argument("program")
+    p_prove.add_argument("--bit-width", type=int, default=32)
+    p_prove.add_argument(
+        "--inputs",
+        action="append",
+        default=[],
+        help="comma-separated input vector; repeat for a batch",
+    )
+    p_prove.add_argument("--rho-lin", type=int, default=3)
+    p_prove.add_argument("--rho", type=int, default=2)
+    p_prove.add_argument(
+        "--paper-soundness",
+        action="store_true",
+        help="use the paper's production parameters (rho_lin=20, rho=8; slow)",
+    )
+    p_prove.add_argument("--no-commitment", action="store_true")
+    p_prove.set_defaults(fn=cmd_prove)
+
+    p_mb = sub.add_parser(
+        "microbench", parents=[common], help="measure the Figure-3 cost parameters"
+    )
+    p_mb.add_argument("--reps", type=int, default=1000)
+    p_mb.add_argument("--crypto-reps", type=int, default=20)
+    p_mb.set_defaults(fn=cmd_microbench)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

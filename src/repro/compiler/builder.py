@@ -1,0 +1,263 @@
+"""The circuit builder: programs → Ginger constraints + witness hints.
+
+This plays the role of the Ginger/Zaatar compiler pipeline (§2.2, §4,
+[16]): a computation is expressed as straight-line Python over symbolic
+``Wire`` values (loops are unrolled by the host language, conditionals
+become selects — exactly what the SFDL compiler does internally), and
+the builder records
+
+* one Ginger constraint per assignment statement / gadget step, and
+* one *witness hint* per variable, so the prover can later solve the
+  constraints for any concrete input (Figure 1, step Á) by replaying
+  the program.
+
+The Zaatar quadratic form is obtained afterwards by the §4 transform
+(see ``program.CompiledProgram``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..constraints.ginger import GingerSystem
+from ..field import PrimeField
+from .expr import DegreeOverflow, Expr
+
+#: a hint computes one variable's value from all earlier values
+#: (``values`` is indexed by variable, values[0] == 1)
+Hint = Callable[[list[int]], int]
+
+
+class Wire:
+    """A symbolic value inside a program being compiled."""
+
+    __slots__ = ("builder", "expr")
+
+    def __init__(self, builder: "Builder", expr: Expr):
+        self.builder = builder
+        self.expr = expr
+
+    # -- arithmetic operators ---------------------------------------------------
+
+    def _wrap(self, other: "Wire | int") -> "Wire":
+        if isinstance(other, Wire):
+            if other.builder is not self.builder:
+                raise ValueError("cannot mix wires from different builders")
+            return other
+        if isinstance(other, int):
+            return Wire(self.builder, Expr.const(other))
+        return NotImplemented  # type: ignore[return-value]
+
+    def __add__(self, other: "Wire | int") -> "Wire":
+        o = self._wrap(other)
+        return Wire(self.builder, self.expr.add(o.expr))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "Wire | int") -> "Wire":
+        o = self._wrap(other)
+        return Wire(self.builder, self.expr.sub(o.expr))
+
+    def __rsub__(self, other: "Wire | int") -> "Wire":
+        o = self._wrap(other)
+        return Wire(self.builder, o.expr.sub(self.expr))
+
+    def __mul__(self, other: "Wire | int") -> "Wire":
+        o = self._wrap(other)
+        return self.builder.mul(self, o)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "Wire":
+        return Wire(self.builder, self.expr.neg())
+
+    def __repr__(self) -> str:
+        return f"Wire({self.expr!r})"
+
+
+class Builder:
+    """Accumulates variables, hints, and Ginger constraints.
+
+    ``enable_cse`` turns on common-subexpression elimination: repeated
+    ``define`` of the same expression reuses one variable, and repeated
+    bit decompositions of the same value share their bits (the paper's
+    future-work list starts with "we need a better compiler"; this is
+    the first pass such a compiler runs).  Off by default so constraint
+    counts stay predictable for the cost accounting.
+    """
+
+    def __init__(
+        self,
+        field: PrimeField,
+        *,
+        default_bit_width: int = 32,
+        enable_cse: bool = False,
+    ):
+        self.field = field
+        self.system = GingerSystem(field=field)
+        #: hints[i] computes variable i; None for inputs (provided externally)
+        self.hints: list[Hint | None] = [None]  # index 0 = constant wire
+        self.default_bit_width = default_bit_width
+        self.enable_cse = enable_cse
+        self._output_wires: list[Wire] = []
+        self._define_cache: dict[tuple, int] = {}
+        #: used by gadgets.to_bits: (expr key, width) → bit variable indices
+        self.bits_cache: dict[tuple, list[int]] = {}
+
+    # -- variables ---------------------------------------------------------------
+
+    def _new_var(self, hint: Hint | None) -> int:
+        self.system.num_vars += 1
+        self.hints.append(hint)
+        return self.system.num_vars
+
+    def input(self) -> Wire:
+        """Fresh distinguished input variable (an element of X)."""
+        idx = self._new_var(None)
+        self.system.input_vars.append(idx)
+        return Wire(self, Expr.var(idx))
+
+    def inputs(self, count: int) -> list[Wire]:
+        """``count`` fresh input variables, in order."""
+        return [self.input() for _ in range(count)]
+
+    def constant(self, value: int) -> Wire:
+        """A constant-valued wire (no variable allocated)."""
+        return Wire(self, Expr.const(value))
+
+    def hint_var(self, hint: Hint) -> Wire:
+        """Unconstrained auxiliary variable with a solver hint.
+
+        The caller *must* add constraints pinning it down — an
+        unconstrained hint variable would let a cheating prover choose
+        its value freely.  Gadgets in ``gadgets.py`` follow this rule.
+        """
+        return Wire(self, Expr.var(self._new_var(hint)))
+
+    # -- statements -----------------------------------------------------------------
+
+    def assert_zero(self, wire: "Wire | int") -> None:
+        """Emit the constraint ``wire = 0``."""
+        if isinstance(wire, int):
+            if wire % self.field.p:
+                raise ValueError(f"constant {wire} asserted to be zero")
+            return
+        self.system.add(wire.expr.to_constraint())
+
+    def assert_equal(self, a: "Wire | int", b: "Wire | int") -> None:
+        """Emit the constraint ``a = b``."""
+        a_w = a if isinstance(a, Wire) else self.constant(a)
+        self.assert_zero(a_w - b)
+
+    def define(self, wire: "Wire | int") -> Wire:
+        """Materialize an expression into a single fresh variable.
+
+        Emits the assignment statement's constraint (expr − new = 0) and
+        a hint that replays the expression.  Already-single-variable
+        wires are returned unchanged; with CSE enabled, an expression
+        already materialized earlier reuses its variable.
+        """
+        if isinstance(wire, int):
+            wire = self.constant(wire)
+        if wire.expr.as_single_variable() is not None:
+            return wire
+        expr = wire.expr
+        key = None
+        if self.enable_cse:
+            key = self.expr_key(expr)
+            cached = self._define_cache.get(key)
+            if cached is not None:
+                return Wire(self, Expr.var(cached))
+        p = self.field.p
+        idx = self._new_var(lambda values, e=expr: e.evaluate(p, values))
+        self.system.add(expr.sub(Expr.var(idx)).to_constraint())
+        if key is not None:
+            self._define_cache[key] = idx
+        return Wire(self, Expr.var(idx))
+
+    def expr_key(self, expr: Expr) -> tuple:
+        """Canonical hashable form of an expression (coefficients mod p)."""
+        p = self.field.p
+        linear = tuple(
+            sorted((i, c % p) for i, c in expr.linear.items() if c % p)
+        )
+        quadratic = tuple(
+            sorted((pair, c % p) for pair, c in expr.quadratic.items() if c % p)
+        )
+        return (expr.constant % p, linear, quadratic)
+
+    def mul(self, a: Wire, b: Wire) -> Wire:
+        """Product, materializing operands if the degree would exceed 2."""
+        try:
+            return Wire(self, a.expr.mul(b.expr))
+        except DegreeOverflow:
+            pass
+        # Materialize the degree-2 side(s) and retry.
+        if a.expr.degree() > 1:
+            a = self.define(a)
+        if b.expr.degree() > 1:
+            b = self.define(b)
+        return Wire(self, a.expr.mul(b.expr))
+
+    # -- outputs -------------------------------------------------------------------
+
+    def output(self, wire: "Wire | int") -> Wire:
+        """Mark a wire as a distinguished output variable (element of Y).
+
+        Outputs must be plain variables not doubling as inputs or other
+        outputs, so anything else is materialized first.
+        """
+        if isinstance(wire, int):
+            wire = self.constant(wire)
+        idx = wire.expr.as_single_variable()
+        taken = set(self.system.input_vars) | set(self.system.output_vars)
+        if idx is None or idx in taken:
+            wire = self.define_fresh(wire)
+            idx = wire.expr.as_single_variable()
+        assert idx is not None
+        self.system.output_vars.append(idx)
+        self._output_wires.append(wire)
+        return wire
+
+    def define_fresh(self, wire: Wire) -> Wire:
+        """Like ``define`` but always allocates, even for single variables."""
+        expr = wire.expr
+        p = self.field.p
+        idx = self._new_var(lambda values, e=expr: e.evaluate(p, values))
+        self.system.add(expr.sub(Expr.var(idx)).to_constraint())
+        return Wire(self, Expr.var(idx))
+
+    def outputs(self, wires: Sequence["Wire | int"]) -> list[Wire]:
+        """Mark several wires as outputs, in order."""
+        return [self.output(w) for w in wires]
+
+    # -- witness solving ----------------------------------------------------------
+
+    def solve(self, input_values: Sequence[int]) -> list[int]:
+        """Replay the hints to produce a full satisfying assignment.
+
+        This is the prover's "solve the constraints" step (Figure 1,
+        step Á; the "solve constraints" column of Figure 5).  Raises if
+        the resulting assignment does not satisfy the system — that
+        would mean a gadget registered an inconsistent hint.
+        """
+        if len(input_values) != len(self.system.input_vars):
+            raise ValueError(
+                f"program has {len(self.system.input_vars)} inputs, "
+                f"got {len(input_values)}"
+            )
+        p = self.field.p
+        values: list[int] = [0] * (self.system.num_vars + 1)
+        values[0] = 1
+        provided = {
+            var: val % p for var, val in zip(self.system.input_vars, input_values)
+        }
+        for idx in range(1, self.system.num_vars + 1):
+            hint = self.hints[idx]
+            if hint is None:
+                if idx not in provided:
+                    raise RuntimeError(f"variable W{idx} has no hint and no input value")
+                values[idx] = provided[idx]
+            else:
+                values[idx] = hint(values) % p
+        return values

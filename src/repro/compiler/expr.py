@@ -1,0 +1,165 @@
+"""Symbolic degree-≤2 expressions over constraint variables.
+
+Ginger's compiler "turns a program into a list of assignment
+statements, then produces a constraint or pseudoconstraint for each
+statement" (§2.2).  While a statement's right-hand side is being built
+it is one of these ``Expr`` values: a sparse polynomial of total degree
+at most two.  Degree-2 expressions can be used directly in a Ginger
+constraint (that's what makes K₂ > number of multiplications possible);
+multiplying two expressions whose product would exceed degree 2 forces
+the builder to materialize an operand into a fresh variable first.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from ..constraints.ginger import GingerConstraint, _norm_pair
+from ..constraints.linear import CONST, LinearCombination
+
+
+class Expr:
+    """constant + Σ cᵢ·Wᵢ + Σ c_{ik}·Wᵢ·W_k, coefficients unreduced ints."""
+
+    __slots__ = ("constant", "linear", "quadratic")
+
+    def __init__(
+        self,
+        constant: int = 0,
+        linear: Mapping[int, int] | None = None,
+        quadratic: Mapping[tuple[int, int], int] | None = None,
+    ):
+        self.constant = constant
+        self.linear: dict[int, int] = dict(linear) if linear else {}
+        self.quadratic: dict[tuple[int, int], int] = dict(quadratic) if quadratic else {}
+
+    # -- constructors -----------------------------------------------------------
+
+    @classmethod
+    def const(cls, value: int) -> "Expr":
+        return cls(constant=value)
+
+    @classmethod
+    def var(cls, index: int) -> "Expr":
+        return cls(linear={index: 1})
+
+    # -- degree bookkeeping -------------------------------------------------------
+
+    def degree(self) -> int:
+        """Total degree: 0, 1, or 2."""
+        if any(self.quadratic.values()):
+            return 2
+        if any(self.linear.values()):
+            return 1
+        return 0
+
+    def is_constant(self) -> bool:
+        """True iff no variable terms remain."""
+        return self.degree() == 0
+
+    def as_single_variable(self) -> int | None:
+        """Index if this expression is exactly 1·Wᵢ, else None."""
+        if self.constant or self.quadratic:
+            return None
+        nonzero = [(i, c) for i, c in self.linear.items() if c]
+        if len(nonzero) == 1 and nonzero[0][1] == 1:
+            return nonzero[0][0]
+        return None
+
+    # -- ring operations -----------------------------------------------------------
+
+    def add(self, other: "Expr") -> "Expr":
+        """Termwise sum."""
+        out = Expr(self.constant + other.constant, self.linear, self.quadratic)
+        for i, c in other.linear.items():
+            out.linear[i] = out.linear.get(i, 0) + c
+        for k, c in other.quadratic.items():
+            out.quadratic[k] = out.quadratic.get(k, 0) + c
+        return out
+
+    def neg(self) -> "Expr":
+        """Negation."""
+        return Expr(
+            -self.constant,
+            {i: -c for i, c in self.linear.items()},
+            {k: -c for k, c in self.quadratic.items()},
+        )
+
+    def sub(self, other: "Expr") -> "Expr":
+        """Termwise difference."""
+        return self.add(other.neg())
+
+    def scale(self, c: int) -> "Expr":
+        """Scalar multiple."""
+        if c == 0:
+            return Expr()
+        return Expr(
+            self.constant * c,
+            {i: v * c for i, v in self.linear.items()},
+            {k: v * c for k, v in self.quadratic.items()},
+        )
+
+    def mul(self, other: "Expr") -> "Expr":
+        """Product; raises ``DegreeOverflow`` if it would exceed degree 2."""
+        if self.degree() + other.degree() > 2:
+            raise DegreeOverflow()
+        if other.is_constant():
+            return self.scale(other.constant)
+        if self.is_constant():
+            return other.scale(self.constant)
+        # both degree exactly 1
+        out = Expr(self.constant * other.constant)
+        for i, ci in self.linear.items():
+            out.linear[i] = out.linear.get(i, 0) + ci * other.constant
+        for k, ck in other.linear.items():
+            out.linear[k] = out.linear.get(k, 0) + ck * self.constant
+        for i, ci in self.linear.items():
+            if ci == 0:
+                continue
+            for k, ck in other.linear.items():
+                if ck == 0:
+                    continue
+                key = _norm_pair(i, k)
+                out.quadratic[key] = out.quadratic.get(key, 0) + ci * ck
+        return out
+
+    # -- lowering ---------------------------------------------------------------
+
+    def to_constraint(self) -> GingerConstraint:
+        """The Ginger constraint ``self = 0``."""
+        return GingerConstraint(self.constant, self.linear, self.quadratic)
+
+    def to_lc(self) -> LinearCombination:
+        """Degree-≤1 expressions as a LinearCombination (else ValueError)."""
+        if self.degree() > 1:
+            raise ValueError("expression has degree 2; materialize it first")
+        lc = LinearCombination()
+        if self.constant:
+            lc.add_term(CONST, self.constant)
+        for i, c in self.linear.items():
+            if c:
+                lc.add_term(i, c)
+        return lc
+
+    def evaluate(self, p: int, values) -> int:
+        """Value at a concrete assignment (values indexed by variable)."""
+        acc = self.constant
+        for i, c in self.linear.items():
+            acc += c * values[i]
+        for (i, k), c in self.quadratic.items():
+            acc += c * values[i] * values[k]
+        return acc % p
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.constant:
+            parts.append(str(self.constant))
+        parts += [f"{c}*W{i}" for i, c in sorted(self.linear.items()) if c]
+        parts += [
+            f"{c}*W{i}*W{k}" for (i, k), c in sorted(self.quadratic.items()) if c
+        ]
+        return "Expr(" + " + ".join(parts or ["0"]) + ")"
+
+
+class DegreeOverflow(Exception):
+    """Raised when a product would exceed degree 2 (builder materializes)."""

@@ -1,0 +1,211 @@
+"""Constraint gadgets: comparisons, booleans, selection, (non)zero tests.
+
+These are the "pseudoconstraints" of §2.2: program constructs that
+expand into several actual constraints.  The expansion factors match
+the paper's accounting:
+
+* order comparisons cost O(bit_width) constraints (the paper states
+  O(log |F|) for full-field-width comparisons; benchmarks use 32-bit
+  operands, §5.1);
+* ``!=`` uses the inverse trick quoted verbatim in §2.2:
+  ``0 = (X − Z)·M − 1``;
+* ``<`` / ``==`` produce "only an average of one or two distinct
+  degree-2 terms per constraint and add at least twice as many new
+  variables" (§4 footnote 7) — the property that keeps K₂ small.
+
+Every hint variable introduced here is pinned down by constraints; a
+cheating prover gains nothing by deviating from a hint (the test suite
+checks this by perturbing hint outputs).
+"""
+
+from __future__ import annotations
+
+from .builder import Builder, Wire
+
+
+def assert_boolean(b: Builder, x: Wire) -> None:
+    """x ∈ {0, 1}:  x² − x = 0."""
+    b.assert_zero(x * x - x)
+
+
+def assert_nonzero(b: Builder, x: Wire) -> Wire:
+    """Constrain x ≠ 0 via the §2.2 inverse trick; returns the inverse wire.
+
+    Matches the paper's cost exactly: one constraint and one auxiliary
+    variable for a degree-1 operand ({0 = (X − Z)·M − 1}); degree-2
+    operands are materialized first.
+    """
+    if x.expr.degree() > 1:
+        x = b.define(x)
+    x_expr = x.expr
+    p = b.field.p
+
+    def inv_hint(values, e=x_expr):
+        v = e.evaluate(p, values)
+        # If v == 0 no valid M exists; return 0 so the constraint fails
+        # loudly in solve() rather than crashing mid-hint.
+        return pow(v, p - 2, p) if v else 0
+
+    m = b.hint_var(inv_hint)
+    b.assert_zero(x * m - 1)
+    return m
+
+
+def assert_neq(b: Builder, x: Wire | int, y: Wire | int) -> None:
+    """x ≠ y, one constraint + one auxiliary (the paper's X != Z example)."""
+    x_w = x if isinstance(x, Wire) else b.constant(x)
+    assert_nonzero(b, x_w - y)
+
+
+def is_zero(b: Builder, x: Wire) -> Wire:
+    """Boolean wire: 1 if x == 0 else 0.  Two constraints, two auxiliaries.
+
+    r = 1 − x·M with M = x⁻¹ when x ≠ 0; constraints r·x = 0 and
+    x·M = 1 − r pin r to exactly the right bit.
+    """
+    x = b.define(x)
+    x_expr = x.expr
+    p = b.field.p
+
+    def inv_hint(values, e=x_expr):
+        v = e.evaluate(p, values)
+        return pow(v, p - 2, p) if v else 0
+
+    def bit_hint(values, e=x_expr):
+        return 1 if e.evaluate(p, values) == 0 else 0
+
+    m = b.hint_var(inv_hint)
+    r = b.hint_var(bit_hint)
+    b.assert_zero(r * x)            # r is 0 whenever x ≠ 0
+    b.assert_zero(x * m - (1 - r))  # x ≠ 0 forces r = 0 with M = x⁻¹; x == 0 forces r = 1
+    return r
+
+
+def is_equal(b: Builder, x: Wire | int, y: Wire | int) -> Wire:
+    """Boolean wire: 1 iff x == y."""
+    x_w = x if isinstance(x, Wire) else b.constant(x)
+    return is_zero(b, x_w - y)
+
+
+def to_bits(b: Builder, x: Wire, width: int) -> list[Wire]:
+    """Decompose x into ``width`` boolean wires, LSB first.
+
+    Adds ``width`` boolean constraints plus the recomposition
+    constraint; the caller must know x ∈ [0, 2^width).  With CSE
+    enabled, decomposing the same value at the same width reuses the
+    earlier decomposition's bits (exact-width only — see below).
+    """
+    from .expr import Expr
+
+    x = b.define(x)
+    if b.enable_cse:
+        # Exact-width reuse only: to_bits doubles as the range proof
+        # x < 2^width, so borrowing the low bits of a *wider*
+        # decomposition would silently drop that range check.
+        indices = b.bits_cache.get((b.expr_key(x.expr), width))
+        if indices is not None:
+            return [Wire(b, Expr.var(i)) for i in indices]
+    x_expr = x.expr
+    p = b.field.p
+    bits: list[Wire] = []
+    for i in range(width):
+        def bit_hint(values, e=x_expr, shift=i):
+            return (e.evaluate(p, values) >> shift) & 1
+
+        bit = b.hint_var(bit_hint)
+        assert_boolean(b, bit)
+        bits.append(bit)
+    acc: Wire | int = 0
+    for i, bit in enumerate(bits):
+        acc = acc + bit * (1 << i)
+    b.assert_equal(acc, x)
+    if b.enable_cse:
+        b.bits_cache[(b.expr_key(x.expr), width)] = [
+            bit.expr.as_single_variable() for bit in bits
+        ]
+    return bits
+
+
+def less_than(b: Builder, x: Wire | int, y: Wire | int, *, bit_width: int | None = None) -> Wire:
+    """Boolean wire: 1 if x < y (as signed values of the given width).
+
+    Computes s = x − y + 2^W, decomposes into W+1 bits; the top bit is
+    0 exactly when x < y.  Requires |x − y| < 2^W.
+    """
+    width = bit_width if bit_width is not None else b.default_bit_width
+    x_w = x if isinstance(x, Wire) else b.constant(x)
+    s = x_w - y + (1 << width)
+    bits = to_bits(b, s, width + 1)
+    return 1 - bits[width]
+
+
+def less_equal(b: Builder, x: Wire | int, y: Wire | int, *, bit_width: int | None = None) -> Wire:
+    """Boolean wire: 1 iff x ≤ y (via x − 1 < y)."""
+    x_w = x if isinstance(x, Wire) else b.constant(x)
+    return less_than(b, x_w - 1, y, bit_width=bit_width)
+
+
+def assert_less_than(b: Builder, x: Wire | int, y: Wire | int, *, bit_width: int | None = None) -> None:
+    """x < y as a hard constraint (one fewer constraint than the bit test)."""
+    width = bit_width if bit_width is not None else b.default_bit_width
+    y_w = y if isinstance(y, Wire) else b.constant(y)
+    # y − x − 1 ∈ [0, 2^width)
+    to_bits(b, y_w - x - 1, width)
+
+
+def select(b: Builder, cond: Wire, if_true: Wire | int, if_false: Wire | int) -> Wire:
+    """cond·(t − f) + f; cond must already be boolean."""
+    t = if_true if isinstance(if_true, Wire) else b.constant(if_true)
+    return cond * (t - if_false) + if_false
+
+
+def logical_and(b: Builder, x: Wire, y: Wire) -> Wire:
+    """x ∧ y = x·y (operands must be boolean)."""
+    return x * y
+
+
+def logical_or(b: Builder, x: Wire, y: Wire) -> Wire:
+    """x ∨ y = x + y − x·y."""
+    return x + y - x * y
+
+
+def logical_not(b: Builder, x: Wire) -> Wire:
+    """¬x = 1 − x."""
+    return 1 - x
+
+
+def logical_xor(b: Builder, x: Wire, y: Wire) -> Wire:
+    """x ⊕ y = x + y − 2·x·y."""
+    return x + y - 2 * (x * y)
+
+
+def minimum(b: Builder, x: Wire, y: Wire, *, bit_width: int | None = None) -> Wire:
+    """min(x, y) via one comparison and one select."""
+    lt = less_than(b, x, y, bit_width=bit_width)
+    return select(b, lt, x, y)
+
+
+def maximum(b: Builder, x: Wire, y: Wire, *, bit_width: int | None = None) -> Wire:
+    """max(x, y) via one comparison and one select."""
+    lt = less_than(b, x, y, bit_width=bit_width)
+    return select(b, lt, y, x)
+
+
+def absolute(b: Builder, x: Wire, *, bit_width: int | None = None) -> Wire:
+    """|x| for signed x (sign test + select)."""
+    neg = less_than(b, x, 0, bit_width=bit_width)
+    return select(b, neg, -x, x)
+
+
+def array_get(b: Builder, array: list[Wire], index: Wire, *, bit_width: int | None = None) -> Wire:
+    """Dynamic array read by linear scan — the §5.4 caveat made concrete.
+
+    Indirect memory accesses "produce an excessive number of
+    constraints" under the natural translation: this costs O(n)
+    comparisons for an n-element array, versus O(1) for a static index.
+    """
+    acc: Wire | int = 0
+    for i, elem in enumerate(array):
+        hit = is_equal(b, index, i)
+        acc = acc + hit * elem
+    return acc if isinstance(acc, Wire) else b.constant(acc)

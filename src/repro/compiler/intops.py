@@ -1,0 +1,169 @@
+"""Integer operations the paper's compiler lacked (§5.4).
+
+"Less fundamentally, our compiler lacks support for certain program
+constructs, such as bitwise operations, division, and square root
+operations.  However, this is engineering."  This module is that
+engineering:
+
+* bitwise AND/OR/XOR/NOT and shifts over ``width``-bit values, via
+  shared bit decompositions;
+* Euclidean division and remainder (quotient/remainder hints pinned by
+  ``x = q·d + r`` with range checks ``0 ≤ r < d``);
+* integer square root (hint pinned by ``s² ≤ x < (s+1)²``).
+
+All hint variables introduced here are fully constrained: the witness
+tests perturb each hint and watch the constraint system reject it.
+"""
+
+from __future__ import annotations
+
+from .builder import Builder, Wire
+from .gadgets import assert_less_than, to_bits
+
+
+class BitVector:
+    """A value together with its ``width`` boolean wires (LSB first).
+
+    Sharing one decomposition across several bitwise operations is the
+    standard way to avoid paying O(width) constraints per operator.
+    """
+
+    def __init__(self, builder: Builder, value: Wire, bits: list[Wire]):
+        self.builder = builder
+        self.value = value
+        self.bits = bits
+
+    @property
+    def width(self) -> int:
+        """Number of bits in the decomposition."""
+        return len(self.bits)
+
+    @classmethod
+    def decompose(cls, b: Builder, x: Wire | int, width: int) -> "BitVector":
+        x_w = x if isinstance(x, Wire) else b.constant(x)
+        x_w = b.define(x_w)
+        return cls(b, x_w, to_bits(b, x_w, width))
+
+    @classmethod
+    def from_bits(cls, b: Builder, bits: list[Wire]) -> "BitVector":
+        acc: Wire | int = 0
+        for i, bit in enumerate(bits):
+            acc = acc + bit * (1 << i)
+        value = b.define(acc if isinstance(acc, Wire) else b.constant(acc))
+        return cls(b, value, list(bits))
+
+    def _check_width(self, other: "BitVector") -> None:
+        if self.width != other.width:
+            raise ValueError(
+                f"bit-width mismatch: {self.width} vs {other.width}"
+            )
+
+
+def bitwise_and(x: BitVector, y: BitVector) -> BitVector:
+    """One multiplication per bit: aᵢ·bᵢ."""
+    x._check_width(y)
+    b = x.builder
+    return BitVector.from_bits(b, [xb * yb for xb, yb in zip(x.bits, y.bits)])
+
+
+def bitwise_or(x: BitVector, y: BitVector) -> BitVector:
+    """Per-bit OR: aᵢ + bᵢ − aᵢ·bᵢ."""
+    x._check_width(y)
+    b = x.builder
+    return BitVector.from_bits(
+        b, [xb + yb - xb * yb for xb, yb in zip(x.bits, y.bits)]
+    )
+
+
+def bitwise_xor(x: BitVector, y: BitVector) -> BitVector:
+    """Per-bit XOR: aᵢ + bᵢ − 2·aᵢ·bᵢ."""
+    x._check_width(y)
+    b = x.builder
+    return BitVector.from_bits(
+        b, [xb + yb - 2 * (xb * yb) for xb, yb in zip(x.bits, y.bits)]
+    )
+
+
+def bitwise_not(x: BitVector) -> BitVector:
+    """Per-bit complement: 1 − aᵢ (free — no new constraints)."""
+    b = x.builder
+    return BitVector.from_bits(b, [1 - bit for bit in x.bits])
+
+
+def shift_left(x: BitVector, amount: int) -> BitVector:
+    """Logical shift within the fixed width (high bits drop off)."""
+    if amount < 0:
+        raise ValueError("shift amount must be non-negative")
+    b = x.builder
+    zero = b.constant(0)
+    bits = [zero] * min(amount, x.width) + x.bits[: max(0, x.width - amount)]
+    return BitVector.from_bits(b, bits)
+
+
+def shift_right(x: BitVector, amount: int) -> BitVector:
+    """Logical right shift within the fixed width."""
+    if amount < 0:
+        raise ValueError("shift amount must be non-negative")
+    b = x.builder
+    zero = b.constant(0)
+    bits = x.bits[amount:] + [zero] * min(amount, x.width)
+    return BitVector.from_bits(b, bits)
+
+
+def div_mod(
+    b: Builder, x: Wire | int, d: Wire | int, *, bit_width: int | None = None
+) -> tuple[Wire, Wire]:
+    """Euclidean (q, r) with x = q·d + r and 0 ≤ r < d.
+
+    Both operands must be non-negative ``bit_width``-bit values and d
+    must be nonzero at solve time (the hint returns 0s for d = 0 and
+    the range constraint then fails, surfacing the error).
+    """
+    width = bit_width if bit_width is not None else b.default_bit_width
+    x_w = b.define(x if isinstance(x, Wire) else b.constant(x))
+    d_w = b.define(d if isinstance(d, Wire) else b.constant(d))
+    p = b.field.p
+    x_expr, d_expr = x_w.expr, d_w.expr
+
+    def q_hint(values):
+        dv = d_expr.evaluate(p, values)
+        return x_expr.evaluate(p, values) // dv if dv else 0
+
+    def r_hint(values):
+        dv = d_expr.evaluate(p, values)
+        return x_expr.evaluate(p, values) % dv if dv else 1
+
+    q = b.hint_var(q_hint)
+    r = b.hint_var(r_hint)
+    b.assert_zero(q * d_w + r - x_w)
+    # 0 ≤ r < d  and  q fits in width bits (rules out wraparound)
+    to_bits(b, r, width)
+    to_bits(b, q, width)
+    assert_less_than(b, r, d_w, bit_width=width)
+    return q, r
+
+
+def integer_sqrt(b: Builder, x: Wire | int, *, bit_width: int | None = None) -> Wire:
+    """⌊√x⌋ for a non-negative ``bit_width``-bit value.
+
+    Pinned by  s² ≤ x  and  x < (s+1)²,  each as a range-checked
+    difference.
+    """
+    width = bit_width if bit_width is not None else b.default_bit_width
+    x_w = b.define(x if isinstance(x, Wire) else b.constant(x))
+    p = b.field.p
+    x_expr = x_w.expr
+
+    def s_hint(values):
+        import math
+
+        return math.isqrt(x_expr.evaluate(p, values))
+
+    s = b.hint_var(s_hint)
+    to_bits(b, s, (width + 1) // 2 + 1)
+    # x − s² ∈ [0, 2^width)
+    to_bits(b, x_w - s * s, width)
+    # (s+1)² − x − 1 ∈ [0, 2^(width+2))  (the +2 covers (s+1)² slightly
+    # exceeding the width-bit range when x is just below a square)
+    to_bits(b, (s + 1) * (s + 1) - x_w - 1, width + 2)
+    return s

@@ -1,0 +1,651 @@
+"""A small textual language compiled to constraints.
+
+Zaatar "takes a high-level language as input" (its compiler descends
+from Fairplay's SFDL front end, §1, §5.1).  This module provides an
+analogous front end: a C-like language with static control flow that
+lowers onto the ``Builder`` DSL.  Example::
+
+    input x[4]
+    output y
+    var acc
+    acc = 0
+    for i in 0..4 {
+        acc = acc + x[i] * x[i]
+    }
+    if (acc < 100) { y = acc } else { y = 100 }
+
+Language rules (all of which mirror the paper's compiler, §2.2, §5.4):
+
+* loop bounds and array indices are compile-time integers (loops are
+  fully unrolled; "array indices that are not known at compile time
+  produce an excessive number of constraints" — use the explicit
+  ``array_get`` gadget from the DSL if you really want that);
+* ``if`` executes both branches symbolically and merges assignments
+  with selects;
+* comparisons expand into O(bit_width) constraints
+  (pseudoconstraints);
+* every ``output`` variable must be assigned exactly once on every
+  path (checked at the end of elaboration).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..field import PrimeField
+from .builder import Builder, Wire
+from .gadgets import (
+    is_equal,
+    is_zero,
+    less_than,
+    logical_and,
+    logical_not,
+    logical_or,
+    select,
+)
+from .program import CompiledProgram, compile_program
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<ws>\s+|//[^\n]*)
+  | (?P<num>\d+)
+  | (?P<name>[A-Za-z_][A-Za-z_0-9]*)
+  | (?P<op>\.\.|==|!=|<=|>=|&&|\|\||[-+*=<>!(){}\[\],])
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"input", "output", "var", "for", "in", "if", "else"}
+
+#: built-in functions usable in expressions: name → arity
+_BUILTINS = {"min": 2, "max": 2, "abs": 1}
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str  # 'num' | 'name' | 'op' | 'kw' | 'eof'
+    text: str
+    pos: int
+
+
+class LangSyntaxError(ValueError):
+    """Parse or elaboration error with source position context."""
+
+
+def tokenize(source: str) -> list[Token]:
+    """Split source text into tokens (whitespace and comments dropped)."""
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(source):
+        m = _TOKEN_RE.match(source, pos)
+        if not m:
+            raise LangSyntaxError(f"unexpected character {source[pos]!r} at offset {pos}")
+        pos = m.end()
+        if m.lastgroup == "ws":
+            continue
+        kind = m.lastgroup or "op"
+        text = m.group()
+        if kind == "name" and text in _KEYWORDS:
+            kind = "kw"
+        tokens.append(Token(kind, text, m.start()))
+    tokens.append(Token("eof", "", len(source)))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Decl:
+    role: str  # 'input' | 'output' | 'var'
+    name: str
+    size: int | None  # None for scalars
+
+
+@dataclass(frozen=True)
+class Num:
+    value: int
+
+
+@dataclass(frozen=True)
+class Name:
+    name: str
+
+
+@dataclass(frozen=True)
+class Index:
+    name: str
+    index: "ExprNode"
+
+
+@dataclass(frozen=True)
+class Unary:
+    op: str  # '-' | '!'
+    operand: "ExprNode"
+
+
+@dataclass(frozen=True)
+class Binary:
+    op: str
+    left: "ExprNode"
+    right: "ExprNode"
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str  # 'min' | 'max' | 'abs'
+    args: tuple["ExprNode", ...]
+
+
+ExprNode = Num | Name | Index | Unary | Binary | Call
+
+
+@dataclass(frozen=True)
+class Assign:
+    target: Name | Index
+    value: ExprNode
+
+
+@dataclass(frozen=True)
+class For:
+    var: str
+    start: ExprNode
+    stop: ExprNode
+    body: tuple["StmtNode", ...]
+
+
+@dataclass(frozen=True)
+class If:
+    cond: ExprNode
+    then: tuple["StmtNode", ...]
+    orelse: tuple["StmtNode", ...]
+
+
+StmtNode = Assign | For | If
+
+
+@dataclass(frozen=True)
+class Program:
+    decls: tuple[Decl, ...]
+    body: tuple[StmtNode, ...]
+
+
+# ---------------------------------------------------------------------------
+# Parser (recursive descent)
+# ---------------------------------------------------------------------------
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.i = 0
+
+    def peek(self) -> Token:
+        return self.tokens[self.i]
+
+    def next(self) -> Token:
+        tok = self.tokens[self.i]
+        self.i += 1
+        return tok
+
+    def expect(self, kind: str, text: str | None = None) -> Token:
+        tok = self.next()
+        if tok.kind != kind or (text is not None and tok.text != text):
+            want = text or kind
+            raise LangSyntaxError(f"expected {want!r}, got {tok.text!r} at offset {tok.pos}")
+        return tok
+
+    def accept(self, kind: str, text: str | None = None) -> Token | None:
+        tok = self.peek()
+        if tok.kind == kind and (text is None or tok.text == text):
+            return self.next()
+        return None
+
+    # -- declarations ------------------------------------------------------------
+
+    def parse_program(self) -> Program:
+        decls: list[Decl] = []
+        while self.peek().kind == "kw" and self.peek().text in ("input", "output", "var"):
+            decls.append(self.parse_decl())
+        body = self.parse_stmts_until_eof()
+        return Program(tuple(decls), tuple(body))
+
+    def parse_decl(self) -> Decl:
+        role = self.next().text
+        name = self.expect("name").text
+        size = None
+        if self.accept("op", "["):
+            size = int(self.expect("num").text)
+            self.expect("op", "]")
+        return Decl(role, name, size)
+
+    # -- statements ------------------------------------------------------------------
+
+    def parse_stmts_until_eof(self) -> list[StmtNode]:
+        out = []
+        while self.peek().kind != "eof":
+            out.append(self.parse_stmt())
+        return out
+
+    def parse_block(self) -> tuple[StmtNode, ...]:
+        self.expect("op", "{")
+        out = []
+        while not self.accept("op", "}"):
+            if self.peek().kind == "eof":
+                raise LangSyntaxError("unterminated block")
+            out.append(self.parse_stmt())
+        return tuple(out)
+
+    def parse_stmt(self) -> StmtNode:
+        tok = self.peek()
+        if tok.kind == "kw" and tok.text == "for":
+            return self.parse_for()
+        if tok.kind == "kw" and tok.text == "if":
+            return self.parse_if()
+        if tok.kind == "name":
+            return self.parse_assign()
+        raise LangSyntaxError(f"unexpected token {tok.text!r} at offset {tok.pos}")
+
+    def parse_for(self) -> For:
+        self.expect("kw", "for")
+        var = self.expect("name").text
+        self.expect("kw", "in")
+        start = self.parse_expr()
+        self.expect("op", "..")
+        stop = self.parse_expr()
+        body = self.parse_block()
+        return For(var, start, stop, body)
+
+    def parse_if(self) -> If:
+        self.expect("kw", "if")
+        self.expect("op", "(")
+        cond = self.parse_expr()
+        self.expect("op", ")")
+        then = self.parse_block()
+        orelse: tuple[StmtNode, ...] = ()
+        if self.accept("kw", "else"):
+            orelse = self.parse_block()
+        return If(cond, then, orelse)
+
+    def parse_assign(self) -> Assign:
+        name = self.expect("name").text
+        target: Name | Index = Name(name)
+        if self.accept("op", "["):
+            idx = self.parse_expr()
+            self.expect("op", "]")
+            target = Index(name, idx)
+        self.expect("op", "=")
+        value = self.parse_expr()
+        return Assign(target, value)
+
+    # -- expressions (precedence climbing) -----------------------------------------
+
+    def parse_expr(self) -> ExprNode:
+        return self.parse_or()
+
+    def parse_or(self) -> ExprNode:
+        node = self.parse_and()
+        while self.accept("op", "||"):
+            node = Binary("||", node, self.parse_and())
+        return node
+
+    def parse_and(self) -> ExprNode:
+        node = self.parse_cmp()
+        while self.accept("op", "&&"):
+            node = Binary("&&", node, self.parse_cmp())
+        return node
+
+    def parse_cmp(self) -> ExprNode:
+        node = self.parse_addsub()
+        tok = self.peek()
+        if tok.kind == "op" and tok.text in ("==", "!=", "<", "<=", ">", ">="):
+            self.next()
+            node = Binary(tok.text, node, self.parse_addsub())
+        return node
+
+    def parse_addsub(self) -> ExprNode:
+        node = self.parse_term()
+        while True:
+            tok = self.peek()
+            if tok.kind == "op" and tok.text in ("+", "-"):
+                self.next()
+                node = Binary(tok.text, node, self.parse_term())
+            else:
+                return node
+
+    def parse_term(self) -> ExprNode:
+        node = self.parse_unary()
+        while self.accept("op", "*"):
+            node = Binary("*", node, self.parse_unary())
+        return node
+
+    def parse_unary(self) -> ExprNode:
+        if self.accept("op", "-"):
+            return Unary("-", self.parse_unary())
+        if self.accept("op", "!"):
+            return Unary("!", self.parse_unary())
+        return self.parse_atom()
+
+    def parse_atom(self) -> ExprNode:
+        tok = self.next()
+        if tok.kind == "num":
+            return Num(int(tok.text))
+        if tok.kind == "name":
+            if tok.text in _BUILTINS and self.accept("op", "("):
+                args = [self.parse_expr()]
+                while self.accept("op", ","):
+                    args.append(self.parse_expr())
+                self.expect("op", ")")
+                return Call(tok.text, tuple(args))
+            if self.accept("op", "["):
+                idx = self.parse_expr()
+                self.expect("op", "]")
+                return Index(tok.text, idx)
+            return Name(tok.text)
+        if tok.kind == "op" and tok.text == "(":
+            node = self.parse_expr()
+            self.expect("op", ")")
+            return node
+        raise LangSyntaxError(f"unexpected token {tok.text!r} at offset {tok.pos}")
+
+
+def parse(source: str) -> Program:
+    """Parse source text into the language AST."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+# ---------------------------------------------------------------------------
+# Elaboration: AST → Builder calls
+# ---------------------------------------------------------------------------
+
+Value = "Wire | int"  # env values: wires, or python ints for loop variables
+
+
+class _Elaborator:
+    def __init__(self, builder: Builder, program: Program):
+        self.b = builder
+        self.program = program
+        self.env: dict[str, Wire | int | list] = {}
+        self.output_names: list[tuple[str, int | None]] = []
+
+    # -- entry ---------------------------------------------------------------------
+
+    def run(self) -> None:
+        for decl in self.program.decls:
+            if decl.name in self.env:
+                raise LangSyntaxError(f"duplicate declaration of {decl.name!r}")
+            if decl.role == "input":
+                if decl.size is None:
+                    self.env[decl.name] = self.b.input()
+                else:
+                    self.env[decl.name] = self.b.inputs(decl.size)
+            else:
+                init = self.b.constant(0)
+                if decl.size is None:
+                    self.env[decl.name] = init
+                else:
+                    self.env[decl.name] = [self.b.constant(0) for _ in range(decl.size)]
+                if decl.role == "output":
+                    self.output_names.append((decl.name, decl.size))
+        for stmt in self.program.body:
+            self.exec_stmt(stmt)
+        for name, size in self.output_names:
+            value = self.env[name]
+            if size is None:
+                self.b.output(self._as_wire(value))
+            else:
+                assert isinstance(value, list)
+                for elem in value:
+                    self.b.output(self._as_wire(elem))
+
+    # -- statements -----------------------------------------------------------------
+
+    def exec_stmt(self, stmt: StmtNode) -> None:
+        if isinstance(stmt, Assign):
+            self.exec_assign(stmt)
+        elif isinstance(stmt, For):
+            self.exec_for(stmt)
+        elif isinstance(stmt, If):
+            self.exec_if(stmt)
+        else:  # pragma: no cover
+            raise TypeError(f"unknown statement {stmt!r}")
+
+    def exec_assign(self, stmt: Assign) -> None:
+        value = self.eval_expr(stmt.value)
+        if isinstance(stmt.target, Name):
+            name = stmt.target.name
+            if name not in self.env:
+                raise LangSyntaxError(f"assignment to undeclared variable {name!r}")
+            if isinstance(self.env[name], list):
+                raise LangSyntaxError(f"cannot assign scalar to array {name!r}")
+            self.env[name] = value
+        else:
+            name = stmt.target.name
+            arr = self.env.get(name)
+            if not isinstance(arr, list):
+                raise LangSyntaxError(f"{name!r} is not an array")
+            idx = self.eval_static(stmt.target.index)
+            if not 0 <= idx < len(arr):
+                raise LangSyntaxError(f"index {idx} out of range for {name!r}")
+            arr[idx] = value
+
+    def exec_for(self, stmt: For) -> None:
+        start = self.eval_static(stmt.start)
+        stop = self.eval_static(stmt.stop)
+        shadowed = self.env.get(stmt.var, _MISSING)
+        for i in range(start, stop):
+            self.env[stmt.var] = i
+            for inner in stmt.body:
+                self.exec_stmt(inner)
+        if shadowed is _MISSING:
+            self.env.pop(stmt.var, None)
+        else:
+            self.env[stmt.var] = shadowed
+
+    def exec_if(self, stmt: If) -> None:
+        cond = self.eval_expr(stmt.cond)
+        if isinstance(cond, int):
+            # statically decidable condition: elaborate one branch only
+            branch = stmt.then if cond else stmt.orelse
+            for inner in branch:
+                self.exec_stmt(inner)
+            return
+        before = _snapshot(self.env)
+        for inner in stmt.then:
+            self.exec_stmt(inner)
+        then_env = _snapshot(self.env)
+        self.env = _restore(before)
+        for inner in stmt.orelse:
+            self.exec_stmt(inner)
+        else_env = _snapshot(self.env)
+        self.env = _merge_envs(self.b, cond, then_env, else_env)
+
+    # -- expressions -------------------------------------------------------------------
+
+    def eval_expr(self, node: ExprNode) -> Wire | int:
+        if isinstance(node, Num):
+            return node.value
+        if isinstance(node, Name):
+            value = self.env.get(node.name)
+            if value is None:
+                raise LangSyntaxError(f"undefined variable {node.name!r}")
+            if isinstance(value, list):
+                raise LangSyntaxError(f"array {node.name!r} used as a scalar")
+            return value
+        if isinstance(node, Index):
+            arr = self.env.get(node.name)
+            if not isinstance(arr, list):
+                raise LangSyntaxError(f"{node.name!r} is not an array")
+            idx = self.eval_static(node.index)
+            if not 0 <= idx < len(arr):
+                raise LangSyntaxError(f"index {idx} out of range for {node.name!r}")
+            return arr[idx]
+        if isinstance(node, Unary):
+            operand = self.eval_expr(node.operand)
+            if node.op == "-":
+                return -operand if isinstance(operand, int) else -operand
+            # '!': logical not on a boolean wire or int
+            if isinstance(operand, int):
+                return 0 if operand else 1
+            return logical_not(self.b, operand)
+        if isinstance(node, Binary):
+            return self.eval_binary(node)
+        if isinstance(node, Call):
+            return self.eval_call(node)
+        raise TypeError(f"unknown expression {node!r}")  # pragma: no cover
+
+    def eval_call(self, node: Call):
+        from .gadgets import absolute, maximum, minimum
+
+        if len(node.args) != _BUILTINS[node.name]:
+            raise LangSyntaxError(
+                f"{node.name}() takes {_BUILTINS[node.name]} arguments, "
+                f"got {len(node.args)}"
+            )
+        args = [self.eval_expr(a) for a in node.args]
+        if all(isinstance(a, int) for a in args):
+            return {"min": min, "max": max, "abs": abs}[node.name](*args)
+        wires = [self._as_wire(a) for a in args]
+        if node.name == "min":
+            return minimum(self.b, wires[0], wires[1])
+        if node.name == "max":
+            return maximum(self.b, wires[0], wires[1])
+        return absolute(self.b, wires[0])
+
+    def eval_binary(self, node: Binary) -> Wire | int:
+        left = self.eval_expr(node.left)
+        right = self.eval_expr(node.right)
+        op = node.op
+        if isinstance(left, int) and isinstance(right, int):
+            return _static_binary(op, left, right)
+        lw = self._as_wire(left)
+        rw = self._as_wire(right)
+        if op == "+":
+            return lw + rw
+        if op == "-":
+            return lw - rw
+        if op == "*":
+            return lw * rw
+        if op == "==":
+            return is_equal(self.b, lw, rw)
+        if op == "!=":
+            return logical_not(self.b, is_equal(self.b, lw, rw))
+        if op == "<":
+            return less_than(self.b, lw, rw)
+        if op == "<=":
+            return logical_not(self.b, less_than(self.b, rw, lw))
+        if op == ">":
+            return less_than(self.b, rw, lw)
+        if op == ">=":
+            return logical_not(self.b, less_than(self.b, lw, rw))
+        if op == "&&":
+            return logical_and(self.b, lw, rw)
+        if op == "||":
+            return logical_or(self.b, lw, rw)
+        raise LangSyntaxError(f"unsupported operator {op!r}")
+
+    def eval_static(self, node: ExprNode) -> int:
+        """Compile-time integer evaluation (loop bounds, array indices)."""
+        value = self.eval_expr(node)
+        if not isinstance(value, int):
+            raise LangSyntaxError(
+                "expression must be a compile-time constant "
+                "(loop variables and integer literals only)"
+            )
+        return value
+
+    def _as_wire(self, value: Wire | int) -> Wire:
+        return value if isinstance(value, Wire) else self.b.constant(value)
+
+
+_MISSING = object()
+
+
+def _static_binary(op: str, a: int, b: int) -> int:
+    if op == "+":
+        return a + b
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "==":
+        return int(a == b)
+    if op == "!=":
+        return int(a != b)
+    if op == "<":
+        return int(a < b)
+    if op == "<=":
+        return int(a <= b)
+    if op == ">":
+        return int(a > b)
+    if op == ">=":
+        return int(a >= b)
+    if op == "&&":
+        return int(bool(a) and bool(b))
+    if op == "||":
+        return int(bool(a) or bool(b))
+    raise LangSyntaxError(f"unsupported operator {op!r}")
+
+
+def _snapshot(env: dict) -> dict:
+    return {k: (list(v) if isinstance(v, list) else v) for k, v in env.items()}
+
+
+def _restore(snapshot: dict) -> dict:
+    return {k: (list(v) if isinstance(v, list) else v) for k, v in snapshot.items()}
+
+
+def _merge_envs(builder: Builder, cond: Wire, then_env: dict, else_env: dict) -> dict:
+    """Merge two branch environments with selects on differing values."""
+    merged: dict = {}
+    for key in then_env:
+        t = then_env[key]
+        e = else_env.get(key, t)
+        if isinstance(t, list):
+            assert isinstance(e, list) and len(t) == len(e)
+            merged[key] = [_merge_value(builder, cond, a, b) for a, b in zip(t, e)]
+        else:
+            merged[key] = _merge_value(builder, cond, t, e)
+    return merged
+
+
+def _merge_value(builder: Builder, cond: Wire, t, e):
+    if t is e:
+        return t
+    if isinstance(t, int) and isinstance(e, int) and t == e:
+        return t
+    t_w = t if isinstance(t, Wire) else builder.constant(t)
+    e_w = e if isinstance(e, Wire) else builder.constant(e)
+    return select(builder, cond, t_w, e_w)
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+
+def compile_source(
+    field: PrimeField,
+    source: str,
+    *,
+    name: str = "program",
+    bit_width: int = 32,
+    optimize: bool = False,
+) -> CompiledProgram:
+    """Compile language source text into a ``CompiledProgram``."""
+    program = parse(source)
+
+    def build(builder: Builder) -> None:
+        _Elaborator(builder, program).run()
+
+    return compile_program(
+        field, build, name=name, bit_width=bit_width, optimize=optimize
+    )

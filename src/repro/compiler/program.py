@@ -1,0 +1,137 @@
+"""Compiled programs: the end-to-end compiler entry point.
+
+``compile_program`` runs a builder function once to produce the Ginger
+constraint system, applies the §4 transform to obtain Zaatar's
+quadratic form, and canonicalizes variable numbering into the §A.1
+convention.  The result bundles everything both parties need:
+
+* the verifier reads the constraint systems (and their sizes, for the
+  cost model);
+* the prover calls ``solve`` per input to execute Ψ and extract the
+  satisfying assignment (Figure 1, steps Á).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..constraints import (
+    EncodingStats,
+    GingerSystem,
+    QuadraticSystem,
+    TransformResult,
+    apply_permutation,
+    encoding_stats,
+    extend_witness,
+    ginger_to_quadratic,
+    split_assignment,
+)
+from ..field import PrimeField
+from .builder import Builder
+
+#: a program is a function that wires up a Builder (inputs → outputs)
+BuildFn = Callable[[Builder], None]
+
+
+@dataclass
+class SolvedInstance:
+    """One solved computation instance, in every coordinate system."""
+
+    input_values: list[int]
+    output_values: list[int]
+    ginger_witness: list[int]        # full assignment, builder numbering
+    quadratic_witness: list[int]     # canonical numbering, w[0] == 1
+    z: list[int]                     # unbound part (what πz encodes)
+    x: list[int]
+    y: list[int]
+
+
+@dataclass
+class CompiledProgram:
+    """A computation Ψ compiled to both constraint languages."""
+
+    name: str
+    field: PrimeField
+    builder: Builder
+    ginger: GingerSystem
+    transform: TransformResult
+    quadratic: QuadraticSystem       # canonical ordering (§A.1)
+    canonical_perm: list[int]
+
+    @property
+    def num_inputs(self) -> int:
+        """|x|: number of input elements."""
+        return len(self.ginger.input_vars)
+
+    @property
+    def num_outputs(self) -> int:
+        """|y|: number of output elements."""
+        return len(self.ginger.output_vars)
+
+    def solve(self, input_values: Sequence[int], *, check: bool = True) -> SolvedInstance:
+        """Execute Ψ on concrete inputs; returns witness + outputs.
+
+        ``check=True`` verifies the witness against both constraint
+        systems — cheap insurance that every gadget's hints agree with
+        its constraints.
+        """
+        field = self.field
+        inputs = [field.reduce(v) for v in input_values]
+        w_ginger = self.builder.solve(inputs)
+        if check and not self.ginger.is_satisfied(w_ginger):
+            raise RuntimeError(
+                f"{self.name}: hints produced an unsatisfying Ginger assignment"
+            )
+        w_quad = extend_witness(self.ginger, self.transform, w_ginger)
+        w_canon = apply_permutation(self.canonical_perm, w_quad)
+        if check and not self.quadratic.is_satisfied(w_canon):
+            raise RuntimeError(
+                f"{self.name}: transformed witness violates quadratic form"
+            )
+        z, x, y = split_assignment(self.quadratic, w_canon)
+        outputs = [w_ginger[v] for v in self.ginger.output_vars]
+        return SolvedInstance(
+            input_values=inputs,
+            output_values=outputs,
+            ginger_witness=w_ginger,
+            quadratic_witness=w_canon,
+            z=z,
+            x=x,
+            y=y,
+        )
+
+    def stats(self) -> EncodingStats:
+        """Figure-9 encoding sizes for this computation."""
+        return encoding_stats(self.ginger, self.transform)
+
+
+def compile_program(
+    field: PrimeField,
+    build_fn: BuildFn,
+    *,
+    name: str = "computation",
+    bit_width: int = 32,
+    optimize: bool = False,
+) -> CompiledProgram:
+    """Compile a builder function into a ``CompiledProgram``.
+
+    ``optimize=True`` enables common-subexpression elimination (shared
+    materializations and bit decompositions); semantics are identical,
+    constraint counts shrink.
+    """
+    builder = Builder(field, default_bit_width=bit_width, enable_cse=optimize)
+    build_fn(builder)
+    if not builder.system.output_vars:
+        raise ValueError(f"{name}: program declared no outputs")
+    transform = ginger_to_quadratic(builder.system)
+    canonical, perm = transform.system.canonicalize()
+    return CompiledProgram(
+        name=name,
+        field=field,
+        builder=builder,
+        ginger=builder.system,
+        transform=transform,
+        quadratic=canonical,
+        canonical_perm=perm,
+    )

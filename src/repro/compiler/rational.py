@@ -1,0 +1,131 @@
+"""Rational-number wires (numerator/denominator pairs).
+
+The paper's bisection and Floyd-Warshall benchmarks take rational
+inputs ("32-bit numerators, 5-bit denominators" / "32-bit numerators,
+32-bit denominators", §5.1); Ginger's representation of primitive
+floating-point values is exactly such pairs [54].  A ``RationalWire``
+keeps both components as field wires with *positive* denominators (an
+invariant every operation preserves), so ordering reduces to a signed
+cross-multiplication test.
+
+Denominators grow under addition (d₁·d₂), which is why the paper needs
+a 220-bit field for L=8 bisection iterations — the same bound governs
+the ``bit_budget`` bookkeeping here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .builder import Builder, Wire
+from .gadgets import less_than, select
+
+
+@dataclass
+class RationalWire:
+    """A symbolic rational n/d with d > 0 by construction."""
+
+    num: Wire
+    den: Wire
+    #: conservative magnitude bounds, in bits, for comparison sizing
+    num_bits: int
+    den_bits: int
+
+    @property
+    def builder(self) -> Builder:
+        """The builder both component wires belong to."""
+        return self.num.builder
+
+
+def rational_input(b: Builder, *, num_bits: int = 32, den_bits: int = 5) -> RationalWire:
+    """A rational input as two input variables (numerator, denominator)."""
+    return RationalWire(b.input(), b.input(), num_bits, den_bits)
+
+
+def rational_const(b: Builder, num: int, den: int = 1) -> RationalWire:
+    """A compile-time rational constant num/den (den > 0)."""
+    if den <= 0:
+        raise ValueError("rational constants need positive denominators")
+    return RationalWire(
+        b.constant(num), b.constant(den), max(abs(num).bit_length(), 1), den.bit_length()
+    )
+
+
+def rational_add(b: Builder, x: RationalWire, y: RationalWire) -> RationalWire:
+    """x + y by cross-multiplication; denominators multiply."""
+    num = x.num * y.den + y.num * x.den
+    den = x.den * y.den
+    return RationalWire(
+        b.define(num),
+        b.define(den),
+        max(x.num_bits + y.den_bits, y.num_bits + x.den_bits) + 1,
+        x.den_bits + y.den_bits,
+    )
+
+
+def rational_sub(b: Builder, x: RationalWire, y: RationalWire) -> RationalWire:
+    """x − y."""
+    return rational_add(b, x, rational_neg(b, y))
+
+
+def rational_neg(b: Builder, x: RationalWire) -> RationalWire:
+    """−x (negated numerator; denominator untouched, stays positive)."""
+    return RationalWire(-x.num, x.den, x.num_bits, x.den_bits)
+
+
+def rational_mul(b: Builder, x: RationalWire, y: RationalWire) -> RationalWire:
+    """x · y componentwise."""
+    return RationalWire(
+        b.define(x.num * y.num),
+        b.define(x.den * y.den),
+        x.num_bits + y.num_bits,
+        x.den_bits + y.den_bits,
+    )
+
+
+def rational_scale(b: Builder, c: int, x: RationalWire) -> RationalWire:
+    """Integer scalar multiple c·x."""
+    return RationalWire(
+        b.define(x.num * c), x.den, x.num_bits + abs(c).bit_length(), x.den_bits
+    )
+
+
+def rational_half(b: Builder, x: RationalWire) -> RationalWire:
+    """x / 2 by doubling the denominator (exact; used by bisection)."""
+    return RationalWire(x.num, b.define(x.den * 2), x.num_bits, x.den_bits + 1)
+
+
+def rational_less_than(b: Builder, x: RationalWire, y: RationalWire) -> Wire:
+    """x < y via n_x·d_y < n_y·d_x (valid because denominators are positive)."""
+    lhs = b.define(x.num * y.den)
+    rhs = b.define(y.num * x.den)
+    width = max(x.num_bits + y.den_bits, y.num_bits + x.den_bits) + 1
+    return less_than(b, lhs, rhs, bit_width=width)
+
+
+def rational_select(
+    b: Builder, cond: Wire, if_true: RationalWire, if_false: RationalWire
+) -> RationalWire:
+    """Componentwise select between two rationals (cond boolean)."""
+    return RationalWire(
+        select(b, cond, if_true.num, if_false.num),
+        select(b, cond, if_true.den, if_false.den),
+        max(if_true.num_bits, if_false.num_bits),
+        max(if_true.den_bits, if_false.den_bits),
+    )
+
+
+def rational_sign(b: Builder, x: RationalWire) -> Wire:
+    """Boolean wire: 1 if x < 0 (denominator positivity makes this the
+    sign of the numerator)."""
+    return less_than(b, x.num, 0, bit_width=x.num_bits + 1)
+
+
+def rational_output(b: Builder, x: RationalWire) -> tuple[Wire, Wire]:
+    """Expose a rational result as a (numerator, denominator) output pair."""
+    return b.output(x.num), b.output(x.den)
+
+
+def rational_value(num: int, den: int) -> float:
+    """Host-side helper: interpret an output pair (for examples/tests)."""
+    return num / den

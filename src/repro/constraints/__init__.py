@@ -1,0 +1,42 @@
+"""Constraint representations: Ginger degree-2 and Zaatar quadratic form."""
+
+from .ginger import GingerConstraint, GingerSystem
+from .linear import CONST, LinearCombination
+from .quadratic import (
+    QuadraticConstraint,
+    QuadraticSystem,
+    apply_permutation,
+    assemble_assignment,
+    split_assignment,
+)
+from .serialize import (
+    SerializationError,
+    ginger_from_json,
+    ginger_to_json,
+    quadratic_from_json,
+    quadratic_to_json,
+)
+from .stats import EncodingStats, encoding_stats
+from .transform import TransformResult, extend_witness, ginger_to_quadratic
+
+__all__ = [
+    "CONST",
+    "EncodingStats",
+    "GingerConstraint",
+    "GingerSystem",
+    "LinearCombination",
+    "QuadraticConstraint",
+    "QuadraticSystem",
+    "SerializationError",
+    "TransformResult",
+    "ginger_from_json",
+    "ginger_to_json",
+    "quadratic_from_json",
+    "quadratic_to_json",
+    "apply_permutation",
+    "assemble_assignment",
+    "encoding_stats",
+    "extend_witness",
+    "ginger_to_quadratic",
+    "split_assignment",
+]

@@ -1,0 +1,178 @@
+"""Ginger-style degree-2 constraints (§2.2).
+
+A Ginger constraint is an arbitrary polynomial equation of total degree
+≤ 2 set to zero: constant + Σ cᵢ·Wᵢ + Σ c_{ik}·Wᵢ·W_k = 0.  This is the
+form Ginger's compiler emits and the form its (z, z⊗z) PCP consumes;
+Zaatar's quadratic form is obtained from it by the §4 transformation
+(see ``transform.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Mapping, Sequence
+
+from ..field import PrimeField
+from .linear import CONST, LinearCombination
+
+
+def _norm_pair(i: int, k: int) -> tuple[int, int]:
+    return (i, k) if i <= k else (k, i)
+
+
+class GingerConstraint:
+    """constant + Σ linear + Σ quadratic = 0."""
+
+    __slots__ = ("constant", "linear", "quadratic")
+
+    def __init__(
+        self,
+        constant: int = 0,
+        linear: Mapping[int, int] | None = None,
+        quadratic: Mapping[tuple[int, int], int] | None = None,
+    ):
+        self.constant = constant
+        self.linear: dict[int, int] = dict(linear) if linear else {}
+        self.quadratic: dict[tuple[int, int], int] = {}
+        if quadratic:
+            for (i, k), c in quadratic.items():
+                key = _norm_pair(i, k)
+                self.quadratic[key] = self.quadratic.get(key, 0) + c
+
+    @classmethod
+    def from_lc(cls, lc: LinearCombination) -> "GingerConstraint":
+        linear = {i: c for i, c in lc.terms.items() if i != CONST}
+        return cls(constant=lc.constant_term(), linear=linear)
+
+    @classmethod
+    def product_equals(
+        cls, a: LinearCombination, b: LinearCombination, c: LinearCombination
+    ) -> "GingerConstraint":
+        """The degree-2 constraint a·b − c = 0 (expanded)."""
+        out = cls()
+        for i, ca in a.terms.items():
+            for k, cb in b.terms.items():
+                coeff = ca * cb
+                if i == CONST and k == CONST:
+                    out.constant += coeff
+                elif i == CONST:
+                    out.linear[k] = out.linear.get(k, 0) + coeff
+                elif k == CONST:
+                    out.linear[i] = out.linear.get(i, 0) + coeff
+                else:
+                    key = _norm_pair(i, k)
+                    out.quadratic[key] = out.quadratic.get(key, 0) + coeff
+        out.constant -= c.constant_term()
+        for i, cc in c.terms.items():
+            if i != CONST:
+                out.linear[i] = out.linear.get(i, 0) - cc
+        return out
+
+    def reduced(self, field: PrimeField) -> "GingerConstraint":
+        """Canonical form: coefficients mod p, zero terms dropped."""
+        p = field.p
+        return GingerConstraint(
+            self.constant % p,
+            {i: c % p for i, c in self.linear.items() if c % p},
+            {k: c % p for k, c in self.quadratic.items() if c % p},
+        )
+
+    def evaluate(self, field: PrimeField, w: Sequence[int]) -> int:
+        """Residual value; zero iff the constraint is satisfied at w."""
+        acc = self.constant
+        for i, c in self.linear.items():
+            acc += c * w[i]
+        for (i, k), c in self.quadratic.items():
+            acc += c * w[i] * w[k]
+        return acc % field.p
+
+    def additive_terms(self) -> int:
+        """Number of additive terms — the per-constraint contribution to K (§4)."""
+        return (
+            (1 if self.constant else 0)
+            + sum(1 for c in self.linear.values() if c)
+            + sum(1 for c in self.quadratic.values() if c)
+        )
+
+    def degree2_terms(self) -> list[tuple[int, int]]:
+        """The distinct (i, k) pairs with nonzero quadratic coefficients."""
+        return [k for k, c in self.quadratic.items() if c]
+
+    def variables(self) -> set[int]:
+        """Every variable index mentioned by this constraint."""
+        out = set(self.linear)
+        for i, k in self.quadratic:
+            out.add(i)
+            out.add(k)
+        return out
+
+    def __repr__(self) -> str:
+        parts = []
+        if self.constant:
+            parts.append(str(self.constant))
+        parts += [f"{c}*W{i}" for i, c in sorted(self.linear.items())]
+        parts += [f"{c}*W{i}*W{k}" for (i, k), c in sorted(self.quadratic.items())]
+        return "Ginger(" + " + ".join(parts or ["0"]) + " = 0)"
+
+
+@dataclass
+class GingerSystem:
+    """A set of Ginger constraints plus the variable bookkeeping.
+
+    ``num_vars`` counts all variables (indices 1..num_vars); inputs and
+    outputs are *bound* when checking a computation, everything else is
+    the unbound set Z whose size the paper calls |Z_ginger|.
+    """
+
+    field: PrimeField
+    num_vars: int = 0
+    constraints: list[GingerConstraint] = dataclass_field(default_factory=list)
+    input_vars: list[int] = dataclass_field(default_factory=list)
+    output_vars: list[int] = dataclass_field(default_factory=list)
+
+    def add(self, constraint: GingerConstraint) -> None:
+        """Append a constraint (stored in reduced form)."""
+        self.constraints.append(constraint.reduced(self.field))
+
+    @property
+    def num_constraints(self) -> int:
+        """|C|."""
+        return len(self.constraints)
+
+    @property
+    def bound_vars(self) -> set[int]:
+        """Input and output variable indices (the X ∪ Y set)."""
+        return set(self.input_vars) | set(self.output_vars)
+
+    @property
+    def num_unbound(self) -> int:
+        """|Z|: variables that are neither inputs nor outputs."""
+        return self.num_vars - len(self.bound_vars)
+
+    def is_satisfied(self, w: Sequence[int]) -> bool:
+        """w is the full assignment, w[0] == 1, length num_vars + 1."""
+        if len(w) != self.num_vars + 1 or w[0] != 1:
+            raise ValueError("assignment must have w[0]=1 and cover every variable")
+        return all(c.evaluate(self.field, w) == 0 for c in self.constraints)
+
+    def residuals(self, w: Sequence[int]) -> list[int]:
+        """Per-constraint residual values (all zero ⟺ satisfied)."""
+        return [c.evaluate(self.field, w) for c in self.constraints]
+
+    # -- paper § 4 quantities ------------------------------------------------
+
+    def additive_terms_K(self) -> int:
+        """K: total additive terms across all constraints."""
+        return sum(c.additive_terms() for c in self.constraints)
+
+    def distinct_degree2_terms_K2(self) -> int:
+        """K₂: number of *distinct* degree-2 terms across the system."""
+        seen: set[tuple[int, int]] = set()
+        for c in self.constraints:
+            seen.update(c.degree2_terms())
+        return len(seen)
+
+    def proof_vector_length(self) -> int:
+        """|u_ginger| = |Z| + |Z|² (§2.2: u = (z, z ⊗ z))."""
+        nz = self.num_unbound
+        return nz + nz * nz

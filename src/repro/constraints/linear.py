@@ -1,0 +1,126 @@
+"""Linear combinations over constraint variables.
+
+Variables are positive integer indices; index 0 is the constant wire
+w₀ = 1 (the paper's convention in §A.1).  A ``LinearCombination`` is a
+sparse map {index: coefficient} and is the degree-1 polynomial p(W)
+appearing on each side of a quadratic-form constraint.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..field import PrimeField
+
+CONST = 0  # index of the constant wire w0 = 1
+
+
+class LinearCombination:
+    """Sparse degree-1 polynomial Σ coeff_i · W_i (W_0 ≡ 1)."""
+
+    __slots__ = ("terms",)
+
+    def __init__(self, terms: Mapping[int, int] | None = None):
+        self.terms: dict[int, int] = dict(terms) if terms else {}
+
+    @classmethod
+    def constant(cls, value: int) -> "LinearCombination":
+        return cls({CONST: value}) if value else cls()
+
+    @classmethod
+    def variable(cls, index: int, coeff: int = 1) -> "LinearCombination":
+        if index < 0:
+            raise ValueError("variable indices must be non-negative")
+        return cls({index: coeff}) if coeff else cls()
+
+    # -- algebra (mod-p normalization happens in ``reduced``) ------------------
+
+    def add(self, other: "LinearCombination") -> "LinearCombination":
+        """Termwise sum (coefficients unreduced)."""
+        out = dict(self.terms)
+        for i, c in other.terms.items():
+            out[i] = out.get(i, 0) + c
+        return LinearCombination(out)
+
+    def sub(self, other: "LinearCombination") -> "LinearCombination":
+        """Termwise difference."""
+        out = dict(self.terms)
+        for i, c in other.terms.items():
+            out[i] = out.get(i, 0) - c
+        return LinearCombination(out)
+
+    def scale(self, c: int) -> "LinearCombination":
+        """Scalar multiple."""
+        if c == 0:
+            return LinearCombination()
+        return LinearCombination({i: c * v for i, v in self.terms.items()})
+
+    def add_term(self, index: int, coeff: int) -> None:
+        """Accumulate ``coeff`` onto one variable in place."""
+        self.terms[index] = self.terms.get(index, 0) + coeff
+
+    def reduced(self, field: PrimeField) -> "LinearCombination":
+        """Coefficients canonicalized mod p, zeros dropped."""
+        p = field.p
+        return LinearCombination(
+            {i: c % p for i, c in self.terms.items() if c % p}
+        )
+
+    # -- queries ------------------------------------------------------------------
+
+    def evaluate(self, field: PrimeField, assignment: Sequence[int]) -> int:
+        """Value under a full assignment (assignment[0] must be 1)."""
+        p = field.p
+        acc = 0
+        for i, c in self.terms.items():
+            acc += c * assignment[i]
+        return acc % p
+
+    def constant_term(self) -> int:
+        """Coefficient of the constant wire W₀."""
+        return self.terms.get(CONST, 0)
+
+    def variables(self) -> Iterable[int]:
+        """Indices of the non-constant variables with terms here."""
+        return (i for i in self.terms if i != CONST)
+
+    def is_constant(self) -> bool:
+        """True iff only the constant wire appears."""
+        return all(i == CONST for i in self.terms)
+
+    def as_single_variable(self) -> tuple[int, int] | None:
+        """(index, coeff) if this LC is exactly one non-constant term."""
+        nonconst = [(i, c) for i, c in self.terms.items() if i != CONST and c]
+        if len(nonconst) == 1 and not self.terms.get(CONST, 0):
+            return nonconst[0]
+        return None
+
+    def remap(self, mapping: Mapping[int, int]) -> "LinearCombination":
+        """Renumber variables; the constant wire always maps to itself."""
+        return LinearCombination(
+            {(CONST if i == CONST else mapping[i]): c for i, c in self.terms.items()}
+        )
+
+    def __bool__(self) -> bool:
+        return any(self.terms.values())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LinearCombination):
+            return NotImplemented
+        return {i: c for i, c in self.terms.items() if c} == {
+            i: c for i, c in other.terms.items() if c
+        }
+
+    def __hash__(self) -> int:  # pragma: no cover - LCs rarely hashed
+        return hash(frozenset((i, c) for i, c in self.terms.items() if c))
+
+    def __repr__(self) -> str:
+        if not self.terms:
+            return "LC(0)"
+        parts = []
+        for i in sorted(self.terms):
+            c = self.terms[i]
+            if c == 0:
+                continue
+            parts.append(f"{c}" if i == CONST else f"{c}*W{i}")
+        return "LC(" + " + ".join(parts or ["0"]) + ")"

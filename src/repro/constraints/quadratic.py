@@ -1,0 +1,186 @@
+"""Quadratic-form constraints (Zaatar's requirement, §4).
+
+Each constraint j is  p_{j,A}(W) · p_{j,B}(W) = p_{j,C}(W)  with all
+three sides degree-1.  This is exactly the shape QAPs encode (§A.1) —
+and what later literature calls R1CS.
+
+``QuadraticSystem.canonicalize`` renumbers variables into the §A.1
+convention: unbound variables Z first (1..n'), then inputs, then
+outputs (n'+1..n), with index 0 the constant wire.  The QAP layer
+requires canonical systems so that πz queries are exactly the first n'
+coordinates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Sequence
+
+from ..field import PrimeField
+from .linear import CONST, LinearCombination
+
+
+@dataclass(frozen=True)
+class QuadraticConstraint:
+    """a(W) · b(W) = c(W)."""
+
+    a: LinearCombination
+    b: LinearCombination
+    c: LinearCombination
+
+    def is_satisfied(self, field: PrimeField, w: Sequence[int]) -> bool:
+        """True iff a(w)·b(w) = c(w)."""
+        return self.residual(field, w) == 0
+
+    def residual(self, field: PrimeField, w: Sequence[int]) -> int:
+        """a(w)·b(w) − c(w) mod p."""
+        p = field.p
+        return (
+            self.a.evaluate(field, w) * self.b.evaluate(field, w)
+            - self.c.evaluate(field, w)
+        ) % p
+
+    def variables(self) -> set[int]:
+        """Every variable index mentioned on any side."""
+        out: set[int] = set()
+        for lc in (self.a, self.b, self.c):
+            out.update(lc.variables())
+        return out
+
+    def nonzero_coefficients(self) -> int:
+        """Count of nonzero a/b/c coefficients (incl. constants).
+
+        §A.3 bounds the verifier's query-construction work by the total
+        number of nonzero {a_ij, b_ij, c_ij}; this is the per-constraint
+        contribution.
+        """
+        return sum(
+            sum(1 for c in lc.terms.values() if c) for lc in (self.a, self.b, self.c)
+        )
+
+
+@dataclass
+class QuadraticSystem:
+    """A quadratic-form constraint system with input/output annotations."""
+
+    field: PrimeField
+    num_vars: int = 0
+    constraints: list[QuadraticConstraint] = dataclass_field(default_factory=list)
+    input_vars: list[int] = dataclass_field(default_factory=list)
+    output_vars: list[int] = dataclass_field(default_factory=list)
+
+    def add(self, a: LinearCombination, b: LinearCombination, c: LinearCombination) -> None:
+        """Append the constraint a·b = c (sides stored reduced)."""
+        f = self.field
+        self.constraints.append(
+            QuadraticConstraint(a.reduced(f), b.reduced(f), c.reduced(f))
+        )
+
+    @property
+    def num_constraints(self) -> int:
+        """|C|."""
+        return len(self.constraints)
+
+    @property
+    def bound_vars(self) -> set[int]:
+        """Input and output variable indices (the X ∪ Y set)."""
+        return set(self.input_vars) | set(self.output_vars)
+
+    @property
+    def num_unbound(self) -> int:
+        """|Z|: variables that are neither inputs nor outputs."""
+        return self.num_vars - len(self.bound_vars)
+
+    def is_satisfied(self, w: Sequence[int]) -> bool:
+        """Check a full assignment (w[0] must be 1)."""
+        if len(w) != self.num_vars + 1 or w[0] != 1:
+            raise ValueError("assignment must have w[0]=1 and cover every variable")
+        return all(c.is_satisfied(self.field, w) for c in self.constraints)
+
+    def residuals(self, w: Sequence[int]) -> list[int]:
+        """Per-constraint residuals (all zero ⟺ satisfied)."""
+        return [c.residual(self.field, w) for c in self.constraints]
+
+    def nonzero_coefficients(self) -> int:
+        """Total nonzero a/b/c entries across the system (§A.3 bound)."""
+        return sum(c.nonzero_coefficients() for c in self.constraints)
+
+    def proof_vector_length(self) -> int:
+        """|u_zaatar| = |Z| + |C| + 1 (witness plus H's |C|+1 coefficients)."""
+        return self.num_unbound + self.num_constraints + 1
+
+    # -- canonical ordering ------------------------------------------------------
+
+    def is_canonical(self) -> bool:
+        """True if unbound vars are 1..n' and inputs/outputs follow."""
+        n_prime = self.num_unbound
+        expected_bound = list(range(n_prime + 1, self.num_vars + 1))
+        return self.input_vars + self.output_vars == expected_bound
+
+    def canonicalize(self) -> tuple["QuadraticSystem", list[int]]:
+        """Renumber into §A.1 order (Z first, then X, then Y).
+
+        Returns (new_system, perm) where ``perm[old_index] == new_index``
+        (``perm[0] == 0``).  Assignments transform with
+        ``apply_permutation``.
+        """
+        bound = self.bound_vars
+        mapping = [0] * (self.num_vars + 1)
+        nxt = 1
+        for v in range(1, self.num_vars + 1):
+            if v not in bound:
+                mapping[v] = nxt
+                nxt += 1
+        for v in self.input_vars:
+            mapping[v] = nxt
+            nxt += 1
+        for v in self.output_vars:
+            mapping[v] = nxt
+            nxt += 1
+        new = QuadraticSystem(
+            field=self.field,
+            num_vars=self.num_vars,
+            input_vars=[mapping[v] for v in self.input_vars],
+            output_vars=[mapping[v] for v in self.output_vars],
+        )
+        for c in self.constraints:
+            new.constraints.append(
+                QuadraticConstraint(
+                    c.a.remap(mapping), c.b.remap(mapping), c.c.remap(mapping)
+                )
+            )
+        return new, mapping
+
+
+def apply_permutation(perm: Sequence[int], w: Sequence[int]) -> list[int]:
+    """Reorder an assignment by ``perm`` (as returned by canonicalize)."""
+    out = [0] * len(w)
+    for old, new in enumerate(perm):
+        out[new] = w[old]
+    return out
+
+
+def split_assignment(
+    system: QuadraticSystem, w: Sequence[int]
+) -> tuple[list[int], list[int], list[int]]:
+    """(z, x, y) pieces of a full assignment for a *canonical* system."""
+    if not system.is_canonical():
+        raise ValueError("split_assignment requires a canonical system")
+    n_prime = system.num_unbound
+    z = list(w[1 : n_prime + 1])
+    x = [w[v] for v in system.input_vars]
+    y = [w[v] for v in system.output_vars]
+    return z, x, y
+
+
+def assemble_assignment(
+    system: QuadraticSystem, z: Sequence[int], x: Sequence[int], y: Sequence[int]
+) -> list[int]:
+    """Inverse of ``split_assignment`` (canonical systems only)."""
+    if not system.is_canonical():
+        raise ValueError("assemble_assignment requires a canonical system")
+    if len(z) != system.num_unbound:
+        raise ValueError(f"expected {system.num_unbound} unbound values, got {len(z)}")
+    if len(x) != len(system.input_vars) or len(y) != len(system.output_vars):
+        raise ValueError("input/output length mismatch")
+    return [1, *z, *x, *y]

@@ -1,0 +1,182 @@
+"""JSON (de)serialization of constraint systems.
+
+In a deployment the verifier need not run the compiler at all: the
+constraint system is a public artifact that can be compiled once,
+audited, and distributed — only witness *hints* are prover-side (they
+replay the computation, which the verifier by definition does not do).
+This module gives quadratic-form and Ginger systems a stable JSON
+encoding with integrity checks on load.
+
+Format (version 1)::
+
+    {
+      "format": "repro-quadratic-v1",
+      "field": "<hex modulus>",
+      "num_vars": 10,
+      "input_vars": [...], "output_vars": [...],
+      "constraints": [ [A, B, C], ... ]        # each side {index: coeff}
+    }
+
+Coefficients are hex strings (field elements can exceed 2⁵³, so JSON
+numbers are unsafe).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping
+
+from ..field import PrimeField
+from .ginger import GingerConstraint, GingerSystem
+from .linear import LinearCombination
+from .quadratic import QuadraticConstraint, QuadraticSystem
+
+QUADRATIC_FORMAT = "repro-quadratic-v1"
+GINGER_FORMAT = "repro-ginger-v1"
+
+
+class SerializationError(ValueError):
+    """Malformed or inconsistent serialized constraint data."""
+
+
+def _encode_terms(terms: Mapping[int, int]) -> dict[str, str]:
+    return {str(i): format(c, "x") for i, c in terms.items() if c}
+
+
+def _decode_terms(data: Mapping[str, str], num_vars: int) -> dict[int, int]:
+    out: dict[int, int] = {}
+    for key, value in data.items():
+        try:
+            index = int(key)
+            coeff = int(value, 16)
+        except ValueError as exc:
+            raise SerializationError(f"bad term {key!r}: {value!r}") from exc
+        if not 0 <= index <= num_vars:
+            raise SerializationError(f"variable index {index} out of range")
+        out[index] = coeff
+    return out
+
+
+# -- quadratic form -----------------------------------------------------------
+
+
+def quadratic_to_json(system: QuadraticSystem) -> str:
+    """Serialize a quadratic-form system (stable v1 format)."""
+    payload = {
+        "format": QUADRATIC_FORMAT,
+        "field": format(system.field.p, "x"),
+        "num_vars": system.num_vars,
+        "input_vars": list(system.input_vars),
+        "output_vars": list(system.output_vars),
+        "constraints": [
+            [_encode_terms(c.a.terms), _encode_terms(c.b.terms), _encode_terms(c.c.terms)]
+            for c in system.constraints
+        ],
+    }
+    return json.dumps(payload)
+
+
+def quadratic_from_json(data: str) -> QuadraticSystem:
+    """Parse and validate a serialized quadratic-form system."""
+    try:
+        payload = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"not JSON: {exc}") from exc
+    if payload.get("format") != QUADRATIC_FORMAT:
+        raise SerializationError(
+            f"unexpected format {payload.get('format')!r}; wanted {QUADRATIC_FORMAT}"
+        )
+    field = PrimeField(int(payload["field"], 16))
+    num_vars = int(payload["num_vars"])
+    system = QuadraticSystem(
+        field=field,
+        num_vars=num_vars,
+        input_vars=[int(v) for v in payload["input_vars"]],
+        output_vars=[int(v) for v in payload["output_vars"]],
+    )
+    _validate_io(system)
+    for entry in payload["constraints"]:
+        if len(entry) != 3:
+            raise SerializationError("constraint entries must be [A, B, C]")
+        a, b, c = (
+            LinearCombination(_decode_terms(side, num_vars)) for side in entry
+        )
+        system.add(a, b, c)
+    return system
+
+
+# -- Ginger form -----------------------------------------------------------------
+
+
+def ginger_to_json(system: GingerSystem) -> str:
+    """Serialize a Ginger system (stable v1 format)."""
+    payload = {
+        "format": GINGER_FORMAT,
+        "field": format(system.field.p, "x"),
+        "num_vars": system.num_vars,
+        "input_vars": list(system.input_vars),
+        "output_vars": list(system.output_vars),
+        "constraints": [
+            {
+                "constant": format(c.constant, "x"),
+                "linear": _encode_terms(c.linear),
+                "quadratic": {
+                    f"{i},{k}": format(coeff, "x")
+                    for (i, k), coeff in c.quadratic.items()
+                    if coeff
+                },
+            }
+            for c in system.constraints
+        ],
+    }
+    return json.dumps(payload)
+
+
+def ginger_from_json(data: str) -> GingerSystem:
+    """Parse and validate a serialized Ginger system."""
+    try:
+        payload = json.loads(data)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"not JSON: {exc}") from exc
+    if payload.get("format") != GINGER_FORMAT:
+        raise SerializationError(
+            f"unexpected format {payload.get('format')!r}; wanted {GINGER_FORMAT}"
+        )
+    field = PrimeField(int(payload["field"], 16))
+    num_vars = int(payload["num_vars"])
+    system = GingerSystem(
+        field=field,
+        num_vars=num_vars,
+        input_vars=[int(v) for v in payload["input_vars"]],
+        output_vars=[int(v) for v in payload["output_vars"]],
+    )
+    _validate_io(system)
+    for entry in payload["constraints"]:
+        quadratic: dict[tuple[int, int], int] = {}
+        for key, value in entry.get("quadratic", {}).items():
+            try:
+                i_str, k_str = key.split(",")
+                pair = (int(i_str), int(k_str))
+            except ValueError as exc:
+                raise SerializationError(f"bad quadratic key {key!r}") from exc
+            if not (1 <= pair[0] <= num_vars and 1 <= pair[1] <= num_vars):
+                raise SerializationError(f"quadratic index {pair} out of range")
+            quadratic[pair] = int(value, 16)
+        system.add(
+            GingerConstraint(
+                int(entry.get("constant", "0"), 16),
+                _decode_terms(entry.get("linear", {}), num_vars),
+                quadratic,
+            )
+        )
+    return system
+
+
+def _validate_io(system) -> None:
+    seen: set[int] = set()
+    for var in list(system.input_vars) + list(system.output_vars):
+        if not 1 <= var <= system.num_vars:
+            raise SerializationError(f"I/O variable {var} out of range")
+        if var in seen:
+            raise SerializationError(f"variable {var} declared as I/O twice")
+        seen.add(var)

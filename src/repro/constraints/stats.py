@@ -1,0 +1,69 @@
+"""Encoding-size accounting (§4 and Figure 9).
+
+Given a compiled computation this derives every quantity in the paper's
+cost discussion: |Z|, |C|, K, K₂ for both systems, the two proof-vector
+lengths, and the degeneracy threshold K₂* at which Zaatar's advantage
+disappears.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .ginger import GingerSystem
+from .transform import TransformResult, ginger_to_quadratic
+
+
+@dataclass(frozen=True)
+class EncodingStats:
+    """Every Figure-9 column for one computation."""
+
+    z_ginger: int          # |Z_ginger| (unbound variables)
+    c_ginger: int          # |C_ginger|
+    k_terms: int           # K: additive terms across C_ginger
+    k2_terms: int          # K₂: distinct degree-2 terms
+    z_zaatar: int          # |Z_zaatar| = |Z_ginger| + K₂
+    c_zaatar: int          # |C_zaatar| = |C_ginger| + K₂
+    u_ginger: int          # |Z| + |Z|²
+    u_zaatar: int          # |Z_zaatar| + |C_zaatar|
+
+    @property
+    def k2_star(self) -> int:
+        """K₂* = (|Z_g|² − |Z_g|)/2 — Zaatar wins while K₂ < K₂* (§4)."""
+        return (self.z_ginger * self.z_ginger - self.z_ginger) // 2
+
+    @property
+    def is_degenerate(self) -> bool:
+        """True when K₂ reaches the §4 threshold where Ginger wins."""
+        return self.k2_terms >= self.k2_star
+
+    @property
+    def proof_shrink_factor(self) -> float:
+        """|u_ginger| / |u_zaatar| — the headline win."""
+        return self.u_ginger / self.u_zaatar if self.u_zaatar else float("inf")
+
+    def worst_case_u_zaatar_bound(self) -> float:
+        """§4's worst case: |u_zaatar| ≤ |u_ginger|·(1 + 2/(|Z_g|+1))."""
+        return self.u_ginger * (1 + 2 / (self.z_ginger + 1))
+
+
+def encoding_stats(
+    gsys: GingerSystem, transform: TransformResult | None = None
+) -> EncodingStats:
+    """Compute Figure-9 quantities for a Ginger system (+ its transform)."""
+    if transform is None:
+        transform = ginger_to_quadratic(gsys)
+    z_g = gsys.num_unbound
+    c_g = gsys.num_constraints
+    k2 = transform.k2
+    qsys = transform.system
+    return EncodingStats(
+        z_ginger=z_g,
+        c_ginger=c_g,
+        k_terms=gsys.additive_terms_K(),
+        k2_terms=k2,
+        z_zaatar=qsys.num_unbound,
+        c_zaatar=qsys.num_constraints,
+        u_ginger=z_g + z_g * z_g,
+        u_zaatar=qsys.num_unbound + qsys.num_constraints + 1,
+    )

@@ -1,0 +1,100 @@
+"""The §4 transformation: Ginger constraints → quadratic form.
+
+"For every constraint in C_ginger, we retain all of the degree-1 terms
+and replace all degree-2 terms with a new variable."  One fresh
+variable (and one defining constraint Wᵢ·W_k = W_new) is introduced per
+*distinct* degree-2 term across the whole system, so
+
+    |Z_zaatar| = |Z_ginger| + K₂      |C_zaatar| = |C_ginger| + K₂
+
+exactly as Figure 3 states.  ``extend_witness`` maps a Ginger witness
+to the transformed system by computing the product variables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from .ginger import GingerSystem
+from .linear import CONST, LinearCombination
+from .quadratic import QuadraticSystem
+
+
+@dataclass
+class TransformResult:
+    system: QuadraticSystem
+    #: (i, k) pairs, in introduction order; product var for pair t is
+    #: ``first_product_var + t``
+    product_terms: list[tuple[int, int]]
+    first_product_var: int
+
+    @property
+    def k2(self) -> int:
+        """K₂: the number of product variables introduced."""
+        return len(self.product_terms)
+
+
+def ginger_to_quadratic(gsys: GingerSystem) -> TransformResult:
+    """Apply the §4 rewrite, preserving input/output annotations."""
+    field = gsys.field
+    qsys = QuadraticSystem(
+        field=field,
+        num_vars=gsys.num_vars,
+        input_vars=list(gsys.input_vars),
+        output_vars=list(gsys.output_vars),
+    )
+
+    product_var: dict[tuple[int, int], int] = {}
+    product_terms: list[tuple[int, int]] = []
+    first_product_var = gsys.num_vars + 1
+
+    def var_for(pair: tuple[int, int]) -> int:
+        idx = product_var.get(pair)
+        if idx is None:
+            qsys.num_vars += 1
+            idx = qsys.num_vars
+            product_var[pair] = idx
+            product_terms.append(pair)
+        return idx
+
+    one = LinearCombination.constant(1)
+    rewritten: list[LinearCombination] = []
+    for constraint in gsys.constraints:
+        lc = LinearCombination()
+        if constraint.constant:
+            lc.add_term(CONST, constraint.constant)
+        for i, c in constraint.linear.items():
+            lc.add_term(i, c)
+        for pair, c in constraint.quadratic.items():
+            lc.add_term(var_for(pair), c)
+        rewritten.append(lc)
+
+    # Defining constraints first (they're structural), then the rewritten
+    # originals; order is irrelevant to satisfiability but keeping the
+    # product definitions grouped makes the QAP matrices easier to audit.
+    for (i, k), idx in product_var.items():
+        qsys.add(
+            LinearCombination.variable(i),
+            LinearCombination.variable(k),
+            LinearCombination.variable(idx),
+        )
+    for lc in rewritten:
+        qsys.add(lc, one, LinearCombination())
+
+    return TransformResult(qsys, product_terms, first_product_var)
+
+
+def extend_witness(
+    gsys: GingerSystem, result: TransformResult, w: Sequence[int]
+) -> list[int]:
+    """Extend a Ginger assignment with the introduced product variables."""
+    if len(w) != gsys.num_vars + 1:
+        raise ValueError(
+            f"expected assignment of length {gsys.num_vars + 1}, got {len(w)}"
+        )
+    p = gsys.field.p
+    out = list(w)
+    for i, k in result.product_terms:
+        out.append(w[i] * w[k] % p)
+    return out

@@ -1,0 +1,28 @@
+"""Figure-3 cost model, microbenchmarks, and breakeven batch sizes."""
+
+from .breakeven import (
+    BreakevenResult,
+    breakeven_batch_size,
+    breakeven_batch_size_strict,
+)
+from .microbench import (
+    PAPER_MICROBENCH_128,
+    PAPER_MICROBENCH_220,
+    MicrobenchParams,
+    run_microbench,
+)
+from .model import ComputationProfile, CostBreakdown, ginger_costs, zaatar_costs
+
+__all__ = [
+    "BreakevenResult",
+    "ComputationProfile",
+    "CostBreakdown",
+    "MicrobenchParams",
+    "PAPER_MICROBENCH_128",
+    "PAPER_MICROBENCH_220",
+    "breakeven_batch_size",
+    "breakeven_batch_size_strict",
+    "ginger_costs",
+    "run_microbench",
+    "zaatar_costs",
+]

@@ -1,0 +1,68 @@
+"""Breakeven batch sizes (§2.2, Figure 7).
+
+The paper's definition: "the minimum batch size at which the cost of
+query construction is less than the cost to run the computations
+locally" — i.e. the setup cost amortizes:
+
+    β* = ceil(setup_total / T_local).
+
+``breakeven_batch_size`` implements exactly that.  A stricter notion
+also charges the verifier's per-instance processing (decryption +
+response checks) against local execution; computations that are linear
+in their input size (§5.4: "the client saves CPU cycles only when
+outsourcing computations that take time superlinear in the input
+size") never break even under the strict notion because verification
+must touch every input/output.  ``breakeven_batch_size_strict``
+implements that variant; the Fannkuch benchmark is the example where
+the two diverge.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from .model import CostBreakdown
+
+
+@dataclass(frozen=True)
+class BreakevenResult:
+    batch_size: float           # math.inf when outsourcing never pays
+    setup_total: float
+    per_instance: float
+    local_seconds: float
+
+    @property
+    def feasible(self) -> bool:
+        """True when some finite batch size makes outsourcing pay."""
+        return math.isfinite(self.batch_size)
+
+
+def breakeven_batch_size(costs: CostBreakdown, local_seconds: float) -> BreakevenResult:
+    """The paper's §2.2 definition: amortize query construction only."""
+    if local_seconds <= 0:
+        raise ValueError("local_seconds must be positive")
+    beta = max(1.0, math.ceil(costs.verifier_setup_total / local_seconds))
+    return BreakevenResult(
+        batch_size=beta,
+        setup_total=costs.verifier_setup_total,
+        per_instance=costs.process_responses,
+        local_seconds=local_seconds,
+    )
+
+
+def breakeven_batch_size_strict(
+    costs: CostBreakdown, local_seconds: float
+) -> BreakevenResult:
+    """Strict variant: per-instance verification must also beat local."""
+    margin = local_seconds - costs.process_responses
+    if margin <= 0:
+        beta = math.inf
+    else:
+        beta = max(1.0, math.ceil(costs.verifier_setup_total / margin))
+    return BreakevenResult(
+        batch_size=beta,
+        setup_total=costs.verifier_setup_total,
+        per_instance=costs.process_responses,
+        local_seconds=local_seconds,
+    )

@@ -1,0 +1,131 @@
+"""The Figure-3 cost model, verbatim.
+
+Closed-form CPU costs for prover and verifier under both encodings,
+parameterized by the microbenchmark constants and the computation's
+encoding sizes.  The paper uses this model two ways, and so do we:
+
+* to *estimate Ginger* at benchmark scale, where actually running the
+  quadratic prover "would be too expensive" (§5.1) — Figures 4, 7, 8;
+* to *validate Zaatar measurements* ("empirical CPU costs are 5-15%
+  larger than the model's predictions", §5.1) — the model-validation
+  bench.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..constraints import EncodingStats
+from ..pcp import SoundnessParams
+from .microbench import MicrobenchParams
+
+
+@dataclass(frozen=True)
+class ComputationProfile:
+    """Everything about one computation the Figure-3 formulas consume."""
+
+    stats: EncodingStats
+    local_seconds: float      # T: running time of Ψ
+    num_inputs: int           # |x|
+    num_outputs: int          # |y|
+
+    @property
+    def u_ginger(self) -> int:
+        """|u| under Ginger's encoding."""
+        return self.stats.u_ginger
+
+    @property
+    def u_zaatar(self) -> int:
+        """|u| under Zaatar's encoding."""
+        return self.stats.u_zaatar
+
+
+@dataclass(frozen=True)
+class CostBreakdown:
+    """Prover and verifier costs, in seconds, Figure-3 row by row."""
+
+    construct_proof: float
+    issue_responses: float
+    query_specific_total: float     # before dividing by β
+    query_oblivious_total: float    # before dividing by β
+    process_responses: float        # per instance
+
+    @property
+    def prover_per_instance(self) -> float:
+        """Total prover seconds per instance."""
+        return self.construct_proof + self.issue_responses
+
+    @property
+    def verifier_setup_total(self) -> float:
+        """Per-batch query-construction cost (amortized by β)."""
+        return self.query_specific_total + self.query_oblivious_total
+
+    def verifier_per_instance(self, batch_size: int) -> float:
+        """Amortized verifier seconds per instance at a given β."""
+        return self.verifier_setup_total / batch_size + self.process_responses
+
+
+def zaatar_costs(
+    profile: ComputationProfile,
+    mb: MicrobenchParams,
+    params: SoundnessParams,
+) -> CostBreakdown:
+    """Figure 3, Zaatar column."""
+    s = profile.stats
+    c_z = s.c_zaatar
+    u = profile.u_zaatar
+    k, k2 = s.k_terms, s.k2_terms
+    rho, rho_lin = params.rho, params.rho_lin
+    ell_prime = 6 * rho_lin + 4
+    log_c = math.log2(max(c_z, 2))
+
+    construct_proof = profile.local_seconds + 3 * mb.f * c_z * log_c * log_c
+    issue_responses = (mb.h + (rho * ell_prime + 1) * mb.f) * u
+    query_specific = rho * (
+        mb.c + (mb.f_div + 5 * mb.f) * c_z + mb.f * k + 3 * mb.f * k2
+    )
+    query_oblivious = (
+        mb.e + 2 * mb.c + rho * (2 * rho_lin * mb.c + ell_prime * mb.f)
+    ) * u
+    process = mb.d + rho * (
+        ell_prime + 3 * profile.num_inputs + 3 * profile.num_outputs
+    ) * mb.f
+    return CostBreakdown(
+        construct_proof=construct_proof,
+        issue_responses=issue_responses,
+        query_specific_total=query_specific,
+        query_oblivious_total=query_oblivious,
+        process_responses=process,
+    )
+
+
+def ginger_costs(
+    profile: ComputationProfile,
+    mb: MicrobenchParams,
+    params: SoundnessParams,
+) -> CostBreakdown:
+    """Figure 3, Ginger column."""
+    s = profile.stats
+    z_g, c_g = s.z_ginger, s.c_ginger
+    u = profile.u_ginger
+    k = s.k_terms
+    rho, rho_lin = params.rho, params.rho_lin
+    ell = 3 * rho_lin + 2
+
+    construct_proof = profile.local_seconds + mb.f * z_g * z_g
+    issue_responses = (mb.h + (rho * ell + 1) * mb.f) * u
+    query_specific = rho * (mb.c * c_g + mb.f * k)
+    query_oblivious = (
+        mb.e + 2 * mb.c + rho * (2 * rho_lin * mb.c + (ell + 1) * mb.f)
+    ) * u
+    process = mb.d + rho * (
+        2 * ell + profile.num_inputs + profile.num_outputs
+    ) * mb.f
+    return CostBreakdown(
+        construct_proof=construct_proof,
+        issue_responses=issue_responses,
+        query_specific_total=query_specific,
+        query_oblivious_total=query_oblivious,
+        process_responses=process,
+    )

@@ -1,0 +1,57 @@
+"""Cryptographic substrate: ChaCha PRG, ElGamal, linear commitment."""
+
+from .chacha import ChaChaStream, chacha20_block, chacha20_encrypt
+from .commitment import (
+    CommitmentOpCounts,
+    CommitmentProver,
+    CommitmentVerifier,
+    CommitRequest,
+    DecommitChallenge,
+    DecommitResponse,
+    run_commitment_round,
+)
+from .elgamal import (
+    ElGamalCiphertext,
+    ElGamalKeypair,
+    ElGamalPublicKey,
+    ciphertext_mul,
+    ciphertext_pow,
+    homomorphic_inner_product,
+)
+from .groups import (
+    GROUP_GOLDILOCKS_512,
+    GROUP_P128_512,
+    GROUP_P128_1024,
+    GROUP_P220_1024,
+    SchnorrGroup,
+    group_for_field,
+    named_group,
+)
+from .prg import FieldPRG
+
+__all__ = [
+    "ChaChaStream",
+    "CommitRequest",
+    "CommitmentOpCounts",
+    "CommitmentProver",
+    "CommitmentVerifier",
+    "DecommitChallenge",
+    "DecommitResponse",
+    "ElGamalCiphertext",
+    "ElGamalKeypair",
+    "ElGamalPublicKey",
+    "FieldPRG",
+    "GROUP_GOLDILOCKS_512",
+    "GROUP_P128_1024",
+    "GROUP_P128_512",
+    "GROUP_P220_1024",
+    "SchnorrGroup",
+    "chacha20_block",
+    "chacha20_encrypt",
+    "ciphertext_mul",
+    "ciphertext_pow",
+    "group_for_field",
+    "homomorphic_inner_product",
+    "named_group",
+    "run_commitment_round",
+]

@@ -1,0 +1,86 @@
+"""ChaCha20 stream cipher (pure Python).
+
+The paper uses ChaCha as its pseudorandom generator (§5.1, [13]): the
+verifier derives its PCP queries pseudorandomly from a short seed, and
+a copy of the seed is what travels to the prover instead of full query
+vectors (§A.1, "network costs").  This implementation follows RFC 8439
+(20 rounds, 32-byte key, 12-byte nonce, 32-bit block counter).
+"""
+
+from __future__ import annotations
+
+import struct
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotl32(v: int, c: int) -> int:
+    return ((v << c) & _MASK) | (v >> (32 - c))
+
+
+def _quarter_round(state: list[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl32(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl32(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl32(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl32(state[b] ^ state[c], 7)
+
+
+_CONSTANTS = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)  # "expand 32-byte k"
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """One 64-byte ChaCha20 keystream block (RFC 8439 §2.3)."""
+    if len(key) != 32:
+        raise ValueError("ChaCha20 key must be 32 bytes")
+    if len(nonce) != 12:
+        raise ValueError("ChaCha20 nonce must be 12 bytes")
+    state = list(_CONSTANTS)
+    state += list(struct.unpack("<8I", key))
+    state.append(counter & _MASK)
+    state += list(struct.unpack("<3I", nonce))
+    working = list(state)
+    for _ in range(10):
+        _quarter_round(working, 0, 4, 8, 12)
+        _quarter_round(working, 1, 5, 9, 13)
+        _quarter_round(working, 2, 6, 10, 14)
+        _quarter_round(working, 3, 7, 11, 15)
+        _quarter_round(working, 0, 5, 10, 15)
+        _quarter_round(working, 1, 6, 11, 12)
+        _quarter_round(working, 2, 7, 8, 13)
+        _quarter_round(working, 3, 4, 9, 14)
+    out = [(w + s) & _MASK for w, s in zip(working, state)]
+    return struct.pack("<16I", *out)
+
+
+class ChaChaStream:
+    """Incremental keystream reader over successive ChaCha20 blocks."""
+
+    def __init__(self, key: bytes, nonce: bytes = b"\x00" * 12, counter: int = 0):
+        self._key = key
+        self._nonce = nonce
+        self._counter = counter
+        self._buffer = b""
+
+    def read(self, n: int) -> bytes:
+        """Next ``n`` keystream bytes (buffered across blocks)."""
+        chunks = [self._buffer] if self._buffer else []
+        have = len(self._buffer)
+        while have < n:
+            block = chacha20_block(self._key, self._counter, self._nonce)
+            self._counter = (self._counter + 1) & _MASK
+            chunks.append(block)
+            have += len(block)
+        data = b"".join(chunks)
+        self._buffer = data[n:]
+        return data[:n]
+
+
+def chacha20_encrypt(key: bytes, nonce: bytes, plaintext: bytes, counter: int = 1) -> bytes:
+    """XOR a message with the keystream (encryption == decryption)."""
+    stream = ChaChaStream(key, nonce, counter)
+    ks = stream.read(len(plaintext))
+    return bytes(a ^ b for a, b in zip(plaintext, ks))

@@ -1,0 +1,109 @@
+"""ElGamal encryption with messages in the exponent.
+
+Ginger's linear commitment (§2.2) needs additively homomorphic
+encryption of field elements: the verifier sends Enc(r) componentwise
+and the prover returns Enc(π(r)) computed as ∏ Enc(r_i)^{u_i}.  We
+instantiate it the way the Pepper/Ginger line does: ElGamal over a
+prime-order subgroup of Z_P^*, with the message m carried as g^m.
+
+The subgroup order equals the PCP field modulus p (DSA-style
+parameters, see ``groups.py``), so homomorphic exponent arithmetic *is*
+field arithmetic and the verifier's consistency check
+
+    g^(π(t) - Σ αᵢ·π(qᵢ))  ==  Dec(e)  ( = g^(π(r)) )
+
+is an equality of field-indexed powers.  The verifier never needs the
+discrete log of the decryption — only this equality — which is why
+message-in-exponent ElGamal suffices (fully homomorphic encryption is
+not required; §2.2 footnote 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .groups import SchnorrGroup
+from .prg import FieldPRG
+
+
+@dataclass(frozen=True)
+class ElGamalCiphertext:
+    """(g^k, g^m · h^k) — both components in the ambient group mod P."""
+
+    c1: int
+    c2: int
+
+
+@dataclass(frozen=True)
+class ElGamalPublicKey:
+    group: SchnorrGroup
+    h: int  # g^x
+
+    def encrypt(self, message: int, prg: FieldPRG) -> ElGamalCiphertext:
+        """Encrypt a field element (carried in the exponent)."""
+        group = self.group
+        k = prg.next_below(group.order)
+        c1 = pow(group.generator, k, group.modulus)
+        c2 = (
+            pow(group.generator, message % group.order, group.modulus)
+            * pow(self.h, k, group.modulus)
+            % group.modulus
+        )
+        return ElGamalCiphertext(c1, c2)
+
+    def encrypt_vector(self, messages: list[int], prg: FieldPRG) -> list[ElGamalCiphertext]:
+        """Componentwise encryption (the commit request's Enc(r))."""
+        return [self.encrypt(m, prg) for m in messages]
+
+
+@dataclass(frozen=True)
+class ElGamalKeypair:
+    public: ElGamalPublicKey
+    secret: int
+
+    @classmethod
+    def generate(cls, group: SchnorrGroup, prg: FieldPRG) -> "ElGamalKeypair":
+        x = prg.next_below(group.order - 1) + 1
+        h = pow(group.generator, x, group.modulus)
+        return cls(ElGamalPublicKey(group, h), x)
+
+    def decrypt_to_group(self, ct: ElGamalCiphertext) -> int:
+        """Recover g^m (not m itself — the exponent stays hidden)."""
+        P = self.public.group.modulus
+        return ct.c2 * pow(ct.c1, P - 1 - self.secret, P) % P
+
+
+def ciphertext_mul(group: SchnorrGroup, a: ElGamalCiphertext, b: ElGamalCiphertext) -> ElGamalCiphertext:
+    """Enc(m1) ⊙ Enc(m2) = Enc(m1 + m2)."""
+    P = group.modulus
+    return ElGamalCiphertext(a.c1 * b.c1 % P, a.c2 * b.c2 % P)
+
+
+def ciphertext_pow(group: SchnorrGroup, ct: ElGamalCiphertext, scalar: int) -> ElGamalCiphertext:
+    """Enc(m)^s = Enc(s · m)."""
+    P = group.modulus
+    s = scalar % group.order
+    return ElGamalCiphertext(pow(ct.c1, s, P), pow(ct.c2, s, P))
+
+
+def homomorphic_inner_product(
+    group: SchnorrGroup, ciphertexts: list[ElGamalCiphertext], weights: list[int]
+) -> ElGamalCiphertext:
+    """∏ Enc(r_i)^{u_i} = Enc(<r, u>) — the prover's commitment step.
+
+    Each term is the cost-model parameter ``h`` ("ciphertext add plus
+    multiply", §5.1); the prover pays one ``h`` per entry of the proof
+    vector (Figure 3, "Issue responses").  Zero weights are skipped,
+    matching what an optimized prover does for sparse vectors.
+    """
+    if len(ciphertexts) != len(weights):
+        raise ValueError("ciphertext/weight length mismatch")
+    P = group.modulus
+    acc1, acc2 = 1, 1
+    for ct, w in zip(ciphertexts, weights):
+        if w == 0:
+            continue
+        s = w % group.order
+        acc1 = acc1 * pow(ct.c1, s, P) % P
+        acc2 = acc2 * pow(ct.c2, s, P) % P
+    return ElGamalCiphertext(acc1, acc2)

@@ -1,0 +1,38 @@
+"""Finite-field substrate: named primes, scalar and vector arithmetic."""
+
+from .element import FieldElement
+from .params import GOLDILOCKS, NAMED_FIELDS, P128, P192, P220, FieldParams, field_params
+from .prime_field import PrimeField, is_probable_prime
+from .vector import (
+    hadamard,
+    inner,
+    outer,
+    powers,
+    vec_add,
+    vec_addmul,
+    vec_neg,
+    vec_scale,
+    vec_sub,
+)
+
+__all__ = [
+    "FieldElement",
+    "FieldParams",
+    "GOLDILOCKS",
+    "NAMED_FIELDS",
+    "P128",
+    "P192",
+    "P220",
+    "PrimeField",
+    "field_params",
+    "hadamard",
+    "inner",
+    "is_probable_prime",
+    "outer",
+    "powers",
+    "vec_add",
+    "vec_addmul",
+    "vec_neg",
+    "vec_scale",
+    "vec_sub",
+]

@@ -1,0 +1,111 @@
+"""Operator-friendly field elements.
+
+``FieldElement`` wraps ``(field, value)`` and supports the usual
+arithmetic operators, mixing freely with Python ints.  It exists for
+application-level code (examples, app reference implementations, the
+compiler front end); protocol internals use raw ints via ``PrimeField``.
+"""
+
+from __future__ import annotations
+
+from .prime_field import PrimeField
+
+
+class FieldElement:
+    """An element of a specific prime field."""
+
+    __slots__ = ("field", "value")
+
+    def __init__(self, field: PrimeField, value: int):
+        self.field = field
+        self.value = value % field.p
+
+    # -- helpers --------------------------------------------------------------
+
+    def _coerce(self, other: "FieldElement | int") -> int:
+        if isinstance(other, FieldElement):
+            if other.field != self.field:
+                raise ValueError(
+                    f"cannot mix elements of {self.field} and {other.field}"
+                )
+            return other.value
+        if isinstance(other, int):
+            return other % self.field.p
+        return NotImplemented  # type: ignore[return-value]
+
+    # -- arithmetic -------------------------------------------------------------
+
+    def __add__(self, other: "FieldElement | int") -> "FieldElement":
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.field.add(self.value, v))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: "FieldElement | int") -> "FieldElement":
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.field.sub(self.value, v))
+
+    def __rsub__(self, other: "FieldElement | int") -> "FieldElement":
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.field.sub(v, self.value))
+
+    def __mul__(self, other: "FieldElement | int") -> "FieldElement":
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.field.mul(self.value, v))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "FieldElement | int") -> "FieldElement":
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.field.div(self.value, v))
+
+    def __rtruediv__(self, other: "FieldElement | int") -> "FieldElement":
+        v = self._coerce(other)
+        if v is NotImplemented:
+            return NotImplemented
+        return FieldElement(self.field, self.field.div(v, self.value))
+
+    def __pow__(self, e: int) -> "FieldElement":
+        return FieldElement(self.field, self.field.pow(self.value, e))
+
+    def __neg__(self) -> "FieldElement":
+        return FieldElement(self.field, self.field.neg(self.value))
+
+    def inv(self) -> "FieldElement":
+        """Multiplicative inverse."""
+        return FieldElement(self.field, self.field.inv(self.value))
+
+    # -- comparisons & conversions ------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FieldElement):
+            return self.field == other.field and self.value == other.value
+        if isinstance(other, int):
+            return self.value == other % self.field.p
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.field.p, self.value))
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def to_signed(self) -> int:
+        """Interpret as a signed integer in (-p/2, p/2]."""
+        return self.field.to_signed(self.value)
+
+    def __repr__(self) -> str:
+        return f"Fe({self.value} mod {self.field.name})"

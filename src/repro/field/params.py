@@ -1,0 +1,82 @@
+"""Named prime-field parameters used throughout the system.
+
+The paper (§5.1) runs its benchmarks over 128-bit and 220-bit prime
+moduli (plus a 192-bit example in §A.2).  We hardcode primes of those
+sizes that are additionally *NTT-friendly*: each p satisfies
+``p = k * 2^40 + 1``, so the multiplicative group contains a subgroup
+of order ``2^40`` and radix-2 NTTs of length up to ``2^40`` exist.
+The paper's protocol does not need NTT-friendliness (it interpolates at
+an arithmetic progression, §A.3), but the prover's FFT pipeline gains a
+fast path when it is available, and the ablation bench compares both
+placements of the interpolation points.
+
+``GOLDILOCKS`` (2^64 - 2^32 + 1, 2-adicity 32) is a small field used by
+the test suite where 128-bit arithmetic would only slow things down.
+
+Each entry also records a generator of its maximal power-of-two
+subgroup, from which roots of unity of any supported order are derived.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FieldParams:
+    """Modulus plus NTT metadata for a named prime field."""
+
+    name: str
+    modulus: int
+    two_adicity: int
+    #: generator of the subgroup of order ``2**two_adicity``
+    two_adic_generator: int
+
+    @property
+    def bits(self) -> int:
+        """Bit length of the modulus."""
+        return self.modulus.bit_length()
+
+
+#: 128-bit NTT-friendly prime (the paper's default field size).
+P128 = FieldParams(
+    name="p128",
+    modulus=0xFFFFFFFFFFFFFFFFFFFFD30000000001,
+    two_adicity=40,
+    two_adic_generator=23953097886125630542083529559205016746,
+)
+
+#: 192-bit prime (|F| = 2^192 appears in §A.2's soundness discussion).
+P192 = FieldParams(
+    name="p192",
+    modulus=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF60000000001,
+    two_adicity=40,
+    two_adic_generator=4789798367955309605211018953656798274250542364688899898814,
+)
+
+#: 220-bit prime (used by the paper for rational-number benchmarks).
+P220 = FieldParams(
+    name="p220",
+    modulus=0xFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFFF880000000001,
+    two_adicity=40,
+    two_adic_generator=760016570176912676413538580522621635407912459323713766928047861002,
+)
+
+#: 64-bit "Goldilocks" prime, fast for tests; 2-adicity 32.
+GOLDILOCKS = FieldParams(
+    name="goldilocks",
+    modulus=2**64 - 2**32 + 1,
+    two_adicity=32,
+    two_adic_generator=1753635133440165772,
+)
+
+NAMED_FIELDS = {p.name: p for p in (P128, P192, P220, GOLDILOCKS)}
+
+
+def field_params(name: str) -> FieldParams:
+    """Look up a named field; raises ``KeyError`` with the known names."""
+    try:
+        return NAMED_FIELDS[name]
+    except KeyError:
+        known = ", ".join(sorted(NAMED_FIELDS))
+        raise KeyError(f"unknown field {name!r}; known fields: {known}") from None

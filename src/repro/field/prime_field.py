@@ -1,0 +1,250 @@
+"""Prime-field arithmetic.
+
+``PrimeField`` is the workhorse: it operates on plain Python integers in
+``[0, p)`` so that hot loops (NTTs, inner products over proof vectors)
+pay no wrapper overhead.  ``FieldElement`` (see ``element.py``) layers an
+ergonomic operator API on top for application code.
+
+The microbenchmark parameters of the paper's cost model (§5.1) map onto
+methods here: ``f`` is ``mul``, ``f_lazy`` is ``mul_lazy`` (no final
+reduction), ``f_div`` is ``div``, and ``c`` is a pseudorandom draw (see
+``repro.crypto.prg``).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Sequence
+
+from .params import FieldParams, field_params
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_probable_prime(n: int, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test (deterministic witnesses + random rounds)."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d, r = n - 1, 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    rng = random.Random(0xC0FFEE ^ n)
+    for _ in range(rounds):
+        a = rng.randrange(2, n - 1)
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = x * x % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+class PrimeField:
+    """Arithmetic modulo a prime ``p``, on raw integers in ``[0, p)``.
+
+    Instances are cheap, hashable by modulus, and safe to share across
+    threads (all state is immutable).
+    """
+
+    __slots__ = ("p", "name", "two_adicity", "_two_adic_generator", "_root_cache")
+
+    def __init__(self, params_or_modulus: FieldParams | int, *, check_prime: bool = True):
+        if isinstance(params_or_modulus, FieldParams):
+            params = params_or_modulus
+            self.p = params.modulus
+            self.name = params.name
+            self.two_adicity = params.two_adicity
+            self._two_adic_generator = params.two_adic_generator
+        else:
+            self.p = int(params_or_modulus)
+            self.name = f"p{self.p.bit_length()}"
+            # Derive the 2-adicity of p-1; the generator is found lazily.
+            t, n = 0, self.p - 1
+            while n % 2 == 0:
+                n //= 2
+                t += 1
+            self.two_adicity = t
+            self._two_adic_generator = 0
+        if check_prime and not is_probable_prime(self.p):
+            raise ValueError(f"{self.p} is not prime")
+        self._root_cache: dict[int, int] = {}
+
+    # -- identities ---------------------------------------------------------
+
+    @classmethod
+    def named(cls, name: str) -> "PrimeField":
+        return cls(field_params(name), check_prime=False)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimeField) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.p))
+
+    def __repr__(self) -> str:
+        return f"PrimeField({self.name}, {self.p.bit_length()} bits)"
+
+    @property
+    def bits(self) -> int:
+        """Bit length of the modulus."""
+        return self.p.bit_length()
+
+    # -- scalar arithmetic ---------------------------------------------------
+
+    def reduce(self, a: int) -> int:
+        """Map an arbitrary integer into canonical form ``[0, p)``."""
+        return a % self.p
+
+    def add(self, a: int, b: int) -> int:
+        """a + b mod p."""
+        s = a + b
+        return s - self.p if s >= self.p else s
+
+    def sub(self, a: int, b: int) -> int:
+        """a - b mod p."""
+        d = a - b
+        return d + self.p if d < 0 else d
+
+    def neg(self, a: int) -> int:
+        """-a mod p."""
+        return self.p - a if a else 0
+
+    def mul(self, a: int, b: int) -> int:
+        """a · b mod p (the cost-model parameter f)."""
+        return a * b % self.p
+
+    def mul_lazy(self, a: int, b: int) -> int:
+        """Multiplication *without* the final modular reduction.
+
+        This is the paper's ``f_lazy`` (§5.1 footnote 8): accumulating
+        unreduced products and reducing once is the standard trick in
+        the inner-product loops of the prover.  Callers must eventually
+        ``reduce`` the accumulated value.
+        """
+        return a * b
+
+    def square(self, a: int) -> int:
+        """a² mod p."""
+        return a * a % self.p
+
+    def pow(self, a: int, e: int) -> int:
+        """a^e mod p."""
+        return pow(a, e, self.p)
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse; raises on 0."""
+        if a == 0:
+            raise ZeroDivisionError("inverse of 0 in prime field")
+        return pow(a, -1, self.p)
+
+    def div(self, a: int, b: int) -> int:
+        """a / b mod p (the cost-model parameter f_div)."""
+        return a * self.inv(b) % self.p
+
+    # -- encodings -----------------------------------------------------------
+
+    def from_signed(self, v: int) -> int:
+        """Embed a signed integer, mapping negatives to ``p - |v|``.
+
+        This is how the compiler represents two's-complement-style
+        signed values (§5.1: 32-bit signed integer inputs).
+        """
+        return v % self.p
+
+    def to_signed(self, a: int) -> int:
+        """Interpret a field element as a signed integer in ``(-p/2, p/2]``."""
+        return a - self.p if a > self.p // 2 else a
+
+    # -- batch helpers -------------------------------------------------------
+
+    def inner_product(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """<a, b> with lazy reduction; the prover's core operation."""
+        if len(a) != len(b):
+            raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+        acc = 0
+        for x, y in zip(a, b):
+            acc += x * y
+        return acc % self.p
+
+    def batch_inv(self, values: Sequence[int]) -> list[int]:
+        """Montgomery's trick: n inversions for one inversion + 3n muls.
+
+        Used by the verifier's barycentric-weight computation (§A.3),
+        where ``f_div``-heavy loops would otherwise dominate.
+        """
+        p = self.p
+        n = len(values)
+        prefix = [1] * (n + 1)
+        for i, v in enumerate(values):
+            if v == 0:
+                raise ZeroDivisionError("batch_inv of 0")
+            prefix[i + 1] = prefix[i] * v % p
+        inv_all = pow(prefix[n], -1, p)
+        out = [0] * n
+        for i in range(n - 1, -1, -1):
+            out[i] = prefix[i] * inv_all % p
+            inv_all = inv_all * values[i] % p
+        return out
+
+    # -- randomness ----------------------------------------------------------
+
+    def random_element(self, rng: random.Random) -> int:
+        """Uniform draw from [0, p) using a host RNG (tests only)."""
+        return rng.randrange(self.p)
+
+    def random_vector(self, n: int, rng: random.Random) -> list[int]:
+        """n uniform draws (tests only; protocol code uses FieldPRG)."""
+        p = self.p
+        return [rng.randrange(p) for _ in range(n)]
+
+    def random_nonzero(self, rng: random.Random) -> int:
+        """Uniform draw from [1, p)."""
+        return rng.randrange(1, self.p)
+
+    # -- roots of unity -------------------------------------------------------
+
+    def two_adic_generator(self) -> int:
+        """Generator of the subgroup of order ``2**two_adicity``."""
+        if not self._two_adic_generator:
+            if self.two_adicity == 0:
+                raise ValueError("field has trivial 2-adicity")
+            odd = (self.p - 1) >> self.two_adicity
+            for h in range(2, 1000):
+                g = pow(h, odd, self.p)
+                if pow(g, 1 << (self.two_adicity - 1), self.p) != 1:
+                    self._two_adic_generator = g
+                    break
+            else:  # pragma: no cover - astronomically unlikely
+                raise RuntimeError("failed to find 2-adic generator")
+        return self._two_adic_generator
+
+    def root_of_unity(self, order: int) -> int:
+        """Primitive ``order``-th root of unity; ``order`` a power of two."""
+        if order & (order - 1):
+            raise ValueError(f"order must be a power of two, got {order}")
+        log = order.bit_length() - 1
+        if log > self.two_adicity:
+            raise ValueError(
+                f"field {self.name} supports NTT sizes up to 2^{self.two_adicity}, "
+                f"requested 2^{log}"
+            )
+        cached = self._root_cache.get(order)
+        if cached is None:
+            g = self.two_adic_generator()
+            cached = pow(g, 1 << (self.two_adicity - log), self.p)
+            self._root_cache[order] = cached
+        return cached
+
+
+def elements(field: PrimeField, values: Iterable[int]) -> list[int]:
+    """Canonicalize an iterable of ints into field representation."""
+    p = field.p
+    return [v % p for v in values]

@@ -1,0 +1,90 @@
+"""Vector operations over prime fields.
+
+The argument system is dominated by operations on long vectors of field
+elements: the proof vector u, query vectors q_i, and their inner
+products.  These helpers keep that code in one place and use lazy
+reduction wherever the math permits.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .prime_field import PrimeField
+
+
+def vec_add(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Componentwise sum."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    p = field.p
+    return [(x + y) % p for x, y in zip(a, b)]
+
+
+def vec_sub(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Componentwise difference."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    p = field.p
+    return [(x - y) % p for x, y in zip(a, b)]
+
+
+def vec_neg(field: PrimeField, a: Sequence[int]) -> list[int]:
+    """Componentwise negation."""
+    p = field.p
+    return [(-x) % p for x in a]
+
+
+def vec_scale(field: PrimeField, c: int, a: Sequence[int]) -> list[int]:
+    """Scalar multiple c·a."""
+    p = field.p
+    return [c * x % p for x in a]
+
+
+def vec_addmul(
+    field: PrimeField, a: Sequence[int], c: int, b: Sequence[int]
+) -> list[int]:
+    """a + c*b, the FMA shape used when folding queries together."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    p = field.p
+    return [(x + c * y) % p for x, y in zip(a, b)]
+
+
+def inner(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> int:
+    """<a, b> with a single final reduction."""
+    return field.inner_product(a, b)
+
+
+def outer(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Outer product a ⊗ b, flattened row-major.
+
+    Ginger's proof vector is ``(z, z ⊗ z)`` (§2.2); this is quadratic in
+    ``len(a)`` and is what Zaatar's encoding eliminates.
+    """
+    p = field.p
+    out: list[int] = []
+    for x in a:
+        out.extend(x * y % p for y in b)
+    return out
+
+
+def hadamard(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Componentwise product."""
+    if len(a) != len(b):
+        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
+    p = field.p
+    return [x * y % p for x, y in zip(a, b)]
+
+
+def powers(field: PrimeField, x: int, count: int) -> list[int]:
+    """[1, x, x^2, ..., x^(count-1)] — the q_d query shape of Fig 10."""
+    p = field.p
+    out = [0] * count
+    if count == 0:
+        return out
+    acc = 1
+    for i in range(count):
+        out[i] = acc
+        acc = acc * x % p
+    return out

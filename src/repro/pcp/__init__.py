@@ -1,0 +1,42 @@
+"""Linear PCPs: Zaatar's QAP-based protocol and the Ginger baseline."""
+
+from . import ginger, zaatar
+from .oracle import (
+    LinearOracle,
+    MostlyLinearOracle,
+    NonLinearOracle,
+    TargetedCheatOracle,
+    VectorOracle,
+)
+from .soundness import (
+    PAPER_PARAMS,
+    TEST_PARAMS,
+    SoundnessParams,
+    delta_star,
+    kappa_bound,
+)
+from .tuning import TuningResult, optimize_params, query_volume
+from .zaatar import CheckResult, ZaatarSchedule, check_answers, generate_schedule, run_pcp
+
+__all__ = [
+    "CheckResult",
+    "LinearOracle",
+    "MostlyLinearOracle",
+    "NonLinearOracle",
+    "PAPER_PARAMS",
+    "SoundnessParams",
+    "TEST_PARAMS",
+    "TargetedCheatOracle",
+    "TuningResult",
+    "optimize_params",
+    "query_volume",
+    "VectorOracle",
+    "ZaatarSchedule",
+    "check_answers",
+    "delta_star",
+    "generate_schedule",
+    "ginger",
+    "kappa_bound",
+    "run_pcp",
+    "zaatar",
+]

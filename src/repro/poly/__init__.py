@@ -1,0 +1,56 @@
+"""Polynomial algebra substrate (dense polys, NTT, fast division, interpolation)."""
+
+from .dense import (
+    degree,
+    is_zero,
+    poly_add,
+    poly_derivative,
+    poly_eval,
+    poly_from_roots,
+    poly_mul_naive,
+    poly_neg,
+    poly_scale,
+    poly_shift,
+    poly_sub,
+    trim,
+)
+from .divide import poly_div_exact, poly_divmod, poly_divmod_naive
+from .interpolate import (
+    SubproductTree,
+    barycentric_lagrange_coeffs,
+    barycentric_weights,
+    barycentric_weights_arithmetic,
+    interpolate_at_roots_of_unity,
+    interpolate_lagrange_naive,
+)
+from .multiply import poly_mul
+from .ntt import intt, max_ntt_size, ntt, ntt_mul
+
+__all__ = [
+    "SubproductTree",
+    "barycentric_lagrange_coeffs",
+    "barycentric_weights",
+    "barycentric_weights_arithmetic",
+    "degree",
+    "interpolate_at_roots_of_unity",
+    "interpolate_lagrange_naive",
+    "intt",
+    "is_zero",
+    "max_ntt_size",
+    "ntt",
+    "ntt_mul",
+    "poly_add",
+    "poly_derivative",
+    "poly_div_exact",
+    "poly_divmod",
+    "poly_divmod_naive",
+    "poly_eval",
+    "poly_from_roots",
+    "poly_mul",
+    "poly_mul_naive",
+    "poly_neg",
+    "poly_scale",
+    "poly_shift",
+    "poly_sub",
+    "trim",
+]

@@ -1,0 +1,127 @@
+"""Dense univariate polynomials over a prime field.
+
+A polynomial is a plain ``list[int]`` of coefficients in little-endian
+order (``coeffs[i]`` multiplies ``t**i``); the zero polynomial is ``[]``.
+All functions take the field explicitly — polynomials carry no context,
+which keeps the prover's FFT pipeline allocation-light.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..field import PrimeField
+
+Poly = list
+
+
+def trim(coeffs: list[int]) -> list[int]:
+    """Drop trailing zero coefficients (canonical form)."""
+    n = len(coeffs)
+    while n and coeffs[n - 1] == 0:
+        n -= 1
+    del coeffs[n:]
+    return coeffs
+
+
+def degree(coeffs: Sequence[int]) -> int:
+    """Degree, with deg(0) = -1."""
+    for i in range(len(coeffs) - 1, -1, -1):
+        if coeffs[i]:
+            return i
+    return -1
+
+
+def is_zero(coeffs: Sequence[int]) -> bool:
+    """True iff every coefficient vanishes."""
+    return all(c == 0 for c in coeffs)
+
+
+def poly_add(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Coefficientwise sum, trimmed."""
+    p = field.p
+    if len(a) < len(b):
+        a, b = b, a
+    out = list(a)
+    for i, c in enumerate(b):
+        out[i] = (out[i] + c) % p
+    return trim(out)
+
+
+def poly_sub(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """a − b, trimmed."""
+    p = field.p
+    out = list(a) + [0] * max(0, len(b) - len(a))
+    for i, c in enumerate(b):
+        out[i] = (out[i] - c) % p
+    return trim(out)
+
+
+def poly_neg(field: PrimeField, a: Sequence[int]) -> list[int]:
+    """−a."""
+    p = field.p
+    return [(-c) % p for c in a]
+
+
+def poly_scale(field: PrimeField, c: int, a: Sequence[int]) -> list[int]:
+    """Scalar multiple c·a(t), trimmed."""
+    p = field.p
+    return trim([c * x % p for x in a])
+
+
+def poly_mul_naive(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Schoolbook product; used below the Karatsuba/NTT cutovers."""
+    if not a or not b:
+        return []
+    p = field.p
+    out = [0] * (len(a) + len(b) - 1)
+    for i, x in enumerate(a):
+        if x == 0:
+            continue
+        for j, y in enumerate(b):
+            out[i + j] += x * y
+    return trim([c % p for c in out])
+
+
+def poly_eval(field: PrimeField, coeffs: Sequence[int], x: int) -> int:
+    """Horner evaluation."""
+    p = field.p
+    acc = 0
+    for c in reversed(coeffs):
+        acc = (acc * x + c) % p
+    return acc
+
+
+def poly_shift(coeffs: Sequence[int], k: int) -> list[int]:
+    """Multiply by ``t**k``."""
+    if not coeffs:
+        return []
+    return [0] * k + list(coeffs)
+
+
+def poly_from_roots(field: PrimeField, roots: Sequence[int]) -> list[int]:
+    """∏ (t - r) for r in roots — the divisor polynomial D(t) of §A.1.
+
+    Built by balanced pairwise products so large root sets cost
+    O(M(n) log n) instead of O(n²).
+    """
+    from .multiply import poly_mul  # local import to avoid a cycle
+
+    p = field.p
+    if not roots:
+        return [1]
+    leaves: list[list[int]] = [[(-r) % p, 1] for r in roots]
+    while len(leaves) > 1:
+        paired: list[list[int]] = []
+        for i in range(0, len(leaves) - 1, 2):
+            paired.append(poly_mul(field, leaves[i], leaves[i + 1]))
+        if len(leaves) % 2:
+            paired.append(leaves[-1])
+        leaves = paired
+    return leaves[0]
+
+
+def poly_derivative(field: PrimeField, coeffs: Sequence[int]) -> list[int]:
+    """Formal derivative (used for barycentric denominators)."""
+    p = field.p
+    return trim([i * coeffs[i] % p for i in range(1, len(coeffs))])

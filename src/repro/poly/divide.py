@@ -1,0 +1,120 @@
+"""Polynomial division: schoolbook divmod and Newton-iteration fast division.
+
+Step 3 of the prover's pipeline (§A.3) divides P_w(t) by the divisor
+polynomial D(t) to obtain H(t); the paper budgets ≈ f·|C|·log|C| for it,
+which requires the FFT-based algorithm implemented here (reversal +
+Newton inversion of a power series + two multiplications).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..field import PrimeField
+from .dense import degree, poly_mul_naive, poly_sub, trim
+from .multiply import poly_mul
+
+#: below this size the quadratic schoolbook loop wins
+_NEWTON_CUTOFF = 64
+
+
+def poly_divmod_naive(
+    field: PrimeField, num: Sequence[int], den: Sequence[int]
+) -> tuple[list[int], list[int]]:
+    """Schoolbook long division; returns (quotient, remainder)."""
+    dd = degree(den)
+    if dd < 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    p = field.p
+    rem = [c % p for c in num]
+    trim(rem)
+    dn = degree(rem)
+    if dn < dd:
+        return [], rem
+    inv_lead = field.inv(den[dd])
+    quot = [0] * (dn - dd + 1)
+    for k in range(dn - dd, -1, -1):
+        coeff = rem[dd + k] * inv_lead % p
+        if coeff:
+            quot[k] = coeff
+            for i in range(dd + 1):
+                rem[i + k] = (rem[i + k] - coeff * den[i]) % p
+    return trim(quot), trim(rem)
+
+
+def _series_inverse(field: PrimeField, f: Sequence[int], n: int) -> list[int]:
+    """Inverse of f(t) as a power series mod t^n, by Newton iteration.
+
+    Requires f[0] != 0.  Each iteration doubles the precision:
+    g ← g·(2 - f·g) mod t^(2k).
+    """
+    if not f or f[0] == 0:
+        raise ZeroDivisionError("power series inverse requires nonzero constant term")
+    p = field.p
+    g = [field.inv(f[0])]
+    k = 1
+    while k < n:
+        k = min(2 * k, n)
+        fg = poly_mul(field, f[:k], g)
+        del fg[k:]
+        # t = 2 - f*g
+        t = [(-c) % p for c in fg] + [0] * (k - len(fg))
+        t[0] = (t[0] + 2) % p
+        g = poly_mul(field, g, t)
+        del g[k:]
+    return trim(g)
+
+
+def poly_divmod(
+    field: PrimeField, num: Sequence[int], den: Sequence[int]
+) -> tuple[list[int], list[int]]:
+    """Fast division with remainder: O(M(n)) via reversal + Newton.
+
+    rev(num) = rev(den)·rev(quot) mod t^(deg q + 1), so the quotient's
+    reversal is rev(num)·rev(den)^{-1} truncated.
+    """
+    dn, dd = degree(num), degree(den)
+    if dd < 0:
+        raise ZeroDivisionError("polynomial division by zero")
+    if dn < dd:
+        return [], trim([c % field.p for c in num])
+    if dn - dd < _NEWTON_CUTOFF or dd < _NEWTON_CUTOFF:
+        return poly_divmod_naive(field, num, den)
+    qlen = dn - dd + 1
+    rev_num = [num[dn - i] % field.p for i in range(dn + 1)]
+    rev_den = [den[dd - i] % field.p for i in range(dd + 1)]
+    inv_rev_den = _series_inverse(field, rev_den, qlen)
+    rev_quot = poly_mul(field, rev_num[:qlen], inv_rev_den)
+    del rev_quot[qlen:]
+    rev_quot += [0] * (qlen - len(rev_quot))
+    quot = list(reversed(rev_quot))
+    trim(quot)
+    rem = poly_sub(field, list(num), poly_mul(field, den, quot))
+    return quot, rem
+
+
+def poly_div_exact(
+    field: PrimeField, num: Sequence[int], den: Sequence[int]
+) -> list[int]:
+    """Division known to be exact; raises if a remainder appears.
+
+    The Zaatar prover uses this for H(t) = P_w(t)/D(t): Claim A.1
+    guarantees exactness precisely when z is a satisfying assignment, so
+    a nonzero remainder here means the witness is wrong — surfacing that
+    early beats producing a proof the verifier will reject.
+    """
+    quot, rem = poly_divmod(field, num, den)
+    if rem:
+        raise ValueError(
+            "polynomial division has a nonzero remainder "
+            "(witness does not satisfy the constraints?)"
+        )
+    return quot
+
+
+__all__ = [
+    "poly_div_exact",
+    "poly_divmod",
+    "poly_divmod_naive",
+    "poly_mul_naive",
+]

@@ -1,0 +1,72 @@
+"""Polynomial multiplication dispatch: schoolbook / Karatsuba / NTT.
+
+Small products use the schoolbook loop; mid-size products fall back to
+Karatsuba when the field cannot host a long-enough NTT; everything else
+goes through the transform.  The cutovers were picked empirically for
+CPython (see benchmarks/bench_ablation_sigma.py, which exercises both
+the NTT and non-NTT paths of the prover).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..field import PrimeField
+from .dense import poly_mul_naive, trim
+from .ntt import max_ntt_size, ntt_mul
+
+#: below this size schoolbook beats everything
+_NAIVE_CUTOFF = 32
+#: below this size Karatsuba beats the NTT (and above it, only the NTT scales)
+_KARATSUBA_CUTOFF = 256
+
+
+def _karatsuba(p: int, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    n = max(len(a), len(b))
+    if n <= _NAIVE_CUTOFF:
+        out = [0] * (len(a) + len(b) - 1) if a and b else []
+        for i, x in enumerate(a):
+            if x == 0:
+                continue
+            for j, y in enumerate(b):
+                out[i + j] += x * y
+        return out
+    half = n // 2
+    a0, a1 = list(a[:half]), list(a[half:])
+    b0, b1 = list(b[:half]), list(b[half:])
+    z0 = _karatsuba(p, a0, b0) if a0 and b0 else []
+    z2 = _karatsuba(p, a1, b1) if a1 and b1 else []
+    s_a = [x + y for x, y in _zip_pad(a0, a1)]
+    s_b = [x + y for x, y in _zip_pad(b0, b1)]
+    z1 = _karatsuba(p, s_a, s_b) if s_a and s_b else []
+    out = [0] * (len(a) + len(b) - 1)
+    for i, c in enumerate(z0):
+        out[i] += c
+    for i, c in enumerate(z1):
+        out[i + half] += c
+    for i, c in enumerate(z0):
+        out[i + half] -= c
+    for i, c in enumerate(z2):
+        out[i + half] -= c
+    for i, c in enumerate(z2):
+        out[i + 2 * half] += c
+    return out
+
+
+def _zip_pad(a: Sequence[int], b: Sequence[int]):
+    n = max(len(a), len(b))
+    for i in range(n):
+        yield (a[i] if i < len(a) else 0, b[i] if i < len(b) else 0)
+
+
+def poly_mul(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Product of two polynomials, choosing the fastest available algorithm."""
+    if not a or not b:
+        return []
+    result_len = len(a) + len(b) - 1
+    if min(len(a), len(b)) <= _NAIVE_CUTOFF:
+        return poly_mul_naive(field, a, b)
+    if result_len <= _KARATSUBA_CUTOFF or result_len > max_ntt_size(field):
+        p = field.p
+        return trim([c % p for c in _karatsuba(p, a, b)])
+    return ntt_mul(field, a, b)

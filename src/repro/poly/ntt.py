@@ -1,0 +1,91 @@
+"""Number-theoretic transform (radix-2, iterative, in-place).
+
+The prover's H(t) pipeline (§A.3) is "operations based on the FFT:
+interpolation, polynomial multiplication, and polynomial division"; over
+our NTT-friendly fields these all bottom out in this transform.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..field import PrimeField
+
+
+def _bit_reverse_permute(a: list[int]) -> None:
+    n = len(a)
+    j = 0
+    for i in range(1, n):
+        bit = n >> 1
+        while j & bit:
+            j ^= bit
+            bit >>= 1
+        j |= bit
+        if i < j:
+            a[i], a[j] = a[j], a[i]
+
+
+def ntt(field: PrimeField, values: Sequence[int], invert: bool = False) -> list[int]:
+    """Forward (or inverse) NTT of a power-of-two-length vector."""
+    a = list(values)
+    n = len(a)
+    if n & (n - 1):
+        raise ValueError(f"NTT length must be a power of two, got {n}")
+    if n <= 1:
+        return a
+    p = field.p
+    root = field.root_of_unity(n)
+    if invert:
+        root = pow(root, p - 2, p)
+    _bit_reverse_permute(a)
+    length = 2
+    while length <= n:
+        w_len = pow(root, n // length, p)
+        half = length >> 1
+        for start in range(0, n, length):
+            w = 1
+            for i in range(start, start + half):
+                u = a[i]
+                v = a[i + half] * w % p
+                a[i] = (u + v) % p
+                a[i + half] = (u - v) % p
+                w = w * w_len % p
+        length <<= 1
+    if invert:
+        n_inv = pow(n, p - 2, p)
+        for i in range(n):
+            a[i] = a[i] * n_inv % p
+    return a
+
+
+def intt(field: PrimeField, values: Sequence[int]) -> list[int]:
+    """Inverse transform (convenience wrapper)."""
+    return ntt(field, values, invert=True)
+
+
+def max_ntt_size(field: PrimeField) -> int:
+    """Largest supported transform length for this field."""
+    return 1 << field.two_adicity
+
+
+def ntt_mul(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
+    """Polynomial product via two forward transforms and one inverse."""
+    if not a or not b:
+        return []
+    result_len = len(a) + len(b) - 1
+    size = 1
+    while size < result_len:
+        size <<= 1
+    if size > max_ntt_size(field):
+        raise ValueError(
+            f"product length {result_len} exceeds field {field.name}'s NTT capacity"
+        )
+    fa = ntt(field, list(a) + [0] * (size - len(a)))
+    fb = ntt(field, list(b) + [0] * (size - len(b)))
+    p = field.p
+    fc = [x * y % p for x, y in zip(fa, fb)]
+    out = intt(field, fc)
+    del out[result_len:]
+    from .dense import trim
+
+    return trim(out)

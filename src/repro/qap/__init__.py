@@ -1,0 +1,34 @@
+"""QAP construction, prover pipeline, and verifier query generation."""
+
+from .prover import (
+    QAPProof,
+    build_proof_vector,
+    compute_h,
+    embed_h_query,
+    embed_z_query,
+    witness_poly_evaluations,
+)
+from .qap import QAPInstance, build_qap
+from .verifier import (
+    CircuitQueries,
+    InstanceScalars,
+    circuit_queries,
+    divisibility_check,
+    instance_scalars,
+)
+
+__all__ = [
+    "CircuitQueries",
+    "QAPInstance",
+    "QAPProof",
+    "build_proof_vector",
+    "build_qap",
+    "circuit_queries",
+    "compute_h",
+    "InstanceScalars",
+    "divisibility_check",
+    "embed_h_query",
+    "instance_scalars",
+    "embed_z_query",
+    "witness_poly_evaluations",
+]

@@ -1,0 +1,150 @@
+"""The QAP prover pipeline: from witness to the proof vector (z, h).
+
+§A.3, "The prover": three FFT-flavoured steps costing
+≈ 3·f·|C|·log²|C| —
+
+1. evaluate A_w, B_w, C_w at the interpolation points (free: the value
+   at σ_j is just the j-th constraint's p_A/p_B/p_C evaluated at w) and
+   interpolate to coefficient form;
+2. multiply: P_w(t) = A_w(t)·B_w(t) − C_w(t);
+3. divide exactly by D(t) to get H_w(t).
+
+``build_proof_vector`` assembles u = (z, h), the two linear functions
+π_z, π_h of §3, as one flat vector (the commitment layer treats them
+as a single linear function over F^(|Z|+|C|+1) with queries embedded
+by ``embed_z_query`` / ``embed_h_query``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..poly import (
+    interpolate_at_roots_of_unity,
+    poly_div_exact,
+    poly_mul,
+    poly_sub,
+)
+from .qap import QAPInstance
+
+
+@dataclass
+class QAPProof:
+    """The Zaatar proof vector for one instance."""
+
+    z: list[int]
+    h: list[int]  # padded to qap.h_length
+
+    @property
+    def vector(self) -> list[int]:
+        """The flat proof vector u = z ++ h the commitment binds."""
+        return self.z + self.h
+
+
+def witness_poly_evaluations(
+    qap: QAPInstance, w: Sequence[int]
+) -> tuple[list[int], list[int], list[int]]:
+    """A_w, B_w, C_w evaluated at the prover's interpolation points.
+
+    A_w(σ_j) = Σᵢ wᵢ·Aᵢ(σ_j) = Σᵢ wᵢ·a_{ij} = p_{j,A}(w): no polynomial
+    work at all, just one linear-combination evaluation per constraint.
+    Padded rows (roots mode) evaluate to zero.
+    """
+    field = qap.field
+    evals_a: list[int] = []
+    evals_b: list[int] = []
+    evals_c: list[int] = []
+    if qap.mode == "arithmetic":
+        # leading entry is the σ₀ = 0 point where every Aᵢ vanishes
+        evals_a.append(0)
+        evals_b.append(0)
+        evals_c.append(0)
+    for constraint in qap.system.constraints:
+        evals_a.append(constraint.a.evaluate(field, w))
+        evals_b.append(constraint.b.evaluate(field, w))
+        evals_c.append(constraint.c.evaluate(field, w))
+    pad = len(qap.prover_points) - len(evals_a)
+    if pad:
+        zeros = [0] * pad
+        evals_a += zeros
+        evals_b += zeros
+        evals_c += zeros
+    return evals_a, evals_b, evals_c
+
+
+def compute_h(qap: QAPInstance, w: Sequence[int]) -> list[int]:
+    """Coefficients of H_w(t) = P_w(t)/D(t), padded to ``qap.h_length``.
+
+    Raises ``ValueError`` (from exact division) if w does not satisfy
+    the constraints — by Claim A.1 divisibility is equivalent to
+    satisfiability.
+    """
+    field = qap.field
+    evals_a, evals_b, evals_c = witness_poly_evaluations(qap, w)
+    if qap.mode == "roots":
+        poly_a = interpolate_at_roots_of_unity(field, evals_a)
+        poly_b = interpolate_at_roots_of_unity(field, evals_b)
+        poly_c = interpolate_at_roots_of_unity(field, evals_c)
+    else:
+        tree = qap.subproduct_tree
+        poly_a = tree.interpolate(evals_a)
+        poly_b = tree.interpolate(evals_b)
+        poly_c = tree.interpolate(evals_c)
+    p_w = poly_sub(field, poly_mul(field, poly_a, poly_b), poly_c)
+    if qap.mode == "roots":
+        h = _divide_by_subgroup_vanishing(field, p_w, qap.m)
+    else:
+        h = poly_div_exact(field, p_w, qap.divisor_poly)
+    if len(h) > qap.h_length:
+        raise AssertionError("H(t) degree exceeds the protocol bound")
+    return h + [0] * (qap.h_length - len(h))
+
+
+def _divide_by_subgroup_vanishing(field, p_w: list[int], m: int) -> list[int]:
+    """Exact division by t^m − 1 in O(deg) operations.
+
+    From P = (t^m − 1)·H: p_k = h_{k−m} − h_k, so h_{k−m} = p_k + h_k,
+    walking k downward from deg(P).
+    """
+    p = field.p
+    if not p_w:
+        return []
+    deg_p = len(p_w) - 1
+    if deg_p < m:
+        if any(p_w):
+            raise ValueError("polynomial is not divisible by t^m - 1")
+        return []
+    h = [0] * (deg_p - m + 1)
+    for k in range(deg_p, m - 1, -1):
+        h[k - m] = (p_w[k] + (h[k] if k < len(h) else 0)) % p
+    # verify the low-order remainder vanishes: p_k = −h_k for k < m
+    for k in range(min(m, len(p_w))):
+        expected = (-h[k]) % p if k < len(h) else 0
+        if p_w[k] % p != expected:
+            raise ValueError(
+                "polynomial is not divisible by t^m - 1 "
+                "(witness does not satisfy the constraints?)"
+            )
+    return h
+
+
+def build_proof_vector(qap: QAPInstance, witness: Sequence[int]) -> QAPProof:
+    """u = (z, h) from a full canonical assignment (witness[0] == 1)."""
+    z = list(witness[1 : qap.n_prime + 1])
+    h = compute_h(qap, witness)
+    return QAPProof(z=z, h=h)
+
+
+def embed_z_query(qap: QAPInstance, q: Sequence[int]) -> list[int]:
+    """Lift a πz query (length |Z|) into full-proof-vector coordinates."""
+    if len(q) != qap.n_prime:
+        raise ValueError(f"z-query length {len(q)} != {qap.n_prime}")
+    return list(q) + [0] * qap.h_length
+
+
+def embed_h_query(qap: QAPInstance, q: Sequence[int]) -> list[int]:
+    """Lift a πh query (length |C|+1) into full-proof-vector coordinates."""
+    if len(q) != qap.h_length:
+        raise ValueError(f"h-query length {len(q)} != {qap.h_length}")
+    return [0] * qap.n_prime + list(q)

@@ -1,0 +1,151 @@
+"""Quadratic Arithmetic Programs from quadratic-form constraints (§A.1).
+
+Given a canonical constraint system C over W = (Z, X, Y), the QAP is
+the family of degree-|C| polynomials {Aᵢ(t), Bᵢ(t), Cᵢ(t)} for
+i ∈ [0..n] defined by interpolation:
+
+    Aᵢ(σ_j) = a_{ij}   (the coefficient of Wᵢ in p_{j,A})
+    Aᵢ(σ₀)  = 0        (σ₀ = 0, pinning the degree)
+
+plus the divisor polynomial D(t) = ∏_{j∈[1..|C|]} (t − σ_j).  Claim A.1:
+D(t) | P_w(t) iff w's unbound part satisfies C(X=x, Y=y).
+
+Neither party materializes the Aᵢ as coefficient vectors; everything
+uses the sparse evaluation representation {(j, a_{ij}) : a_{ij} ≠ 0}
+that Gennaro et al. observe is sufficient (§A.3).
+
+Two σ-point placements are supported (the DESIGN.md ablation):
+
+* ``"arithmetic"`` — σ_j = j, the paper's choice (§A.3: "a convenient
+  choice is 1, 2, ..., |C|"), with subproduct-tree interpolation for
+  the prover and O(|C|) barycentric weights for the verifier;
+* ``"roots"`` — σ_j ranges over a power-of-two subgroup (constraints
+  padded with trivial 0·0=0 rows), turning the prover's interpolation
+  into inverse NTTs and making D(t) = t^m − 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from functools import cached_property
+
+from ..constraints import QuadraticSystem
+from ..field import PrimeField
+from ..poly import SubproductTree, barycentric_weights_arithmetic, poly_from_roots
+
+#: sparse map: variable index -> [(constraint_index_1based, coefficient)]
+SparseColumns = dict[int, list[tuple[int, int]]]
+
+
+@dataclass
+class QAPInstance:
+    """A QAP plus the cached structures both parties reuse per batch."""
+
+    field: PrimeField
+    system: QuadraticSystem
+    mode: str = "arithmetic"
+    # filled by __post_init__:
+    m: int = 0                      # number of (possibly padded) constraints
+    sigma: list[int] = dataclass_field(default_factory=list)
+    a_cols: SparseColumns = dataclass_field(default_factory=dict)
+    b_cols: SparseColumns = dataclass_field(default_factory=dict)
+    c_cols: SparseColumns = dataclass_field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.system.is_canonical():
+            raise ValueError("QAP construction requires a canonical system")
+        if self.mode not in ("arithmetic", "roots"):
+            raise ValueError(f"unknown sigma mode {self.mode!r}")
+        field = self.field
+        n_constraints = self.system.num_constraints
+        if self.mode == "arithmetic":
+            self.m = n_constraints
+            self.sigma = list(range(1, self.m + 1))
+        else:
+            size = 1
+            while size < max(n_constraints, 2):
+                size <<= 1
+            self.m = size
+            omega = field.root_of_unity(size)
+            self.sigma = [pow(omega, j, field.p) for j in range(size)]
+        for j, constraint in enumerate(self.system.constraints, start=1):
+            for cols, lc in (
+                (self.a_cols, constraint.a),
+                (self.b_cols, constraint.b),
+                (self.c_cols, constraint.c),
+            ):
+                for i, coeff in lc.terms.items():
+                    if coeff:
+                        cols.setdefault(i, []).append((j, coeff))
+
+    # -- derived sizes ---------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        """Total variables (excluding the constant wire)."""
+        return self.system.num_vars
+
+    @property
+    def n_prime(self) -> int:
+        """|Z|: unbound variables, the length of πz queries."""
+        return self.system.num_unbound
+
+    @property
+    def h_length(self) -> int:
+        """Length of the h coefficient vector (|C| + 1 in the paper)."""
+        return self.m + 1
+
+    @property
+    def proof_vector_length(self) -> int:
+        """|u| = |Z| + |C| + 1."""
+        return self.n_prime + self.h_length
+
+    def nonzero_coefficients(self) -> int:
+        """Total nonzero a/b/c entries — bounds V's query work (§A.3)."""
+        return sum(
+            len(entries)
+            for cols in (self.a_cols, self.b_cols, self.c_cols)
+            for entries in cols.values()
+        )
+
+    # -- cached interpolation machinery -------------------------------------------
+
+    @cached_property
+    def prover_points(self) -> list[int]:
+        """Interpolation points for the prover's A/B/C reconstruction."""
+        if self.mode == "arithmetic":
+            return [0, *self.sigma]
+        return list(self.sigma)
+
+    @cached_property
+    def subproduct_tree(self) -> SubproductTree:
+        """Shared tree over ``prover_points`` (arithmetic mode only)."""
+        return SubproductTree(self.field, self.prover_points)
+
+    @cached_property
+    def divisor_poly(self) -> list[int]:
+        """D(t) coefficients.  Arithmetic mode only — roots mode never
+        materializes D (it is t^m − 1)."""
+        return poly_from_roots(self.field, self.sigma)
+
+    @cached_property
+    def barycentric_weights(self) -> list[int]:
+        """Verifier-side weights over ``prover_points`` (arithmetic mode)."""
+        # points are 0, 1, ..., m — exactly the arithmetic progression.
+        return barycentric_weights_arithmetic(self.field, self.m + 1)
+
+    def divisor_at(self, tau: int) -> int:
+        """D(τ).  Arithmetic mode: D(τ) = ℓ(τ)/τ with one division
+        (§A.3); roots mode: τ^m − 1."""
+        p = self.field.p
+        if self.mode == "roots":
+            return (pow(tau, self.m, p) - 1) % p
+        acc = 1
+        for s in self.sigma:
+            acc = acc * ((tau - s) % p) % p
+        return acc
+
+
+def build_qap(system: QuadraticSystem, *, mode: str = "arithmetic") -> QAPInstance:
+    """Construct the QAP for a canonical quadratic system."""
+    return QAPInstance(field=system.field, system=system, mode=mode)

@@ -1,0 +1,165 @@
+"""Verifier-side QAP query construction (§A.1 queries, §A.3 costs).
+
+For a random τ the verifier needs
+
+* q_a = (A₁(τ), ..., A_{n'}(τ))  (and q_b, q_c likewise) — queries to πz,
+* q_d = (1, τ, τ², ..., τ^{|C|})                        — the query to πh,
+* D(τ), and
+* the bound-variable evaluations {Aᵢ(τ) : i = 0 or i > n'} from which
+  the per-instance aggregates L_a = A₀(τ) + Σ_{i>n'} wᵢ·Aᵢ(τ) follow.
+
+Everything except the L scalars is *instance-independent*, which is
+what lets the batched verifier amortize query construction over β
+instances (§2.2); the L scalars cost three operations per input/output
+element per side (§A.3), the ``3|x| + 3|y|`` term in Figure 3's
+"Process responses" row.
+
+The evaluation uses barycentric Lagrange coefficients so the total
+work is c + (f_div + 5f)·|C| + f·K + 3f·K₂ (Figure 3): one
+multiplication per nonzero QAP coefficient once the per-point
+coefficients λ_j(τ) are in hand.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..field import PrimeField, powers
+from ..poly import barycentric_lagrange_coeffs
+from .qap import QAPInstance
+
+
+@dataclass
+class CircuitQueries:
+    """Instance-independent part of the divisibility-correction test."""
+
+    tau: int
+    qa: list[int]
+    qb: list[int]
+    qc: list[int]
+    qd: list[int]
+    d_tau: int
+    #: Aᵢ(τ)/Bᵢ(τ)/Cᵢ(τ) for the constant wire (0) and bound variables
+    bound_a: dict[int, int]
+    bound_b: dict[int, int]
+    bound_c: dict[int, int]
+
+
+@dataclass(frozen=True)
+class InstanceScalars:
+    """Per-instance aggregates folding (x, y) into the check."""
+
+    l_a: int
+    l_b: int
+    l_c: int
+
+
+def _lagrange_coeffs_at(qap: QAPInstance, tau: int) -> tuple[list[int], int]:
+    """(λ indexed by 1-based constraint number, D(τ)).
+
+    λ_j(τ) is the weight of the value at σ_j in the barycentric
+    evaluation at τ; the σ₀ = 0 weight is dropped because every Aᵢ
+    vanishes there.
+    """
+    field = qap.field
+    p = field.p
+    if qap.mode == "arithmetic":
+        ell, lam = barycentric_lagrange_coeffs(
+            field, qap.prover_points, qap.barycentric_weights, tau
+        )
+        # ℓ(τ) ranges over all points including σ₀ = 0, so D(τ) = ℓ(τ)/τ.
+        d_tau = ell * field.inv(tau) % p
+        # lam[0] multiplies the value at σ₀ (always 0) — discard it and
+        # re-index so lam_by_constraint[j-1] pairs with constraint j.
+        return lam[1:], d_tau
+    # roots mode: σ_j = ω^(j-1); ℓ_j(τ) = (σ_j/m)·(τ^m − 1)/(τ − σ_j)
+    vanishing = (pow(tau, qap.m, p) - 1) % p
+    if vanishing == 0:
+        raise ValueError("tau collides with an interpolation point")
+    inv_m = field.inv(qap.m % p)
+    diffs = [(tau - s) % p for s in qap.sigma]
+    inv_diffs = field.batch_inv(diffs)
+    scale = vanishing * inv_m % p
+    lam = [s * scale % p * inv_d % p for s, inv_d in zip(qap.sigma, inv_diffs)]
+    return lam, vanishing
+
+
+def circuit_queries(qap: QAPInstance, tau: int) -> CircuitQueries:
+    """Build the divisibility-correction queries for one random τ."""
+    field = qap.field
+    p = field.p
+    lam, d_tau = _lagrange_coeffs_at(qap, tau)
+    n_prime = qap.n_prime
+
+    def evaluate_side(cols) -> tuple[list[int], dict[int, int]]:
+        q = [0] * n_prime
+        bound: dict[int, int] = {}
+        for i, entries in cols.items():
+            acc = 0
+            for j, coeff in entries:
+                acc += coeff * lam[j - 1]
+            acc %= p
+            if 1 <= i <= n_prime:
+                q[i - 1] = acc
+            else:
+                bound[i] = acc
+        return q, bound
+
+    qa, bound_a = evaluate_side(qap.a_cols)
+    qb, bound_b = evaluate_side(qap.b_cols)
+    qc, bound_c = evaluate_side(qap.c_cols)
+    qd = powers(field, tau, qap.h_length)
+    return CircuitQueries(
+        tau=tau,
+        qa=qa,
+        qb=qb,
+        qc=qc,
+        qd=qd,
+        d_tau=d_tau,
+        bound_a=bound_a,
+        bound_b=bound_b,
+        bound_c=bound_c,
+    )
+
+
+def instance_scalars(
+    qap: QAPInstance, queries: CircuitQueries, x: Sequence[int], y: Sequence[int]
+) -> InstanceScalars:
+    """L_a, L_b, L_c for one instance's (x, y) — 3 ops per element/side."""
+    p = qap.field.p
+    if len(x) != len(qap.system.input_vars) or len(y) != len(qap.system.output_vars):
+        raise ValueError("input/output lengths do not match the constraint system")
+    value: dict[int, int] = {0: 1}
+    for var, v in zip(qap.system.input_vars, x):
+        value[var] = v % p
+    for var, v in zip(qap.system.output_vars, y):
+        value[var] = v % p
+
+    def fold(bound: dict[int, int]) -> int:
+        acc = 0
+        for i, a_tau in bound.items():
+            acc += value[i] * a_tau
+        return acc % p
+
+    return InstanceScalars(
+        l_a=fold(queries.bound_a), l_b=fold(queries.bound_b), l_c=fold(queries.bound_c)
+    )
+
+
+def divisibility_check(
+    field: PrimeField,
+    queries: CircuitQueries,
+    scalars: InstanceScalars,
+    pi_a: int,
+    pi_b: int,
+    pi_c: int,
+    pi_d: int,
+) -> bool:
+    """D(τ)·πh(q_d) == (πz(q_a)+L_a)·(πz(q_b)+L_b) − (πz(q_c)+L_c)."""
+    p = field.p
+    lhs = queries.d_tau * pi_d % p
+    rhs = (
+        (pi_a + scalars.l_a) * (pi_b + scalars.l_b) - (pi_c + scalars.l_c)
+    ) % p
+    return lhs == rhs

@@ -1,0 +1,40 @@
+"""Cross-cutting checks every benchmark app must satisfy."""
+
+import random
+
+import pytest
+
+from repro.apps import ALL_APPS
+
+
+@pytest.fixture(params=sorted(ALL_APPS), ids=lambda n: n)
+def app(request):
+    return ALL_APPS[request.param]
+
+
+class TestAppContract:
+    def test_compiled_solution_matches_reference(self, gold, app):
+        rng = random.Random(hash(app.name) & 0xFFFF)
+        prog = app.compile(gold)
+        for trial in range(3):
+            inputs = app.generate_inputs(rng)
+            sol = prog.solve(inputs)
+            expected = [v % gold.p for v in app.reference(inputs)]
+            assert sol.output_values == expected, (app.name, trial)
+
+    def test_encoding_not_degenerate(self, gold, app):
+        """§4: none of the evaluated computations comes close to the
+        degenerate K₂ ≥ K₂* regime."""
+        stats = app.compile(gold).stats()
+        assert stats.k2_terms < stats.k2_star
+        assert stats.u_zaatar < stats.u_ginger
+
+    def test_sweep_sizes_compile(self, gold, app):
+        """All three Fig-8 sweep points must compile and size-order."""
+        sizes = [app.compile(gold, s).stats().c_zaatar for s in app.sweep]
+        assert sizes == sorted(sizes)
+        assert sizes[0] < sizes[-1]
+
+    def test_paper_sizes_declared(self, app):
+        assert app.paper_sizes  # paper configuration documented
+        assert app.complexity.startswith("O(")

@@ -1,0 +1,47 @@
+"""Tests for the BenchmarkApp plumbing."""
+
+import random
+
+import pytest
+
+from repro.apps import ALL_APPS, LCS, MATMUL
+
+
+class TestSizeMerging:
+    def test_defaults_used_when_no_override(self, gold):
+        prog = LCS.compile(gold)
+        assert prog.num_inputs == 2 * LCS.default_sizes["m"]
+
+    def test_override_merges_with_defaults(self, gold):
+        prog = LCS.compile(gold, {"m": 3})
+        assert prog.num_inputs == 6
+
+    def test_generate_respects_override(self):
+        rng = random.Random(0)
+        inputs = LCS.generate_inputs(rng, {"m": 3})
+        assert len(inputs) == 6
+
+    def test_reference_respects_override(self):
+        assert LCS.reference([1, 2, 3, 1, 2, 3], {"m": 3}) == [3]
+
+    def test_partial_override_keeps_other_defaults(self, gold):
+        prog = MATMUL.compile(gold, {"m": 2})
+        assert prog.num_inputs == 8  # value_bits default untouched
+
+
+class TestRegistry:
+    def test_five_paper_benchmarks(self):
+        assert len(ALL_APPS) == 5
+        assert "matrix_multiplication" not in ALL_APPS  # extension stays out
+
+    def test_names_are_keys(self):
+        for name, app in ALL_APPS.items():
+            assert app.name == name
+
+    def test_sweeps_have_three_points(self):
+        for app in ALL_APPS.values():
+            assert len(app.sweep) == 3
+
+    def test_program_names_carry_sizes(self, gold):
+        prog = LCS.compile(gold, {"m": 3})
+        assert "3" in prog.name

@@ -1,0 +1,69 @@
+"""Unit tests for the bisection root-finding benchmark."""
+
+import random
+
+import pytest
+
+from repro.apps import bisection
+
+
+class TestReference:
+    def test_converges_to_sqrt(self):
+        """With enough iterations the fixed-point result approximates √S."""
+        m, L, num_bits, den_bits = 4, 12, 6, 5
+        rng = random.Random(3)
+        inputs = bisection.generate_inputs(rng, m=m, L=L, num_bits=num_bits)
+        coeffs = bisection._public_coefficients(m)
+        s = sum(c * inputs[i] * inputs[j] for (i, j), c in coeffs.items())
+        (lo,) = bisection.reference(inputs, m=m, L=L, num_bits=num_bits, den_bits=den_bits)
+        value = lo / (1 << (den_bits + L))
+        target = s**0.5 / (1 << den_bits)
+        # interval halves L times from the initial bracket
+        s_bits = 2 * num_bits + max(m * (m + 1) // 2, 1).bit_length() + 4
+        initial = 1 << (s_bits // 2 + 1)
+        assert abs(value - target) <= initial / (1 << L)
+
+    def test_monotone_interval(self):
+        """More iterations never move the estimate further from √S."""
+        m, num_bits = 4, 6
+        rng = random.Random(9)
+        inputs = bisection.generate_inputs(rng, m=m, L=1, num_bits=num_bits)
+        coeffs = bisection._public_coefficients(m)
+        s = sum(c * inputs[i] * inputs[j] for (i, j), c in coeffs.items())
+        target = s**0.5 / 32
+        errors = []
+        for L in (4, 8, 12):
+            (lo,) = bisection.reference(inputs, m=m, L=L, num_bits=num_bits)
+            errors.append(abs(lo / (1 << (5 + L)) - target))
+        assert errors[0] >= errors[1] >= errors[2] - 1e-9
+
+    def test_input_length_validated(self):
+        with pytest.raises(ValueError):
+            bisection.reference([1], m=2, L=2)
+
+
+class TestConstraints:
+    def test_matches_reference(self, gold):
+        from repro.compiler import compile_program
+
+        rng = random.Random(4)
+        sizes = dict(m=4, L=5, num_bits=6, den_bits=5)
+        prog = compile_program(gold, bisection.build_factory(**sizes))
+        for _ in range(3):
+            inputs = bisection.generate_inputs(rng, **sizes)
+            assert prog.solve(inputs).output_values == bisection.reference(
+                inputs, **sizes
+            )
+
+    def test_dense_quadratic_form_k2(self, gold):
+        """The dense Σ c·xᵢxⱼ form contributes ≈ m(m+1)/2 distinct
+        degree-2 terms — the 'relatively efficient under Ginger'
+        structure the paper calls out for this benchmark."""
+        from repro.compiler import compile_program
+
+        m = 6
+        prog = compile_program(gold, bisection.build_factory(m=m, L=2, num_bits=6))
+        assert prog.stats().k2_terms >= m * (m + 1) // 2
+
+    def test_public_coefficients_deterministic(self):
+        assert bisection._public_coefficients(5) == bisection._public_coefficients(5)

@@ -1,0 +1,82 @@
+"""Unit tests for the Fannkuch benchmark."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.apps import fannkuch
+
+
+class TestFlips:
+    def test_identity_permutation(self):
+        assert fannkuch.flips([1, 2, 3, 4]) == 0
+
+    def test_single_flip(self):
+        assert fannkuch.flips([2, 1, 3]) == 1
+
+    def test_known_sequence(self):
+        # [3,1,2] → rev3 → [2,1,3] → rev2 → [1,2,3]: 2 flips
+        assert fannkuch.flips([3, 1, 2]) == 2
+
+    def test_max_flips_table(self):
+        """Exhaustively confirm the hardcoded maxima for small n."""
+        for n in (2, 3, 4, 5):
+            worst = max(
+                fannkuch.flips(list(p))
+                for p in itertools.permutations(range(1, n + 1))
+            )
+            assert worst == fannkuch._MAX_FLIPS[n]
+
+
+class TestReference:
+    def test_outputs_max_then_counts(self):
+        inputs = [1, 2, 3, 2, 1, 3]  # perm1: 0 flips, perm2: 1 flip
+        assert fannkuch.reference(inputs, m=2, n=3) == [1, 0, 1]
+
+    def test_input_length_validated(self):
+        with pytest.raises(ValueError):
+            fannkuch.reference([1, 2], m=1, n=3)
+
+
+class TestConstraints:
+    def test_matches_reference_exhaustive_n4(self, gold):
+        """Every permutation of {1..4} through the circuit."""
+        from repro.compiler import compile_program
+
+        prog = compile_program(gold, fannkuch.build_factory(m=1, n=4))
+        for p in itertools.permutations(range(1, 5)):
+            inputs = list(p)
+            assert prog.solve(inputs).output_values == fannkuch.reference(
+                inputs, m=1, n=4
+            ), p
+
+    def test_multiple_permutations(self, gold):
+        from repro.compiler import compile_program
+
+        rng = random.Random(2)
+        m, n = 3, 5
+        prog = compile_program(gold, fannkuch.build_factory(m=m, n=n))
+        inputs = fannkuch.generate_inputs(rng, m=m, n=n)
+        assert prog.solve(inputs).output_values == fannkuch.reference(
+            inputs, m=m, n=n
+        )
+
+    def test_linear_constraint_growth_in_m(self, gold):
+        """Figure 9: Fannkuch's encoding is linear in m."""
+        from repro.compiler import compile_program
+
+        c1 = compile_program(gold, fannkuch.build_factory(m=1, n=4)).ginger.num_constraints
+        c2 = compile_program(gold, fannkuch.build_factory(m=2, n=4)).ginger.num_constraints
+        c4 = compile_program(gold, fannkuch.build_factory(m=4, n=4)).ginger.num_constraints
+        assert abs((c4 - c2) - 2 * (c2 - c1)) <= (c2 - c1) * 0.2 + 4
+
+    def test_step_cap_freezes(self, gold):
+        """With max_steps below the true flip count the circuit reports
+        the capped count (documented over-provisioning behaviour)."""
+        from repro.compiler import compile_program
+
+        prog = compile_program(gold, fannkuch.build_factory(m=1, n=4, max_steps=1))
+        # [3,1,2,4] needs 2 flips; capped run counts only 1
+        out = prog.solve([3, 1, 2, 4]).output_values
+        assert out[0] == 1

@@ -1,0 +1,81 @@
+"""Unit tests for the Floyd-Warshall benchmark."""
+
+import random
+
+import pytest
+
+from repro.apps import floyd_warshall as fw
+
+
+class TestReference:
+    def test_triangle(self):
+        # 0→1 costs 10 direct, but 0→2→1 costs 2+3=5
+        inf = fw._infinity(3, 4)
+        inputs = [
+            0, 10, 2,
+            inf, 0, inf,
+            inf, 3, 0,
+        ]
+        result = fw.reference(inputs, m=3, weight_bits=4)
+        assert result[0 * 3 + 1] == 5
+
+    def test_unreachable_stays_inf(self):
+        inf = fw._infinity(2, 4)
+        inputs = [0, inf, inf, 0]
+        result = fw.reference(inputs, m=2, weight_bits=4)
+        assert result == [0, inf, inf, 0]
+
+    def test_matches_networkx(self):
+        """Cross-check against networkx's independent implementation."""
+        import networkx as nx
+
+        rng = random.Random(7)
+        m = 6
+        inputs = fw.generate_inputs(rng, m=m, weight_bits=6)
+        inf = fw._infinity(m, 6)
+        graph = nx.DiGraph()
+        graph.add_nodes_from(range(m))
+        for i in range(m):
+            for j in range(m):
+                w = inputs[i * m + j]
+                if w < inf and i != j:
+                    graph.add_edge(i, j, weight=w)
+        ours = fw.reference(inputs, m=m, weight_bits=6)
+        lengths = dict(nx.all_pairs_dijkstra_path_length(graph))
+        for i in range(m):
+            for j in range(m):
+                if i == j:
+                    continue
+                expected = lengths.get(i, {}).get(j)
+                got = ours[i * m + j]
+                if expected is None:
+                    assert got >= inf - 1 or got == inf
+                else:
+                    assert got == min(expected, inf)
+
+    def test_input_length_validated(self):
+        with pytest.raises(ValueError):
+            fw.reference([1, 2, 3], m=2)
+
+
+class TestConstraints:
+    def test_matches_reference(self, gold):
+        from repro.compiler import compile_program
+
+        rng = random.Random(11)
+        m = 4
+        prog = compile_program(gold, fw.build_factory(m=m, weight_bits=6))
+        for _ in range(2):
+            inputs = fw.generate_inputs(rng, m=m, weight_bits=6)
+            assert prog.solve(inputs).output_values == fw.reference(
+                inputs, m=m, weight_bits=6
+            )
+
+    def test_cubic_constraint_growth(self, gold):
+        """Constraints must scale ~m³ (the benchmark's complexity)."""
+        from repro.compiler import compile_program
+
+        c3 = compile_program(gold, fw.build_factory(m=3)).ginger.num_constraints
+        c6 = compile_program(gold, fw.build_factory(m=6)).ginger.num_constraints
+        ratio = c6 / c3
+        assert 5 < ratio < 11  # ideal 8 for pure m³, with linear slack

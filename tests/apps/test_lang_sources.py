@@ -1,0 +1,81 @@
+"""The textual-language app sources agree with the DSL implementations."""
+
+import random
+
+import pytest
+
+from repro.apps import floyd_warshall as fw_mod
+from repro.apps import lcs as lcs_mod
+from repro.apps.lang_sources import (
+    floyd_warshall_source,
+    lcs_source,
+    sorting_source,
+)
+from repro.compiler import compile_source
+
+
+class TestLCSSource:
+    def test_matches_dsl_and_reference(self, gold):
+        m = 5
+        prog = compile_source(gold, lcs_source(m), name="lcs-lang", bit_width=8)
+        rng = random.Random(3)
+        for _ in range(4):
+            inputs = lcs_mod.generate_inputs(rng, m=m)
+            expected = lcs_mod.reference(inputs, m=m)
+            assert prog.solve(inputs).output_values == expected
+
+    def test_classic_case(self, gold):
+        prog = compile_source(gold, lcs_source(4), bit_width=8)
+        # "ABCB" vs "BDCB" → LCS "BCB" length 3
+        a = [1, 2, 3, 2]
+        s = [2, 4, 3, 2]
+        assert prog.solve(a + s).output_values == [3]
+
+
+class TestFloydWarshallSource:
+    def test_matches_dsl_and_reference(self, gold):
+        m = 3
+        prog = compile_source(
+            gold, floyd_warshall_source(m), name="fw-lang", bit_width=16
+        )
+        rng = random.Random(5)
+        inputs = fw_mod.generate_inputs(rng, m=m, weight_bits=6)
+        expected = fw_mod.reference(inputs, m=m, weight_bits=6)
+        assert prog.solve(inputs).output_values == expected
+
+    def test_triangle_shortcut(self, gold):
+        m = 3
+        inf = fw_mod._infinity(m, 4)
+        prog = compile_source(gold, floyd_warshall_source(m), bit_width=16)
+        inputs = [0, 10, 2, inf, 0, inf, inf, 3, 0]
+        out = prog.solve(inputs).output_values
+        assert out[0 * m + 1] == 5
+
+
+class TestSortingSource:
+    @pytest.mark.parametrize("n", [1, 2, 4, 6])
+    def test_sorts(self, gold, n):
+        prog = compile_source(gold, sorting_source(n), name="sort", bit_width=10)
+        rng = random.Random(n)
+        for _ in range(4):
+            values = [rng.randrange(100) for _ in range(n)]
+            assert prog.solve(values).output_values == sorted(values)
+
+    def test_already_sorted_and_reversed(self, gold):
+        prog = compile_source(gold, sorting_source(5), bit_width=10)
+        assert prog.solve([1, 2, 3, 4, 5]).output_values == [1, 2, 3, 4, 5]
+        assert prog.solve([5, 4, 3, 2, 1]).output_values == [1, 2, 3, 4, 5]
+
+    def test_duplicates(self, gold):
+        prog = compile_source(gold, sorting_source(4), bit_width=10)
+        assert prog.solve([7, 1, 7, 1]).output_values == [1, 1, 7, 7]
+
+    def test_verified_end_to_end(self, gold):
+        from repro.argument import ArgumentConfig, ZaatarArgument
+        from repro.pcp import SoundnessParams
+
+        prog = compile_source(gold, sorting_source(4), bit_width=10)
+        cfg = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+        result = ZaatarArgument(prog, cfg).run_batch([[9, 3, 7, 1]])
+        assert result.all_accepted
+        assert result.instances[0].output_values == [1, 3, 7, 9]

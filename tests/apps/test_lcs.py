@@ -1,0 +1,64 @@
+"""Unit tests for the LCS benchmark."""
+
+import random
+
+import pytest
+
+from repro.apps import lcs
+
+
+def python_lcs(a, b):
+    """Independent reference via difflib-style DP."""
+    prev = [0] * (len(b) + 1)
+    for x in a:
+        row = [0]
+        for j, y in enumerate(b, 1):
+            row.append(prev[j - 1] + 1 if x == y else max(prev[j], row[-1]))
+        prev = row
+    return prev[-1]
+
+
+class TestReference:
+    def test_identical_strings(self):
+        assert lcs.reference([1, 2, 3, 1, 2, 3], m=3) == [3]
+
+    def test_disjoint_strings(self):
+        assert lcs.reference([1, 1, 1, 2, 2, 2], m=3) == [0]
+
+    def test_classic_example(self):
+        # "ABCBDAB" vs "BDCABA" → LCS length 4
+        a = [ord(c) - 64 for c in "ABCBDAB"]
+        b = [ord(c) - 64 for c in "BDCABA" + "A"]  # pad to same length
+        assert lcs.reference(a + b, m=7) == [python_lcs(a, b)]
+
+    def test_randomized_against_independent_dp(self):
+        rng = random.Random(6)
+        for _ in range(10):
+            m = rng.randrange(1, 10)
+            a = [rng.randrange(4) for _ in range(m)]
+            b = [rng.randrange(4) for _ in range(m)]
+            assert lcs.reference(a + b, m=m) == [python_lcs(a, b)]
+
+    def test_input_length_validated(self):
+        with pytest.raises(ValueError):
+            lcs.reference([1, 2, 3], m=2)
+
+
+class TestConstraints:
+    def test_matches_reference(self, gold):
+        from repro.compiler import compile_program
+
+        rng = random.Random(8)
+        m = 5
+        prog = compile_program(gold, lcs.build_factory(m=m))
+        for _ in range(3):
+            inputs = lcs.generate_inputs(rng, m=m)
+            assert prog.solve(inputs).output_values == lcs.reference(inputs, m=m)
+
+    def test_quadratic_constraint_growth(self, gold):
+        from repro.compiler import compile_program
+
+        c4 = compile_program(gold, lcs.build_factory(m=4)).ginger.num_constraints
+        c8 = compile_program(gold, lcs.build_factory(m=8)).ginger.num_constraints
+        ratio = c8 / c4
+        assert 3 < ratio < 5  # ideal 4 for pure m²

@@ -1,0 +1,68 @@
+"""Unit tests for the PAM clustering benchmark."""
+
+import random
+
+import pytest
+
+from repro.apps import pam
+
+
+class TestReference:
+    def test_obvious_two_clusters(self):
+        # two tight groups on a line, d = 1, m = 4
+        inputs = [0, 1, 100, 101]
+        i, j, cost = pam.reference(inputs, m=4, d=1)
+        # medoids must be one from each group
+        assert {i < 2, j >= 2} == {True}
+        assert cost == 2  # each non-medoid is at squared distance 1
+
+    def test_cost_is_min_over_pairs(self):
+        rng = random.Random(1)
+        m, d = 5, 2
+        inputs = [rng.randrange(16) for _ in range(m * d)]
+        _, _, cost = pam.reference(inputs, m=m, d=d)
+        samples = [inputs[i * d : (i + 1) * d] for i in range(m)]
+
+        def dist(a, b):
+            return sum((x - y) ** 2 for x, y in zip(a, b))
+
+        brute = min(
+            sum(min(dist(samples[s], samples[i]), dist(samples[s], samples[j])) for s in range(m))
+            for i in range(m)
+            for j in range(i + 1, m)
+        )
+        assert cost == brute
+
+    def test_input_length_validated(self):
+        with pytest.raises(ValueError):
+            pam.reference([1, 2, 3], m=2, d=2)
+
+
+class TestConstraints:
+    def test_medoid_indices_are_outputs(self, gold):
+        from repro.compiler import compile_program
+
+        prog = compile_program(gold, pam.build_factory(m=4, d=1, value_bits=8))
+        sol = prog.solve([0, 1, 100, 101])
+        assert sol.output_values == pam.reference([0, 1, 100, 101], m=4, d=1)
+
+    def test_tie_breaking_matches_reference(self, gold):
+        """Equidistant configurations must agree between circuit and
+        reference (both keep the earlier pair on ties)."""
+        from repro.compiler import compile_program
+
+        inputs = [0, 0, 10, 10]  # duplicated points → many ties
+        prog = compile_program(gold, pam.build_factory(m=4, d=1, value_bits=8))
+        assert prog.solve(inputs).output_values == pam.reference(inputs, m=4, d=1)
+
+    def test_rejects_single_sample(self):
+        with pytest.raises(ValueError):
+            pam.build_factory(m=1, d=2)
+
+    def test_constraint_growth_with_d(self, gold):
+        """Distances dominate: constraints grow with d at fixed m."""
+        from repro.compiler import compile_program
+
+        small = compile_program(gold, pam.build_factory(m=4, d=2)).ginger.num_constraints
+        large = compile_program(gold, pam.build_factory(m=4, d=8)).ginger.num_constraints
+        assert large > small

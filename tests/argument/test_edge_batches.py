@@ -1,0 +1,43 @@
+"""Edge-shaped batches through the argument system."""
+
+import pytest
+
+from repro.argument import ArgumentConfig, ZaatarArgument, record_batch
+from repro.pcp import SoundnessParams
+
+FAST = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+
+
+class TestEmptyBatch:
+    def test_run_batch_empty(self, sumsq_program):
+        result = ZaatarArgument(sumsq_program, FAST).run_batch([])
+        assert result.all_accepted  # vacuously
+        assert result.instances == []
+        assert result.stats.batch_size == 0
+        assert result.stats.mean_prover().e2e == 0
+
+    def test_record_empty_transcript(self, sumsq_program):
+        transcript, ok = record_batch(sumsq_program, [], FAST)
+        assert ok
+        assert transcript.instances == []
+
+
+class TestLargeishBatch:
+    def test_sixteen_instances(self, sumsq_program):
+        batch = [[i, i + 1, i + 2] for i in range(16)]
+        result = ZaatarArgument(sumsq_program, FAST).run_batch(batch)
+        assert result.all_accepted
+        assert len(result.instances) == 16
+        # verifier setup did not scale with the batch
+        assert result.stats.verifier.query_setup < result.stats.verifier.per_instance * 50
+
+
+class TestRepeatedInputs:
+    def test_identical_instances(self, sumsq_program):
+        """Identical inputs produce identical proofs — each still
+        independently committed and verified."""
+        batch = [[5, 5, 5]] * 4
+        result = ZaatarArgument(sumsq_program, FAST).run_batch(batch)
+        assert result.all_accepted
+        outputs = {tuple(r.output_values) for r in result.instances}
+        assert outputs == {(75,)}

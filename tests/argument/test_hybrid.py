@@ -1,0 +1,97 @@
+"""Tests for the hybrid encoding chooser (§4 footnote 5)."""
+
+import pytest
+
+from repro.argument import (
+    ArgumentConfig,
+    HybridArgument,
+    choose_encoding,
+)
+from repro.compiler import compile_program
+from repro.pcp import SoundnessParams
+
+FAST = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+
+
+def dense_degree2_program(gold, n=10):
+    """The §4 degenerate case over unbound intermediates."""
+
+    def build(b):
+        xs = b.inputs(n)
+        ts = [b.define_fresh(x + i + 1) for i, x in enumerate(xs)]
+        acc = b.constant(0)
+        for i in range(n):
+            for j in range(i, n):
+                acc = acc + ts[i] * ts[j]
+        b.output(acc)
+
+    return compile_program(gold, build, name="dense")
+
+
+class TestChooser:
+    def test_normal_computation_picks_zaatar(self, sumsq_program):
+        decision = choose_encoding(sumsq_program)
+        assert decision.system == "zaatar"
+        assert decision.advantage > 1
+
+    def test_every_benchmark_app_picks_zaatar(self, gold):
+        from repro.apps import ALL_APPS
+
+        for name, app in ALL_APPS.items():
+            prog = app.compile(gold)
+            assert choose_encoding(prog).system == "zaatar", name
+
+    def test_degenerate_computation_picks_ginger(self, gold):
+        decision = choose_encoding(dense_degree2_program(gold))
+        assert decision.system == "ginger"
+
+    def test_decision_records_both_costs(self, sumsq_program):
+        decision = choose_encoding(sumsq_program, batch_size=50)
+        assert decision.zaatar_total > 0
+        assert decision.ginger_total > decision.zaatar_total
+        assert decision.batch_size == 50
+
+    def test_batch_size_matters_little_for_clear_cases(self, sumsq_program):
+        small = choose_encoding(sumsq_program, batch_size=1)
+        large = choose_encoding(sumsq_program, batch_size=10**6)
+        assert small.system == large.system == "zaatar"
+
+
+class TestHybridArgument:
+    def test_runs_zaatar_for_normal(self, sumsq_program):
+        hybrid = HybridArgument(sumsq_program, FAST)
+        assert hybrid.system == "zaatar"
+        result = hybrid.run_batch([[1, 2, 3], [4, 5, 6]])
+        assert result.all_accepted
+        assert [r.output_values for r in result.instances] == [[14], [77]]
+
+    def test_runs_ginger_for_degenerate(self, gold):
+        prog = dense_degree2_program(gold, n=6)
+        hybrid = HybridArgument(prog, FAST)
+        assert hybrid.system == "ginger"
+        result = hybrid.run_batch([[1, 2, 3, 4, 5, 6]])
+        assert result.all_accepted
+        # cross-check the value: Σ_{i≤j} t_i t_j with t = x + i + 1
+        ts = [x + i + 1 for i, x in enumerate([1, 2, 3, 4, 5, 6])]
+        expected = sum(ts[i] * ts[j] for i in range(6) for j in range(i, 6))
+        assert result.instances[0].output_values == [expected % gold.p]
+
+    def test_cheating_still_rejected_under_either_system(self, gold):
+        prog = dense_degree2_program(gold, n=5)
+        hybrid = HybridArgument(prog, FAST)
+
+        import repro.argument.protocol as proto
+
+        original = proto.build_ginger_proof
+
+        def corrupt(gsys, w):
+            u = original(gsys, w)
+            u[0] = (u[0] + 1) % gold.p
+            return u
+
+        proto.build_ginger_proof = corrupt
+        try:
+            result = hybrid.run_batch([[1, 2, 3, 4, 5]])
+        finally:
+            proto.build_ginger_proof = original
+        assert not result.all_accepted

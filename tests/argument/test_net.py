@@ -1,0 +1,153 @@
+"""Tests for the TCP prover server / verifier client."""
+
+import socket
+
+import pytest
+
+from repro.argument import (
+    ArgumentConfig,
+    ProtocolViolation,
+    ProverServer,
+    program_hash,
+    verify_remote,
+)
+from repro.argument.net import recv_frame, send_frame
+from repro.compiler import compile_program
+from repro.pcp import SoundnessParams
+
+FAST = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+
+
+@pytest.fixture
+def server(sumsq_program):
+    with ProverServer(sumsq_program, FAST) as srv:
+        yield srv
+
+
+class TestRemoteVerification:
+    def test_honest_batch_over_tcp(self, sumsq_program, server):
+        result = verify_remote(
+            sumsq_program, [[1, 2, 3], [4, 5, 6]], server.address, FAST
+        )
+        assert result.all_accepted
+        assert [r.output_values for r in result.instances] == [[14], [77]]
+        assert result.bytes_sent > 0 and result.bytes_received > 0
+
+    def test_multiple_sessions_sequentially(self, sumsq_program, server):
+        for trial in range(2):
+            result = verify_remote(sumsq_program, [[trial, 1, 1]], server.address, FAST)
+            assert result.all_accepted
+
+    def test_upload_independent_of_query_count(self, sumsq_program):
+        """The seed optimization: V→P traffic carries Enc(r) and t —
+        quantities independent of how many PCP queries the soundness
+        parameters demand.  Doubling ρ_lin must leave the upload flat
+        (while the prover's answer download grows)."""
+        few = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+        many = ArgumentConfig(params=SoundnessParams(rho_lin=6, rho=2))
+        with ProverServer(sumsq_program, few) as srv:
+            r_few = verify_remote(sumsq_program, [[1, 2, 3]], srv.address, few)
+        with ProverServer(sumsq_program, many) as srv:
+            r_many = verify_remote(sumsq_program, [[1, 2, 3]], srv.address, many)
+        assert r_few.all_accepted and r_many.all_accepted
+        # upload flat to within framing noise...
+        assert abs(r_many.bytes_sent - r_few.bytes_sent) < 200
+        # ...while the answers scale with the query count
+        assert r_many.bytes_received > 2 * r_few.bytes_received
+
+    def test_program_hash_stability(self, sumsq_program, gold):
+        assert program_hash(sumsq_program) == program_hash(sumsq_program)
+
+        def other(b):
+            b.output(b.input() + 1)
+
+        other_prog = compile_program(gold, other)
+        assert program_hash(other_prog) != program_hash(sumsq_program)
+
+
+class TestProtocolErrors:
+    def test_wrong_program_rejected(self, gold, sumsq_program, server):
+        def other(b):
+            b.output(b.input() * 2)
+
+        other_prog = compile_program(gold, other)
+        with pytest.raises(ProtocolViolation):
+            verify_remote(other_prog, [[1]], server.address, FAST)
+
+    def test_garbage_frame_does_not_kill_server(self, sumsq_program, server):
+        with socket.create_connection(server.address, timeout=5) as sock:
+            sock.sendall(b"\x00\x00\x00\x05hello")
+        # the server must survive and serve the next honest session
+        result = verify_remote(sumsq_program, [[1, 1, 1]], server.address, FAST)
+        assert result.all_accepted
+
+    def test_oversized_frame_rejected(self, sumsq_program, server):
+        with socket.create_connection(server.address, timeout=5) as sock:
+            sock.sendall((300 * 1024 * 1024).to_bytes(4, "big"))
+            # server should drop us; next session still works
+        result = verify_remote(sumsq_program, [[2, 2, 2]], server.address, FAST)
+        assert result.all_accepted
+
+
+class TestFraming:
+    def test_roundtrip(self):
+        left, right = socket.socketpair()
+        try:
+            send_frame(left, {"type": "x", "data": [1, 2, 3]})
+            assert recv_frame(right) == {"type": "x", "data": [1, 2, 3]}
+        finally:
+            left.close()
+            right.close()
+
+    def test_typeless_frame_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            import json, struct
+
+            data = json.dumps({"no_type": 1}).encode()
+            left.sendall(struct.pack("!I", len(data)) + data)
+            with pytest.raises(ProtocolViolation):
+                recv_frame(right)
+        finally:
+            left.close()
+            right.close()
+
+    def test_closed_connection_detected(self):
+        left, right = socket.socketpair()
+        left.close()
+        try:
+            with pytest.raises(ProtocolViolation):
+                recv_frame(right)
+        finally:
+            right.close()
+
+
+class TestCheatingOverNetwork:
+    def test_lying_server_rejected(self, gold, sumsq_program):
+        """A server that doctors its outputs fails verification."""
+
+        class LyingServer(ProverServer):
+            def _session(self, conn):
+                # intercept by monkeypatching solve output: easiest is to
+                # wrap the program object
+                original_solve = self.program.solve
+
+                def bad_solve(inputs, check=False):
+                    sol = original_solve(inputs, check=check)
+                    sol.output_values[0] = (sol.output_values[0] + 1) % gold.p
+                    sol.y[0] = sol.output_values[0]
+                    return sol
+
+                self.program.solve = bad_solve
+                try:
+                    super()._session(conn)
+                finally:
+                    self.program.solve = original_solve
+
+        import copy
+
+        prog_copy = copy.copy(sumsq_program)
+        with LyingServer(prog_copy, FAST) as srv:
+            result = verify_remote(sumsq_program, [[1, 2, 3]], srv.address, FAST)
+        assert not result.all_accepted
+        assert not result.instances[0].pcp_ok

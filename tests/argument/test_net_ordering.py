@@ -1,0 +1,75 @@
+"""Protocol-ordering attacks against the TCP prover server.
+
+A client that skips or reorders protocol phases must get a clean drop,
+and — crucially — must never extract answers without having committed
+the protocol to its proper order (commit before challenge)."""
+
+import socket
+
+import pytest
+
+from repro.argument import ArgumentConfig, ProverServer, program_hash, verify_remote
+from repro.argument.net import recv_frame, send_frame
+from repro.pcp import SoundnessParams
+
+FAST = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+
+
+@pytest.fixture
+def server(sumsq_program):
+    with ProverServer(sumsq_program, FAST) as srv:
+        yield srv
+
+
+def hello_payload(program):
+    return {
+        "type": "hello",
+        "program": program_hash(program),
+        "params": {"delta": FAST.params.delta, "rho_lin": 2, "rho": 1},
+        "qap_mode": "arithmetic",
+        "seed": FAST.seed.hex(),
+    }
+
+
+class TestPhaseOrdering:
+    def test_challenge_before_commit_dropped(self, sumsq_program, server):
+        with socket.create_connection(server.address, timeout=5) as sock:
+            send_frame(sock, hello_payload(sumsq_program))
+            assert recv_frame(sock)["type"] == "hello-ok"
+            # jump straight to the challenge: server must drop the session
+            send_frame(sock, {"type": "challenge", "t": []})
+            with pytest.raises(Exception):
+                recv_frame(sock)  # connection closed, no answers leaked
+        # server alive for honest clients afterwards
+        assert verify_remote(sumsq_program, [[1, 1, 1]], server.address, FAST).all_accepted
+
+    def test_inputs_before_commit_dropped(self, sumsq_program, server):
+        with socket.create_connection(server.address, timeout=5) as sock:
+            send_frame(sock, hello_payload(sumsq_program))
+            assert recv_frame(sock)["type"] == "hello-ok"
+            send_frame(sock, {"type": "inputs", "batch": [["1", "2", "3"]]})
+            with pytest.raises(Exception):
+                recv_frame(sock)
+        assert verify_remote(sumsq_program, [[2, 2, 2]], server.address, FAST).all_accepted
+
+    def test_no_hello_dropped(self, sumsq_program, server):
+        with socket.create_connection(server.address, timeout=5) as sock:
+            send_frame(sock, {"type": "commit", "enc_r": []})
+            with pytest.raises(Exception):
+                recv_frame(sock)
+        assert verify_remote(sumsq_program, [[3, 3, 3]], server.address, FAST).all_accepted
+
+    def test_malformed_hex_in_commit_dropped(self, sumsq_program, server):
+        with socket.create_connection(server.address, timeout=5) as sock:
+            send_frame(sock, hello_payload(sumsq_program))
+            assert recv_frame(sock)["type"] == "hello-ok"
+            send_frame(sock, {"type": "commit", "enc_r": [["zz", "qq"]]})
+            with pytest.raises(Exception):
+                recv_frame(sock)
+        assert verify_remote(sumsq_program, [[1, 2, 3]], server.address, FAST).all_accepted
+
+    def test_abrupt_disconnect_midway(self, sumsq_program, server):
+        sock = socket.create_connection(server.address, timeout=5)
+        send_frame(sock, hello_payload(sumsq_program))
+        sock.close()  # vanish mid-session
+        assert verify_remote(sumsq_program, [[4, 4, 4]], server.address, FAST).all_accepted

@@ -1,0 +1,37 @@
+"""Tests for the multiprocess distributed prover."""
+
+import pytest
+
+from repro.argument import ArgumentConfig, ZaatarArgument, run_parallel_batch
+from repro.pcp import SoundnessParams
+
+FAST = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+
+
+class TestParallelBatch:
+    def test_results_match_serial(self, sumsq_program):
+        arg = ZaatarArgument(sumsq_program, FAST)
+        batch = [[i, i + 1, i + 2] for i in range(6)]
+        serial = arg.run_batch(batch)
+        parallel = run_parallel_batch(arg, batch, num_workers=3)
+        assert parallel.result.all_accepted
+        assert [r.output_values for r in parallel.result.instances] == [
+            r.output_values for r in serial.instances
+        ]
+
+    def test_single_worker_path(self, sumsq_program):
+        arg = ZaatarArgument(sumsq_program, FAST)
+        result = run_parallel_batch(arg, [[1, 2, 3]], num_workers=1)
+        assert result.result.all_accepted
+        assert result.num_workers == 1
+
+    def test_wall_clock_recorded(self, sumsq_program):
+        arg = ZaatarArgument(sumsq_program, FAST)
+        result = run_parallel_batch(arg, [[1, 2, 3], [2, 3, 4]], num_workers=2)
+        assert result.wall_seconds > 0
+
+    def test_prover_stats_survive_pickling(self, sumsq_program):
+        arg = ZaatarArgument(sumsq_program, FAST)
+        result = run_parallel_batch(arg, [[1, 2, 3]], num_workers=2)
+        stats = result.result.stats.mean_prover()
+        assert stats.e2e > 0

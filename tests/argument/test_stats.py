@@ -1,0 +1,52 @@
+"""Unit tests for the cost-instrumentation helpers."""
+
+import time
+
+from repro.argument import BatchStats, PhaseTimer, ProverStats, VerifierStats
+
+
+class TestProverStats:
+    def test_e2e_is_sum(self):
+        s = ProverStats(1.0, 2.0, 3.0, 4.0)
+        assert s.e2e == 10.0
+
+    def test_merge(self):
+        a = ProverStats(1, 1, 1, 1)
+        a.merge(ProverStats(2, 2, 2, 2))
+        assert a.e2e == 12
+
+    def test_scaled(self):
+        s = ProverStats(2, 4, 6, 8).scaled(0.5)
+        assert (s.solve_constraints, s.answer_queries) == (1, 4)
+
+
+class TestBatchStats:
+    def test_mean_prover(self):
+        b = BatchStats(batch_size=2)
+        b.prover_per_instance = [ProverStats(2, 0, 0, 0), ProverStats(4, 0, 0, 0)]
+        assert b.mean_prover().solve_constraints == 3
+
+    def test_mean_of_empty(self):
+        assert BatchStats().mean_prover().e2e == 0
+
+
+class TestPhaseTimer:
+    def test_accumulates(self):
+        stats = VerifierStats()
+        timer = PhaseTimer(stats)
+        with timer.phase("query_setup"):
+            sum(range(10000))
+        with timer.phase("query_setup"):
+            sum(range(10000))
+        assert stats.query_setup > 0
+        assert stats.total == stats.query_setup
+
+    def test_exception_still_records(self):
+        stats = VerifierStats()
+        timer = PhaseTimer(stats)
+        try:
+            with timer.phase("per_instance"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert stats.per_instance >= 0

@@ -1,0 +1,141 @@
+"""Unit tests for the circuit builder and witness solving."""
+
+import pytest
+
+from repro.compiler import Builder, compile_program
+
+
+class TestWireArithmetic:
+    def test_solve_linear(self, gold):
+        def build(b):
+            x, y = b.inputs(2)
+            b.output(x + 2 * y - 3)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([10, 5]).output_values == [17]
+
+    def test_multiplication(self, gold):
+        def build(b):
+            x, y = b.inputs(2)
+            b.output(x * y + 1)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([6, 7]).output_values == [43]
+
+    def test_negation_and_rsub(self, gold):
+        def build(b):
+            x = b.input()
+            b.output(10 - (-x))
+
+        prog = compile_program(gold, build)
+        assert prog.solve([5]).output_values == [15]
+
+    def test_deep_product_materializes(self, gold):
+        """x⁴ needs an intermediate variable (degree-2 limit)."""
+
+        def build(b):
+            x = b.input()
+            x2 = x * x
+            b.output(x2 * x2)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([3]).output_values == [81]
+        # at least one materialization constraint exists
+        assert prog.ginger.num_constraints >= 2
+
+    def test_cubed(self, gold):
+        def build(b):
+            x = b.input()
+            b.output(x * x * x)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([5]).output_values == [125]
+
+
+class TestAssertions:
+    def test_assert_equal_consistent(self, gold):
+        def build(b):
+            x = b.input()
+            y = b.define(x * x)
+            b.assert_equal(y, x * x)
+            b.output(y)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([4]).output_values == [16]
+
+    def test_assert_zero_constant_nonzero_rejected(self, gold):
+        b = Builder(gold)
+        with pytest.raises(ValueError):
+            b.assert_zero(5)
+        b.assert_zero(0)  # fine
+        b.assert_zero(gold.p)  # ≡ 0
+
+    def test_cross_builder_mixing_rejected(self, gold):
+        b1, b2 = Builder(gold), Builder(gold)
+        x1, x2 = b1.input(), b2.input()
+        with pytest.raises(ValueError):
+            _ = x1 + x2
+
+
+class TestOutputs:
+    def test_input_passthrough_gets_fresh_var(self, gold):
+        def build(b):
+            x = b.input()
+            b.output(x)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([9]).output_values == [9]
+        assert set(prog.ginger.input_vars).isdisjoint(prog.ginger.output_vars)
+
+    def test_constant_output(self, gold):
+        def build(b):
+            b.input()  # unused input
+            b.output(7)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([0]).output_values == [7]
+
+    def test_no_outputs_rejected(self, gold):
+        with pytest.raises(ValueError):
+            compile_program(gold, lambda b: b.input())
+
+    def test_multiple_outputs_ordered(self, gold):
+        def build(b):
+            x = b.input()
+            b.outputs([x + 1, x + 2, x + 3])
+
+        prog = compile_program(gold, build)
+        assert prog.solve([0]).output_values == [1, 2, 3]
+
+
+class TestSolving:
+    def test_input_count_checked(self, gold, sumsq_program):
+        with pytest.raises(ValueError):
+            sumsq_program.solve([1, 2])
+
+    def test_negative_inputs_reduced(self, gold):
+        def build(b):
+            x = b.input()
+            b.output(x * x)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([-3]).output_values == [9]
+
+    def test_witness_satisfies_both_systems(self, gold, sumsq_program):
+        sol = sumsq_program.solve([1, 2, 3])
+        assert sumsq_program.ginger.is_satisfied(sol.ginger_witness)
+        assert sumsq_program.quadratic.is_satisfied(sol.quadratic_witness)
+
+    def test_inconsistent_hint_detected(self, gold):
+        """A gadget whose hint disagrees with its constraint must be
+        caught by solve(check=True)."""
+
+        def build(b):
+            x = b.input()
+            bad = b.hint_var(lambda values: 999)  # hint says 999
+            b.assert_equal(bad, x + 1)            # constraint says x+1
+            b.output(bad)
+
+        prog = compile_program(gold, build)
+        with pytest.raises(RuntimeError):
+            prog.solve([5])

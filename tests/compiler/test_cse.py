@@ -1,0 +1,153 @@
+"""Tests for common-subexpression elimination (the 'better compiler').
+
+The optimizer must never change semantics — only constraint counts.
+Every test compiles the same program both ways and checks identical
+outputs with fewer (or equal) constraints.
+"""
+
+import random
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.compiler import (
+    Builder,
+    compile_program,
+    compile_source,
+    less_than,
+    to_bits,
+)
+
+
+class TestDefineCSE:
+    def test_repeated_expression_shares_variable(self, gold):
+        def build(b):
+            x, y = b.inputs(2)
+            a = b.define(x * y + 1)
+            c = b.define(x * y + 1)  # identical expression
+            b.output(a + c)
+
+        plain = compile_program(gold, build)
+        optimized = compile_program(gold, build, optimize=True)
+        assert optimized.ginger.num_vars < plain.ginger.num_vars
+        assert optimized.solve([3, 4]).output_values == plain.solve(
+            [3, 4]
+        ).output_values == [26]
+
+    def test_distinct_expressions_not_merged(self, gold):
+        def build(b):
+            x = b.input()
+            a = b.define(x * x + 1)
+            c = b.define(x * x + 2)
+            b.output(a + c)
+
+        prog = compile_program(gold, build, optimize=True)
+        assert prog.solve([3]).output_values == [21]
+
+    def test_define_fresh_never_cached(self, gold):
+        """Outputs must stay distinct variables even under CSE."""
+
+        def build(b):
+            x = b.input()
+            b.output(x + 1)
+            b.output(x + 1)
+
+        prog = compile_program(gold, build, optimize=True)
+        assert prog.solve([5]).output_values == [6, 6]
+        assert len(set(prog.ginger.output_vars)) == 2
+
+
+class TestBitsCSE:
+    def test_shared_decomposition(self, gold):
+        def build(b):
+            x = b.input()
+            bits1 = to_bits(b, x, 8)
+            bits2 = to_bits(b, x, 8)
+            b.output(bits1[0] + bits2[0])
+
+        plain = compile_program(gold, build)
+        optimized = compile_program(gold, build, optimize=True)
+        assert optimized.ginger.num_constraints < plain.ginger.num_constraints
+        assert optimized.solve([5]).output_values == [2]
+
+    def test_different_width_not_reused(self, gold):
+        """Width-8 bits must NOT satisfy a width-4 range proof."""
+
+        def build(b):
+            x = b.input()
+            to_bits(b, x, 8)   # x < 256
+            to_bits(b, x, 4)   # x < 16 — a real additional constraint
+            b.output(x)
+
+        prog = compile_program(gold, build, optimize=True)
+        assert prog.solve([9]).output_values == [9]
+        with pytest.raises(RuntimeError):
+            prog.solve([200])  # violates the width-4 range proof
+
+    def test_comparisons_against_same_value_share_bits(self, gold):
+        def build(b):
+            x, y, z = b.inputs(3)
+            # both comparisons decompose (x - y + 2^8) and (x - z + 2^8);
+            # repeating them must be free under CSE
+            for _ in range(3):
+                b.output(less_than(b, x, y, bit_width=8))
+                b.output(less_than(b, x, z, bit_width=8))
+
+        plain = compile_program(gold, build)
+        optimized = compile_program(gold, build, optimize=True)
+        assert optimized.ginger.num_constraints < plain.ginger.num_constraints / 2
+        assert optimized.solve([1, 2, 0]).output_values == [1, 0] * 3
+
+
+class TestSemanticEquivalence:
+    @pytest.mark.parametrize("app_name", sorted(ALL_APPS))
+    def test_apps_identical_under_cse(self, gold, app_name):
+        app = ALL_APPS[app_name]
+        sizes = None  # defaults
+        rng = random.Random(77)
+        plain = app.compile(gold)
+        builder_fn = app.build_factory(**app.default_sizes)
+        optimized = compile_program(gold, builder_fn, optimize=True)
+        inputs = app.generate_inputs(rng)
+        assert (
+            optimized.solve(inputs).output_values
+            == plain.solve(inputs).output_values
+        )
+        assert optimized.ginger.num_constraints <= plain.ginger.num_constraints
+
+    def test_cse_savings_on_redundant_program(self, gold):
+        """A program recomputing shared subexpressions (as naive
+        generated code often does) shrinks substantially."""
+
+        def build(b):
+            xs = b.inputs(4)
+            total = b.constant(0)
+            for _ in range(4):  # four passes recompute the same norms
+                for i in range(4):
+                    norm = b.define(xs[i] * xs[i] + xs[(i + 1) % 4])
+                    total = total + less_than(b, norm, 100, bit_width=10)
+            b.output(total)
+
+        plain = compile_program(gold, build)
+        optimized = compile_program(gold, build, optimize=True)
+        assert optimized.ginger.num_constraints < plain.ginger.num_constraints / 2
+        inputs = [3, 5, 9, 11]
+        assert (
+            optimized.solve(inputs).output_values
+            == plain.solve(inputs).output_values
+        )
+
+    def test_language_pipeline_optimize_flag(self, gold):
+        src = """
+        input x[3]
+        output a
+        output c
+        a = 0
+        c = 0
+        if (x[0] < x[1]) { a = 1 }
+        if (x[0] < x[1]) { c = 2 }
+        """
+        plain = compile_source(gold, src, bit_width=8)
+        optimized = compile_source(gold, src, bit_width=8, optimize=True)
+        assert optimized.solve([1, 5, 0]).output_values == [1, 2]
+        assert optimized.ginger.num_constraints < plain.ginger.num_constraints

@@ -1,0 +1,89 @@
+"""Unit tests for symbolic degree-≤2 expressions."""
+
+import pytest
+
+from repro.compiler import DegreeOverflow, Expr
+
+
+class TestDegrees:
+    def test_constant(self):
+        assert Expr.const(5).degree() == 0
+        assert Expr.const(0).degree() == 0
+
+    def test_variable(self):
+        assert Expr.var(1).degree() == 1
+
+    def test_product(self):
+        assert Expr.var(1).mul(Expr.var(2)).degree() == 2
+
+    def test_overflow(self):
+        quad = Expr.var(1).mul(Expr.var(2))
+        with pytest.raises(DegreeOverflow):
+            quad.mul(Expr.var(3))
+        with pytest.raises(DegreeOverflow):
+            quad.mul(quad)
+
+
+class TestAlgebra:
+    def test_add(self):
+        e = Expr.var(1).add(Expr.var(1)).add(Expr.const(3))
+        assert e.linear == {1: 2} and e.constant == 3
+
+    def test_sub_cancels(self):
+        e = Expr.var(1).sub(Expr.var(1))
+        assert e.degree() == 0 and e.constant == 0
+
+    def test_scale(self):
+        e = Expr.var(2).scale(4)
+        assert e.linear == {2: 4}
+        assert not Expr.var(2).scale(0).linear
+
+    def test_product_expansion(self):
+        # (W1 + 2)(W2 + 3) = W1W2 + 3W1 + 2W2 + 6
+        lhs = Expr.var(1).add(Expr.const(2))
+        rhs = Expr.var(2).add(Expr.const(3))
+        prod = lhs.mul(rhs)
+        assert prod.constant == 6
+        assert prod.linear == {1: 3, 2: 2}
+        assert prod.quadratic == {(1, 2): 1}
+
+    def test_square(self):
+        # (W1 + 1)² = W1² + 2W1 + 1
+        e = Expr.var(1).add(Expr.const(1))
+        sq = e.mul(e)
+        assert sq.quadratic == {(1, 1): 1}
+        assert sq.linear == {1: 2}
+        assert sq.constant == 1
+
+    def test_const_times_quadratic(self):
+        quad = Expr.var(1).mul(Expr.var(2))
+        scaled = quad.mul(Expr.const(3))
+        assert scaled.quadratic == {(1, 2): 3}
+
+
+class TestEvaluation:
+    def test_evaluate(self, gold):
+        e = Expr.var(1).mul(Expr.var(2)).add(Expr.var(1)).add(Expr.const(7))
+        # values[1]=3, values[2]=5 → 15 + 3 + 7
+        assert e.evaluate(gold.p, [1, 3, 5]) == 25
+
+
+class TestLowering:
+    def test_to_constraint(self, gold):
+        e = Expr.var(1).mul(Expr.var(2)).sub(Expr.var(3))
+        c = e.to_constraint()
+        assert c.evaluate(gold, [1, 3, 5, 15]) == 0
+
+    def test_to_lc_degree1(self):
+        e = Expr.var(1).add(Expr.const(2))
+        lc = e.to_lc()
+        assert lc.terms == {0: 2, 1: 1}
+
+    def test_to_lc_rejects_degree2(self):
+        with pytest.raises(ValueError):
+            Expr.var(1).mul(Expr.var(2)).to_lc()
+
+    def test_single_variable_detection(self):
+        assert Expr.var(4).as_single_variable() == 4
+        assert Expr.var(4).scale(2).as_single_variable() is None
+        assert Expr.var(4).add(Expr.const(1)).as_single_variable() is None

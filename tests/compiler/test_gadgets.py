@@ -1,0 +1,205 @@
+"""Unit tests for the pseudoconstraint gadgets (§2.2, §4 footnote 7)."""
+
+import pytest
+
+from repro.compiler import (
+    absolute,
+    array_get,
+    assert_boolean,
+    assert_less_than,
+    assert_neq,
+    compile_program,
+    is_equal,
+    is_zero,
+    less_equal,
+    less_than,
+    logical_and,
+    logical_not,
+    logical_or,
+    logical_xor,
+    maximum,
+    minimum,
+    select,
+    to_bits,
+)
+
+
+def run1(gold, build, inputs):
+    return compile_program(gold, build).solve(inputs).output_values
+
+
+class TestComparisons:
+    @pytest.mark.parametrize(
+        "x,y,expected", [(3, 5, 1), (5, 3, 0), (4, 4, 0), (-2, 1, 1), (1, -2, 0)]
+    )
+    def test_less_than(self, gold, x, y, expected):
+        def build(b):
+            a, c = b.inputs(2)
+            b.output(less_than(b, a, c, bit_width=8))
+
+        assert run1(gold, build, [gold.from_signed(x), gold.from_signed(y)]) == [expected]
+
+    @pytest.mark.parametrize("x,y,expected", [(3, 5, 1), (4, 4, 1), (5, 3, 0)])
+    def test_less_equal(self, gold, x, y, expected):
+        def build(b):
+            a, c = b.inputs(2)
+            b.output(less_equal(b, a, c, bit_width=8))
+
+        assert run1(gold, build, [x, y]) == [expected]
+
+    def test_comparison_constraint_count_is_linear_in_width(self, gold):
+        """The O(log |F|) pseudoconstraint expansion of §2.2."""
+
+        def make(width):
+            def build(b):
+                a, c = b.inputs(2)
+                b.output(less_than(b, a, c, bit_width=width))
+
+            return compile_program(gold, make_build := build).ginger.num_constraints
+
+        assert make(32) - make(16) == pytest.approx(16, abs=4)
+
+    def test_assert_less_than_holds(self, gold):
+        def build(b):
+            a, c = b.inputs(2)
+            assert_less_than(b, a, c, bit_width=8)
+            b.output(a + c)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([3, 9]).output_values == [12]
+        with pytest.raises(RuntimeError):
+            prog.solve([9, 3])  # violated constraint surfaces in solve
+
+
+class TestEqualityAndZero:
+    def test_is_zero(self, gold):
+        def build(b):
+            x = b.input()
+            b.output(is_zero(b, x))
+
+        prog = compile_program(gold, build)
+        assert prog.solve([0]).output_values == [1]
+        assert prog.solve([77]).output_values == [0]
+
+    def test_is_equal(self, gold):
+        def build(b):
+            x, y = b.inputs(2)
+            b.output(is_equal(b, x, y))
+
+        prog = compile_program(gold, build)
+        assert prog.solve([5, 5]).output_values == [1]
+        assert prog.solve([5, 6]).output_values == [0]
+
+    def test_assert_neq(self, gold):
+        def build(b):
+            x, y = b.inputs(2)
+            assert_neq(b, x, y)
+            b.output(x)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([1, 2]).output_values == [1]
+        with pytest.raises(RuntimeError):
+            prog.solve([3, 3])
+
+    def test_paper_neq_shape(self, gold):
+        """§2.2: X != Z costs one constraint and one auxiliary M."""
+
+        def base(b):
+            x, y = b.inputs(2)
+            b.output(x + y)
+
+        def with_neq(b):
+            x, y = b.inputs(2)
+            assert_neq(b, x, y)
+            b.output(x + y)
+
+        base_prog = compile_program(gold, base)
+        neq_prog = compile_program(gold, with_neq)
+        assert neq_prog.ginger.num_constraints - base_prog.ginger.num_constraints == 1
+        assert neq_prog.ginger.num_vars - base_prog.ginger.num_vars == 1
+
+
+class TestBits:
+    def test_to_bits_roundtrip(self, gold):
+        def build(b):
+            x = b.input()
+            bits = to_bits(b, x, 8)
+            for bit in bits:
+                b.output(bit)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([0b10110010]).output_values == [0, 1, 0, 0, 1, 1, 0, 1]
+
+    def test_assert_boolean(self, gold):
+        def build(b):
+            x = b.input()
+            assert_boolean(b, x)
+            b.output(x)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([1]).output_values == [1]
+        with pytest.raises(RuntimeError):
+            prog.solve([2])
+
+
+class TestLogic:
+    def test_truth_tables(self, gold):
+        def build(b):
+            x, y = b.inputs(2)
+            b.output(logical_and(b, x, y))
+            b.output(logical_or(b, x, y))
+            b.output(logical_xor(b, x, y))
+            b.output(logical_not(b, x))
+
+        prog = compile_program(gold, build)
+        assert prog.solve([0, 0]).output_values == [0, 0, 0, 1]
+        assert prog.solve([0, 1]).output_values == [0, 1, 1, 1]
+        assert prog.solve([1, 0]).output_values == [0, 1, 1, 0]
+        assert prog.solve([1, 1]).output_values == [1, 1, 0, 0]
+
+
+class TestSelection:
+    def test_select(self, gold):
+        def build(b):
+            c, t, f = b.inputs(3)
+            b.output(select(b, c, t, f))
+
+        prog = compile_program(gold, build)
+        assert prog.solve([1, 10, 20]).output_values == [10]
+        assert prog.solve([0, 10, 20]).output_values == [20]
+
+    def test_min_max_abs(self, gold):
+        def build(b):
+            x, y = b.inputs(2)
+            b.output(minimum(b, x, y, bit_width=8))
+            b.output(maximum(b, x, y, bit_width=8))
+            b.output(absolute(b, x - y, bit_width=8))
+
+        prog = compile_program(gold, build)
+        assert prog.solve([3, 9]).output_values == [3, 9, 6]
+        assert prog.solve([9, 3]).output_values == [3, 9, 6]
+
+
+class TestDynamicIndexing:
+    def test_array_get(self, gold):
+        def build(b):
+            arr = b.inputs(4)
+            idx = b.input()
+            b.output(array_get(b, arr, idx))
+
+        prog = compile_program(gold, build)
+        for i, expected in enumerate([10, 20, 30, 40]):
+            assert prog.solve([10, 20, 30, 40, i]).output_values == [expected]
+
+    def test_array_get_cost_is_linear(self, gold):
+        """§5.4: indirect accesses expand to O(n) constraints."""
+
+        def make(n):
+            def build(b):
+                arr = b.inputs(n)
+                idx = b.input()
+                b.output(array_get(b, arr, idx))
+
+            return compile_program(gold, build).ginger.num_constraints
+
+        assert make(16) > 2 * make(4)

@@ -1,0 +1,196 @@
+"""Unit tests for the §5.4 'engineering' constructs: bitwise ops,
+division, and square root."""
+
+import pytest
+
+from repro.compiler import (
+    BitVector,
+    bitwise_and,
+    bitwise_not,
+    bitwise_or,
+    bitwise_xor,
+    compile_program,
+    div_mod,
+    integer_sqrt,
+    shift_left,
+    shift_right,
+)
+
+WIDTH = 8
+
+
+def bitwise_program(gold, op):
+    def build(b):
+        x, y = b.inputs(2)
+        xv = BitVector.decompose(b, x, WIDTH)
+        yv = BitVector.decompose(b, y, WIDTH)
+        b.output(op(xv, yv).value)
+
+    return compile_program(gold, build)
+
+
+class TestBitwise:
+    CASES = [(0b1100, 0b1010), (0, 0xFF), (0xFF, 0xFF), (0b0101_0101, 0b0011_0011)]
+
+    @pytest.mark.parametrize("x,y", CASES)
+    def test_and(self, gold, x, y):
+        prog = bitwise_program(gold, bitwise_and)
+        assert prog.solve([x, y]).output_values == [x & y]
+
+    @pytest.mark.parametrize("x,y", CASES)
+    def test_or(self, gold, x, y):
+        prog = bitwise_program(gold, bitwise_or)
+        assert prog.solve([x, y]).output_values == [x | y]
+
+    @pytest.mark.parametrize("x,y", CASES)
+    def test_xor(self, gold, x, y):
+        prog = bitwise_program(gold, bitwise_xor)
+        assert prog.solve([x, y]).output_values == [x ^ y]
+
+    def test_not(self, gold):
+        def build(b):
+            x = b.input()
+            xv = BitVector.decompose(b, x, WIDTH)
+            b.output(bitwise_not(xv).value)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([0b1100_0011]).output_values == [0b0011_1100]
+
+    def test_width_mismatch_rejected(self, gold):
+        from repro.compiler import Builder
+
+        b = Builder(gold)
+        x = BitVector.decompose(b, b.input(), 4)
+        y = BitVector.decompose(b, b.input(), 8)
+        with pytest.raises(ValueError):
+            bitwise_and(x, y)
+
+    def test_shared_decomposition_is_cheaper(self, gold):
+        """Two ops over one decomposition must cost less than two ops
+        each paying their own decomposition."""
+
+        def shared(b):
+            x, y = b.inputs(2)
+            xv = BitVector.decompose(b, x, WIDTH)
+            yv = BitVector.decompose(b, y, WIDTH)
+            b.output(bitwise_and(xv, yv).value)
+            b.output(bitwise_or(xv, yv).value)
+
+        def separate(b):
+            x, y = b.inputs(2)
+            b.output(
+                bitwise_and(
+                    BitVector.decompose(b, x, WIDTH),
+                    BitVector.decompose(b, y, WIDTH),
+                ).value
+            )
+            b.output(
+                bitwise_or(
+                    BitVector.decompose(b, x, WIDTH),
+                    BitVector.decompose(b, y, WIDTH),
+                ).value
+            )
+
+        n_shared = compile_program(gold, shared).ginger.num_constraints
+        n_separate = compile_program(gold, separate).ginger.num_constraints
+        assert n_shared < n_separate
+
+
+class TestShifts:
+    @pytest.mark.parametrize("amount", [0, 1, 3, 7, 8, 12])
+    def test_left(self, gold, amount):
+        def build(b):
+            x = b.input()
+            xv = BitVector.decompose(b, x, WIDTH)
+            b.output(shift_left(xv, amount).value)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([0b1011]).output_values == [(0b1011 << amount) & 0xFF]
+
+    @pytest.mark.parametrize("amount", [0, 1, 3, 7, 8, 12])
+    def test_right(self, gold, amount):
+        def build(b):
+            x = b.input()
+            xv = BitVector.decompose(b, x, WIDTH)
+            b.output(shift_right(xv, amount).value)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([0b1011_0110]).output_values == [0b1011_0110 >> amount]
+
+    def test_negative_amount_rejected(self, gold):
+        from repro.compiler import Builder
+
+        b = Builder(gold)
+        xv = BitVector.decompose(b, b.input(), 4)
+        with pytest.raises(ValueError):
+            shift_left(xv, -1)
+
+
+class TestDivMod:
+    @pytest.mark.parametrize(
+        "x,d", [(17, 5), (100, 10), (0, 3), (7, 9), (255, 1), (255, 255)]
+    )
+    def test_quotient_remainder(self, gold, x, d):
+        def build(b):
+            xw, dw = b.inputs(2)
+            q, r = div_mod(b, xw, dw, bit_width=WIDTH)
+            b.output(q)
+            b.output(r)
+
+        prog = compile_program(gold, build)
+        assert prog.solve([x, d]).output_values == [x // d, x % d]
+
+    def test_division_by_zero_fails_loudly(self, gold):
+        def build(b):
+            xw, dw = b.inputs(2)
+            q, r = div_mod(b, xw, dw, bit_width=WIDTH)
+            b.output(q)
+
+        prog = compile_program(gold, build)
+        with pytest.raises(RuntimeError):
+            prog.solve([5, 0])
+
+    def test_cheating_quotient_rejected(self, gold):
+        """A prover cannot claim a different quotient: the constraints
+        pin (q, r) uniquely."""
+        from repro.compiler import Builder
+        from repro.qap import build_qap, compute_h
+
+        def build(b):
+            xw, dw = b.inputs(2)
+            q, r = div_mod(b, xw, dw, bit_width=WIDTH)
+            b.output(q)
+
+        prog = compile_program(gold, build)
+        sol = prog.solve([17, 5])
+        # perturb the witness coordinate holding q (output var) and
+        # confirm the quadratic system rejects
+        w = list(sol.quadratic_witness)
+        out_var = prog.quadratic.output_vars[0]
+        w[out_var] = (w[out_var] + 1) % gold.p
+        assert not prog.quadratic.is_satisfied(w)
+
+
+class TestIntegerSqrt:
+    @pytest.mark.parametrize("x", [0, 1, 2, 3, 4, 15, 16, 17, 99, 100, 255])
+    def test_floor_sqrt(self, gold, x):
+        import math
+
+        def build(b):
+            xw = b.input()
+            b.output(integer_sqrt(b, xw, bit_width=WIDTH))
+
+        prog = compile_program(gold, build)
+        assert prog.solve([x]).output_values == [math.isqrt(x)]
+
+    def test_wrong_root_rejected(self, gold):
+        def build(b):
+            xw = b.input()
+            b.output(integer_sqrt(b, xw, bit_width=WIDTH))
+
+        prog = compile_program(gold, build)
+        sol = prog.solve([100])
+        w = list(sol.quadratic_witness)
+        out_var = prog.quadratic.output_vars[0]
+        w[out_var] = (w[out_var] + 1) % gold.p
+        assert not prog.quadratic.is_satisfied(w)

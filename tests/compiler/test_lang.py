@@ -1,0 +1,179 @@
+"""Unit tests for the textual language front end."""
+
+import pytest
+
+from repro.compiler import LangSyntaxError, compile_source, parse
+
+
+class TestParser:
+    def test_declarations(self):
+        prog = parse("input x[4]\noutput y\nvar t\ny = 1")
+        assert [d.role for d in prog.decls] == ["input", "output", "var"]
+        assert prog.decls[0].size == 4
+        assert prog.decls[1].size is None
+
+    def test_comments(self):
+        prog = parse("input x // the input\noutput y\ny = x // done")
+        assert len(prog.body) == 1
+
+    def test_operator_precedence(self, gold):
+        prog = compile_source(gold, "input x\noutput y\ny = 1 + x * 2")
+        assert prog.solve([5]).output_values == [11]
+
+    def test_parens(self, gold):
+        prog = compile_source(gold, "input x\noutput y\ny = (1 + x) * 2")
+        assert prog.solve([5]).output_values == [12]
+
+    def test_syntax_errors(self):
+        for bad in ("input x\ny =", "for i in {", "input x\nx + 1", "if x { }"):
+            with pytest.raises(LangSyntaxError):
+                parse(bad)
+
+    def test_unterminated_block(self):
+        with pytest.raises(LangSyntaxError):
+            parse("input x\noutput y\nfor i in 0..2 { y = x")
+
+
+class TestSemantics:
+    def test_loop_accumulation(self, gold):
+        src = """
+        input x[4]
+        output y
+        var acc
+        acc = 0
+        for i in 0..4 { acc = acc + x[i] }
+        y = acc
+        """
+        prog = compile_source(gold, src)
+        assert prog.solve([1, 2, 3, 4]).output_values == [10]
+
+    def test_nested_loops(self, gold):
+        src = """
+        input a[2]
+        input c[2]
+        output y
+        var acc
+        acc = 0
+        for i in 0..2 { for j in 0..2 { acc = acc + a[i] * c[j] } }
+        y = acc
+        """
+        prog = compile_source(gold, src)
+        # (a0+a1)(c0+c1) = 3*7 = 21
+        assert prog.solve([1, 2, 3, 4]).output_values == [21]
+
+    def test_if_else_merge(self, gold):
+        src = """
+        input x
+        output y
+        if (x < 10) { y = x } else { y = 10 }
+        """
+        prog = compile_source(gold, src, bit_width=8)
+        assert prog.solve([5]).output_values == [5]
+        assert prog.solve([50]).output_values == [10]
+
+    def test_if_without_else(self, gold):
+        src = """
+        input x
+        output y
+        y = 1
+        if (x == 0) { y = 2 }
+        """
+        prog = compile_source(gold, src)
+        assert prog.solve([0]).output_values == [2]
+        assert prog.solve([9]).output_values == [1]
+
+    def test_static_if_elaborates_one_branch(self, gold):
+        src = """
+        input x
+        output y
+        y = 0
+        for i in 0..4 {
+            if (i == 2) { y = y + x } else { y = y + 1 }
+        }
+        """
+        prog = compile_source(gold, src)
+        assert prog.solve([100]).output_values == [103]
+
+    def test_comparison_operators(self, gold):
+        src = """
+        input a
+        input c
+        output lt
+        output le
+        output gt
+        output ge
+        output eq
+        output ne
+        lt = a < c
+        le = a <= c
+        gt = a > c
+        ge = a >= c
+        eq = a == c
+        ne = a != c
+        """
+        prog = compile_source(gold, src, bit_width=8)
+        assert prog.solve([3, 5]).output_values == [1, 1, 0, 0, 0, 1]
+        assert prog.solve([5, 5]).output_values == [0, 1, 0, 1, 1, 0]
+
+    def test_boolean_connectives(self, gold):
+        src = """
+        input a
+        input c
+        output y
+        y = 0
+        if ((a < 5) && !(c < 5) || a == c) { y = 1 }
+        """
+        prog = compile_source(gold, src, bit_width=8)
+        assert prog.solve([1, 9]).output_values == [1]
+        assert prog.solve([9, 1]).output_values == [0]
+        assert prog.solve([7, 7]).output_values == [1]
+
+    def test_array_output(self, gold):
+        src = """
+        input x[3]
+        output y[3]
+        for i in 0..3 { y[i] = x[i] * x[i] }
+        """
+        prog = compile_source(gold, src)
+        assert prog.solve([1, 2, 3]).output_values == [1, 4, 9]
+
+    def test_loop_variable_scoping(self, gold):
+        src = """
+        input x
+        output y
+        var acc
+        acc = 0
+        for i in 0..3 { acc = acc + i }
+        for i in 0..2 { acc = acc + i }
+        y = acc + x
+        """
+        prog = compile_source(gold, src)
+        assert prog.solve([0]).output_values == [4]
+
+
+class TestErrors:
+    def test_undeclared_assignment(self, gold):
+        with pytest.raises(LangSyntaxError):
+            compile_source(gold, "input x\noutput y\nz = 1\ny = 1")
+
+    def test_undefined_variable(self, gold):
+        with pytest.raises(LangSyntaxError):
+            compile_source(gold, "input x\noutput y\ny = q")
+
+    def test_index_out_of_range(self, gold):
+        with pytest.raises(LangSyntaxError):
+            compile_source(gold, "input x[2]\noutput y\ny = x[5]")
+
+    def test_dynamic_index_rejected(self, gold):
+        """§5.4: data-dependent indices are not silently supported."""
+        src = "input x[4]\ninput i\noutput y\ny = x[i]"
+        with pytest.raises(LangSyntaxError):
+            compile_source(gold, src)
+
+    def test_array_as_scalar(self, gold):
+        with pytest.raises(LangSyntaxError):
+            compile_source(gold, "input x[2]\noutput y\ny = x + 1")
+
+    def test_duplicate_declaration(self, gold):
+        with pytest.raises(LangSyntaxError):
+            compile_source(gold, "input x\nvar x\noutput y\ny = 1")

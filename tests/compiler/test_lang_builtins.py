@@ -1,0 +1,59 @@
+"""Tests for the language's built-in functions (min/max/abs)."""
+
+import pytest
+
+from repro.compiler import LangSyntaxError, compile_source
+
+
+class TestBuiltins:
+    def test_min_max_abs(self, gold):
+        src = """
+        input x[3]
+        output lo
+        output hi
+        output spread
+        lo = min(min(x[0], x[1]), x[2])
+        hi = max(max(x[0], x[1]), x[2])
+        spread = abs(x[0] - x[2])
+        """
+        prog = compile_source(gold, src, bit_width=10)
+        assert prog.solve([5, 2, 9]).output_values == [2, 9, 4]
+        assert prog.solve([7, 7, 7]).output_values == [7, 7, 0]
+
+    def test_static_folding(self, gold):
+        """Constant arguments fold at compile time — no constraints added."""
+        src = "input x\noutput y\ny = x + min(3, 7) + max(1, 2) + abs(0 - 4)"
+        prog = compile_source(gold, src)
+        assert prog.solve([1]).output_values == [10]
+        # no comparison pseudoconstraints were emitted
+        baseline = compile_source(gold, "input x\noutput y\ny = x + 9")
+        assert prog.ginger.num_constraints == baseline.ginger.num_constraints
+
+    def test_mixed_static_dynamic(self, gold):
+        src = "input x\noutput y\ny = max(x, 10)"
+        prog = compile_source(gold, src, bit_width=8)
+        assert prog.solve([3]).output_values == [10]
+        assert prog.solve([30]).output_values == [30]
+
+    def test_arity_checked(self, gold):
+        with pytest.raises(LangSyntaxError):
+            compile_source(gold, "input x\noutput y\ny = min(x)")
+        with pytest.raises(LangSyntaxError):
+            compile_source(gold, "input x\noutput y\ny = abs(x, x)")
+
+    def test_builtin_name_not_shadowable_as_call(self, gold):
+        """A variable named like a builtin still works as a plain name."""
+        src = "input min\noutput y\ny = min + 1"
+        prog = compile_source(gold, src)
+        assert prog.solve([4]).output_values == [5]
+
+    def test_in_condition(self, gold):
+        src = """
+        input x[2]
+        output y
+        y = 0
+        if (abs(x[0] - x[1]) < 5) { y = 1 }
+        """
+        prog = compile_source(gold, src, bit_width=8)
+        assert prog.solve([10, 12]).output_values == [1]
+        assert prog.solve([10, 40]).output_values == [0]

@@ -1,0 +1,121 @@
+"""Structural tests for the language parser's AST."""
+
+import pytest
+
+from repro.compiler.lang import (
+    Assign,
+    Binary,
+    Call,
+    For,
+    If,
+    Index,
+    Name,
+    Num,
+    Unary,
+    parse,
+    tokenize,
+)
+
+
+class TestTokenizer:
+    def test_kinds(self):
+        tokens = tokenize("input x[4] // comment\ny = 1 <= 2")
+        kinds = [(t.kind, t.text) for t in tokens]
+        assert ("kw", "input") in kinds
+        assert ("name", "x") in kinds
+        assert ("num", "4") in kinds
+        assert ("op", "<=") in kinds
+        assert kinds[-1] == ("eof", "")
+
+    def test_comment_stripped(self):
+        tokens = tokenize("x // all of this vanishes\ny")
+        texts = [t.text for t in tokens if t.kind != "eof"]
+        assert texts == ["x", "y"]
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab cd")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 3
+
+    def test_two_char_operators_greedy(self):
+        texts = [t.text for t in tokenize("a==b!=c&&d||e..f") if t.kind == "op"]
+        assert texts == ["==", "!=", "&&", "||", ".."]
+
+
+class TestASTShapes:
+    def test_precedence_tree(self):
+        prog = parse("output y\ny = 1 + 2 * 3")
+        (stmt,) = prog.body
+        assert isinstance(stmt, Assign)
+        assert isinstance(stmt.value, Binary) and stmt.value.op == "+"
+        assert isinstance(stmt.value.right, Binary) and stmt.value.right.op == "*"
+
+    def test_comparison_binds_looser_than_arith(self):
+        prog = parse("output y\ny = 1 + 2 < 3 * 4")
+        (stmt,) = prog.body
+        assert stmt.value.op == "<"
+        assert stmt.value.left.op == "+"
+        assert stmt.value.right.op == "*"
+
+    def test_boolean_structure(self):
+        prog = parse("output y\ny = 1 < 2 && 3 < 4 || 5 < 6")
+        (stmt,) = prog.body
+        assert stmt.value.op == "||"
+        assert stmt.value.left.op == "&&"
+
+    def test_unary_nesting(self):
+        prog = parse("output y\ny = - - 5")
+        (stmt,) = prog.body
+        assert isinstance(stmt.value, Unary)
+        assert isinstance(stmt.value.operand, Unary)
+        assert isinstance(stmt.value.operand.operand, Num)
+
+    def test_for_structure(self):
+        prog = parse("output y\nfor i in 0..4 { y = i }")
+        (stmt,) = prog.body
+        assert isinstance(stmt, For)
+        assert stmt.var == "i"
+        assert isinstance(stmt.start, Num) and stmt.start.value == 0
+        assert len(stmt.body) == 1
+
+    def test_if_else_structure(self):
+        prog = parse("output y\nif (1 < 2) { y = 1 } else { y = 2 }")
+        (stmt,) = prog.body
+        assert isinstance(stmt, If)
+        assert len(stmt.then) == 1 and len(stmt.orelse) == 1
+
+    def test_if_without_else(self):
+        prog = parse("output y\nif (1 < 2) { y = 1 }")
+        (stmt,) = prog.body
+        assert stmt.orelse == ()
+
+    def test_indexed_assignment(self):
+        prog = parse("output y[2]\ny[1] = 5")
+        (stmt,) = prog.body
+        assert isinstance(stmt.target, Index)
+        assert stmt.target.name == "y"
+
+    def test_call_node(self):
+        prog = parse("output y\ny = min(1, max(2, 3))")
+        (stmt,) = prog.body
+        assert isinstance(stmt.value, Call) and stmt.value.name == "min"
+        inner = stmt.value.args[1]
+        assert isinstance(inner, Call) and inner.name == "max"
+
+    def test_name_vs_call_disambiguation(self):
+        # 'min' not followed by '(' is a plain name
+        prog = parse("input min\noutput y\ny = min")
+        (stmt,) = prog.body
+        assert isinstance(stmt.value, Name)
+
+
+class TestDeclarations:
+    def test_roles_and_sizes(self):
+        prog = parse("input a\ninput b[3]\noutput c\nvar d[2]\nc = 1")
+        roles = [(d.role, d.name, d.size) for d in prog.decls]
+        assert roles == [
+            ("input", "a", None),
+            ("input", "b", 3),
+            ("output", "c", None),
+            ("var", "d", 2),
+        ]

@@ -1,0 +1,41 @@
+"""Unit tests for CompiledProgram end-to-end behaviour."""
+
+import pytest
+
+from repro.compiler import compile_program
+
+
+class TestSolvedInstance:
+    def test_coordinate_systems_agree(self, gold, sumsq_program):
+        sol = sumsq_program.solve([1, 2, 3])
+        assert sol.input_values == [1, 2, 3]
+        assert sol.output_values == [14]
+        assert sol.x == [1, 2, 3]
+        assert sol.y == [14]
+        # canonical witness embeds z, x, y in order
+        n_prime = sumsq_program.quadratic.num_unbound
+        assert sol.quadratic_witness[0] == 1
+        assert sol.quadratic_witness[1 : n_prime + 1] == sol.z
+        assert sol.quadratic_witness[n_prime + 1 :] == sol.x + sol.y
+
+    def test_check_flag(self, gold, sumsq_program):
+        # check=False skips satisfaction verification but still solves
+        sol = sumsq_program.solve([2, 2, 2], check=False)
+        assert sol.output_values == [12]
+
+    def test_stats_available(self, sumsq_program):
+        st = sumsq_program.stats()
+        assert st.c_ginger > 0 and st.u_zaatar < st.u_ginger
+
+
+class TestCanonicalInvariant:
+    def test_quadratic_system_is_canonical(self, sumsq_program):
+        assert sumsq_program.quadratic.is_canonical()
+
+    def test_io_counts(self, sumsq_program):
+        assert sumsq_program.num_inputs == 3
+        assert sumsq_program.num_outputs == 1
+
+    def test_name_propagates(self, gold):
+        prog = compile_program(gold, lambda b: b.output(b.input() + 1), name="inc")
+        assert prog.name == "inc"

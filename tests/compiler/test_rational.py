@@ -1,0 +1,125 @@
+"""Unit tests for rational-number wires."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.compiler import (
+    compile_program,
+    rational_add,
+    rational_const,
+    rational_half,
+    rational_input,
+    rational_less_than,
+    rational_mul,
+    rational_neg,
+    rational_output,
+    rational_select,
+    rational_sign,
+    rational_sub,
+)
+
+
+def run_rational(gold, build, inputs):
+    prog = compile_program(gold, build)
+    out = prog.solve(inputs).output_values
+    return out
+
+
+class TestArithmetic:
+    def test_add(self, gold):
+        def build(b):
+            r1 = rational_input(b)
+            r2 = rational_input(b)
+            rational_output(b, rational_add(b, r1, r2))
+
+        n, d = run_rational(gold, build, [1, 2, 1, 3])
+        assert Fraction(n, d) == Fraction(5, 6)
+
+    def test_sub_and_neg(self, gold):
+        def build(b):
+            r1 = rational_input(b)
+            r2 = rational_input(b)
+            rational_output(b, rational_sub(b, r1, r2))
+
+        n, d = run_rational(gold, build, [3, 4, 1, 4])
+        assert Fraction(gold.to_signed(n), d) == Fraction(1, 2)
+
+    def test_mul(self, gold):
+        def build(b):
+            r1 = rational_input(b)
+            r2 = rational_input(b)
+            rational_output(b, rational_mul(b, r1, r2))
+
+        n, d = run_rational(gold, build, [2, 3, 3, 5])
+        assert Fraction(n, d) == Fraction(2, 5)
+
+    def test_half(self, gold):
+        def build(b):
+            r = rational_input(b)
+            rational_output(b, rational_half(b, r))
+
+        n, d = run_rational(gold, build, [3, 4])
+        assert Fraction(n, d) == Fraction(3, 8)
+
+    def test_const_validation(self, gold):
+        from repro.compiler import Builder
+
+        b = Builder(gold)
+        with pytest.raises(ValueError):
+            rational_const(b, 1, 0)
+
+
+class TestComparison:
+    @pytest.mark.parametrize(
+        "r1,r2,expected",
+        [
+            ((1, 2), (2, 3), 1),   # 1/2 < 2/3
+            ((2, 3), (1, 2), 0),
+            ((1, 2), (1, 2), 0),
+            ((-1, 2), (1, 3), 1),  # -1/2 < 1/3
+        ],
+    )
+    def test_less_than(self, gold, r1, r2, expected):
+        def build(b):
+            a = rational_input(b)
+            c = rational_input(b)
+            b.output(rational_less_than(b, a, c))
+
+        inputs = [gold.from_signed(r1[0]), r1[1], gold.from_signed(r2[0]), r2[1]]
+        prog = compile_program(gold, build)
+        assert prog.solve(inputs).output_values == [expected]
+
+    def test_sign(self, gold):
+        def build(b):
+            r = rational_input(b)
+            b.output(rational_sign(b, r))
+
+        prog = compile_program(gold, build)
+        assert prog.solve([gold.from_signed(-3), 7]).output_values == [1]
+        assert prog.solve([3, 7]).output_values == [0]
+
+
+class TestSelect:
+    def test_rational_select(self, gold):
+        def build(b):
+            cond = b.input()
+            r1 = rational_input(b)
+            r2 = rational_input(b)
+            rational_output(b, rational_select(b, cond, r1, r2))
+
+        prog = compile_program(gold, build)
+        assert prog.solve([1, 1, 2, 3, 4]).output_values == [1, 2]
+        assert prog.solve([0, 1, 2, 3, 4]).output_values == [3, 4]
+
+
+class TestBitBudgets:
+    def test_add_grows_denominator_bits(self, gold):
+        from repro.compiler import Builder
+
+        b = Builder(gold)
+        r1 = rational_input(b, num_bits=8, den_bits=4)
+        r2 = rational_input(b, num_bits=8, den_bits=4)
+        s = rational_add(b, r1, r2)
+        assert s.den_bits == 8
+        assert s.num_bits == 13

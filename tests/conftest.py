@@ -1,0 +1,47 @@
+"""Shared fixtures: fields, groups, RNGs, and tiny compiled programs."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.compiler import compile_program, less_than, select
+from repro.field import GOLDILOCKS, P128, PrimeField
+
+
+@pytest.fixture(scope="session")
+def gold() -> PrimeField:
+    """The 64-bit test field (fast; 2-adicity 32)."""
+    return PrimeField(GOLDILOCKS, check_prime=False)
+
+
+@pytest.fixture(scope="session")
+def p128() -> PrimeField:
+    """The paper's 128-bit field."""
+    return PrimeField(P128, check_prime=False)
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0DE)
+
+
+def build_sum_of_squares(num_inputs: int = 3, cap: int = 100, bit_width: int = 12):
+    """A tiny program used across protocol tests: capped Σ xᵢ²."""
+
+    def build(b):
+        xs = b.inputs(num_inputs)
+        acc = b.constant(0)
+        for x in xs:
+            acc = acc + x * x
+        cond = less_than(b, acc, cap, bit_width=bit_width)
+        b.output(select(b, cond, acc, cap))
+
+    return build
+
+
+@pytest.fixture(scope="session")
+def sumsq_program(gold):
+    """Compiled capped-sum-of-squares over the test field."""
+    return compile_program(gold, build_sum_of_squares(), name="sumsq")

@@ -1,0 +1,99 @@
+"""Unit tests for Ginger degree-2 constraints and systems."""
+
+import pytest
+
+from repro.constraints import GingerConstraint, GingerSystem, LinearCombination
+
+
+class TestConstraint:
+    def test_paper_neq_example(self, gold):
+        """§2.2: X != Z becomes 0 = (X − Z)·M − 1, variables X=1, Z=2, M=3."""
+        c = GingerConstraint(-1, {}, {(1, 3): 1, (2, 3): -1})
+        # X=5, Z=3, M=inv(2)
+        m = gold.inv(2)
+        assert c.evaluate(gold, [1, 5, 3, m]) == 0
+        # X == Z: unsatisfiable for every M
+        assert c.evaluate(gold, [1, 5, 5, m]) != 0
+
+    def test_quadratic_key_normalization(self):
+        c = GingerConstraint(0, {}, {(2, 1): 1, (1, 2): 1})
+        assert c.quadratic == {(1, 2): 2}
+
+    def test_from_lc(self, gold):
+        lc = LinearCombination({0: 3, 1: 2})
+        c = GingerConstraint.from_lc(lc)
+        assert c.constant == 3 and c.linear == {1: 2} and not c.quadratic
+
+    def test_product_equals(self, gold):
+        # (W1 + 1)(W2) = W3  →  W1·W2 + W2 − W3 = 0
+        a = LinearCombination({1: 1, 0: 1})
+        b = LinearCombination({2: 1})
+        c = LinearCombination({3: 1})
+        constraint = GingerConstraint.product_equals(a, b, c)
+        # W1=2, W2=5, W3=15
+        assert constraint.evaluate(gold, [1, 2, 5, 15]) == 0
+        assert constraint.evaluate(gold, [1, 2, 5, 14]) != 0
+
+    def test_additive_terms(self):
+        c = GingerConstraint(1, {1: 2, 2: 0}, {(1, 2): 3})
+        assert c.additive_terms() == 3  # constant + one linear + one quad
+
+    def test_variables(self):
+        c = GingerConstraint(0, {5: 1}, {(2, 7): 1})
+        assert c.variables() == {2, 5, 7}
+
+
+class TestSystem:
+    @pytest.fixture
+    def system(self, gold):
+        # decrement-by-3 from §2.1: {X − Z = 0, Y − (Z − 3) = 0}
+        # variables: X=1, Y=2, Z=3
+        s = GingerSystem(field=gold, num_vars=3, input_vars=[1], output_vars=[2])
+        s.add(GingerConstraint(0, {1: 1, 3: -1}))
+        s.add(GingerConstraint(3, {2: 1, 3: -1}))
+        return s
+
+    def test_satisfying_assignment(self, gold, system):
+        x = 10
+        assert system.is_satisfied([1, x, x - 3, x])
+
+    def test_unsatisfying(self, gold, system):
+        assert not system.is_satisfied([1, 10, 8, 10])
+
+    def test_residuals(self, gold, system):
+        residuals = system.residuals([1, 10, 8, 10])
+        assert residuals[0] == 0 and residuals[1] != 0
+
+    def test_assignment_shape_checked(self, gold, system):
+        with pytest.raises(ValueError):
+            system.is_satisfied([1, 1, 1])  # too short
+        with pytest.raises(ValueError):
+            system.is_satisfied([0, 1, 1, 1])  # w[0] != 1
+
+    def test_counts(self, system):
+        assert system.num_constraints == 2
+        assert system.num_unbound == 1  # only Z
+        assert system.bound_vars == {1, 2}
+
+    def test_k_and_k2(self, gold):
+        # §4's example: 3·Z1Z2 + 2·Z3Z4 + Z5 − Z6 = 0
+        s = GingerSystem(field=gold, num_vars=6)
+        s.add(GingerConstraint(0, {5: 1, 6: -1}, {(1, 2): 3, (3, 4): 2}))
+        assert s.additive_terms_K() == 4
+        assert s.distinct_degree2_terms_K2() == 2
+
+    def test_k2_dedups_across_constraints(self, gold):
+        s = GingerSystem(field=gold, num_vars=2)
+        s.add(GingerConstraint(0, {}, {(1, 2): 1}))
+        s.add(GingerConstraint(0, {}, {(1, 2): 5}))
+        assert s.distinct_degree2_terms_K2() == 1
+
+    def test_proof_vector_length(self, system):
+        # |Z| = 1 → |u| = 1 + 1
+        assert system.proof_vector_length() == 2
+
+    def test_reduction_on_add(self, gold):
+        s = GingerSystem(field=gold, num_vars=1)
+        s.add(GingerConstraint(gold.p, {1: gold.p + 1}))
+        c = s.constraints[0]
+        assert c.constant == 0 and c.linear == {1: 1}

@@ -1,0 +1,80 @@
+"""Unit tests for LinearCombination."""
+
+import pytest
+
+from repro.constraints import CONST, LinearCombination
+
+
+class TestConstruction:
+    def test_constant(self):
+        lc = LinearCombination.constant(5)
+        assert lc.constant_term() == 5
+        assert lc.is_constant()
+
+    def test_zero_constant_is_empty(self):
+        assert not LinearCombination.constant(0)
+
+    def test_variable(self):
+        lc = LinearCombination.variable(3, 2)
+        assert lc.terms == {3: 2}
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            LinearCombination.variable(-1)
+
+
+class TestAlgebra:
+    def test_add(self):
+        a = LinearCombination({1: 2, CONST: 1})
+        b = LinearCombination({1: 3, 2: 1})
+        assert a.add(b).terms == {1: 5, 2: 1, CONST: 1}
+
+    def test_sub_cancels(self):
+        a = LinearCombination({1: 2})
+        assert not a.sub(a)
+
+    def test_scale(self):
+        a = LinearCombination({1: 2, CONST: 3})
+        assert a.scale(2).terms == {1: 4, CONST: 6}
+        assert not a.scale(0)
+
+    def test_add_term(self):
+        lc = LinearCombination()
+        lc.add_term(4, 1)
+        lc.add_term(4, 2)
+        assert lc.terms == {4: 3}
+
+    def test_reduced(self, gold):
+        lc = LinearCombination({1: gold.p, 2: gold.p + 3, CONST: -1})
+        reduced = lc.reduced(gold)
+        assert reduced.terms == {2: 3, CONST: gold.p - 1}
+
+
+class TestEvaluation:
+    def test_evaluate(self, gold):
+        lc = LinearCombination({CONST: 7, 1: 2, 2: 3})
+        # w = [1, 10, 100]
+        assert lc.evaluate(gold, [1, 10, 100]) == 7 + 20 + 300
+
+    def test_variables_excludes_const(self):
+        lc = LinearCombination({CONST: 7, 1: 2, 3: 1})
+        assert sorted(lc.variables()) == [1, 3]
+
+
+class TestShape:
+    def test_single_variable_detection(self):
+        assert LinearCombination({2: 1}).as_single_variable() == (2, 1)
+        assert LinearCombination({2: 5}).as_single_variable() == (2, 5)
+        assert LinearCombination({2: 1, CONST: 1}).as_single_variable() is None
+        assert LinearCombination({2: 1, 3: 1}).as_single_variable() is None
+
+    def test_remap(self):
+        lc = LinearCombination({CONST: 1, 1: 2, 2: 3})
+        remapped = lc.remap({1: 5, 2: 6})
+        assert remapped.terms == {CONST: 1, 5: 2, 6: 3}
+
+    def test_equality_ignores_zero_terms(self):
+        assert LinearCombination({1: 2, 3: 0}) == LinearCombination({1: 2})
+
+    def test_repr(self):
+        assert "W1" in repr(LinearCombination({1: 2}))

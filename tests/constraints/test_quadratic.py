@@ -1,0 +1,93 @@
+"""Unit tests for quadratic-form systems and canonicalization."""
+
+import pytest
+
+from repro.constraints import (
+    LinearCombination,
+    QuadraticSystem,
+    apply_permutation,
+    assemble_assignment,
+    split_assignment,
+)
+
+
+def lc(**terms):
+    """Helper: lc(c=3, w1=2) → 3 + 2·W1."""
+    mapping = {}
+    for key, coeff in terms.items():
+        mapping[0 if key == "c" else int(key[1:])] = coeff
+    return LinearCombination(mapping)
+
+
+@pytest.fixture
+def mult_system(gold):
+    """x·z = y with an extra intermediate: vars x=1, y=2, z=3, t=4."""
+    s = QuadraticSystem(field=gold, num_vars=4, input_vars=[1], output_vars=[2])
+    s.add(lc(w1=1), lc(w3=1), lc(w4=1))        # x·z = t
+    s.add(lc(w4=1), lc(c=1), lc(w2=1))          # t·1 = y
+    s.add(lc(w3=1), lc(c=1), lc(c=5))           # z = 5
+    return s
+
+
+class TestSatisfaction:
+    def test_satisfied(self, mult_system):
+        assert mult_system.is_satisfied([1, 4, 20, 5, 20])
+
+    def test_violated(self, mult_system):
+        assert not mult_system.is_satisfied([1, 4, 21, 5, 20])
+
+    def test_residuals_pinpoint(self, gold, mult_system):
+        residuals = mult_system.residuals([1, 4, 21, 5, 20])
+        assert residuals[0] == 0 and residuals[1] != 0 and residuals[2] == 0
+
+    def test_shape_validation(self, mult_system):
+        with pytest.raises(ValueError):
+            mult_system.is_satisfied([1, 1, 1])
+
+    def test_constraint_count_and_unbound(self, mult_system):
+        assert mult_system.num_constraints == 3
+        assert mult_system.num_unbound == 2  # z and t
+
+
+class TestCanonicalization:
+    def test_not_canonical_initially(self, mult_system):
+        assert not mult_system.is_canonical()
+
+    def test_canonical_after(self, mult_system):
+        canon, perm = mult_system.canonicalize()
+        assert canon.is_canonical()
+        # unbound z,t → 1,2; input x → 3; output y → 4
+        assert canon.input_vars == [3]
+        assert canon.output_vars == [4]
+
+    def test_witness_transports(self, mult_system):
+        canon, perm = mult_system.canonicalize()
+        w = [1, 4, 20, 5, 20]
+        assert mult_system.is_satisfied(w)
+        assert canon.is_satisfied(apply_permutation(perm, w))
+
+    def test_split_and_assemble(self, mult_system):
+        canon, perm = mult_system.canonicalize()
+        w = apply_permutation(perm, [1, 4, 20, 5, 20])
+        z, x, y = split_assignment(canon, w)
+        assert x == [4] and y == [20] and sorted(z) == [5, 20]
+        assert assemble_assignment(canon, z, x, y) == w
+
+    def test_split_requires_canonical(self, mult_system):
+        with pytest.raises(ValueError):
+            split_assignment(mult_system, [1, 4, 20, 5, 20])
+
+    def test_assemble_validates_lengths(self, mult_system):
+        canon, _ = mult_system.canonicalize()
+        with pytest.raises(ValueError):
+            assemble_assignment(canon, [1], [4], [20])
+
+
+class TestAccounting:
+    def test_nonzero_coefficients(self, mult_system):
+        # constraint 1: 1+1+1; constraint 2: 1+1+1; constraint 3: 1+1+1
+        assert mult_system.nonzero_coefficients() == 9
+
+    def test_proof_vector_length(self, mult_system):
+        # |Z|=2, |C|=3 → 2 + 3 + 1
+        assert mult_system.proof_vector_length() == 6

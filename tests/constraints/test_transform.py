@@ -1,0 +1,87 @@
+"""Unit tests for the §4 Ginger → quadratic-form transformation."""
+
+import pytest
+
+from repro.constraints import (
+    GingerConstraint,
+    GingerSystem,
+    extend_witness,
+    ginger_to_quadratic,
+)
+
+
+@pytest.fixture
+def paper_example(gold):
+    """§4's worked example: 3·Z1Z2 + 2·Z3Z4 + Z5 − Z6 = 0."""
+    s = GingerSystem(field=gold, num_vars=6)
+    s.add(GingerConstraint(0, {5: 1, 6: -1}, {(1, 2): 3, (3, 4): 2}))
+    return s
+
+
+class TestPaperExample:
+    def test_counts(self, paper_example):
+        result = ginger_to_quadratic(paper_example)
+        assert result.k2 == 2
+        # |C_z| = |C_g| + K2, |Z_z| = |Z_g| + K2
+        assert result.system.num_constraints == 1 + 2
+        assert result.system.num_vars == 6 + 2
+
+    def test_witness_extension_satisfies(self, gold, paper_example):
+        result = ginger_to_quadratic(paper_example)
+        w = [1, 2, 3, 5, 7, 11, 3 * 6 + 2 * 35 + 11]
+        assert paper_example.is_satisfied(w)
+        extended = extend_witness(paper_example, result, w)
+        assert result.system.is_satisfied(extended)
+        # the two product variables carry Z1·Z2 and Z3·Z4
+        assert extended[7:] == [6, 35]
+
+    def test_bad_witness_still_fails(self, gold, paper_example):
+        result = ginger_to_quadratic(paper_example)
+        w = [1, 2, 3, 5, 7, 11, 999]
+        assert not paper_example.is_satisfied(w)
+        assert not result.system.is_satisfied(extend_witness(paper_example, result, w))
+
+
+class TestDeduplication:
+    def test_shared_terms_get_one_variable(self, gold):
+        s = GingerSystem(field=gold, num_vars=3)
+        s.add(GingerConstraint(0, {3: -1}, {(1, 2): 1}))
+        s.add(GingerConstraint(0, {3: -2}, {(1, 2): 2}))
+        result = ginger_to_quadratic(s)
+        assert result.k2 == 1
+        assert result.system.num_vars == 4
+
+    def test_square_terms(self, gold):
+        s = GingerSystem(field=gold, num_vars=2)
+        s.add(GingerConstraint(0, {2: -1}, {(1, 1): 1}))  # Z1² = Z2
+        result = ginger_to_quadratic(s)
+        assert result.k2 == 1
+        w = [1, 5, 25]
+        assert result.system.is_satisfied(extend_witness(s, result, w))
+
+
+class TestAnnotationsPreserved:
+    def test_io_vars_carry_over(self, gold):
+        s = GingerSystem(field=gold, num_vars=3, input_vars=[1], output_vars=[2])
+        s.add(GingerConstraint(0, {2: -1}, {(1, 3): 1}))
+        result = ginger_to_quadratic(s)
+        assert result.system.input_vars == [1]
+        assert result.system.output_vars == [2]
+        # the new product variable is unbound
+        assert result.system.num_unbound == s.num_unbound + 1
+
+    def test_linear_only_system(self, gold):
+        s = GingerSystem(field=gold, num_vars=2)
+        s.add(GingerConstraint(-5, {1: 1, 2: 1}))
+        result = ginger_to_quadratic(s)
+        assert result.k2 == 0
+        assert result.system.num_constraints == 1
+        assert result.system.is_satisfied([1, 2, 3])
+        assert not result.system.is_satisfied([1, 2, 4])
+
+    def test_extend_witness_validates_length(self, gold):
+        s = GingerSystem(field=gold, num_vars=2)
+        s.add(GingerConstraint(0, {1: 1, 2: -1}))
+        result = ginger_to_quadratic(s)
+        with pytest.raises(ValueError):
+            extend_witness(s, result, [1, 2])

@@ -1,0 +1,77 @@
+"""Unit tests for breakeven batch-size computation (both definitions)."""
+
+import math
+
+import pytest
+
+from repro.costmodel import (
+    BreakevenResult,
+    breakeven_batch_size,
+    breakeven_batch_size_strict,
+)
+from repro.costmodel.model import CostBreakdown
+
+
+def breakdown(setup_total=100.0, per_instance=1.0):
+    return CostBreakdown(
+        construct_proof=0.0,
+        issue_responses=0.0,
+        query_specific_total=setup_total / 2,
+        query_oblivious_total=setup_total / 2,
+        process_responses=per_instance,
+    )
+
+
+class TestPaperDefinition:
+    """§2.2: β* = ceil(setup / T_local) — query construction amortizes."""
+
+    def test_exact_division(self):
+        result = breakeven_batch_size(breakdown(), local_seconds=2.0)
+        assert result.batch_size == 50  # 100 / 2
+
+    def test_rounds_up(self):
+        result = breakeven_batch_size(breakdown(setup_total=10), local_seconds=3.0)
+        assert result.batch_size == 4
+
+    def test_minimum_is_one(self):
+        result = breakeven_batch_size(breakdown(setup_total=0.001), local_seconds=100.0)
+        assert result.batch_size == 1
+
+    def test_always_feasible(self):
+        """Per-instance cost does not enter this definition."""
+        result = breakeven_batch_size(breakdown(per_instance=50.0), local_seconds=1.0)
+        assert result.feasible
+
+    def test_rejects_nonpositive_local(self):
+        with pytest.raises(ValueError):
+            breakeven_batch_size(breakdown(), local_seconds=0.0)
+
+
+class TestStrictDefinition:
+    def test_exact_division(self):
+        # setup 100, per-instance 1, local 2 → margin 1 → β* = 100
+        result = breakeven_batch_size_strict(breakdown(), local_seconds=2.0)
+        assert result.batch_size == 100
+
+    def test_infeasible_when_local_cheap(self):
+        result = breakeven_batch_size_strict(breakdown(per_instance=5.0), local_seconds=1.0)
+        assert result.batch_size == math.inf
+        assert not result.feasible
+
+    def test_boundary_equal_costs_infeasible(self):
+        result = breakeven_batch_size_strict(breakdown(per_instance=1.0), local_seconds=1.0)
+        assert not result.feasible
+
+    def test_strict_never_smaller_than_paper(self):
+        b = breakdown(per_instance=0.5)
+        paper = breakeven_batch_size(b, local_seconds=2.0)
+        strict = breakeven_batch_size_strict(b, local_seconds=2.0)
+        assert strict.batch_size >= paper.batch_size
+
+
+class TestResultFields:
+    def test_fields_recorded(self):
+        result = breakeven_batch_size(breakdown(), local_seconds=3.0)
+        assert result.setup_total == 100.0
+        assert result.per_instance == 1.0
+        assert result.local_seconds == 3.0

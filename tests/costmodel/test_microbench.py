@@ -1,0 +1,49 @@
+"""Tests for the microbenchmark harness (kept fast with tiny rep counts)."""
+
+import pytest
+
+from repro.costmodel import (
+    PAPER_MICROBENCH_128,
+    PAPER_MICROBENCH_220,
+    run_microbench,
+)
+
+
+class TestRunMicrobench:
+    @pytest.fixture(scope="class")
+    def measured(self, gold):
+        return run_microbench(gold, reps=200, crypto_reps=5)
+
+    def test_all_positive(self, measured):
+        row = measured.as_row()
+        assert all(v > 0 for v in row.values()), row
+
+    def test_crypto_dominates_field_ops(self, measured):
+        """e, d, h are modular exponentiations; f is one multiply —
+        the ordering the paper's table shows must hold here too."""
+        assert measured.e > measured.f
+        assert measured.d > measured.f
+        assert measured.h > measured.f
+
+    def test_lazy_no_slower_than_full(self, measured):
+        # f_lazy skips the reduction; allow generous noise margin
+        assert measured.f_lazy < measured.f * 3
+
+    def test_field_bits_recorded(self, measured, gold):
+        assert measured.field_bits == gold.bits
+
+
+class TestPaperConstants:
+    def test_values_match_section_5_1(self):
+        assert PAPER_MICROBENCH_128.e == pytest.approx(65e-6)
+        assert PAPER_MICROBENCH_128.d == pytest.approx(170e-6)
+        assert PAPER_MICROBENCH_128.h == pytest.approx(91e-6)
+        assert PAPER_MICROBENCH_128.f == pytest.approx(210e-9)
+        assert PAPER_MICROBENCH_128.f_div == pytest.approx(2e-6)
+        assert PAPER_MICROBENCH_220.f == pytest.approx(320e-9)
+
+    def test_larger_field_costs_more(self):
+        for attr in ("e", "h", "f_lazy", "f", "f_div", "c"):
+            assert getattr(PAPER_MICROBENCH_220, attr) >= getattr(
+                PAPER_MICROBENCH_128, attr
+            )

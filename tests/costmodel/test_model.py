@@ -1,0 +1,113 @@
+"""Unit tests for the Figure-3 cost model."""
+
+import pytest
+
+from repro.costmodel import (
+    PAPER_MICROBENCH_128,
+    ComputationProfile,
+    breakeven_batch_size,
+    ginger_costs,
+    zaatar_costs,
+)
+from repro.pcp import PAPER_PARAMS, SoundnessParams
+
+
+@pytest.fixture
+def profile(sumsq_program):
+    return ComputationProfile(
+        stats=sumsq_program.stats(),
+        local_seconds=1e-6,
+        num_inputs=3,
+        num_outputs=1,
+    )
+
+
+class TestRelativeCosts:
+    def test_zaatar_prover_beats_ginger(self, profile):
+        z = zaatar_costs(profile, PAPER_MICROBENCH_128, PAPER_PARAMS)
+        g = ginger_costs(profile, PAPER_MICROBENCH_128, PAPER_PARAMS)
+        assert z.prover_per_instance < g.prover_per_instance
+
+    def test_zaatar_setup_beats_ginger(self, profile):
+        z = zaatar_costs(profile, PAPER_MICROBENCH_128, PAPER_PARAMS)
+        g = ginger_costs(profile, PAPER_MICROBENCH_128, PAPER_PARAMS)
+        assert z.verifier_setup_total < g.verifier_setup_total
+
+    def test_gap_grows_with_size(self, gold):
+        """Ginger quadratic vs Zaatar ~linear: the ratio must widen as
+        the computation grows."""
+        from repro.compiler import compile_program
+
+        def profile_for(k):
+            def build(b):
+                xs = b.inputs(k)
+                acc = b.constant(0)
+                for x in xs:
+                    acc = b.define(acc + x * x)
+                b.output(acc)
+
+            prog = compile_program(gold, build)
+            return ComputationProfile(prog.stats(), 1e-6, k, 1)
+
+        small, large = profile_for(8), profile_for(64)
+        ratio_small = (
+            ginger_costs(small, PAPER_MICROBENCH_128, PAPER_PARAMS).prover_per_instance
+            / zaatar_costs(small, PAPER_MICROBENCH_128, PAPER_PARAMS).prover_per_instance
+        )
+        ratio_large = (
+            ginger_costs(large, PAPER_MICROBENCH_128, PAPER_PARAMS).prover_per_instance
+            / zaatar_costs(large, PAPER_MICROBENCH_128, PAPER_PARAMS).prover_per_instance
+        )
+        assert ratio_large > ratio_small
+
+
+class TestFormulas:
+    def test_ginger_prover_quadratic_term(self, profile):
+        mb = PAPER_MICROBENCH_128
+        g = ginger_costs(profile, mb, PAPER_PARAMS)
+        z_g = profile.stats.z_ginger
+        assert g.construct_proof == pytest.approx(
+            profile.local_seconds + mb.f * z_g * z_g
+        )
+
+    def test_issue_responses_proportional_to_u(self, profile):
+        mb = PAPER_MICROBENCH_128
+        z = zaatar_costs(profile, mb, PAPER_PARAMS)
+        ell_prime = PAPER_PARAMS.zaatar_queries_per_repetition()
+        expected = (mb.h + (PAPER_PARAMS.rho * ell_prime + 1) * mb.f) * profile.u_zaatar
+        assert z.issue_responses == pytest.approx(expected)
+
+    def test_verifier_per_instance_amortizes(self, profile):
+        z = zaatar_costs(profile, PAPER_MICROBENCH_128, PAPER_PARAMS)
+        assert z.verifier_per_instance(1000) < z.verifier_per_instance(10)
+        # in the limit only process_responses remains
+        assert z.verifier_per_instance(10**12) == pytest.approx(
+            z.process_responses, rel=1e-3
+        )
+
+
+class TestBreakeven:
+    def test_setup_amortizes_at_breakeven(self, profile):
+        z = zaatar_costs(profile, PAPER_MICROBENCH_128, PAPER_PARAMS)
+        local = z.process_responses * 10
+        result = breakeven_batch_size(z, local)
+        assert result.feasible
+        # §2.2: at β*, query construction ≤ β*·local
+        assert z.verifier_setup_total <= result.batch_size * local
+
+    def test_strict_infeasible_when_local_cheap(self, profile):
+        from repro.costmodel import breakeven_batch_size_strict
+
+        z = zaatar_costs(profile, PAPER_MICROBENCH_128, PAPER_PARAMS)
+        result = breakeven_batch_size_strict(z, z.process_responses / 2)
+        assert not result.feasible
+
+    def test_zaatar_breakeven_smaller_than_ginger(self, profile):
+        """Figure 7's headline: Zaatar's breakeven batch sizes are
+        orders of magnitude below Ginger's."""
+        z = zaatar_costs(profile, PAPER_MICROBENCH_128, PAPER_PARAMS)
+        g = ginger_costs(profile, PAPER_MICROBENCH_128, PAPER_PARAMS)
+        local = max(z.process_responses, g.process_responses) * 4
+        bz = breakeven_batch_size(z, local)
+        bg = breakeven_batch_size(g, local)
+        assert bz.batch_size < bg.batch_size

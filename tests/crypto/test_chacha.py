@@ -1,0 +1,72 @@
+"""ChaCha20 against the RFC 8439 test vectors."""
+
+import pytest
+
+from repro.crypto import ChaChaStream, chacha20_block, chacha20_encrypt
+
+
+class TestRFC8439Vectors:
+    def test_block_function(self):
+        """RFC 8439 §2.3.2."""
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000090000004a00000000")
+        block = chacha20_block(key, 1, nonce)
+        expected = bytes.fromhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4"
+            "c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2"
+            "b5129cd1de164eb9cbd083e8a2503c4e"
+        )
+        assert block == expected
+
+    def test_encryption(self):
+        """RFC 8439 §2.4.2."""
+        key = bytes(range(32))
+        nonce = bytes.fromhex("000000000000004a00000000")
+        plaintext = (
+            b"Ladies and Gentlemen of the class of '99: If I could offer you "
+            b"only one tip for the future, sunscreen would be it."
+        )
+        ciphertext = chacha20_encrypt(key, nonce, plaintext, counter=1)
+        assert ciphertext.hex() == (
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b"
+            "f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8"
+            "07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736"
+            "5af90bbf74a35be6b40b8eedf2785e42874d"
+        )
+
+    def test_zero_key_block(self):
+        """RFC 8439 A.1 test vector #1."""
+        block = chacha20_block(b"\x00" * 32, 0, b"\x00" * 12)
+        assert block.hex().startswith("76b8e0ada0f13d90405d6ae55386bd28")
+
+
+class TestStream:
+    def test_reads_are_contiguous(self):
+        key = bytes(range(32))
+        one = ChaChaStream(key)
+        parts = one.read(10) + one.read(100) + one.read(1)
+        whole = ChaChaStream(key).read(111)
+        assert parts == whole
+
+    def test_different_keys_differ(self):
+        a = ChaChaStream(b"\x00" * 32).read(64)
+        b = ChaChaStream(b"\x01" + b"\x00" * 31).read(64)
+        assert a != b
+
+    def test_encrypt_decrypt_roundtrip(self):
+        key = bytes(range(32))
+        nonce = b"\x07" * 12
+        msg = b"attack at dawn"
+        ct = chacha20_encrypt(key, nonce, msg)
+        assert chacha20_encrypt(key, nonce, ct) == msg
+
+
+class TestValidation:
+    def test_bad_key_length(self):
+        with pytest.raises(ValueError):
+            chacha20_block(b"short", 0, b"\x00" * 12)
+
+    def test_bad_nonce_length(self):
+        with pytest.raises(ValueError):
+            chacha20_block(b"\x00" * 32, 0, b"\x00" * 8)

@@ -1,0 +1,71 @@
+"""Validate the hardcoded commitment groups."""
+
+import pytest
+
+from repro.crypto import (
+    GROUP_GOLDILOCKS_512,
+    GROUP_P128_512,
+    GROUP_P128_1024,
+    GROUP_P220_1024,
+    group_for_field,
+    named_group,
+)
+from repro.field import GOLDILOCKS, P128, P220, PrimeField, is_probable_prime
+
+ALL_GROUPS = [
+    GROUP_GOLDILOCKS_512,
+    GROUP_P128_512,
+    GROUP_P128_1024,
+    GROUP_P220_1024,
+]
+
+
+@pytest.mark.parametrize("group", ALL_GROUPS, ids=lambda g: g.name)
+class TestGroupParameters:
+    def test_modulus_is_prime(self, group):
+        assert is_probable_prime(group.modulus)
+
+    def test_order_divides_modulus_minus_one(self, group):
+        assert (group.modulus - 1) % group.order == 0
+
+    def test_generator_has_exact_order(self, group):
+        assert pow(group.generator, group.order, group.modulus) == 1
+        assert group.generator != 1
+
+    def test_contains(self, group):
+        assert group.contains(group.generator)
+        assert group.contains(group.encode(12345))
+        assert not group.contains(0)
+
+    def test_encode_homomorphism(self, group):
+        a, b = 123456789, 987654321
+        lhs = group.encode(a) * group.encode(b) % group.modulus
+        assert lhs == group.encode(a + b)
+
+
+class TestGroupSizes:
+    def test_bit_lengths(self):
+        assert GROUP_GOLDILOCKS_512.bits == 512
+        assert GROUP_P128_1024.bits == 1024  # the paper's key size
+        assert GROUP_P220_1024.bits == 1024
+
+
+class TestLookup:
+    def test_group_for_field_orders_match(self, gold, p128):
+        assert group_for_field(gold).order == gold.p
+        assert group_for_field(p128).order == p128.p
+        assert group_for_field(p128, paper_scale=True).bits == 1024
+
+    def test_p220(self):
+        f = PrimeField(P220, check_prime=False)
+        assert group_for_field(f).order == f.p
+
+    def test_unknown_field(self):
+        f = PrimeField(2**61 - 1)
+        with pytest.raises(KeyError):
+            group_for_field(f)
+
+    def test_named_lookup(self):
+        assert named_group("p128-1024") is GROUP_P128_1024
+        with pytest.raises(KeyError):
+            named_group("nope")

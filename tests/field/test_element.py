@@ -1,0 +1,80 @@
+"""Unit tests for the FieldElement operator wrapper."""
+
+import pytest
+
+from repro.field import FieldElement, PrimeField
+
+
+@pytest.fixture
+def fe(gold):
+    def make(v):
+        return FieldElement(gold, v)
+
+    return make
+
+
+class TestOperators:
+    def test_add(self, fe):
+        assert (fe(3) + fe(4)).value == 7
+        assert (fe(3) + 4).value == 7
+        assert (4 + fe(3)).value == 7
+
+    def test_sub(self, fe, gold):
+        assert (fe(3) - fe(4)).value == gold.p - 1
+        assert (3 - fe(4)).value == gold.p - 1
+        assert (fe(4) - 3).value == 1
+
+    def test_mul(self, fe):
+        assert (fe(3) * fe(4)).value == 12
+        assert (3 * fe(4)).value == 12
+
+    def test_truediv(self, fe):
+        assert (fe(12) / fe(4)).value == 3
+        assert (12 / fe(4)).value == 3
+        assert (fe(12) / 4).value == 3
+
+    def test_pow(self, fe):
+        assert (fe(2) ** 10).value == 1024
+
+    def test_neg(self, fe, gold):
+        assert (-fe(1)).value == gold.p - 1
+
+    def test_inv(self, fe):
+        x = fe(7)
+        assert (x * x.inv()).value == 1
+
+
+class TestComparisons:
+    def test_eq_element(self, fe):
+        assert fe(5) == fe(5)
+        assert fe(5) != fe(6)
+
+    def test_eq_int(self, fe, gold):
+        assert fe(5) == 5
+        assert fe(gold.p - 1) == -1  # canonical comparison mod p
+
+    def test_hashable(self, fe):
+        assert len({fe(1), fe(1), fe(2)}) == 2
+
+    def test_bool(self, fe):
+        assert fe(1)
+        assert not fe(0)
+
+
+class TestConversions:
+    def test_int(self, fe):
+        assert int(fe(9)) == 9
+
+    def test_to_signed(self, fe):
+        assert fe(-5).to_signed() == -5
+
+    def test_repr(self, fe):
+        assert "goldilocks" in repr(fe(3))
+
+
+class TestFieldMixing:
+    def test_cross_field_rejected(self, gold, p128):
+        a = FieldElement(gold, 1)
+        b = FieldElement(p128, 1)
+        with pytest.raises(ValueError):
+            _ = a + b

@@ -1,0 +1,51 @@
+"""Tests for named field parameters."""
+
+import pytest
+
+from repro.field import (
+    GOLDILOCKS,
+    NAMED_FIELDS,
+    P128,
+    P192,
+    P220,
+    FieldParams,
+    PrimeField,
+    field_params,
+)
+
+
+class TestNamedFields:
+    def test_bit_lengths_match_names(self):
+        assert P128.bits == 128
+        assert P192.bits == 192
+        assert P220.bits == 220
+        assert GOLDILOCKS.bits == 64
+
+    def test_two_adicity_is_real(self):
+        for params in NAMED_FIELDS.values():
+            assert (params.modulus - 1) % (1 << params.two_adicity) == 0
+
+    def test_generators_have_declared_order(self):
+        for params in NAMED_FIELDS.values():
+            p = params.modulus
+            g = params.two_adic_generator
+            order = 1 << params.two_adicity
+            assert pow(g, order, p) == 1
+            assert pow(g, order // 2, p) != 1
+
+    def test_lookup(self):
+        assert field_params("p128") is P128
+        assert field_params("goldilocks") is GOLDILOCKS
+
+    def test_unknown_name_lists_options(self):
+        with pytest.raises(KeyError) as excinfo:
+            field_params("p999")
+        assert "p128" in str(excinfo.value)
+
+    def test_primefield_named(self):
+        f = PrimeField.named("p220")
+        assert f.p == P220.modulus
+        assert f.name == "p220"
+
+    def test_goldilocks_value(self):
+        assert GOLDILOCKS.modulus == 2**64 - 2**32 + 1

@@ -1,0 +1,145 @@
+"""Unit tests for PrimeField scalar arithmetic."""
+
+import random
+
+import pytest
+
+from repro.field import GOLDILOCKS, P128, P192, P220, PrimeField, is_probable_prime
+
+
+class TestPrimality:
+    def test_known_primes(self):
+        for params in (GOLDILOCKS, P128, P192, P220):
+            assert is_probable_prime(params.modulus), params.name
+
+    def test_known_composites(self):
+        assert not is_probable_prime(2**64 - 1)
+        assert not is_probable_prime(561)  # Carmichael
+        assert not is_probable_prime(1)
+        assert not is_probable_prime(0)
+
+    def test_small_primes(self):
+        assert is_probable_prime(2)
+        assert is_probable_prime(3)
+        assert is_probable_prime(97)
+
+    def test_constructor_rejects_composite(self):
+        with pytest.raises(ValueError):
+            PrimeField(91)
+
+
+class TestArithmetic:
+    def test_add_wraps(self, gold):
+        assert gold.add(gold.p - 1, 1) == 0
+        assert gold.add(gold.p - 1, 2) == 1
+
+    def test_sub_wraps(self, gold):
+        assert gold.sub(0, 1) == gold.p - 1
+
+    def test_neg(self, gold):
+        assert gold.neg(0) == 0
+        assert gold.neg(5) == gold.p - 5
+
+    def test_mul_matches_reference(self, gold, rng):
+        for _ in range(50):
+            a, b = rng.randrange(gold.p), rng.randrange(gold.p)
+            assert gold.mul(a, b) == a * b % gold.p
+
+    def test_mul_lazy_needs_reduction(self, gold):
+        a = b = gold.p - 1
+        lazy = gold.mul_lazy(a, b)
+        assert lazy >= gold.p
+        assert gold.reduce(lazy) == gold.mul(a, b)
+
+    def test_inverse(self, gold, rng):
+        for _ in range(20):
+            a = rng.randrange(1, gold.p)
+            assert gold.mul(a, gold.inv(a)) == 1
+
+    def test_inverse_of_zero_raises(self, gold):
+        with pytest.raises(ZeroDivisionError):
+            gold.inv(0)
+
+    def test_div(self, gold):
+        assert gold.div(10, 5) == 2
+        assert gold.mul(gold.div(7, 3), 3) == 7
+
+    def test_pow(self, gold):
+        assert gold.pow(3, 0) == 1
+        assert gold.pow(2, 10) == 1024
+        # Fermat: a^(p-1) == 1
+        assert gold.pow(12345, gold.p - 1) == 1
+
+
+class TestSignedEncoding:
+    def test_roundtrip(self, gold):
+        for v in (-100, -1, 0, 1, 100):
+            assert gold.to_signed(gold.from_signed(v)) == v
+
+    def test_negative_embedding(self, gold):
+        assert gold.from_signed(-1) == gold.p - 1
+
+
+class TestBatchHelpers:
+    def test_inner_product(self, gold, rng):
+        a = [rng.randrange(gold.p) for _ in range(30)]
+        b = [rng.randrange(gold.p) for _ in range(30)]
+        expected = sum(x * y for x, y in zip(a, b)) % gold.p
+        assert gold.inner_product(a, b) == expected
+
+    def test_inner_product_length_mismatch(self, gold):
+        with pytest.raises(ValueError):
+            gold.inner_product([1, 2], [1])
+
+    def test_batch_inv(self, gold, rng):
+        values = [rng.randrange(1, gold.p) for _ in range(17)]
+        invs = gold.batch_inv(values)
+        assert all(gold.mul(v, i) == 1 for v, i in zip(values, invs))
+
+    def test_batch_inv_rejects_zero(self, gold):
+        with pytest.raises(ZeroDivisionError):
+            gold.batch_inv([1, 0, 2])
+
+    def test_batch_inv_empty(self, gold):
+        assert gold.batch_inv([]) == []
+
+
+class TestRootsOfUnity:
+    def test_orders(self, gold):
+        for log in (1, 2, 5, 10):
+            n = 1 << log
+            w = gold.root_of_unity(n)
+            assert pow(w, n, gold.p) == 1
+            assert pow(w, n // 2, gold.p) != 1
+
+    def test_rejects_non_power_of_two(self, gold):
+        with pytest.raises(ValueError):
+            gold.root_of_unity(3)
+
+    def test_rejects_too_large(self, gold):
+        with pytest.raises(ValueError):
+            gold.root_of_unity(1 << 40)
+
+    def test_p128_roots(self, p128):
+        w = p128.root_of_unity(1 << 20)
+        assert pow(w, 1 << 20, p128.p) == 1
+
+    def test_derived_two_adicity(self):
+        # field constructed from a raw modulus derives its own 2-adicity
+        f = PrimeField(97)  # 96 = 2^5 * 3
+        assert f.two_adicity == 5
+        w = f.root_of_unity(32)
+        assert pow(w, 32, 97) == 1 and pow(w, 16, 97) != 1
+
+
+class TestIdentity:
+    def test_equality_by_modulus(self, gold):
+        other = PrimeField(GOLDILOCKS, check_prime=False)
+        assert gold == other
+        assert hash(gold) == hash(other)
+
+    def test_inequality(self, gold, p128):
+        assert gold != p128
+
+    def test_repr(self, gold):
+        assert "goldilocks" in repr(gold)

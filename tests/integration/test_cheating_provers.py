@@ -1,0 +1,124 @@
+"""Adversarial integration tests: every §2.2 cheating mode, end to end.
+
+"If P does not compute correctly — if it does not participate in the
+commitment protocol correctly, if it commits to a function that is not
+linear, if it commits to a linear function not of the form (z, z⊗z)
+[Ginger] / (z, h) [Zaatar], or if it commits to (z', ...) where z' is
+not a satisfying assignment — then V rejects the proof with probability
+≥ 1 − ε."  Each test below exercises exactly one of these modes.
+"""
+
+import pytest
+
+from repro.argument import ArgumentConfig, ZaatarArgument
+from repro.crypto import CommitmentProver
+from repro.pcp import SoundnessParams
+from repro.qap import build_proof_vector
+
+CFG = ArgumentConfig(params=SoundnessParams(rho_lin=3, rho=2))
+
+
+@pytest.fixture(scope="module")
+def honest(sumsq_program):
+    return ZaatarArgument(sumsq_program, CFG)
+
+
+class TestCommitmentMisbehaviour:
+    def test_commit_then_answer_different_function(self, gold, honest, sumsq_program):
+        """Commits to u but answers queries with u' ≠ u."""
+
+        class SwitchingProver(ZaatarArgument):
+            def prove_instance(self, inputs, setup, stats):
+                schedule, _, request, challenge = setup
+                sol = self.program.solve(inputs, check=False)
+                proof = build_proof_vector(self.qap, sol.quadratic_witness)
+                vector = proof.vector
+                committed = CommitmentProver(gold, self.config.group(gold), vector)
+                commitment = committed.commit(request)
+                # answer with a shifted vector
+                other = CommitmentProver(
+                    gold, self.config.group(gold), [(v + 1) % gold.p for v in vector]
+                )
+                response = other.answer(challenge)
+                return sol, commitment, response, response.answers
+
+        result = SwitchingProver(sumsq_program, CFG).run_batch([[1, 2, 3]])
+        assert not result.instances[0].commitment_ok
+        assert not result.all_accepted
+
+
+class TestNonLinearFunction:
+    def test_random_answers_rejected(self, gold, sumsq_program):
+        import random as _random
+
+        class RandomAnswerProver(ZaatarArgument):
+            def prove_instance(self, inputs, setup, stats):
+                sol, c, response, answers = super().prove_instance(
+                    inputs, setup, stats
+                )
+                rnd = _random.Random(0)
+                response.answers[:] = [
+                    rnd.randrange(gold.p) for _ in response.answers
+                ]
+                return sol, c, response, response.answers
+
+        result = RandomAnswerProver(sumsq_program, CFG).run_batch([[1, 2, 3]])
+        assert not result.all_accepted
+
+
+class TestWrongFormLinearFunction:
+    def test_inconsistent_h_rejected(self, gold, sumsq_program):
+        """Linear function (z, h') where h' is not P_w/D."""
+
+        class WrongHProver(ZaatarArgument):
+            def prove_instance(self, inputs, setup, stats):
+                schedule, _, request, challenge = setup
+                sol = self.program.solve(inputs, check=False)
+                proof = build_proof_vector(self.qap, sol.quadratic_witness)
+                vector = proof.vector
+                vector[self.qap.n_prime] = (vector[self.qap.n_prime] + 3) % gold.p
+                prover = CommitmentProver(gold, self.config.group(gold), vector)
+                commitment = prover.commit(request)
+                response = prover.answer(challenge)
+                return sol, commitment, response, response.answers
+
+        result = WrongHProver(sumsq_program, CFG).run_batch([[1, 2, 3]])
+        # commitment is consistent (it IS a linear function) but the
+        # PCP's divisibility test fails
+        assert result.instances[0].commitment_ok
+        assert not result.instances[0].pcp_ok
+
+
+class TestUnsatisfyingAssignment:
+    def test_valid_proof_for_wrong_claim_rejected(self, gold, sumsq_program):
+        """z' satisfies C(X=x', Y=y') for different x'/y' than claimed."""
+
+        class ReplayProver(ZaatarArgument):
+            def prove_instance(self, inputs, setup, stats):
+                # prove a DIFFERENT instance but claim this one's inputs
+                schedule, _, request, challenge = setup
+                other = self.program.solve([9, 9, 9], check=False)
+                sol = self.program.solve(inputs, check=False)
+                proof = build_proof_vector(self.qap, other.quadratic_witness)
+                prover = CommitmentProver(gold, self.config.group(gold), proof.vector)
+                commitment = prover.commit(request)
+                response = prover.answer(challenge)
+                return sol, commitment, response, response.answers
+
+        result = ReplayProver(sumsq_program, CFG).run_batch([[1, 2, 3]])
+        assert result.instances[0].commitment_ok
+        assert not result.instances[0].pcp_ok
+
+
+class TestRepetitionStrength:
+    def test_more_repetitions_never_accept_what_fewer_reject(self, gold, sumsq_program):
+        weak = ArgumentConfig(params=SoundnessParams(rho_lin=1, rho=1))
+        strong = ArgumentConfig(params=SoundnessParams(rho_lin=4, rho=3))
+
+        class Cheat(ZaatarArgument):
+            def prove_instance(self, inputs, setup, stats):
+                sol, c, r, a = super().prove_instance(inputs, setup, stats)
+                sol.y[0] = (sol.y[0] + 1) % gold.p
+                return sol, c, r, a
+
+        assert not Cheat(sumsq_program, strong).run_batch([[1, 2, 3]]).all_accepted

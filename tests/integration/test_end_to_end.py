@@ -1,0 +1,84 @@
+"""Full-stack integration: compile → solve → prove → verify, per app."""
+
+import random
+
+import pytest
+
+from repro.apps import ALL_APPS
+from repro.argument import ArgumentConfig, ZaatarArgument
+from repro.field import P128, PrimeField
+from repro.pcp import SoundnessParams
+
+FAST = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+
+TINY_SIZES = {
+    "pam_clustering": {"m": 3, "d": 2},
+    "root_finding_bisection": {"m": 3, "L": 3, "num_bits": 6},
+    "all_pairs_shortest_path": {"m": 3},
+    "fannkuch": {"m": 1, "n": 4},
+    "longest_common_subsequence": {"m": 4},
+}
+
+
+@pytest.fixture(params=sorted(ALL_APPS), ids=lambda n: n)
+def app(request):
+    return ALL_APPS[request.param]
+
+
+class TestZaatarOnEveryApp:
+    def test_batch_verifies(self, gold, app):
+        rng = random.Random(42)
+        sizes = TINY_SIZES[app.name]
+        prog = app.compile(gold, sizes)
+        arg = ZaatarArgument(prog, FAST)
+        batch = [app.generate_inputs(rng, sizes) for _ in range(2)]
+        result = arg.run_batch(batch)
+        assert result.all_accepted
+        for inputs, inst in zip(batch, result.instances):
+            expected = [v % gold.p for v in app.reference(inputs, sizes)]
+            assert inst.output_values == expected
+
+    def test_cheating_on_app_rejected(self, gold, app):
+        rng = random.Random(43)
+        sizes = TINY_SIZES[app.name]
+        prog = app.compile(gold, sizes)
+
+        class Cheat(ZaatarArgument):
+            def prove_instance(self, inputs, setup, stats):
+                sol, c, r, a = super().prove_instance(inputs, setup, stats)
+                sol.y[0] = (sol.y[0] + 1) % gold.p
+                return sol, c, r, a
+
+        result = Cheat(prog, FAST).run_batch([app.generate_inputs(rng, sizes)])
+        assert not result.all_accepted
+
+
+class TestPaperField:
+    def test_lcs_on_p128(self):
+        """The paper's 128-bit field, end to end (smaller batch)."""
+        field = PrimeField(P128, check_prime=False)
+        app = ALL_APPS["longest_common_subsequence"]
+        rng = random.Random(1)
+        sizes = {"m": 4}
+        prog = app.compile(field, sizes)
+        result = ZaatarArgument(prog, FAST).run_batch(
+            [app.generate_inputs(rng, sizes)]
+        )
+        assert result.all_accepted
+
+
+class TestBatchingSemantics:
+    def test_setup_shared_across_batch(self, gold):
+        """Verifier setup time must not scale with batch size."""
+        app = ALL_APPS["longest_common_subsequence"]
+        rng = random.Random(3)
+        sizes = {"m": 4}
+        prog = app.compile(gold, sizes)
+        arg = ZaatarArgument(prog, FAST)
+        small = arg.run_batch([app.generate_inputs(rng, sizes)])
+        big = ZaatarArgument(prog, FAST).run_batch(
+            [app.generate_inputs(rng, sizes) for _ in range(4)]
+        )
+        # setup cost roughly flat; per-instance grows with batch
+        assert big.stats.verifier.query_setup < small.stats.verifier.query_setup * 3
+        assert big.stats.verifier.per_instance > small.stats.verifier.per_instance

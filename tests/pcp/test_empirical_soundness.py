@@ -1,0 +1,95 @@
+"""Empirical soundness: rejection rates against live cheating oracles.
+
+§A.2 gives analytic bounds; these tests sample the protocol's actual
+behaviour.  With an *unsatisfying but perfectly linear* proof, each
+repetition's divisibility test accepts only if the random τ lands on a
+root of a nonzero polynomial of degree ≤ 2|C| — probability ≤ 2|C|/|F|,
+astronomically small — so empirical rejection should be 100% over any
+feasible trial count, even at ρ = 1.  The linearity tests' detection
+rate against a δ-corrupted oracle is the statistically interesting
+one: per triple, a random corruption is caught roughly whenever the
+three involved points disagree.
+"""
+
+import pytest
+
+from repro.crypto import FieldPRG
+from repro.pcp import MostlyLinearOracle, SoundnessParams, VectorOracle, zaatar
+from repro.qap import build_proof_vector, build_qap
+
+MINIMAL = SoundnessParams(rho_lin=1, rho=1)
+
+
+@pytest.fixture(scope="module")
+def setup(sumsq_program):
+    qap = build_qap(sumsq_program.quadratic)
+    sol = sumsq_program.solve([4, 5, 6])
+    proof = build_proof_vector(qap, sol.quadratic_witness)
+    return qap, sol, proof
+
+
+class TestDivisibilityRejectionRate:
+    def test_wrong_claim_rejected_every_trial(self, setup, gold):
+        """Even at ρ=1, a wrong output claim survives a trial only with
+        probability ~2|C|/|F| ≈ 2⁻⁵⁶ here: zero acceptances expected."""
+        qap, sol, proof = setup
+        oracle = VectorOracle(gold, proof.vector)
+        bad_y = [(sol.y[0] + 1) % gold.p]
+        accepts = sum(
+            zaatar.run_pcp(
+                qap, MINIMAL, FieldPRG(gold, trial, "emp"), oracle, sol.x, bad_y
+            ).accepted
+            for trial in range(40)
+        )
+        assert accepts == 0
+
+    def test_wrong_witness_rejected_every_trial(self, setup, gold):
+        qap, sol, proof = setup
+        bad = list(proof.vector)
+        bad[2] = (bad[2] + 123) % gold.p
+        oracle = VectorOracle(gold, bad)
+        accepts = sum(
+            zaatar.run_pcp(
+                qap, MINIMAL, FieldPRG(gold, trial, "emp2"), oracle, sol.x, sol.y
+            ).accepted
+            for trial in range(40)
+        )
+        assert accepts == 0
+
+
+class TestLinearityDetectionRate:
+    def test_detection_grows_with_rho_lin(self, setup, gold):
+        """More linearity repetitions catch a δ-corrupted oracle more
+        often — the (1−3δ+6δ²)^ρ_lin branch of κ in action."""
+        qap, sol, proof = setup
+        trials = 30
+
+        def rejection_rate(rho_lin: int) -> float:
+            params = SoundnessParams(rho_lin=rho_lin, rho=1)
+            rejections = 0
+            for trial in range(trials):
+                oracle = MostlyLinearOracle(
+                    gold, proof.vector, corrupt_fraction=0.25, seed=trial
+                )
+                result = zaatar.run_pcp(
+                    qap, params, FieldPRG(gold, trial, f"lin{rho_lin}"),
+                    oracle, sol.x, sol.y,
+                )
+                rejections += not result.accepted
+            return rejections / trials
+
+        low = rejection_rate(1)
+        high = rejection_rate(6)
+        assert high >= low
+        assert high > 0.9  # 6 repetitions vs 25% corruption: near-certain
+
+    def test_honest_oracle_never_rejected(self, setup, gold):
+        """Completeness is exact (Lemma A.2): zero rejections, ever."""
+        qap, sol, proof = setup
+        oracle = VectorOracle(gold, proof.vector)
+        params = SoundnessParams(rho_lin=5, rho=2)
+        for trial in range(15):
+            result = zaatar.run_pcp(
+                qap, params, FieldPRG(gold, trial, "honest"), oracle, sol.x, sol.y
+            )
+            assert result.accepted, trial

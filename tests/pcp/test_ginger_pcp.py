@@ -1,0 +1,142 @@
+"""Unit tests for the Ginger baseline PCP (§2.2)."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.crypto import FieldPRG
+from repro.pcp import NonLinearOracle, SoundnessParams, VectorOracle
+from repro.pcp import ginger as gpcp
+
+PARAMS = SoundnessParams(rho_lin=3, rho=2)
+
+
+@pytest.fixture(scope="module")
+def setup(gold):
+    def build(b):
+        x, y = b.inputs(2)
+        b.output(x * y + x + 1)
+
+    prog = compile_program(gold, build, name="tiny")
+    sol = prog.solve([3, 4])
+    proof = gpcp.build_ginger_proof(prog.ginger, sol.ginger_witness)
+    return prog, sol, proof
+
+
+class TestProofShape:
+    def test_quadratic_length(self, setup):
+        prog, _, proof = setup
+        n = prog.ginger.num_vars
+        assert len(proof) == n + n * n
+        assert gpcp.proof_length(prog.ginger) == len(proof)
+
+    def test_outer_product_part(self, setup, gold):
+        prog, sol, proof = setup
+        n = prog.ginger.num_vars
+        w = sol.ginger_witness[1:]
+        # entry (i,k) of the tail is w_i·w_k
+        assert proof[n] == w[0] * w[0] % gold.p
+        assert proof[n + 1] == w[0] * w[1] % gold.p
+
+    def test_length_validated(self, setup):
+        prog, _, _ = setup
+        with pytest.raises(ValueError):
+            gpcp.build_ginger_proof(prog.ginger, [1, 2])
+
+
+class TestSchedule:
+    def test_high_order_query_count(self, setup, gold):
+        """ℓ = 3ρ_lin + 2 π₂-queries per repetition (Figure 3 legend)."""
+        prog, _, _ = setup
+        schedule = gpcp.generate_schedule(prog.ginger, PARAMS, FieldPRG(gold, b"s"))
+        n = prog.ginger.num_vars
+        per_rep_high = 0
+        rep = schedule.repetitions[0]
+        high_indices = {i for t in rep.lin2 for i in t} | {rep.idx_qab, rep.idx_gamma2}
+        assert len(high_indices) == 3 * PARAMS.rho_lin + 2
+
+    def test_gamma_instance_independent(self, setup, gold):
+        """The same schedule must verify two different instances."""
+        prog, _, _ = setup
+        schedule = gpcp.generate_schedule(prog.ginger, PARAMS, FieldPRG(gold, b"s"))
+        for inputs in ([3, 4], [7, 9]):
+            sol = prog.solve(inputs)
+            proof = gpcp.build_ginger_proof(prog.ginger, sol.ginger_witness)
+            oracle = VectorOracle(gold, proof)
+            answers = [oracle.query(q) for q in schedule.queries]
+            assert gpcp.check_answers(
+                schedule, answers, sol.input_values, sol.output_values
+            ).accepted
+
+
+class TestCompleteness:
+    def test_honest_accepts(self, setup, gold):
+        prog, sol, proof = setup
+        result = gpcp.run_pcp(
+            prog.ginger, PARAMS, FieldPRG(gold, b"c"), VectorOracle(gold, proof),
+            sol.input_values, sol.output_values,
+        )
+        assert result.accepted
+
+
+class TestSoundness:
+    def test_nonlinear_rejected(self, setup, gold):
+        prog, sol, _ = setup
+        result = gpcp.run_pcp(
+            prog.ginger, PARAMS, FieldPRG(gold, b"n"), NonLinearOracle(gold),
+            sol.input_values, sol.output_values,
+        )
+        assert not result.accepted and result.failed_linearity
+
+    def test_wrong_output_rejected(self, setup, gold):
+        prog, sol, proof = setup
+        bad_y = [(sol.output_values[0] + 1) % gold.p]
+        result = gpcp.run_pcp(
+            prog.ginger, PARAMS, FieldPRG(gold, b"w"), VectorOracle(gold, proof),
+            sol.input_values, bad_y,
+        )
+        assert not result.accepted and result.failed_circuit
+
+    def test_wrong_input_binding_rejected(self, setup, gold):
+        prog, sol, proof = setup
+        bad_x = [(sol.input_values[0] + 1) % gold.p, sol.input_values[1]]
+        result = gpcp.run_pcp(
+            prog.ginger, PARAMS, FieldPRG(gold, b"x"), VectorOracle(gold, proof),
+            bad_x, sol.output_values,
+        )
+        assert not result.accepted
+
+    def test_not_outer_product_form_rejected(self, setup, gold):
+        """Linear function not of the form (z, z⊗z): the quadratic
+        correction test must catch it."""
+        prog, sol, proof = setup
+        n = prog.ginger.num_vars
+        bad = list(proof)
+        bad[n + 2] = (bad[n + 2] + 1) % gold.p
+        result = gpcp.run_pcp(
+            prog.ginger, PARAMS, FieldPRG(gold, b"q"), VectorOracle(gold, bad),
+            sol.input_values, sol.output_values,
+        )
+        assert not result.accepted
+
+    def test_consistent_wrong_witness_rejected(self, setup, gold):
+        """(z', z'⊗z') for an unsatisfying z' passes linearity and the
+        quadratic test but must fail the circuit test."""
+        prog, sol, proof = setup
+        from repro.field import outer
+
+        w = list(sol.ginger_witness[1:])
+        w[0] = (w[0] + 1) % gold.p
+        bad = w + outer(gold, w, w)
+        result = gpcp.run_pcp(
+            prog.ginger, PARAMS, FieldPRG(gold, b"cw"), VectorOracle(gold, bad),
+            sol.input_values, sol.output_values,
+        )
+        assert not result.accepted and result.failed_circuit
+
+
+class TestValidation:
+    def test_answer_count(self, setup, gold):
+        prog, sol, _ = setup
+        schedule = gpcp.generate_schedule(prog.ginger, PARAMS, FieldPRG(gold, b"s"))
+        with pytest.raises(ValueError):
+            gpcp.check_answers(schedule, [0], sol.input_values, sol.output_values)

@@ -1,0 +1,63 @@
+"""Tests for soundness-parameter optimization (§A.2 methodology)."""
+
+import pytest
+
+from repro.pcp import (
+    PAPER_PARAMS,
+    SoundnessParams,
+    optimize_params,
+    query_volume,
+)
+
+
+class TestQueryVolume:
+    def test_paper_volume(self):
+        assert query_volume(PAPER_PARAMS) == 8 * 124
+
+    def test_scales_with_both_knobs(self):
+        base = query_volume(SoundnessParams(rho_lin=5, rho=2))
+        assert query_volume(SoundnessParams(rho_lin=10, rho=2)) > base
+        assert query_volume(SoundnessParams(rho_lin=5, rho=4)) == 2 * base
+
+
+class TestOptimizer:
+    def test_meets_target(self):
+        result = optimize_params(1e-6)
+        assert result.meets(1e-6)
+        assert result.error <= 1e-6
+
+    def test_no_worse_than_paper_choice(self):
+        """The optimizer must find something at least as cheap as the
+        paper's hand-chosen point for the paper's target error."""
+        result = optimize_params(9.6e-7)
+        assert result.query_volume <= query_volume(PAPER_PARAMS)
+
+    def test_looser_target_is_cheaper(self):
+        strict = optimize_params(1e-9)
+        loose = optimize_params(1e-2)
+        assert loose.query_volume < strict.query_volume
+        assert strict.error <= 1e-9
+
+    def test_chosen_params_are_consistent(self):
+        result = optimize_params(1e-4)
+        # the reported error is exactly κ^ρ for the reported params
+        assert result.error == pytest.approx(result.params.pcp_error, rel=1e-9)
+        assert result.query_volume == query_volume(result.params)
+
+    def test_invalid_target_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_params(0.0)
+        with pytest.raises(ValueError):
+            optimize_params(1.5)
+
+    def test_unreachable_target_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_params(1e-30, max_rho_lin=2, max_rho=2)
+
+    def test_optimized_params_run_the_protocol(self, gold, sumsq_program):
+        """The optimizer's output is directly usable end to end."""
+        from repro.argument import ArgumentConfig, ZaatarArgument
+
+        result = optimize_params(0.05, max_rho_lin=6, max_rho=4)
+        cfg = ArgumentConfig(params=result.params)
+        assert ZaatarArgument(sumsq_program, cfg).run_batch([[1, 2, 3]]).all_accepted

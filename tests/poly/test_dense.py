@@ -1,0 +1,104 @@
+"""Unit tests for dense polynomial basics."""
+
+import pytest
+
+from repro.poly import (
+    degree,
+    is_zero,
+    poly_add,
+    poly_derivative,
+    poly_eval,
+    poly_from_roots,
+    poly_mul_naive,
+    poly_neg,
+    poly_scale,
+    poly_shift,
+    poly_sub,
+    trim,
+)
+
+
+class TestCanonicalForm:
+    def test_trim(self):
+        assert trim([1, 2, 0, 0]) == [1, 2]
+        assert trim([0, 0]) == []
+        assert trim([]) == []
+
+    def test_degree(self):
+        assert degree([]) == -1
+        assert degree([5]) == 0
+        assert degree([0, 0, 3]) == 2
+        assert degree([1, 0, 0]) == 0  # untrimmed input handled
+
+    def test_is_zero(self):
+        assert is_zero([])
+        assert is_zero([0, 0])
+        assert not is_zero([0, 1])
+
+
+class TestRingOps:
+    def test_add_commutes(self, gold, rng):
+        a = [rng.randrange(gold.p) for _ in range(7)]
+        b = [rng.randrange(gold.p) for _ in range(4)]
+        assert poly_add(gold, a, b) == poly_add(gold, b, a)
+
+    def test_sub_self_is_zero(self, gold, rng):
+        a = [rng.randrange(gold.p) for _ in range(7)]
+        assert poly_sub(gold, a, a) == []
+
+    def test_neg(self, gold):
+        assert poly_neg(gold, [1, 2]) == [gold.p - 1, gold.p - 2]
+
+    def test_scale(self, gold):
+        assert poly_scale(gold, 2, [1, 3]) == [2, 6]
+        assert poly_scale(gold, 0, [1, 3]) == []
+
+    def test_mul_naive_small(self, gold):
+        # (1 + x)(1 - x) = 1 - x²
+        assert poly_mul_naive(gold, [1, 1], [1, gold.p - 1]) == [
+            1,
+            0,
+            gold.p - 1,
+        ]
+
+    def test_mul_by_zero(self, gold):
+        assert poly_mul_naive(gold, [], [1, 2]) == []
+
+    def test_shift(self):
+        assert poly_shift([1, 2], 2) == [0, 0, 1, 2]
+        assert poly_shift([], 3) == []
+
+
+class TestEvaluation:
+    def test_horner(self, gold):
+        # 2 + 3x + x² at x=5 → 2 + 15 + 25 = 42
+        assert poly_eval(gold, [2, 3, 1], 5) == 42
+
+    def test_empty_poly(self, gold):
+        assert poly_eval(gold, [], 7) == 0
+
+
+class TestFromRoots:
+    def test_roots_vanish(self, gold, rng):
+        roots = [rng.randrange(1, gold.p) for _ in range(9)]
+        poly = poly_from_roots(gold, roots)
+        assert degree(poly) == 9
+        assert poly[-1] == 1  # monic
+        for r in roots:
+            assert poly_eval(gold, poly, r) == 0
+
+    def test_nonroot_does_not_vanish(self, gold):
+        poly = poly_from_roots(gold, [1, 2, 3])
+        assert poly_eval(gold, poly, 4) != 0
+
+    def test_empty(self, gold):
+        assert poly_from_roots(gold, []) == [1]
+
+
+class TestDerivative:
+    def test_power_rule(self, gold):
+        # d/dt (1 + 2t + 3t²) = 2 + 6t
+        assert poly_derivative(gold, [1, 2, 3]) == [2, 6]
+
+    def test_constant(self, gold):
+        assert poly_derivative(gold, [5]) == []

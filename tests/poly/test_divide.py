@@ -1,0 +1,77 @@
+"""Unit tests for polynomial division (schoolbook + Newton)."""
+
+import pytest
+
+from repro.poly import (
+    poly_add,
+    poly_div_exact,
+    poly_divmod,
+    poly_divmod_naive,
+    poly_mul,
+    trim,
+)
+
+
+def random_poly(gold, rng, n, monic=False):
+    coeffs = [rng.randrange(gold.p) for _ in range(n)]
+    if monic:
+        coeffs[-1] = 1
+    elif coeffs[-1] == 0:
+        coeffs[-1] = 1
+    return coeffs
+
+
+class TestDivmodIdentity:
+    def test_schoolbook_identity(self, gold, rng):
+        num = random_poly(gold, rng, 40)
+        den = random_poly(gold, rng, 13)
+        q, r = poly_divmod_naive(gold, num, den)
+        recomposed = poly_add(gold, poly_mul(gold, den, q), r)
+        assert recomposed == trim(list(num))
+        assert len(r) < 13
+
+    def test_newton_matches_schoolbook(self, gold, rng):
+        num = random_poly(gold, rng, 500)
+        den = random_poly(gold, rng, 180)
+        assert poly_divmod(gold, num, den) == poly_divmod_naive(gold, num, den)
+
+    def test_numerator_smaller_than_denominator(self, gold, rng):
+        num = random_poly(gold, rng, 5)
+        den = random_poly(gold, rng, 9)
+        q, r = poly_divmod(gold, num, den)
+        assert q == [] and r == trim(list(num))
+
+    def test_divide_by_zero_raises(self, gold):
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod(gold, [1, 2], [])
+        with pytest.raises(ZeroDivisionError):
+            poly_divmod_naive(gold, [1, 2], [0, 0])
+
+    def test_non_monic_divisor(self, gold, rng):
+        num = random_poly(gold, rng, 30)
+        den = random_poly(gold, rng, 7)
+        den[-1] = 12345  # decidedly non-monic
+        q, r = poly_divmod(gold, num, den)
+        assert poly_add(gold, poly_mul(gold, den, q), r) == trim(list(num))
+
+
+class TestExactDivision:
+    def test_product_divides(self, gold, rng):
+        a = random_poly(gold, rng, 150)
+        b = random_poly(gold, rng, 120)
+        prod = poly_mul(gold, a, b)
+        assert poly_div_exact(gold, prod, a) == trim(list(b))
+
+    def test_inexact_raises(self, gold, rng):
+        a = random_poly(gold, rng, 10)
+        b = random_poly(gold, rng, 8)
+        prod = poly_mul(gold, a, b)
+        prod[0] = (prod[0] + 1) % gold.p  # break divisibility
+        with pytest.raises(ValueError):
+            poly_div_exact(gold, prod, a)
+
+    def test_large_newton_path(self, gold, rng):
+        a = random_poly(gold, rng, 600)
+        b = random_poly(gold, rng, 600)
+        prod = poly_mul(gold, a, b)
+        assert poly_div_exact(gold, prod, a) == trim(list(b))

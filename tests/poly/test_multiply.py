@@ -1,0 +1,53 @@
+"""Unit tests for the multiplication dispatcher (schoolbook/Karatsuba/NTT)."""
+
+import pytest
+
+from repro.field import PrimeField
+from repro.poly import poly_mul, poly_mul_naive
+
+
+class TestDispatch:
+    def test_small_sizes(self, gold, rng):
+        for na, nb in [(1, 1), (3, 5), (31, 33)]:
+            a = [rng.randrange(gold.p) for _ in range(na)]
+            b = [rng.randrange(gold.p) for _ in range(nb)]
+            assert poly_mul(gold, a, b) == poly_mul_naive(gold, a, b)
+
+    def test_karatsuba_range(self, gold, rng):
+        a = [rng.randrange(gold.p) for _ in range(100)]
+        b = [rng.randrange(gold.p) for _ in range(90)]
+        assert poly_mul(gold, a, b) == poly_mul_naive(gold, a, b)
+
+    def test_ntt_range(self, gold, rng):
+        a = [rng.randrange(gold.p) for _ in range(400)]
+        b = [rng.randrange(gold.p) for _ in range(300)]
+        assert poly_mul(gold, a, b) == poly_mul_naive(gold, a, b)
+
+    def test_empty(self, gold):
+        assert poly_mul(gold, [], [1]) == []
+        assert poly_mul(gold, [1], []) == []
+
+
+class TestNonNTTField:
+    def test_karatsuba_fallback_for_low_two_adicity(self, rng):
+        """A field with tiny 2-adicity cannot host large NTTs; the
+        dispatcher must fall back to Karatsuba and stay correct."""
+        field = PrimeField(2**61 - 1)  # Mersenne: 2-adicity is 1
+        a = [rng.randrange(field.p) for _ in range(300)]
+        b = [rng.randrange(field.p) for _ in range(280)]
+        assert poly_mul(field, a, b) == poly_mul_naive(field, a, b)
+
+
+class TestAlgebra:
+    def test_commutative(self, gold, rng):
+        a = [rng.randrange(gold.p) for _ in range(80)]
+        b = [rng.randrange(gold.p) for _ in range(50)]
+        assert poly_mul(gold, a, b) == poly_mul(gold, b, a)
+
+    def test_associative(self, gold, rng):
+        a = [rng.randrange(gold.p) for _ in range(20)]
+        b = [rng.randrange(gold.p) for _ in range(20)]
+        c = [rng.randrange(gold.p) for _ in range(20)]
+        left = poly_mul(gold, poly_mul(gold, a, b), c)
+        right = poly_mul(gold, a, poly_mul(gold, b, c))
+        assert left == right

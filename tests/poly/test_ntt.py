@@ -1,0 +1,55 @@
+"""Unit tests for the number-theoretic transform."""
+
+import pytest
+
+from repro.poly import intt, max_ntt_size, ntt, ntt_mul, poly_eval, poly_mul_naive
+
+
+class TestTransform:
+    def test_roundtrip(self, gold, rng):
+        for n in (1, 2, 8, 64, 256):
+            a = [rng.randrange(gold.p) for _ in range(n)]
+            assert intt(gold, ntt(gold, a)) == a
+
+    def test_forward_is_evaluation_at_roots(self, gold, rng):
+        """NTT(a)[k] must equal a(ω^k)."""
+        n = 16
+        a = [rng.randrange(gold.p) for _ in range(n)]
+        omega = gold.root_of_unity(n)
+        transformed = ntt(gold, a)
+        for k in range(n):
+            assert transformed[k] == poly_eval(gold, a, pow(omega, k, gold.p))
+
+    def test_rejects_non_power_of_two(self, gold):
+        with pytest.raises(ValueError):
+            ntt(gold, [1, 2, 3])
+
+    def test_linearity(self, gold, rng):
+        n = 32
+        a = [rng.randrange(gold.p) for _ in range(n)]
+        b = [rng.randrange(gold.p) for _ in range(n)]
+        fa, fb = ntt(gold, a), ntt(gold, b)
+        fsum = ntt(gold, [(x + y) % gold.p for x, y in zip(a, b)])
+        assert fsum == [(x + y) % gold.p for x, y in zip(fa, fb)]
+
+
+class TestMultiplication:
+    def test_matches_schoolbook(self, gold, rng):
+        a = [rng.randrange(gold.p) for _ in range(33)]
+        b = [rng.randrange(gold.p) for _ in range(21)]
+        assert ntt_mul(gold, a, b) == poly_mul_naive(gold, a, b)
+
+    def test_zero_factor(self, gold):
+        assert ntt_mul(gold, [], [1, 2]) == []
+
+    def test_result_trimmed(self, gold):
+        # (x)(x) = x²: length exactly 3
+        assert ntt_mul(gold, [0, 1], [0, 1]) == [0, 0, 1]
+
+
+class TestCapacity:
+    def test_max_size(self, gold):
+        assert max_ntt_size(gold) == 1 << 32
+
+    def test_p128_capacity(self, p128):
+        assert max_ntt_size(p128) == 1 << 40

@@ -1,0 +1,42 @@
+"""Direct tests for the Newton power-series inversion behind fast division."""
+
+import pytest
+
+from repro.poly import poly_mul, trim
+from repro.poly.divide import _series_inverse
+
+
+class TestSeriesInverse:
+    def test_defining_identity(self, gold, rng):
+        """f · f⁻¹ ≡ 1 (mod t^n)."""
+        for n in (1, 2, 7, 64, 200):
+            f = [rng.randrange(1, gold.p)] + [
+                rng.randrange(gold.p) for _ in range(n - 1)
+            ]
+            g = _series_inverse(gold, f, n)
+            product = poly_mul(gold, f, g)
+            assert product[0] == 1
+            assert all(c == 0 for c in product[1:n])
+
+    def test_constant_series(self, gold):
+        g = _series_inverse(gold, [4], 5)
+        assert g == [gold.inv(4)]
+
+    def test_geometric_series(self, gold):
+        """(1 - t)⁻¹ = 1 + t + t² + ... mod t^n."""
+        g = _series_inverse(gold, [1, gold.p - 1], 6)
+        assert g == [1] * 6
+
+    def test_zero_constant_term_rejected(self, gold):
+        with pytest.raises(ZeroDivisionError):
+            _series_inverse(gold, [0, 1], 4)
+        with pytest.raises(ZeroDivisionError):
+            _series_inverse(gold, [], 4)
+
+    def test_precision_doubling_consistency(self, gold, rng):
+        """The inverse mod t^n agrees with the inverse mod t^m truncated,
+        for m < n."""
+        f = [rng.randrange(1, gold.p)] + [rng.randrange(gold.p) for _ in range(30)]
+        g_small = _series_inverse(gold, f, 10)
+        g_large = _series_inverse(gold, f, 31)
+        assert trim(list(g_large[:10])) == trim(list(g_small))

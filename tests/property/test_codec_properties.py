@@ -1,0 +1,71 @@
+"""Property-based tests for wire codecs and serialization."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.argument import decode_elements, encode_elements
+from repro.crypto.chacha import ChaChaStream, chacha20_encrypt
+from repro.field import GOLDILOCKS, P128, PrimeField
+
+GOLD = PrimeField(GOLDILOCKS, check_prime=False)
+P128F = PrimeField(P128, check_prime=False)
+
+gold_elements = st.lists(
+    st.integers(min_value=0, max_value=GOLD.p - 1), max_size=50
+)
+p128_elements = st.lists(
+    st.integers(min_value=0, max_value=P128F.p - 1), max_size=20
+)
+
+
+@settings(max_examples=50)
+@given(gold_elements)
+def test_element_codec_roundtrip_gold(values):
+    assert decode_elements(GOLD, encode_elements(GOLD, values)) == values
+
+
+@settings(max_examples=30)
+@given(p128_elements)
+def test_element_codec_roundtrip_p128(values):
+    assert decode_elements(P128F, encode_elements(P128F, values)) == values
+
+
+@settings(max_examples=30)
+@given(gold_elements)
+def test_encoding_length_is_deterministic(values):
+    assert len(encode_elements(GOLD, values)) == 8 * len(values)
+
+
+@settings(max_examples=30)
+@given(st.binary(min_size=32, max_size=32), st.binary(max_size=200))
+def test_chacha_encrypt_is_involutive(key, message):
+    nonce = b"\x01" * 12
+    ct = chacha20_encrypt(key, nonce, message)
+    assert chacha20_encrypt(key, nonce, ct) == message
+    if message:
+        assert ct != message or len(message) == 0  # keystream nonzero whp
+
+
+@settings(max_examples=20)
+@given(
+    st.binary(min_size=32, max_size=32),
+    st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=8),
+)
+def test_chacha_stream_chunking_invariant(key, chunk_sizes):
+    """Reading in any chunking yields the same keystream bytes."""
+    total = sum(chunk_sizes)
+    whole = ChaChaStream(key).read(total)
+    stream = ChaChaStream(key)
+    parts = b"".join(stream.read(n) for n in chunk_sizes)
+    assert parts == whole
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=GOLD.p - 1), min_size=1, max_size=30
+    )
+)
+def test_transcript_hex_roundtrip(values):
+    """The hex encoding used by transcripts/net frames is lossless."""
+    encoded = [format(v, "x") for v in values]
+    assert [int(v, 16) for v in encoded] == values

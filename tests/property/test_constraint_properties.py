@@ -1,0 +1,84 @@
+"""Property-based tests: the §4 transform preserves satisfiability."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints import (
+    GingerConstraint,
+    GingerSystem,
+    encoding_stats,
+    extend_witness,
+    ginger_to_quadratic,
+)
+from repro.field import GOLDILOCKS, PrimeField
+
+FIELD = PrimeField(GOLDILOCKS, check_prime=False)
+
+NUM_VARS = 6
+small = st.integers(min_value=-5, max_value=5)
+var_idx = st.integers(min_value=1, max_value=NUM_VARS)
+
+
+@st.composite
+def ginger_constraints(draw):
+    constant = draw(small)
+    linear = draw(
+        st.dictionaries(var_idx, small, min_size=0, max_size=3)
+    )
+    quadratic = draw(
+        st.dictionaries(st.tuples(var_idx, var_idx), small, min_size=0, max_size=3)
+    )
+    return GingerConstraint(constant, linear, quadratic)
+
+
+@st.composite
+def systems_and_assignments(draw):
+    system = GingerSystem(field=FIELD, num_vars=NUM_VARS)
+    for _ in range(draw(st.integers(min_value=1, max_value=4))):
+        system.add(draw(ginger_constraints()))
+    assignment = [1] + [
+        draw(st.integers(min_value=0, max_value=20)) for _ in range(NUM_VARS)
+    ]
+    return system, assignment
+
+
+@settings(max_examples=60)
+@given(systems_and_assignments())
+def test_transform_preserves_satisfaction_status(data):
+    """w satisfies C_ginger ⟺ extend(w) satisfies C_zaatar — both ways."""
+    system, w = data
+    result = ginger_to_quadratic(system)
+    extended = extend_witness(system, result, w)
+    assert system.is_satisfied(w) == result.system.is_satisfied(extended)
+
+
+@settings(max_examples=60)
+@given(systems_and_assignments())
+def test_size_identities(data):
+    system, _ = data
+    result = ginger_to_quadratic(system)
+    stats = encoding_stats(system, result)
+    assert stats.z_zaatar == stats.z_ginger + stats.k2_terms
+    assert stats.c_zaatar == stats.c_ginger + stats.k2_terms
+    assert result.system.num_constraints == system.num_constraints + result.k2
+
+
+@settings(max_examples=60)
+@given(systems_and_assignments())
+def test_transformed_constraints_are_quadratic_form(data):
+    """Every output constraint must have degree-1 sides only (by
+    construction of QuadraticConstraint this is structural, so check
+    the defining product constraints evaluate correctly instead)."""
+    system, w = data
+    result = ginger_to_quadratic(system)
+    extended = extend_witness(system, result, w)
+    # product variables must hold exactly the products
+    for offset, (i, k) in enumerate(result.product_terms):
+        idx = result.first_product_var + offset
+        assert extended[idx] == w[i] * w[k] % FIELD.p
+
+
+@settings(max_examples=40)
+@given(systems_and_assignments())
+def test_residuals_zero_iff_satisfied(data):
+    system, w = data
+    assert (all(r == 0 for r in system.residuals(w))) == system.is_satisfied(w)

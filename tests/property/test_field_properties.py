@@ -1,0 +1,67 @@
+"""Property-based tests: prime-field axioms and helpers."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.field import GOLDILOCKS, PrimeField
+
+FIELD = PrimeField(GOLDILOCKS, check_prime=False)
+elements = st.integers(min_value=0, max_value=FIELD.p - 1)
+nonzero = st.integers(min_value=1, max_value=FIELD.p - 1)
+
+
+@settings(max_examples=60)
+@given(elements, elements, elements)
+def test_add_associative_commutative(a, b, c):
+    assert FIELD.add(FIELD.add(a, b), c) == FIELD.add(a, FIELD.add(b, c))
+    assert FIELD.add(a, b) == FIELD.add(b, a)
+
+
+@settings(max_examples=60)
+@given(elements, elements, elements)
+def test_mul_distributes_over_add(a, b, c):
+    lhs = FIELD.mul(a, FIELD.add(b, c))
+    rhs = FIELD.add(FIELD.mul(a, b), FIELD.mul(a, c))
+    assert lhs == rhs
+
+
+@settings(max_examples=60)
+@given(elements)
+def test_additive_inverse(a):
+    assert FIELD.add(a, FIELD.neg(a)) == 0
+
+
+@settings(max_examples=40)
+@given(nonzero)
+def test_multiplicative_inverse(a):
+    assert FIELD.mul(a, FIELD.inv(a)) == 1
+
+
+@settings(max_examples=40)
+@given(nonzero, nonzero)
+def test_div_mul_roundtrip(a, b):
+    assert FIELD.mul(FIELD.div(a, b), b) == a
+
+
+@settings(max_examples=40)
+@given(st.integers(min_value=-(2**70), max_value=2**70))
+def test_signed_roundtrip_within_range(v):
+    half = FIELD.p // 2
+    if -half < v <= half:
+        assert FIELD.to_signed(FIELD.from_signed(v)) == v
+
+
+@settings(max_examples=30)
+@given(st.lists(nonzero, min_size=1, max_size=20))
+def test_batch_inv_matches_scalar_inv(values):
+    assert FIELD.batch_inv(values) == [FIELD.inv(v) for v in values]
+
+
+@settings(max_examples=30)
+@given(st.lists(st.tuples(elements, elements), min_size=0, max_size=30))
+def test_inner_product_bilinear_in_scale(pairs):
+    a = [x for x, _ in pairs]
+    b = [y for _, y in pairs]
+    two_a = [FIELD.mul(2, x) for x in a]
+    assert FIELD.inner_product(two_a, b) == FIELD.mul(
+        2, FIELD.inner_product(a, b)
+    )

@@ -1,0 +1,100 @@
+"""Property-based tests: gadget circuits agree with Python semantics."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    compile_program,
+    is_equal,
+    less_than,
+    maximum,
+    minimum,
+    select,
+    to_bits,
+)
+from repro.field import GOLDILOCKS, PrimeField
+
+FIELD = PrimeField(GOLDILOCKS, check_prime=False)
+
+WIDTH = 10
+operand = st.integers(min_value=-(2**(WIDTH - 1)), max_value=2**(WIDTH - 1) - 1)
+unsigned = st.integers(min_value=0, max_value=2**WIDTH - 1)
+
+
+def _cmp_program():
+    def build(b):
+        x, y = b.inputs(2)
+        b.output(less_than(b, x, y, bit_width=WIDTH + 1))
+        b.output(is_equal(b, x, y))
+        b.output(minimum(b, x, y, bit_width=WIDTH + 1))
+        b.output(maximum(b, x, y, bit_width=WIDTH + 1))
+
+    return compile_program(FIELD, build)
+
+
+CMP = _cmp_program()
+
+
+@settings(max_examples=80)
+@given(operand, operand)
+def test_comparison_gadgets(x, y):
+    out = CMP.solve([FIELD.from_signed(x), FIELD.from_signed(y)]).output_values
+    lt, eq, mn, mx = out
+    assert lt == int(x < y)
+    assert eq == int(x == y)
+    assert FIELD.to_signed(mn) == min(x, y)
+    assert FIELD.to_signed(mx) == max(x, y)
+
+
+def _bits_program():
+    def build(b):
+        x = b.input()
+        for bit in to_bits(b, x, WIDTH):
+            b.output(bit)
+
+    return compile_program(FIELD, build)
+
+
+BITS = _bits_program()
+
+
+@settings(max_examples=60)
+@given(unsigned)
+def test_bit_decomposition(x):
+    out = BITS.solve([x]).output_values
+    assert out == [(x >> i) & 1 for i in range(WIDTH)]
+
+
+def _select_program():
+    def build(b):
+        c, t, f = b.inputs(3)
+        b.output(select(b, c, t, f))
+
+    return compile_program(FIELD, build)
+
+
+SEL = _select_program()
+
+
+@settings(max_examples=40)
+@given(st.booleans(), unsigned, unsigned)
+def test_select(cond, t, f):
+    out = SEL.solve([int(cond), t, f]).output_values
+    assert out == [t if cond else f]
+
+
+@settings(max_examples=40)
+@given(st.lists(operand, min_size=1, max_size=5))
+def test_witnesses_always_satisfy(xs):
+    """Whatever the inputs, hints must produce satisfying witnesses for
+    both constraint systems (solve(check=True) enforces this)."""
+
+    def build(b):
+        wires = b.inputs(len(xs))
+        acc = b.constant(0)
+        for w in wires:
+            acc = acc + w * w
+        b.output(acc)
+
+    prog = compile_program(FIELD, build)
+    sol = prog.solve([FIELD.from_signed(v) for v in xs])  # raises on violation
+    assert sol.output_values[0] == sum(v * v for v in xs) % FIELD.p

@@ -1,0 +1,106 @@
+"""Property-based tests for the integer-operation gadgets."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.compiler import (
+    BitVector,
+    bitwise_and,
+    bitwise_or,
+    bitwise_xor,
+    compile_program,
+    div_mod,
+    integer_sqrt,
+)
+from repro.field import GOLDILOCKS, PrimeField
+
+FIELD = PrimeField(GOLDILOCKS, check_prime=False)
+WIDTH = 10
+values = st.integers(min_value=0, max_value=(1 << WIDTH) - 1)
+divisors = st.integers(min_value=1, max_value=(1 << WIDTH) - 1)
+
+
+def _bitwise_prog():
+    def build(b):
+        x, y = b.inputs(2)
+        xv = BitVector.decompose(b, x, WIDTH)
+        yv = BitVector.decompose(b, y, WIDTH)
+        b.output(bitwise_and(xv, yv).value)
+        b.output(bitwise_or(xv, yv).value)
+        b.output(bitwise_xor(xv, yv).value)
+
+    return compile_program(FIELD, build)
+
+
+BITWISE = _bitwise_prog()
+
+
+@settings(max_examples=60)
+@given(values, values)
+def test_bitwise_matches_python(x, y):
+    out = BITWISE.solve([x, y]).output_values
+    assert out == [x & y, x | y, x ^ y]
+
+
+@settings(max_examples=40)
+@given(values, values)
+def test_de_morgan(x, y):
+    """¬(x ∧ y) == ¬x ∨ ¬y inside the circuit."""
+
+    def build(b):
+        xw, yw = b.inputs(2)
+        from repro.compiler import bitwise_not
+
+        xv = BitVector.decompose(b, xw, WIDTH)
+        yv = BitVector.decompose(b, yw, WIDTH)
+        lhs = bitwise_not(bitwise_and(xv, yv))
+        rhs = bitwise_or(bitwise_not(xv), bitwise_not(yv))
+        b.output(lhs.value - rhs.value)
+
+    prog = compile_program(FIELD, build)
+    assert prog.solve([x, y]).output_values == [0]
+
+
+def _divmod_prog():
+    def build(b):
+        x, d = b.inputs(2)
+        q, r = div_mod(b, x, d, bit_width=WIDTH)
+        b.output(q)
+        b.output(r)
+
+    return compile_program(FIELD, build)
+
+
+DIVMOD = _divmod_prog()
+
+
+@settings(max_examples=60)
+@given(values, divisors)
+def test_divmod_matches_python(x, d):
+    assert DIVMOD.solve([x, d]).output_values == [x // d, x % d]
+
+
+def _sqrt_prog():
+    def build(b):
+        x = b.input()
+        b.output(integer_sqrt(b, x, bit_width=WIDTH))
+
+    return compile_program(FIELD, build)
+
+
+SQRT = _sqrt_prog()
+
+
+@settings(max_examples=60)
+@given(values)
+def test_isqrt_matches_python(x):
+    assert SQRT.solve([x]).output_values == [math.isqrt(x)]
+
+
+@settings(max_examples=40)
+@given(values)
+def test_isqrt_characterization(x):
+    """The defining inequality s² ≤ x < (s+1)² holds for the output."""
+    (s,) = SQRT.solve([x]).output_values
+    assert s * s <= x < (s + 1) * (s + 1)

@@ -1,0 +1,68 @@
+"""Property-based tests: polynomial algebra invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.field import GOLDILOCKS, PrimeField
+from repro.poly import (
+    SubproductTree,
+    poly_add,
+    poly_divmod,
+    poly_eval,
+    poly_mul,
+    poly_mul_naive,
+    poly_sub,
+    trim,
+)
+
+FIELD = PrimeField(GOLDILOCKS, check_prime=False)
+coeff = st.integers(min_value=0, max_value=FIELD.p - 1)
+polys = st.lists(coeff, min_size=0, max_size=40)
+nonzero_polys = st.lists(coeff, min_size=1, max_size=40).filter(
+    lambda c: any(c)
+)
+
+
+@settings(max_examples=40)
+@given(polys, polys)
+def test_mul_matches_naive(a, b):
+    assert poly_mul(FIELD, a, b) == poly_mul_naive(FIELD, a, b)
+
+
+@settings(max_examples=40)
+@given(polys, polys, coeff)
+def test_mul_is_pointwise_product(a, b, x):
+    prod = poly_mul(FIELD, a, b)
+    assert poly_eval(FIELD, prod, x) == FIELD.mul(
+        poly_eval(FIELD, a, x), poly_eval(FIELD, b, x)
+    )
+
+
+@settings(max_examples=40)
+@given(polys, polys, coeff)
+def test_add_is_pointwise_sum(a, b, x):
+    assert poly_eval(FIELD, poly_add(FIELD, a, b), x) == FIELD.add(
+        poly_eval(FIELD, a, x), poly_eval(FIELD, b, x)
+    )
+
+
+@settings(max_examples=30)
+@given(polys, nonzero_polys)
+def test_divmod_identity(num, den):
+    q, r = poly_divmod(FIELD, num, den)
+    from repro.poly import degree
+
+    recomposed = poly_add(FIELD, poly_mul(FIELD, den, q), r)
+    assert recomposed == trim([c % FIELD.p for c in num])
+    assert degree(r) < degree(trim([c % FIELD.p for c in den]))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(coeff, min_size=1, max_size=24))
+def test_tree_interpolation_roundtrip(values):
+    points = list(range(len(values)))
+    tree = SubproductTree(FIELD, points)
+    poly = tree.interpolate(values)
+    from repro.poly import degree
+
+    assert degree(poly) < len(values)
+    assert tree.evaluate(poly) == [v % FIELD.p for v in values]

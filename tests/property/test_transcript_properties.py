@@ -1,0 +1,67 @@
+"""Property-based tests for transcript record/replay determinism."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.argument import (
+    ArgumentConfig,
+    Transcript,
+    record_batch,
+    replay_transcript,
+)
+from repro.compiler import compile_program
+from repro.field import GOLDILOCKS, PrimeField
+from repro.pcp import SoundnessParams
+
+FIELD = PrimeField(GOLDILOCKS, check_prime=False)
+FAST = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+
+
+def _program():
+    def build(b):
+        x, y = b.inputs(2)
+        t = b.define(x * y + x)
+        b.output(t + 1)
+
+    return compile_program(FIELD, build)
+
+
+PROG = _program()
+
+inputs2 = st.lists(
+    st.integers(min_value=0, max_value=10**6), min_size=2, max_size=2
+)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.lists(inputs2, min_size=1, max_size=3))
+def test_replay_always_agrees_with_recording(batch):
+    transcript, ok = record_batch(PROG, batch, FAST)
+    assert ok
+    assert replay_transcript(PROG, transcript) == [True] * len(batch)
+    # JSON round trip preserves the verdicts
+    restored = Transcript.from_json(transcript.to_json())
+    assert replay_transcript(PROG, restored) == [True] * len(batch)
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    inputs2,
+    st.integers(min_value=0, max_value=10),
+    st.integers(min_value=1, max_value=10**9),
+)
+def test_any_answer_tamper_is_caught(xy, position, delta):
+    transcript, _ = record_batch(PROG, [xy], FAST)
+    rec = transcript.instances[0]
+    idx = position % len(rec.answers)
+    rec.answers[idx] = (rec.answers[idx] + delta) % FIELD.p
+    # a tampered answer must flip the verdict (delta ≠ 0 mod p always here)
+    assert replay_transcript(PROG, transcript) == [False]
+
+
+@settings(max_examples=10, deadline=None)
+@given(inputs2, st.integers(min_value=1, max_value=10**9))
+def test_any_output_forgery_is_caught(xy, delta):
+    transcript, _ = record_batch(PROG, [xy], FAST)
+    rec = transcript.instances[0]
+    rec.claimed_outputs[0] = (rec.claimed_outputs[0] + delta) % FIELD.p
+    assert replay_transcript(PROG, transcript) == [False]

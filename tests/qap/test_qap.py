@@ -1,0 +1,78 @@
+"""Unit tests for QAP construction (§A.1)."""
+
+import pytest
+
+from repro.poly import poly_eval
+from repro.qap import build_qap
+
+
+@pytest.fixture(params=["arithmetic", "roots"])
+def qap(request, sumsq_program):
+    return build_qap(sumsq_program.quadratic, mode=request.param)
+
+
+class TestConstruction:
+    def test_sizes(self, sumsq_program, qap):
+        system = sumsq_program.quadratic
+        if qap.mode == "arithmetic":
+            assert qap.m == system.num_constraints
+        else:
+            assert qap.m >= system.num_constraints
+            assert qap.m & (qap.m - 1) == 0
+        assert qap.n == system.num_vars
+        assert qap.n_prime == system.num_unbound
+        assert qap.h_length == qap.m + 1
+        assert qap.proof_vector_length == qap.n_prime + qap.h_length
+
+    def test_sigma_points_distinct_nonzero(self, qap):
+        assert len(set(qap.sigma)) == len(qap.sigma)
+        assert all(s != 0 for s in qap.sigma)
+
+    def test_sparse_columns_match_constraints(self, sumsq_program, qap):
+        system = sumsq_program.quadratic
+        for j, constraint in enumerate(system.constraints, start=1):
+            for i, coeff in constraint.a.terms.items():
+                if coeff:
+                    assert (j, coeff % qap.field.p) in [
+                        (jj, cc % qap.field.p) for jj, cc in qap.a_cols[i]
+                    ]
+
+    def test_nonzero_coefficient_count(self, sumsq_program, qap):
+        assert qap.nonzero_coefficients() == sumsq_program.quadratic.nonzero_coefficients()
+
+    def test_requires_canonical_system(self, gold):
+        from repro.constraints import LinearCombination, QuadraticSystem
+
+        s = QuadraticSystem(field=gold, num_vars=2, input_vars=[1], output_vars=[])
+        s.add(
+            LinearCombination.variable(1),
+            LinearCombination.constant(1),
+            LinearCombination.variable(2),
+        )
+        with pytest.raises(ValueError):
+            build_qap(s)
+
+    def test_unknown_mode_rejected(self, sumsq_program):
+        with pytest.raises(ValueError):
+            build_qap(sumsq_program.quadratic, mode="fancy")
+
+
+class TestDivisor:
+    def test_divisor_vanishes_exactly_on_sigma(self, gold, qap, rng):
+        if qap.mode == "arithmetic":
+            d = qap.divisor_poly
+            for s in qap.sigma[:5]:
+                assert poly_eval(gold, d, s) == 0
+            assert poly_eval(gold, d, qap.m + 17) != 0
+
+    def test_divisor_at_matches_polynomial(self, gold, qap, rng):
+        tau = rng.randrange(qap.m + 1, gold.p)
+        expected = 1
+        for s in qap.sigma:
+            expected = expected * ((tau - s) % gold.p) % gold.p
+        assert qap.divisor_at(tau) == expected
+
+    def test_roots_mode_divisor_is_vanishing(self, sumsq_program, gold, rng):
+        qap = build_qap(sumsq_program.quadratic, mode="roots")
+        tau = rng.randrange(2, gold.p)
+        assert qap.divisor_at(tau) == (pow(tau, qap.m, gold.p) - 1) % gold.p

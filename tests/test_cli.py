@@ -1,0 +1,96 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+SOURCE = """
+input x[2]
+output y
+var acc
+acc = 0
+for i in 0..6 {
+    acc = acc + (x[0] + i) * (x[1] + i)
+}
+if (acc < 500) { y = acc } else { y = 500 }
+"""
+
+
+def reference(a, b):
+    acc = sum((a + i) * (b + i) for i in range(6))
+    return acc if acc < 500 else 500
+
+
+@pytest.fixture
+def program_file(tmp_path):
+    path = tmp_path / "mul.zr"
+    path.write_text(SOURCE)
+    return str(path)
+
+
+class TestCompileCommand:
+    def test_prints_stats(self, program_file, capsys):
+        assert main(["compile", program_file]) == 0
+        out = capsys.readouterr().out
+        assert "|u_zaatar|" in out
+        assert "hybrid chooser   : zaatar" in out
+
+    def test_field_selection(self, program_file, capsys):
+        assert main(["compile", program_file, "--field", "p128"]) == 0
+        assert "p128" in capsys.readouterr().out
+
+
+class TestProveCommand:
+    def test_accepts_honest_batch(self, program_file, capsys):
+        rc = main(
+            [
+                "prove",
+                program_file,
+                "--inputs",
+                "3,4",
+                "--inputs",
+                "5,6",
+                "--rho-lin",
+                "2",
+                "--rho",
+                "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"y=[{reference(3, 4)}]  [ACCEPTED]" in out
+        assert f"y=[{reference(5, 6)}]  [ACCEPTED]" in out
+        assert "prover per instance" in out
+
+    def test_no_commitment_mode(self, program_file, capsys):
+        rc = main(
+            ["prove", program_file, "--inputs", "2,2", "--no-commitment",
+             "--rho-lin", "2", "--rho", "1"]
+        )
+        assert rc == 0
+        assert f"y=[{reference(2, 2)}]" in capsys.readouterr().out
+
+    def test_missing_inputs_is_error(self, program_file, capsys):
+        assert main(["prove", program_file]) == 2
+
+    def test_malformed_inputs_is_error(self, program_file):
+        assert main(["prove", program_file, "--inputs", "1,x"]) == 2
+
+
+class TestMicrobenchCommand:
+    def test_prints_parameters(self, capsys):
+        rc = main(["microbench", "--reps", "50", "--crypto-reps", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        for key in ("e", "d", "h", "f_lazy", "f", "f_div", "c"):
+            assert f"{key:7s}:" in out or f"  {key}" in out
+
+
+class TestParser:
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+    def test_unknown_field_rejected(self, program_file):
+        with pytest.raises(SystemExit):
+            main(["compile", program_file, "--field", "p999"])
