@@ -9,12 +9,17 @@ generator can pick them up from one run.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import math
 import random
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import lru_cache
+from pathlib import Path
 
+from repro import telemetry
 from repro.apps import ALL_APPS, BenchmarkApp
 from repro.argument import ArgumentConfig, ProverStats, ZaatarArgument
 from repro.costmodel import (
@@ -42,6 +47,52 @@ APP_ORDER = [
 
 #: global result store, keyed by (figure, label)
 RESULTS: dict = {}
+
+#: where emit_results/bench_trace drop their artifacts (gitignored)
+OUT_DIR = Path(__file__).resolve().parent / "out"
+
+
+@contextmanager
+def bench_trace(figure: str):
+    """Run a bench body under telemetry; write its trace on exit.
+
+    The trace lands next to the figure's result file:
+    ``benchmarks/out/BENCH_<figure>.trace.jsonl``.  Yields the tracer so
+    the bench can attach attrs to spans if it wants to.
+    """
+    tracer = telemetry.enable()
+    try:
+        with telemetry.span(f"bench.{figure}"):
+            yield tracer
+    finally:
+        telemetry.disable()
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    telemetry.write_jsonl(tracer, OUT_DIR / f"BENCH_{figure}.trace.jsonl")
+
+
+def _jsonable(value):
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: _jsonable(getattr(value, f.name)) for f in dataclasses.fields(value)}
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def emit_results(figure: str) -> Path:
+    """Write one figure's RESULTS rows to ``BENCH_<figure>.json``."""
+    rows = {
+        label: _jsonable(value)
+        for (fig, label), value in RESULTS.items()
+        if fig == figure
+    }
+    OUT_DIR.mkdir(parents=True, exist_ok=True)
+    path = OUT_DIR / f"BENCH_{figure}.json"
+    path.write_text(json.dumps({"figure": figure, "results": rows}, indent=2) + "\n")
+    return path
 
 
 @lru_cache(maxsize=None)

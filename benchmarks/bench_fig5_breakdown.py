@@ -13,6 +13,8 @@ import pytest
 from _harness import (
     APP_ORDER,
     RESULTS,
+    bench_trace,
+    emit_results,
     fmt_seconds,
     measure_zaatar,
     print_table,
@@ -23,7 +25,8 @@ def test_fig5_breakdown(benchmark):
     def run():
         return {name: measure_zaatar(name) for name in APP_ORDER}
 
-    measured = benchmark.pedantic(run, rounds=1, iterations=1)
+    with bench_trace("fig5"):
+        measured = benchmark.pedantic(run, rounds=1, iterations=1)
     rows = []
     for name in APP_ORDER:
         m = measured[name]
@@ -53,6 +56,7 @@ def test_fig5_breakdown(benchmark):
         ],
         rows,
     )
+    emit_results("fig5")
     for name in APP_ORDER:
         m = measured[name]
         # prover is far more expensive than local execution (paper shape)

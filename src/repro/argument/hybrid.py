@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from .. import telemetry
 from ..compiler import CompiledProgram
 from ..costmodel import (
     PAPER_MICROBENCH_128,
@@ -61,22 +62,26 @@ def choose_encoding(
     local execution time T enters both columns identically, so it may
     be left at 0 for the comparison.
     """
-    profile = ComputationProfile(
-        stats=program.stats(),
-        local_seconds=local_seconds,
-        num_inputs=program.num_inputs,
-        num_outputs=program.num_outputs,
-    )
-    z = zaatar_costs(profile, microbench, params)
-    g = ginger_costs(profile, microbench, params)
-    z_total = z.prover_per_instance + z.verifier_per_instance(batch_size)
-    g_total = g.prover_per_instance + g.verifier_per_instance(batch_size)
-    return EncodingDecision(
-        system="zaatar" if z_total <= g_total else "ginger",
-        zaatar_total=z_total,
-        ginger_total=g_total,
-        batch_size=batch_size,
-    )
+    with telemetry.span("hybrid.choose_encoding", batch_size=batch_size) as span:
+        profile = ComputationProfile(
+            stats=program.stats(),
+            local_seconds=local_seconds,
+            num_inputs=program.num_inputs,
+            num_outputs=program.num_outputs,
+        )
+        z = zaatar_costs(profile, microbench, params)
+        g = ginger_costs(profile, microbench, params)
+        z_total = z.prover_per_instance + z.verifier_per_instance(batch_size)
+        g_total = g.prover_per_instance + g.verifier_per_instance(batch_size)
+        decision = EncodingDecision(
+            system="zaatar" if z_total <= g_total else "ginger",
+            zaatar_total=z_total,
+            ginger_total=g_total,
+            batch_size=batch_size,
+        )
+        if span is not None:
+            span.attrs["system"] = decision.system
+        return decision
 
 
 class HybridArgument:

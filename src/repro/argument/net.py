@@ -35,6 +35,7 @@ import struct
 import threading
 from dataclasses import dataclass
 
+from .. import telemetry
 from ..compiler import CompiledProgram
 from ..constraints import quadratic_to_json
 from ..crypto import CommitmentProver, CommitmentVerifier, FieldPRG
@@ -56,10 +57,14 @@ class ProtocolViolation(RuntimeError):
 
 
 def send_frame(sock: socket.socket, payload: dict) -> None:
-    """Write one length-prefixed JSON frame."""
+    """Write one length-prefixed JSON frame (bytes counted per frame type)."""
     data = json.dumps(payload).encode()
     if len(data) > _MAX_FRAME:
         raise ProtocolViolation(f"frame of {len(data)} bytes exceeds limit")
+    if telemetry.enabled():
+        telemetry.count("net.bytes_sent", _HEADER.size + len(data))
+        telemetry.count("net.frames_sent")
+        telemetry.count(f"net.bytes_sent.{payload.get('type', '?')}", len(data))
     sock.sendall(_HEADER.pack(len(data)) + data)
 
 
@@ -70,6 +75,9 @@ def recv_frame(sock: socket.socket) -> dict:
     if length > _MAX_FRAME:
         raise ProtocolViolation(f"peer announced {length}-byte frame")
     data = _recv_exact(sock, length)
+    if telemetry.enabled():
+        telemetry.count("net.bytes_received", _HEADER.size + length)
+        telemetry.count("net.frames_received")
     try:
         payload = json.loads(data)
     except json.JSONDecodeError as exc:
@@ -145,6 +153,12 @@ class ProverServer:
     def close(self) -> None:
         """Stop accepting and join the service thread."""
         self._stop.set()
+        try:
+            # a blocked accept() is not interrupted by closing the
+            # listening socket from another thread; poke it awake
+            socket.create_connection(self.address, timeout=1).close()
+        except OSError:
+            pass
         self._sock.close()
         if self._thread is not None:
             self._thread.join(timeout=5)
@@ -161,6 +175,9 @@ class ProverServer:
                 conn, _ = self._sock.accept()
             except OSError:
                 return  # socket closed
+            if self._stop.is_set():
+                conn.close()  # the close() wake-up poke, not a client
+                return
             try:
                 with conn:
                     self._session(conn)
@@ -170,6 +187,10 @@ class ProverServer:
     # -- one session -------------------------------------------------------------
 
     def _session(self, conn: socket.socket) -> None:
+        with telemetry.span("wire.prover_session"):
+            self._run_session(conn)
+
+    def _run_session(self, conn: socket.socket) -> None:
         field = self.program.field
         hello = _expect(recv_frame(conn), "hello")
         if hello.get("program") != program_hash(self.program):
@@ -205,11 +226,15 @@ class ProverServer:
         group = self.config.group(field)
         provers: list[CommitmentProver] = []
         outputs_payload = []
-        for input_values in batch:
-            sol = self.program.solve(input_values, check=False)
-            proof = build_proof_vector(qap, sol.quadratic_witness)
-            prover = CommitmentProver(field, group, proof.vector)
-            commitment = prover.commit(request)
+        for index, input_values in enumerate(batch):
+            with telemetry.span("prover.instance", index=index):
+                with telemetry.span("prover.solve_constraints"):
+                    sol = self.program.solve(input_values, check=False)
+                with telemetry.span("prover.construct_u"):
+                    proof = build_proof_vector(qap, sol.quadratic_witness)
+                prover = CommitmentProver(field, group, proof.vector)
+                with telemetry.span("prover.crypto_ops"):
+                    commitment = prover.commit(request)
             provers.append(prover)
             outputs_payload.append(
                 {
@@ -226,9 +251,10 @@ class ProverServer:
 
         challenge = DecommitChallenge(queries)
         answers_payload = []
-        for prover in provers:
-            response = prover.answer(challenge)
-            answers_payload.append(_hex_list(response.answers))
+        with telemetry.span("prover.answer_queries", instances=len(provers)):
+            for prover in provers:
+                response = prover.answer(challenge)
+                answers_payload.append(_hex_list(response.answers))
         send_frame(conn, {"type": "answers", "instances": answers_payload})
 
 
@@ -277,21 +303,25 @@ def verify_remote(
     """Drive a full batched session against a remote ProverServer."""
     config = config or ArgumentConfig()
     field = program.field
-    qap = build_qap(program.quadratic, mode=config.qap_mode)
-    schedule = zaatar_pcp.generate_schedule(
-        qap, config.params, FieldPRG(field, config.seed, "queries")
-    )
-    commitment_verifier = CommitmentVerifier(
-        field,
-        config.group(field),
-        len(schedule.queries[0]),
-        FieldPRG(field, config.seed, "commitment"),
-    )
-    request = commitment_verifier.commit_request()
-    challenge = commitment_verifier.decommit_challenge(schedule.queries)
+    with telemetry.span("verifier.query_setup"):
+        qap = build_qap(program.quadratic, mode=config.qap_mode)
+        schedule = zaatar_pcp.generate_schedule(
+            qap, config.params, FieldPRG(field, config.seed, "queries")
+        )
+        commitment_verifier = CommitmentVerifier(
+            field,
+            config.group(field),
+            len(schedule.queries[0]),
+            FieldPRG(field, config.seed, "commitment"),
+        )
+        request = commitment_verifier.commit_request()
+        challenge = commitment_verifier.decommit_challenge(schedule.queries)
 
     raw = socket.create_connection(address, timeout=30)
     sock = _CountingSocket(raw)
+    wire_span = telemetry.start_span(
+        "wire.verify_remote", batch_size=len(batch_inputs)
+    )
     try:
         send_frame(
             sock,
@@ -334,6 +364,9 @@ def verify_remote(
             raise ProtocolViolation("instance count mismatch in answers")
 
         results: list[InstanceResult] = []
+        verify_span = telemetry.start_span(
+            "verifier.per_instance", instances=len(batch_inputs)
+        )
         for input_values, out_entry, answer_hex in zip(
             batch_inputs, outputs, answers_msg
         ):
@@ -359,8 +392,10 @@ def verify_remote(
                     prover_stats=ProverStats(),
                 )
             )
+        telemetry.end_span(verify_span)
         return NetworkBatchResult(
             instances=results, bytes_sent=sock.sent, bytes_received=sock.received
         )
     finally:
+        telemetry.end_span(wire_span)
         sock.close()

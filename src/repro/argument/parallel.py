@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Sequence
 
+from .. import telemetry
 from ..pcp import zaatar as zaatar_pcp
 from .protocol import BatchResult, BatchStats, InstanceResult, ZaatarArgument
 from .stats import PhaseTimer, ProverStats, VerifierStats
@@ -28,13 +29,23 @@ from .stats import PhaseTimer, ProverStats, VerifierStats
 _WORKER_STATE: dict = {}
 
 
-def _prove_task(input_values: list[int]):
+def _prove_task(task: tuple[int, list[int]]):
+    index, input_values = task
     argument: ZaatarArgument = _WORKER_STATE["argument"]
     setup = _WORKER_STATE["setup"]
+    # In forked workers the inherited tracer's spans die with the
+    # process, so export the records this task produced and let the
+    # parent re-insert them (Tracer.adopt).  Inline execution
+    # (num_workers == 1) records directly into the live tracer.
+    tracer = telemetry.current()
+    collect = bool(_WORKER_STATE.get("collect_spans")) and tracer is not None
+    mark = tracer.mark() if collect else 0
     stats = ProverStats()
-    sol, commitment, response, answers = argument.prove_instance(
-        input_values, setup, stats
-    )
+    with telemetry.span("prover.instance", index=index):
+        sol, commitment, response, answers = argument.prove_instance(
+            input_values, setup, stats
+        )
+    records = tracer.records_since(mark) if collect else None
     return (
         sol.x,
         sol.y,
@@ -46,7 +57,9 @@ def _prove_task(input_values: list[int]):
             stats.construct_u,
             stats.crypto_ops,
             stats.answer_queries,
+            stats.wall,
         ),
+        records,
     )
 
 
@@ -69,27 +82,40 @@ def run_parallel_batch(
     """
     if num_workers is None:
         num_workers = max(1, (os.cpu_count() or 2) - 1)
+    run_span = telemetry.start_span(
+        "argument.run_parallel_batch",
+        batch_size=len(batch_inputs),
+        workers=num_workers,
+    )
     verifier_stats = VerifierStats()
     setup = argument.verifier_setup(verifier_stats)
     schedule, commitment_verifier, _, _ = setup
 
     _WORKER_STATE["argument"] = argument
     _WORKER_STATE["setup"] = setup
+    _WORKER_STATE["collect_spans"] = num_workers > 1
     start = time.monotonic()
     inputs = [list(v) for v in batch_inputs]
+    tasks = list(enumerate(inputs))
     if num_workers == 1:
-        raw = [_prove_task(v) for v in inputs]
+        raw = [_prove_task(t) for t in tasks]
     else:
         ctx = multiprocessing.get_context("fork")
         with ctx.Pool(num_workers) as pool:
-            raw = pool.map(_prove_task, inputs)
+            raw = pool.map(_prove_task, tasks)
     wall = time.monotonic() - start
     _WORKER_STATE.clear()
+
+    tracer = telemetry.current()
+    if tracer is not None and run_span is not None:
+        for entry in raw:
+            if entry[-1]:
+                tracer.adopt(entry[-1], parent_id=run_span.span_id)
 
     timer = PhaseTimer(verifier_stats)
     results: list[InstanceResult] = []
     batch = BatchStats(batch_size=len(inputs), verifier=verifier_stats)
-    for x, y, outputs, commitment, answers, stat_tuple in raw:
+    for x, y, outputs, commitment, answers, stat_tuple, _records in raw:
         prover_stats = ProverStats(*stat_tuple)
         with timer.phase("per_instance"):
             if argument.config.use_commitment:
@@ -113,6 +139,7 @@ def run_parallel_batch(
             )
         )
         batch.prover_per_instance.append(prover_stats)
+    telemetry.end_span(run_span)
     return ParallelBatchResult(
         result=BatchResult(instances=results, stats=batch),
         wall_seconds=wall,

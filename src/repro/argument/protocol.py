@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import Sequence
 
+from .. import telemetry
 from ..compiler import CompiledProgram
 from ..crypto import (
     CommitmentProver,
@@ -143,17 +144,24 @@ class ZaatarArgument:
 
     def run_batch(self, batch_inputs: Sequence[Sequence[int]]) -> BatchResult:
         """Prove and verify a whole batch (queries generated once)."""
+        with telemetry.span(
+            "argument.run_batch", system="zaatar", batch_size=len(batch_inputs)
+        ):
+            return self._run_batch(batch_inputs)
+
+    def _run_batch(self, batch_inputs: Sequence[Sequence[int]]) -> BatchResult:
         verifier_stats = VerifierStats()
         setup = self.verifier_setup(verifier_stats)
         schedule, commitment_verifier, _, _ = setup
         timer = PhaseTimer(verifier_stats)
         results: list[InstanceResult] = []
         batch = BatchStats(batch_size=len(batch_inputs), verifier=verifier_stats)
-        for input_values in batch_inputs:
+        for index, input_values in enumerate(batch_inputs):
             prover_stats = ProverStats()
-            sol, commitment, response, answers = self.prove_instance(
-                input_values, setup, prover_stats
-            )
+            with telemetry.span("prover.instance", index=index):
+                sol, commitment, response, answers = self.prove_instance(
+                    input_values, setup, prover_stats
+                )
             with timer.phase("per_instance"):
                 if self.config.use_commitment:
                     commit_ok = commitment_verifier.verify(commitment, response)
@@ -187,6 +195,12 @@ class GingerArgument:
 
     def run_batch(self, batch_inputs: Sequence[Sequence[int]]) -> BatchResult:
         """Prove and verify a batch under the Ginger baseline."""
+        with telemetry.span(
+            "argument.run_batch", system="ginger", batch_size=len(batch_inputs)
+        ):
+            return self._run_batch(batch_inputs)
+
+    def _run_batch(self, batch_inputs: Sequence[Sequence[int]]) -> BatchResult:
         cfg = self.config
         gsys = self.program.ginger
         verifier_stats = VerifierStats()
@@ -208,28 +222,30 @@ class GingerArgument:
 
         results: list[InstanceResult] = []
         batch = BatchStats(batch_size=len(batch_inputs), verifier=verifier_stats)
-        for input_values in batch_inputs:
+        for index, input_values in enumerate(batch_inputs):
             prover_stats = ProverStats()
             ptimer = PhaseTimer(prover_stats)
-            with ptimer.phase("solve_constraints"):
-                sol = self.program.solve(input_values, check=False)
-            with ptimer.phase("construct_u"):
-                vector = build_ginger_proof(gsys, sol.ginger_witness)
-            commitment = None
-            prover = None
-            if cfg.use_commitment:
-                prover = CommitmentProver(self.field, cfg.group(self.field), vector)
-                with ptimer.phase("crypto_ops"):
-                    commitment = prover.commit(request)
-            with ptimer.phase("answer_queries"):
-                if prover is not None:
-                    response = prover.answer(challenge)
-                    answers = response.answers
-                else:
-                    response = None
-                    answers = [
-                        self.field.inner_product(q, vector) for q in schedule.queries
-                    ]
+            with telemetry.span("prover.instance", index=index):
+                with ptimer.phase("solve_constraints"):
+                    sol = self.program.solve(input_values, check=False)
+                with ptimer.phase("construct_u"):
+                    vector = build_ginger_proof(gsys, sol.ginger_witness)
+                commitment = None
+                prover = None
+                if cfg.use_commitment:
+                    prover = CommitmentProver(self.field, cfg.group(self.field), vector)
+                    with ptimer.phase("crypto_ops"):
+                        commitment = prover.commit(request)
+                with ptimer.phase("answer_queries"):
+                    if prover is not None:
+                        response = prover.answer(challenge)
+                        answers = response.answers
+                    else:
+                        response = None
+                        answers = [
+                            self.field.inner_product(q, vector)
+                            for q in schedule.queries
+                        ]
             with timer.phase("per_instance"):
                 if cfg.use_commitment:
                     commit_ok = commitment_verifier.verify(commitment, response)

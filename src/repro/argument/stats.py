@@ -5,6 +5,17 @@ constraints", "construct u", "crypto ops.", "answer queries", and the
 end-to-end total; ``VerifierStats`` splits setup (amortizable over the
 batch) from per-instance work, which is what the breakeven-batch-size
 computation (§2.2, Fig 7) needs.
+
+Since the telemetry refactor these classes are *views over spans*:
+``PhaseTimer.phase`` opens a ``repro.telemetry`` span named
+``<component>.<phase>`` (e.g. ``prover.solve_constraints``) and the
+stats numbers are that span's clocks.  The public fields keep their
+historical meaning — CPU seconds per phase — and every phase's
+wall-clock seconds are recorded alongside in the ``wall`` mapping, so
+network waits and subprocess work no longer vanish from totals.  A
+finished trace can be folded back into stats with the ``from_spans`` /
+``from_trace`` constructors; with telemetry enabled both paths yield
+identical numbers.
 """
 
 from __future__ import annotations
@@ -12,16 +23,38 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterable
+
+from .. import telemetry
+
+#: span-name prefixes for the two components of the argument
+PROVER_PREFIX = "prover"
+VERIFIER_PREFIX = "verifier"
+
+
+def _span_fields(span) -> tuple[str, float, float]:
+    """(name, cpu_seconds, wall_seconds) from a Span or a JSONL record."""
+    if isinstance(span, dict):
+        return span["name"], span.get("cpu_s", 0.0), span.get("wall_s", 0.0)
+    return span.name, span.cpu_seconds, span.wall_seconds
 
 
 @dataclass
 class ProverStats:
-    """Per-instance prover CPU seconds, by phase (Figure 5 columns)."""
+    """Per-instance prover CPU seconds, by phase (Figure 5 columns).
+
+    ``wall`` carries the matching wall-clock seconds per phase, keyed
+    by the same attribute names.
+    """
 
     solve_constraints: float = 0.0
     construct_u: float = 0.0
     crypto_ops: float = 0.0
     answer_queries: float = 0.0
+    wall: dict[str, float] = field(default_factory=dict)
+
+    #: the Figure-5 phase order; also the span suffixes under "prover."
+    PHASES = ("solve_constraints", "construct_u", "crypto_ops", "answer_queries")
 
     @property
     def e2e(self) -> float:
@@ -33,12 +66,19 @@ class ProverStats:
             + self.answer_queries
         )
 
+    @property
+    def wall_e2e(self) -> float:
+        """End-to-end prover wall-clock seconds."""
+        return sum(self.wall.values())
+
     def merge(self, other: "ProverStats") -> None:
         """Accumulate another instance's stats into this one."""
         self.solve_constraints += other.solve_constraints
         self.construct_u += other.construct_u
         self.crypto_ops += other.crypto_ops
         self.answer_queries += other.answer_queries
+        for key, value in other.wall.items():
+            self.wall[key] = self.wall.get(key, 0.0) + value
 
     def scaled(self, factor: float) -> "ProverStats":
         """A copy with every phase multiplied by ``factor``."""
@@ -47,7 +87,23 @@ class ProverStats:
             construct_u=self.construct_u * factor,
             crypto_ops=self.crypto_ops * factor,
             answer_queries=self.answer_queries * factor,
+            wall={k: v * factor for k, v in self.wall.items()},
         )
+
+    @classmethod
+    def from_spans(cls, spans: Iterable) -> "ProverStats":
+        """Fold ``prover.<phase>`` spans (or records) into phase stats."""
+        stats = cls()
+        prefix = PROVER_PREFIX + "."
+        for span in spans:
+            name, cpu, wall = _span_fields(span)
+            if not name.startswith(prefix):
+                continue
+            phase = name[len(prefix):]
+            if phase in cls.PHASES:
+                setattr(stats, phase, getattr(stats, phase) + cpu)
+                stats.wall[phase] = stats.wall.get(phase, 0.0) + wall
+        return stats
 
 
 @dataclass
@@ -56,11 +112,29 @@ class VerifierStats:
 
     query_setup: float = 0.0        # schedule generation + Enc(r) + challenge
     per_instance: float = 0.0       # decrypt + consistency + PCP checks
+    wall: dict[str, float] = field(default_factory=dict)
+
+    PHASES = ("query_setup", "per_instance")
 
     @property
     def total(self) -> float:
         """Setup plus per-instance seconds."""
         return self.query_setup + self.per_instance
+
+    @classmethod
+    def from_spans(cls, spans: Iterable) -> "VerifierStats":
+        """Fold ``verifier.<phase>`` spans (or records) into stats."""
+        stats = cls()
+        prefix = VERIFIER_PREFIX + "."
+        for span in spans:
+            name, cpu, wall = _span_fields(span)
+            if not name.startswith(prefix):
+                continue
+            phase = name[len(prefix):]
+            if phase in cls.PHASES:
+                setattr(stats, phase, getattr(stats, phase) + cpu)
+                stats.wall[phase] = stats.wall.get(phase, 0.0) + wall
+        return stats
 
 
 @dataclass
@@ -81,19 +155,60 @@ class BatchStats:
             acc.merge(s)
         return acc.scaled(1 / len(self.prover_per_instance))
 
+    @classmethod
+    def from_trace(cls, trace) -> "BatchStats":
+        """Rebuild batch stats from a trace (``telemetry.Trace``).
+
+        Per-instance prover stats come from the ``prover.instance``
+        spans' subtrees; verifier stats from the ``verifier.*`` spans
+        anywhere in the trace.
+        """
+        instances = sorted(
+            trace.find("prover.instance"), key=lambda s: s.attrs.get("index", 0)
+        )
+        per_instance = [
+            ProverStats.from_spans(trace.subtree(span)) for span in instances
+        ]
+        return cls(
+            batch_size=len(instances),
+            prover_per_instance=per_instance,
+            verifier=VerifierStats.from_spans(trace.spans),
+        )
+
 
 class PhaseTimer:
-    """Accumulates process-CPU time into named attributes of a stats object."""
+    """Times named phases into a stats object — wall *and* CPU clocks.
 
-    def __init__(self, stats):
+    Each phase also opens a telemetry span ``<component>.<attr>`` when
+    tracing is enabled; the span's clocks are then used verbatim, so
+    stats derived later from the trace agree exactly with the numbers
+    accumulated here.
+    """
+
+    def __init__(self, stats, component: str | None = None):
         self.stats = stats
+        if component is None:
+            component = (
+                PROVER_PREFIX if isinstance(stats, ProverStats) else VERIFIER_PREFIX
+            )
+        self.component = component
 
     @contextmanager
     def phase(self, attr: str):
-        """Time a block and add the elapsed CPU seconds to ``attr``."""
-        start = time.process_time()
+        """Time a block; add CPU seconds to ``attr`` and wall to ``wall``."""
+        span = telemetry.start_span(f"{self.component}.{attr}")
+        start_wall = time.perf_counter()
+        start_cpu = time.process_time()
         try:
             yield
         finally:
-            elapsed = time.process_time() - start
-            setattr(self.stats, attr, getattr(self.stats, attr) + elapsed)
+            cpu = time.process_time() - start_cpu
+            wall = time.perf_counter() - start_wall
+            if span is not None and telemetry.enabled():
+                telemetry.end_span(span)
+                # prefer the span's clocks so trace-derived stats match
+                cpu, wall = span.cpu_seconds, span.wall_seconds
+            setattr(self.stats, attr, getattr(self.stats, attr) + cpu)
+            wall_map = getattr(self.stats, "wall", None)
+            if wall_map is not None:
+                wall_map[attr] = wall_map.get(attr, 0.0) + wall

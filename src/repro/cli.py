@@ -1,27 +1,39 @@
-"""Command-line interface: compile, prove/verify, and microbenchmark.
+"""Command-line interface: compile, prove/verify, trace, microbenchmark.
 
 Examples::
 
     python -m repro compile program.zr --field p128
     python -m repro prove program.zr --inputs 1,2,3 --inputs 4,5,6
+    python -m repro trace program.zr --inputs 1,2,3 --out run.trace.jsonl
+    python -m repro trace --app matmul --size m=2
     python -m repro microbench --field goldilocks
 
 ``compile`` prints the encoding statistics (the Figure-9 quantities)
 and the hybrid chooser's verdict; ``prove`` runs the full batched
 argument on the given input vectors and reports outputs, acceptance,
-and the prover's Figure-5 cost decomposition.
+and the prover's Figure-5 cost decomposition; ``trace`` runs the same
+argument (plus a loopback network session) under full telemetry and
+writes a JSONL trace — see docs/OBSERVABILITY.md for how to read it.
 """
 
 from __future__ import annotations
 
 import argparse
+import random
 import sys
 from pathlib import Path
 
-from .argument import ArgumentConfig, ZaatarArgument, choose_encoding
+from . import telemetry
+from .argument import (
+    ArgumentConfig,
+    ProverServer,
+    ZaatarArgument,
+    choose_encoding,
+    verify_remote,
+)
 from .compiler import compile_source
 from .costmodel import run_microbench
-from .field import NAMED_FIELDS, PrimeField
+from .field import NAMED_FIELDS, PrimeField, counting_field
 from .pcp import PAPER_PARAMS, SoundnessParams
 
 
@@ -54,6 +66,18 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_batch(specs: list[str]) -> list[list[int]] | None:
+    """Parse repeated ``--inputs`` vectors; None on malformed input."""
+    batch = []
+    for spec in specs:
+        try:
+            batch.append([int(v) for v in spec.replace(" ", "").split(",") if v])
+        except ValueError:
+            print(f"error: bad input vector {spec!r}", file=sys.stderr)
+            return None
+    return batch
+
+
 def cmd_prove(args: argparse.Namespace) -> int:
     """``repro prove``: run the batched argument on input vectors."""
     field = _field(args.field)
@@ -61,13 +85,9 @@ def cmd_prove(args: argparse.Namespace) -> int:
     if not args.inputs:
         print("error: provide at least one --inputs vector", file=sys.stderr)
         return 2
-    batch = []
-    for spec in args.inputs:
-        try:
-            batch.append([int(v) for v in spec.replace(" ", "").split(",") if v])
-        except ValueError:
-            print(f"error: bad input vector {spec!r}", file=sys.stderr)
-            return 2
+    batch = _parse_batch(args.inputs)
+    if batch is None:
+        return 2
     params = (
         PAPER_PARAMS
         if args.paper_soundness
@@ -88,6 +108,98 @@ def cmd_prove(args: argparse.Namespace) -> int:
     v = result.stats.verifier
     print(f"verifier: setup={v.query_setup:.3f}s per-instance={v.per_instance / max(len(batch), 1):.3f}s")
     return 0 if result.all_accepted else 1
+
+
+def _trace_app_registry() -> dict:
+    """Benchmark apps addressable from ``repro trace --app``."""
+    from .apps import ALL_APPS, MATMUL
+
+    registry = dict(ALL_APPS)
+    registry[MATMUL.name] = MATMUL
+    registry["matmul"] = MATMUL
+    return registry
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """``repro trace``: run the argument under telemetry, dump a trace.
+
+    The run covers the local batched argument (Figure-5 prover phases,
+    verifier setup/per-instance spans, field/crypto/poly counters) and,
+    unless ``--no-net``, a loopback prover-server session so bytes on
+    the wire are measured too (``net.*`` counters).
+    """
+    # the counting field is the opt-in field-op instrumentation: the
+    # program is compiled against it, so every solve/answer counts
+    field = counting_field(_field(args.field))
+    if args.app:
+        registry = _trace_app_registry()
+        if args.app not in registry:
+            print(
+                f"error: unknown app {args.app!r} "
+                f"(choose from {', '.join(sorted(registry))})",
+                file=sys.stderr,
+            )
+            return 2
+        app = registry[args.app]
+        sizes = {}
+        for spec in args.size:
+            key, _, value = spec.partition("=")
+            try:
+                sizes[key] = int(value)
+            except ValueError:
+                print(f"error: bad --size {spec!r} (want name=int)", file=sys.stderr)
+                return 2
+        program = app.compile(field, sizes)
+        rng = random.Random(args.seed)
+        batch = [app.generate_inputs(rng, sizes) for _ in range(args.batch)]
+    else:
+        if not args.program:
+            print("error: provide a program path or --app", file=sys.stderr)
+            return 2
+        program = _load_program(args.program, field, args.bit_width)
+        if not args.inputs:
+            print("error: provide at least one --inputs vector", file=sys.stderr)
+            return 2
+        batch = _parse_batch(args.inputs)
+        if batch is None:
+            return 2
+
+    params = SoundnessParams(rho_lin=args.rho_lin, rho=args.rho)
+    config = ArgumentConfig(params=params)
+    tracer = telemetry.enable()
+    try:
+        with telemetry.span(
+            "trace", program=program.name, field=field.name, batch_size=len(batch)
+        ):
+            argument = ZaatarArgument(program, config)
+            result = argument.run_batch(batch)
+            net_ok = True
+            if args.net:
+                with telemetry.span("wire.loopback"):
+                    with ProverServer(program, config) as server:
+                        net_result = verify_remote(
+                            program, batch, server.address, config
+                        )
+                    net_ok = net_result.all_accepted
+    finally:
+        telemetry.disable()
+
+    if args.out:
+        out = Path(args.out)
+    else:
+        # app-compiled program names embed a sizes dict — keep the
+        # default filename shell-friendly
+        stem = "".join(c if c.isalnum() or c in "-_." else "_" for c in program.name)
+        out = Path(f"{stem.strip('_')}.trace.jsonl")
+    telemetry.write_jsonl(tracer, out)
+    print(telemetry.render_tree(tracer))
+    print("\ncounter totals:")
+    print(telemetry.render_counter_totals(tracer))
+    accepted = result.all_accepted and net_ok
+    verdict = "ACCEPTED" if accepted else "REJECTED"
+    print(f"\nbatch of {len(batch)}: {verdict}")
+    print(f"trace written to {out} ({len(tracer.spans)} spans)")
+    return 0 if accepted else 1
 
 
 def cmd_microbench(args: argparse.Namespace) -> int:
@@ -144,6 +256,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_prove.add_argument("--no-commitment", action="store_true")
     p_prove.set_defaults(fn=cmd_prove)
+
+    p_trace = sub.add_parser(
+        "trace",
+        parents=[common],
+        help="run the argument under telemetry and write a JSONL trace",
+    )
+    p_trace.add_argument("program", nargs="?", help="path to a .zr source file")
+    p_trace.add_argument("--bit-width", type=int, default=32)
+    p_trace.add_argument(
+        "--inputs",
+        action="append",
+        default=[],
+        help="comma-separated input vector; repeat for a batch",
+    )
+    p_trace.add_argument(
+        "--app",
+        help="run a built-in benchmark app instead of a .zr file (e.g. matmul)",
+    )
+    p_trace.add_argument(
+        "--size",
+        action="append",
+        default=[],
+        metavar="NAME=INT",
+        help="app size parameter; repeat (e.g. --size m=2)",
+    )
+    p_trace.add_argument("--batch", type=int, default=1, help="app batch size")
+    p_trace.add_argument("--seed", type=int, default=0, help="app input RNG seed")
+    p_trace.add_argument("--rho-lin", type=int, default=2)
+    p_trace.add_argument("--rho", type=int, default=1)
+    p_trace.add_argument(
+        "--no-net",
+        dest="net",
+        action="store_false",
+        help="skip the loopback network session (no net.* counters)",
+    )
+    p_trace.add_argument("--out", help="trace path (default: <program>.trace.jsonl)")
+    p_trace.set_defaults(fn=cmd_trace)
 
     p_mb = sub.add_parser(
         "microbench", parents=[common], help="measure the Figure-3 cost parameters"

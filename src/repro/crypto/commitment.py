@@ -28,6 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from typing import Sequence
 
+from .. import telemetry
 from ..field import PrimeField
 from .elgamal import (
     ElGamalCiphertext,
@@ -183,6 +184,7 @@ class CommitmentProver:
                 f"length {len(self.u)}"
             )
         self.counts.ciphertext_ops += sum(1 for w in self.u if w)
+        telemetry.count("crypto.commitments")
         return homomorphic_inner_product(self.group, request.ciphertexts, self.u)
 
     def answer(self, challenge: DecommitChallenge) -> DecommitResponse:
@@ -191,6 +193,7 @@ class CommitmentProver:
         for q in challenge.queries:
             answers.append(self.field.inner_product(q, self.u))
             self.counts.field_muls += sum(1 for qi in q if qi)
+        telemetry.count("crypto.decommit_answers", len(answers))
         return DecommitResponse(answers)
 
 

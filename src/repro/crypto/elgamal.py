@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from .. import telemetry
 from .groups import SchnorrGroup
 from .prg import FieldPRG
 
@@ -41,6 +42,9 @@ class ElGamalPublicKey:
 
     def encrypt(self, message: int, prg: FieldPRG) -> ElGamalCiphertext:
         """Encrypt a field element (carried in the exponent)."""
+        if telemetry.enabled():
+            telemetry.count("crypto.encryptions")
+            telemetry.count("crypto.exponentiations", 3)
         group = self.group
         k = prg.next_below(group.order)
         c1 = pow(group.generator, k, group.modulus)
@@ -69,6 +73,9 @@ class ElGamalKeypair:
 
     def decrypt_to_group(self, ct: ElGamalCiphertext) -> int:
         """Recover g^m (not m itself — the exponent stays hidden)."""
+        if telemetry.enabled():
+            telemetry.count("crypto.decryptions")
+            telemetry.count("crypto.exponentiations")
         P = self.public.group.modulus
         return ct.c2 * pow(ct.c1, P - 1 - self.secret, P) % P
 
@@ -81,6 +88,8 @@ def ciphertext_mul(group: SchnorrGroup, a: ElGamalCiphertext, b: ElGamalCipherte
 
 def ciphertext_pow(group: SchnorrGroup, ct: ElGamalCiphertext, scalar: int) -> ElGamalCiphertext:
     """Enc(m)^s = Enc(s · m)."""
+    if telemetry.enabled():
+        telemetry.count("crypto.exponentiations", 2)
     P = group.modulus
     s = scalar % group.order
     return ElGamalCiphertext(pow(ct.c1, s, P), pow(ct.c2, s, P))
@@ -100,10 +109,15 @@ def homomorphic_inner_product(
         raise ValueError("ciphertext/weight length mismatch")
     P = group.modulus
     acc1, acc2 = 1, 1
+    terms = 0
     for ct, w in zip(ciphertexts, weights):
         if w == 0:
             continue
+        terms += 1
         s = w % group.order
         acc1 = acc1 * pow(ct.c1, s, P) % P
         acc2 = acc2 * pow(ct.c2, s, P) % P
+    if telemetry.enabled():
+        telemetry.count("crypto.ciphertext_ops", terms)
+        telemetry.count("crypto.exponentiations", 2 * terms)
     return ElGamalCiphertext(acc1, acc2)

@@ -1,5 +1,6 @@
 """Finite-field substrate: named primes, scalar and vector arithmetic."""
 
+from .counting import CountingField, counting_field
 from .element import FieldElement
 from .params import GOLDILOCKS, NAMED_FIELDS, P128, P192, P220, FieldParams, field_params
 from .prime_field import PrimeField, is_probable_prime
@@ -16,6 +17,7 @@ from .vector import (
 )
 
 __all__ = [
+    "CountingField",
     "FieldElement",
     "FieldParams",
     "GOLDILOCKS",
@@ -24,6 +26,7 @@ __all__ = [
     "P192",
     "P220",
     "PrimeField",
+    "counting_field",
     "field_params",
     "hadamard",
     "inner",

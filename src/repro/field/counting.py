@@ -1,0 +1,107 @@
+"""Opt-in field-operation counting for telemetry.
+
+``PrimeField`` itself stays uninstrumented so the protocol hot loops
+pay zero overhead when nobody is measuring (the zero-overhead guard
+test enforces this).  When a run *should* count field work — the
+``repro trace`` subcommand, the benchmark harness — it compiles the
+program against a :class:`CountingField`, whose arithmetic reports
+``field.*`` counters to the innermost active telemetry span.
+
+Counter names (see docs/OBSERVABILITY.md):
+
+======================  ====================================================
+``field.mul``           multiplications (the cost-model parameter ``f``),
+                        including each product inside an inner product
+``field.add``           additions/subtractions/negations
+``field.div``           divisions (``f_div``); each costs one inversion
+``field.inv``           modular inversions (including batch_inv's single one)
+``field.pow``           modular exponentiations
+======================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .. import telemetry
+from .prime_field import PrimeField
+
+
+class CountingField(PrimeField):
+    """A ``PrimeField`` whose operations report telemetry counters.
+
+    Equality and hashing are inherited (by modulus), so a counting
+    field interoperates with caches and cross-checks against the plain
+    field it wraps.
+    """
+
+    __slots__ = ()
+
+    def add(self, a: int, b: int) -> int:
+        """a + b mod p, counted as ``field.add``."""
+        telemetry.count("field.add")
+        return super().add(a, b)
+
+    def sub(self, a: int, b: int) -> int:
+        """a − b mod p, counted as ``field.add``."""
+        telemetry.count("field.add")
+        return super().sub(a, b)
+
+    def neg(self, a: int) -> int:
+        """−a mod p, counted as ``field.add``."""
+        telemetry.count("field.add")
+        return super().neg(a)
+
+    def mul(self, a: int, b: int) -> int:
+        """a · b mod p, counted as ``field.mul``."""
+        telemetry.count("field.mul")
+        return super().mul(a, b)
+
+    def mul_lazy(self, a: int, b: int) -> int:
+        """Unreduced product, counted as ``field.mul``."""
+        telemetry.count("field.mul")
+        return super().mul_lazy(a, b)
+
+    def square(self, a: int) -> int:
+        """a² mod p, counted as ``field.mul``."""
+        telemetry.count("field.mul")
+        return super().square(a)
+
+    def pow(self, a: int, e: int) -> int:
+        """a^e mod p, counted as ``field.pow``."""
+        telemetry.count("field.pow")
+        return super().pow(a, e)
+
+    def inv(self, a: int) -> int:
+        """a⁻¹ mod p, counted as ``field.inv``."""
+        telemetry.count("field.inv")
+        return super().inv(a)
+
+    def div(self, a: int, b: int) -> int:
+        """a / b mod p, counted as ``field.div``."""
+        telemetry.count("field.div")
+        return super().div(a, b)
+
+    def inner_product(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """Σ aᵢbᵢ mod p, counted as ``len(a)`` muls and adds."""
+        telemetry.count("field.mul", len(a))
+        telemetry.count("field.add", len(a))
+        return super().inner_product(a, b)
+
+    def batch_inv(self, values: Sequence[int]) -> list[int]:
+        """Montgomery batch inversion: 3n ``field.mul`` + one ``field.inv``."""
+        # Montgomery's trick: 3n muls + one real inversion
+        telemetry.count("field.mul", 3 * len(values))
+        telemetry.count("field.inv")
+        return super().batch_inv(values)
+
+
+def counting_field(base: PrimeField) -> CountingField:
+    """A counting twin of ``base`` (same modulus, name, NTT structure)."""
+    if isinstance(base, CountingField):
+        return base
+    twin = CountingField(base.p, check_prime=False)
+    twin.name = base.name
+    twin.two_adicity = base.two_adicity
+    twin._two_adic_generator = base._two_adic_generator
+    return twin

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .. import telemetry
 from ..field import PrimeField
 from .dense import poly_eval, trim
 from .multiply import poly_mul
@@ -95,6 +96,9 @@ class SubproductTree:
         """Coefficients of the unique poly of degree < n through the points."""
         if len(values) != self.n:
             raise ValueError(f"expected {self.n} values, got {len(values)}")
+        if telemetry.enabled():
+            telemetry.count("poly.interpolations")
+            telemetry.count("poly.interpolation_points", self.n)
         if self.n == 0:
             return []
         field = self.field
@@ -159,6 +163,9 @@ def interpolate_at_roots_of_unity(
     n = len(values)
     if n & (n - 1):
         raise ValueError("root-of-unity interpolation needs power-of-two length")
+    if telemetry.enabled():
+        telemetry.count("poly.interpolations")
+        telemetry.count("poly.interpolation_points", n)
     return trim(intt(field, values))
 
 

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from .. import telemetry
 from ..field import PrimeField
 
 
@@ -31,6 +32,9 @@ def ntt(field: PrimeField, values: Sequence[int], invert: bool = False) -> list[
     n = len(a)
     if n & (n - 1):
         raise ValueError(f"NTT length must be a power of two, got {n}")
+    if telemetry.enabled():
+        telemetry.count("poly.ntt_calls")
+        telemetry.count("poly.ntt_points", n)
     if n <= 1:
         return a
     p = field.p

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from .. import telemetry
 from ..poly import (
     interpolate_at_roots_of_unity,
     poly_div_exact,
@@ -81,21 +82,25 @@ def compute_h(qap: QAPInstance, w: Sequence[int]) -> list[int]:
     satisfiability.
     """
     field = qap.field
-    evals_a, evals_b, evals_c = witness_poly_evaluations(qap, w)
-    if qap.mode == "roots":
-        poly_a = interpolate_at_roots_of_unity(field, evals_a)
-        poly_b = interpolate_at_roots_of_unity(field, evals_b)
-        poly_c = interpolate_at_roots_of_unity(field, evals_c)
-    else:
-        tree = qap.subproduct_tree
-        poly_a = tree.interpolate(evals_a)
-        poly_b = tree.interpolate(evals_b)
-        poly_c = tree.interpolate(evals_c)
-    p_w = poly_sub(field, poly_mul(field, poly_a, poly_b), poly_c)
-    if qap.mode == "roots":
-        h = _divide_by_subgroup_vanishing(field, p_w, qap.m)
-    else:
-        h = poly_div_exact(field, p_w, qap.divisor_poly)
+    with telemetry.span("qap.witness_evals"):
+        evals_a, evals_b, evals_c = witness_poly_evaluations(qap, w)
+    with telemetry.span("qap.interpolate", mode=qap.mode):
+        if qap.mode == "roots":
+            poly_a = interpolate_at_roots_of_unity(field, evals_a)
+            poly_b = interpolate_at_roots_of_unity(field, evals_b)
+            poly_c = interpolate_at_roots_of_unity(field, evals_c)
+        else:
+            tree = qap.subproduct_tree
+            poly_a = tree.interpolate(evals_a)
+            poly_b = tree.interpolate(evals_b)
+            poly_c = tree.interpolate(evals_c)
+    with telemetry.span("qap.multiply"):
+        p_w = poly_sub(field, poly_mul(field, poly_a, poly_b), poly_c)
+    with telemetry.span("qap.divide", mode=qap.mode):
+        if qap.mode == "roots":
+            h = _divide_by_subgroup_vanishing(field, p_w, qap.m)
+        else:
+            h = poly_div_exact(field, p_w, qap.divisor_poly)
     if len(h) > qap.h_length:
         raise AssertionError("H(t) degree exceeds the protocol bound")
     return h + [0] * (qap.h_length - len(h))

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from .. import telemetry
 from ..field import PrimeField, powers
 from ..poly import barycentric_lagrange_coeffs
 from .qap import QAPInstance
@@ -87,6 +88,14 @@ def _lagrange_coeffs_at(qap: QAPInstance, tau: int) -> tuple[list[int], int]:
 
 def circuit_queries(qap: QAPInstance, tau: int) -> CircuitQueries:
     """Build the divisibility-correction queries for one random τ."""
+    span = telemetry.start_span("qap.circuit_queries")
+    try:
+        return _circuit_queries(qap, tau)
+    finally:
+        telemetry.end_span(span)
+
+
+def _circuit_queries(qap: QAPInstance, tau: int) -> CircuitQueries:
     field = qap.field
     p = field.p
     lam, d_tau = _lagrange_coeffs_at(qap, tau)

@@ -1,0 +1,53 @@
+"""Unified telemetry: hierarchical spans, op/byte counters, JSONL traces.
+
+See docs/OBSERVABILITY.md for the span taxonomy (names map onto the
+paper's Figure-5 phase columns), counter names, and the trace file
+schema.  Telemetry is off by default; ``repro trace`` and the
+benchmark harness enable it around one run.
+"""
+
+from .core import (
+    Span,
+    Tracer,
+    count,
+    current,
+    disable,
+    enable,
+    enabled,
+    end_span,
+    session,
+    span,
+    start_span,
+    traced,
+)
+from .export import (
+    TRACE_VERSION,
+    Trace,
+    read_jsonl,
+    render_counter_totals,
+    render_tree,
+    trace_records,
+    write_jsonl,
+)
+
+__all__ = [
+    "Span",
+    "TRACE_VERSION",
+    "Trace",
+    "Tracer",
+    "count",
+    "current",
+    "disable",
+    "enable",
+    "enabled",
+    "end_span",
+    "read_jsonl",
+    "render_counter_totals",
+    "render_tree",
+    "session",
+    "span",
+    "start_span",
+    "trace_records",
+    "traced",
+    "write_jsonl",
+]

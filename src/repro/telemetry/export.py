@@ -1,0 +1,203 @@
+"""Trace export: JSONL writer/reader and the pretty tree renderer.
+
+A trace file is line-delimited JSON:
+
+* line 1 — a header: ``{"type": "trace", "version": 1, "spans": N}``;
+* one ``{"type": "span", ...}`` object per finished span (post-order:
+  children precede their parent, so a streaming consumer sees complete
+  subtrees);
+* optionally a final ``{"type": "orphans", "counters": {...}}`` object
+  carrying counts that fired while no span was active.
+
+``render_tree`` turns the span forest back into the indented view the
+``repro trace`` subcommand prints, with both clocks and the counters
+of every span.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Iterable
+
+from .core import Span, Tracer
+
+TRACE_VERSION = 1
+
+
+def trace_records(tracer: Tracer) -> list[dict[str, Any]]:
+    """Header + span records + orphan counters for one tracer."""
+    spans = list(tracer.spans)
+    records: list[dict[str, Any]] = [
+        {
+            "type": "trace",
+            "version": TRACE_VERSION,
+            "spans": len(spans),
+            "created_unix": time.time(),
+        }
+    ]
+    records.extend(span.to_record() for span in spans)
+    if tracer.orphan_counters:
+        records.append({"type": "orphans", "counters": dict(tracer.orphan_counters)})
+    return records
+
+
+def write_jsonl(tracer: Tracer, path: str | Path) -> Path:
+    """Serialize a finished trace to ``path``; returns the path."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        for record in trace_records(tracer):
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+    return path
+
+
+class Trace:
+    """A parsed trace file: the span forest plus trace-level metadata."""
+
+    def __init__(
+        self,
+        spans: list[Span],
+        version: int = TRACE_VERSION,
+        orphan_counters: dict[str, int | float] | None = None,
+    ):
+        self.spans = spans
+        self.version = version
+        self.orphan_counters = orphan_counters or {}
+        self._by_id = {s.span_id: s for s in spans}
+
+    @classmethod
+    def from_tracer(cls, tracer: Tracer) -> "Trace":
+        """View a live tracer's finished spans as a Trace."""
+        return cls(list(tracer.spans), orphan_counters=dict(tracer.orphan_counters))
+
+    def roots(self) -> list[Span]:
+        """Spans with no (present) parent, in start order."""
+        present = self._by_id
+        return sorted(
+            (s for s in self.spans if s.parent_id not in present),
+            key=lambda s: s.span_id,
+        )
+
+    def children(self, span: Span) -> list[Span]:
+        """Direct children of ``span``, in start order."""
+        return sorted(
+            (s for s in self.spans if s.parent_id == span.span_id),
+            key=lambda s: s.span_id,
+        )
+
+    def find(self, name: str) -> list[Span]:
+        """All spans with the given name."""
+        return [s for s in self.spans if s.name == name]
+
+    def subtree(self, span: Span) -> list[Span]:
+        """``span`` plus all descendants (pre-order)."""
+        out = [span]
+        for child in self.children(span):
+            out.extend(self.subtree(child))
+        return out
+
+    def total_counters(self) -> dict[str, int | float]:
+        """Every counter summed across the whole trace."""
+        totals: dict[str, int | float] = dict(self.orphan_counters)
+        for span in self.spans:
+            for key, value in span.counters.items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+
+def read_jsonl(path: str | Path) -> Trace:
+    """Parse a trace file written by :func:`write_jsonl`."""
+    spans: list[Span] = []
+    version = TRACE_VERSION
+    orphans: dict[str, int | float] = {}
+    with Path(path).open("r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            kind = record.get("type")
+            if kind == "trace":
+                version = record.get("version", TRACE_VERSION)
+            elif kind == "span":
+                spans.append(Span.from_record(record))
+            elif kind == "orphans":
+                for key, value in record.get("counters", {}).items():
+                    orphans[key] = orphans.get(key, 0) + value
+    return Trace(spans, version=version, orphan_counters=orphans)
+
+
+# -- pretty renderer -----------------------------------------------------------
+
+
+def _fmt_seconds(s: float) -> str:
+    if s >= 1:
+        return f"{s:.2f}s"
+    if s >= 1e-3:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s * 1e6:.0f}us"
+
+
+def _fmt_count(v: int | float) -> str:
+    if isinstance(v, float) and not v.is_integer():
+        return f"{v:.3g}"
+    return f"{int(v):,}"
+
+
+def _span_line(span: Span) -> str:
+    parts = [span.name]
+    if span.attrs:
+        parts.append(
+            " ".join(f"{k}={v}" for k, v in sorted(span.attrs.items()))
+        )
+    parts.append(
+        f"(wall {_fmt_seconds(span.wall_seconds)}, cpu {_fmt_seconds(span.cpu_seconds)})"
+    )
+    if span.counters:
+        counters = ", ".join(
+            f"{k}={_fmt_count(v)}" for k, v in sorted(span.counters.items())
+        )
+        parts.append(f"[{counters}]")
+    return "  ".join(parts)
+
+
+def render_tree(trace: Trace | Tracer) -> str:
+    """An indented text rendering of the span forest."""
+    if isinstance(trace, Tracer):
+        trace = Trace.from_tracer(trace)
+    lines: list[str] = []
+
+    def walk(span: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+        if is_root:
+            lines.append(_span_line(span))
+            child_prefix = ""
+        else:
+            branch = "└─ " if is_last else "├─ "
+            lines.append(prefix + branch + _span_line(span))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        children = trace.children(span)
+        for i, child in enumerate(children):
+            walk(child, child_prefix, i == len(children) - 1, False)
+
+    for root in trace.roots():
+        walk(root, "", True, True)
+    if trace.orphan_counters:
+        counters = ", ".join(
+            f"{k}={_fmt_count(v)}" for k, v in sorted(trace.orphan_counters.items())
+        )
+        lines.append(f"(unattributed)  [{counters}]")
+    return "\n".join(lines)
+
+
+def render_counter_totals(trace: Trace | Tracer) -> str:
+    """One line per counter, summed over the whole trace."""
+    if isinstance(trace, Tracer):
+        trace = Trace.from_tracer(trace)
+    totals = trace.total_counters()
+    if not totals:
+        return "(no counters recorded)"
+    width = max(len(k) for k in totals)
+    return "\n".join(
+        f"{k.ljust(width)}  {_fmt_count(v)}" for k, v in sorted(totals.items())
+    )

@@ -2,7 +2,17 @@
 
 import time
 
+import pytest
+
+from repro import telemetry
 from repro.argument import BatchStats, PhaseTimer, ProverStats, VerifierStats
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    telemetry.disable()
+    yield
+    telemetry.disable()
 
 
 class TestProverStats:
@@ -50,3 +60,93 @@ class TestPhaseTimer:
         except RuntimeError:
             pass
         assert stats.per_instance >= 0
+
+    def test_records_wall_alongside_cpu(self):
+        """Regression: a sleeping phase must show up in wall, not CPU.
+
+        The pre-telemetry PhaseTimer only read ``time.process_time``,
+        so network waits and subprocess work vanished from the stats.
+        """
+        stats = ProverStats()
+        timer = PhaseTimer(stats)
+        with timer.phase("crypto_ops"):
+            time.sleep(0.03)
+        assert stats.wall["crypto_ops"] >= 0.03
+        assert stats.crypto_ops < 0.03  # sleep burns no CPU
+        assert stats.wall_e2e >= 0.03
+
+    def test_opens_matching_span_when_enabled(self):
+        with telemetry.session() as tracer:
+            stats = ProverStats()
+            with PhaseTimer(stats).phase("construct_u"):
+                sum(range(1000))
+        spans = tracer.find("prover.construct_u")
+        assert len(spans) == 1
+        # the stats numbers ARE the span's clocks (exact, not approximate)
+        assert stats.construct_u == spans[0].cpu_seconds
+        assert stats.wall["construct_u"] == spans[0].wall_seconds
+
+    def test_component_prefix_from_stats_type(self):
+        with telemetry.session() as tracer:
+            with PhaseTimer(VerifierStats()).phase("query_setup"):
+                pass
+        assert tracer.find("verifier.query_setup")
+
+    def test_no_spans_when_disabled(self):
+        stats = VerifierStats()
+        with PhaseTimer(stats).phase("query_setup"):
+            sum(range(1000))
+        assert stats.query_setup > 0  # still times without a tracer
+
+
+class TestStatsFromSpans:
+    def test_prover_from_spans_sums_matching_phases(self):
+        with telemetry.session() as tracer:
+            stats = ProverStats()
+            timer = PhaseTimer(stats)
+            for _ in range(2):
+                with timer.phase("solve_constraints"):
+                    sum(range(5000))
+            with timer.phase("answer_queries"):
+                sum(range(5000))
+            with telemetry.span("prover.unrelated_name"):
+                pass
+            with telemetry.span("verifier.query_setup"):
+                pass
+        derived = ProverStats.from_spans(tracer.spans)
+        assert derived.solve_constraints == stats.solve_constraints
+        assert derived.answer_queries == stats.answer_queries
+        assert derived.construct_u == 0.0
+        assert derived.wall == stats.wall
+
+    def test_from_spans_accepts_jsonl_records(self):
+        records = [
+            {"type": "span", "id": 1, "parent": None,
+             "name": "prover.crypto_ops", "cpu_s": 1.0, "wall_s": 2.0},
+            {"type": "span", "id": 2, "parent": None,
+             "name": "verifier.per_instance", "cpu_s": 0.5, "wall_s": 0.5},
+        ]
+        p = ProverStats.from_spans(records)
+        assert p.crypto_ops == 1.0 and p.wall["crypto_ops"] == 2.0
+        v = VerifierStats.from_spans(records)
+        assert v.per_instance == 0.5
+
+    def test_batch_from_trace_orders_instances_by_index(self):
+        from repro.telemetry import Trace
+
+        with telemetry.session() as tracer:
+            for index in (1, 0):
+                with telemetry.span("prover.instance", index=index):
+                    with PhaseTimer(ProverStats()).phase("construct_u"):
+                        sum(range(1000 * (index + 1)))
+        trace = Trace.from_tracer(tracer)
+        batch = BatchStats.from_trace(trace)
+        assert batch.batch_size == 2
+        by_index = {
+            s.attrs["index"]: s.span_id for s in trace.find("prover.instance")
+        }
+        first = next(
+            s for s in trace.find("prover.construct_u")
+            if s.parent_id == by_index[0]
+        )
+        assert batch.prover_per_instance[0].construct_u == first.cpu_seconds

@@ -1,0 +1,12 @@
+"""Telemetry tests must never leak an enabled tracer into other tests."""
+
+import pytest
+
+from repro import telemetry
+
+
+@pytest.fixture(autouse=True)
+def _telemetry_off():
+    telemetry.disable()
+    yield
+    telemetry.disable()

@@ -1,0 +1,215 @@
+"""Span lifecycle, counter attribution, and thread behaviour."""
+
+import threading
+
+from repro import telemetry
+from repro.telemetry import Span, Tracer
+
+
+class TestSpanNesting:
+    def test_parent_links_follow_nesting(self):
+        with telemetry.session() as tracer:
+            with telemetry.span("outer") as outer:
+                with telemetry.span("middle") as middle:
+                    with telemetry.span("inner") as inner:
+                        pass
+        assert inner.parent_id == middle.span_id
+        assert middle.parent_id == outer.span_id
+        assert outer.parent_id is None
+        # completion (post-) order: children recorded before parents
+        assert [s.name for s in tracer.spans] == ["inner", "middle", "outer"]
+
+    def test_siblings_share_parent(self):
+        with telemetry.session():
+            with telemetry.span("root") as root:
+                with telemetry.span("a") as a:
+                    pass
+                with telemetry.span("b") as b:
+                    pass
+        assert a.parent_id == root.span_id
+        assert b.parent_id == root.span_id
+
+    def test_clocks_are_positive_and_wall_covers_sleep(self):
+        import time
+
+        with telemetry.session():
+            with telemetry.span("sleepy") as sp:
+                time.sleep(0.02)
+        assert sp.wall_seconds >= 0.02
+        assert sp.cpu_seconds >= 0.0
+        # sleeping burns wall time, not CPU
+        assert sp.cpu_seconds < sp.wall_seconds
+
+    def test_attrs_are_stored(self):
+        with telemetry.session():
+            with telemetry.span("tagged", index=3, system="zaatar") as sp:
+                pass
+        assert sp.attrs == {"index": 3, "system": "zaatar"}
+
+    def test_exception_still_closes_span(self):
+        with telemetry.session() as tracer:
+            try:
+                with telemetry.span("boom"):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+        assert [s.name for s in tracer.spans] == ["boom"]
+
+    def test_traced_decorator(self):
+        @telemetry.traced("my.label")
+        def work(x):
+            return x * 2
+
+        assert work(2) == 4  # disabled: plain call
+        with telemetry.session() as tracer:
+            assert work(3) == 6
+        assert [s.name for s in tracer.spans] == ["my.label"]
+
+
+class TestCounterAttribution:
+    def test_count_goes_to_innermost_span(self):
+        with telemetry.session():
+            with telemetry.span("outer") as outer:
+                telemetry.count("ops", 1)
+                with telemetry.span("inner") as inner:
+                    telemetry.count("ops", 10)
+                telemetry.count("ops", 2)
+        assert inner.counters == {"ops": 10}
+        assert outer.counters == {"ops": 3}
+
+    def test_orphan_counts_without_active_span(self):
+        with telemetry.session() as tracer:
+            telemetry.count("loose", 5)
+        assert tracer.orphan_counters == {"loose": 5}
+
+    def test_total_counters_sums_spans_and_orphans(self):
+        with telemetry.session() as tracer:
+            telemetry.count("x", 1)
+            with telemetry.span("a"):
+                telemetry.count("x", 2)
+            with telemetry.span("b"):
+                telemetry.count("x", 4)
+                telemetry.count("y", 1)
+        assert tracer.total_counters() == {"x": 7, "y": 1}
+
+    def test_disabled_count_is_noop(self):
+        telemetry.count("nothing", 100)  # must not raise, must not record
+        assert telemetry.current() is None
+        assert not telemetry.enabled()
+
+
+class TestThreadSafety:
+    def test_each_thread_gets_its_own_stack(self):
+        """Spans on other threads become separate roots, not children."""
+        with telemetry.session() as tracer:
+            with telemetry.span("main-root"):
+                done = threading.Event()
+
+                def worker():
+                    with telemetry.span("thread-root"):
+                        telemetry.count("thread.ops", 1)
+                    done.set()
+
+                t = threading.Thread(target=worker)
+                t.start()
+                t.join()
+                assert done.wait(1)
+        thread_root = tracer.find("thread-root")[0]
+        assert thread_root.parent_id is None
+        assert thread_root.counters == {"thread.ops": 1}
+
+    def test_concurrent_spans_and_counts(self):
+        """Hammer the tracer from many threads; nothing lost, no crash."""
+        n_threads, n_spans = 8, 50
+        with telemetry.session() as tracer:
+
+            def worker(tid):
+                for i in range(n_spans):
+                    with telemetry.span(f"w{tid}"):
+                        telemetry.count("work", 1)
+
+            threads = [
+                threading.Thread(target=worker, args=(t,)) for t in range(n_threads)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert len(tracer.spans) == n_threads * n_spans
+        assert tracer.total_counters() == {"work": n_threads * n_spans}
+        # ids are unique despite concurrent allocation
+        ids = [s.span_id for s in tracer.spans]
+        assert len(set(ids)) == len(ids)
+
+
+class TestAdopt:
+    def test_adopt_remaps_ids_and_parents(self):
+        """Worker records get fresh ids; external parents are redirected."""
+        worker = Tracer()
+        root = worker.start("prover.instance", index=0)
+        child = worker.start("prover.solve_constraints")
+        worker.end(child)
+        worker.end(root)
+        records = worker.records_since(0)
+
+        parent = Tracer()
+        run = parent.start("argument.run_parallel_batch")
+        parent.end(run)
+        adopted = parent.adopt(records, parent_id=run.span_id)
+
+        by_name = {s.name: s for s in adopted}
+        inst = by_name["prover.instance"]
+        solve = by_name["prover.solve_constraints"]
+        # internal link preserved (remapped), external link redirected
+        assert solve.parent_id == inst.span_id
+        assert inst.parent_id == run.span_id
+        # fresh ids: no collision with the parent tracer's own spans
+        all_ids = [s.span_id for s in parent.spans]
+        assert len(set(all_ids)) == len(all_ids)
+
+    def test_records_since_mark(self):
+        tracer = Tracer()
+        a = tracer.start("a")
+        tracer.end(a)
+        mark = tracer.mark()
+        b = tracer.start("b")
+        tracer.end(b)
+        records = tracer.records_since(mark)
+        assert [r["name"] for r in records] == ["b"]
+
+
+class TestSessionLifecycle:
+    def test_session_installs_and_removes(self):
+        assert not telemetry.enabled()
+        with telemetry.session() as tracer:
+            assert telemetry.enabled()
+            assert telemetry.current() is tracer
+        assert not telemetry.enabled()
+
+    def test_enable_replaces_previous_tracer(self):
+        first = telemetry.enable()
+        second = telemetry.enable()
+        assert first is not second
+        assert telemetry.current() is second
+        telemetry.disable()
+
+    def test_start_end_span_none_safe_when_disabled(self):
+        span = telemetry.start_span("ghost")
+        assert span is None
+        telemetry.end_span(span)  # no-op, no raise
+
+
+class TestSpanRecords:
+    def test_round_trip(self):
+        span = Span("phase", 7, 3, {"mode": "roots"})
+        span.wall_seconds = 1.5
+        span.cpu_seconds = 1.25
+        span.count("field.mul", 42)
+        back = Span.from_record(span.to_record())
+        assert back.name == "phase"
+        assert back.span_id == 7
+        assert back.parent_id == 3
+        assert back.attrs == {"mode": "roots"}
+        assert back.counters == {"field.mul": 42}
+        assert back.wall_seconds == 1.5
+        assert back.cpu_seconds == 1.25

@@ -1,0 +1,106 @@
+"""JSONL round-trip, Trace queries, and the tree renderer."""
+
+import json
+
+from repro import telemetry
+from repro.telemetry import (
+    TRACE_VERSION,
+    Trace,
+    read_jsonl,
+    render_counter_totals,
+    render_tree,
+    trace_records,
+    write_jsonl,
+)
+
+
+def _sample_tracer():
+    with telemetry.session() as tracer:
+        telemetry.count("orphan.ops", 2)
+        with telemetry.span("root", batch_size=1):
+            with telemetry.span("child"):
+                telemetry.count("field.mul", 10)
+            with telemetry.span("child"):
+                telemetry.count("field.mul", 5)
+    return tracer
+
+
+class TestJsonlRoundTrip:
+    def test_file_round_trip(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_jsonl(tracer, tmp_path / "t.jsonl")
+        trace = read_jsonl(path)
+        assert trace.version == TRACE_VERSION
+        assert len(trace.spans) == 3
+        assert trace.orphan_counters == {"orphan.ops": 2}
+        root = trace.find("root")[0]
+        assert root.attrs == {"batch_size": 1}
+        assert [c.name for c in trace.children(root)] == ["child", "child"]
+        assert trace.total_counters() == {"orphan.ops": 2, "field.mul": 15}
+
+    def test_header_line_first_and_valid_json(self, tmp_path):
+        tracer = _sample_tracer()
+        path = write_jsonl(tracer, tmp_path / "t.jsonl")
+        lines = path.read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["type"] == "trace"
+        assert header["version"] == TRACE_VERSION
+        assert header["spans"] == 3
+        for line in lines[1:]:
+            assert json.loads(line)["type"] in ("span", "orphans")
+
+    def test_children_precede_parents(self, tmp_path):
+        """Post-order: a streaming reader sees complete subtrees."""
+        tracer = _sample_tracer()
+        records = trace_records(tracer)
+        seen = set()
+        for record in records:
+            if record["type"] != "span":
+                continue
+            # a parent appearing before its child would break streaming
+            assert record["parent"] not in seen
+            seen.add(record["id"])
+        # the root (parent None) is the last span record
+        span_records = [r for r in records if r["type"] == "span"]
+        assert span_records[-1]["parent"] is None
+
+
+class TestTraceQueries:
+    def test_roots_and_subtree(self):
+        trace = Trace.from_tracer(_sample_tracer())
+        roots = trace.roots()
+        assert [r.name for r in roots] == ["root"]
+        sub = trace.subtree(roots[0])
+        assert [s.name for s in sub] == ["root", "child", "child"]
+
+    def test_missing_parent_becomes_root(self):
+        """A span whose parent is absent from the file renders as a root."""
+        from repro.telemetry import Span
+
+        orphaned = Span("floating", 5, parent_id=99)
+        trace = Trace([orphaned])
+        assert trace.roots() == [orphaned]
+
+
+class TestRenderers:
+    def test_render_tree_shape(self):
+        text = render_tree(_sample_tracer())
+        lines = text.splitlines()
+        assert lines[0].startswith("root")
+        assert "├─ child" in lines[1]
+        assert "└─ child" in lines[2]
+        assert "(unattributed)" in lines[3]
+        assert "field.mul=10" in text
+        assert "wall " in text and "cpu " in text
+
+    def test_render_counter_totals(self):
+        text = render_counter_totals(_sample_tracer())
+        assert "field.mul" in text
+        assert "15" in text
+        assert "orphan.ops" in text
+
+    def test_render_empty(self):
+        with telemetry.session() as tracer:
+            pass
+        assert render_tree(tracer) == ""
+        assert render_counter_totals(tracer) == "(no counters recorded)"

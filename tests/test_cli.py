@@ -77,6 +77,51 @@ class TestProveCommand:
         assert main(["prove", program_file, "--inputs", "1,x"]) == 2
 
 
+class TestTraceCommand:
+    def test_traces_program_file(self, program_file, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "run.trace.jsonl"
+        rc = main(
+            ["trace", program_file, "--inputs", "3,4", "--no-net",
+             "--out", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "prover.instance" in out
+        assert "verifier.query_setup" in out
+        assert "field.mul" in out
+        assert "ACCEPTED" in out
+        lines = out_path.read_text().splitlines()
+        assert json.loads(lines[0])["type"] == "trace"
+        names = {json.loads(l).get("name") for l in lines[1:]}
+        assert "prover.solve_constraints" in names
+
+    def test_traces_app_with_net(self, capsys, tmp_path):
+        out_path = tmp_path / "matmul.trace.jsonl"
+        rc = main(
+            ["trace", "--app", "matmul", "--size", "m=2",
+             "--out", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "net.bytes_sent" in out
+        assert out_path.exists()
+
+    def test_telemetry_left_disabled(self, program_file, tmp_path):
+        from repro import telemetry
+
+        main(["trace", program_file, "--inputs", "1,1", "--no-net",
+              "--out", str(tmp_path / "t.jsonl")])
+        assert not telemetry.enabled()
+
+    def test_unknown_app_is_error(self, tmp_path):
+        assert main(["trace", "--app", "nope"]) == 2
+
+    def test_no_program_no_app_is_error(self):
+        assert main(["trace"]) == 2
+
+
 class TestMicrobenchCommand:
     def test_prints_parameters(self, capsys):
         rc = main(["microbench", "--reps", "50", "--crypto-reps", "2"])
