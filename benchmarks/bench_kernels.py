@@ -1,0 +1,260 @@
+"""Kernel-plan microbench: cached NTT/division/interpolation vs cold.
+
+Not a paper figure — this bench guards the kernel-plan layer added in
+docs/PERFORMANCE.md: precomputed NTT plans, the batch-amortized divisor
+inverse, and subproduct-tree reuse must (a) stay bit-identical to the
+from-scratch reference kernels and (b) never be slower than them.  The
+``--check`` flag turns (a) and (b) into hard failures, which is what
+the CI ``kernel-bench`` job runs; the JSON artifact lands in
+``benchmarks/out/BENCH_kernels.json``.
+
+Standalone::
+
+    PYTHONPATH=src python benchmarks/bench_kernels.py --size 4096 --reps 5 --check
+
+or as a pytest bench like the figure benches::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_kernels.py -q
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from _harness import FIELD, RESULTS, emit_results, fmt_seconds, print_table
+
+from repro import telemetry
+from repro.poly import (
+    SubproductTree,
+    clear_plan_caches,
+    get_barycentric_weights,
+    get_ntt_plan,
+    intt,
+    ntt,
+    ntt_reference,
+    plan_cache_info,
+    poly_div_exact,
+    poly_from_roots,
+    poly_mul,
+)
+from repro.poly.divide import _series_inverse
+
+#: cached kernels must be at least this close to the uncached reference
+#: (generous: CI machines are noisy; locally the speedup is 1.3-2x)
+CHECK_MARGIN = 1.25
+
+
+def _best_of(fn, reps: int) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _bench_ntt(size: int, reps: int, rng: random.Random) -> dict:
+    """Plan-backed forward+inverse transform vs the reference kernels."""
+    a = [rng.randrange(FIELD.p) for _ in range(size)]
+
+    clear_plan_caches()
+    t0 = time.perf_counter()
+    get_ntt_plan(FIELD, size)  # cold: builds twiddles + swap schedule
+    plan_build = time.perf_counter() - t0
+
+    cached = _best_of(lambda: intt(FIELD, ntt(FIELD, a)), reps)
+    uncached = _best_of(
+        lambda: ntt_reference(FIELD, ntt_reference(FIELD, a), invert=True), reps
+    )
+    identical = ntt(FIELD, a) == ntt_reference(FIELD, a) and ntt(
+        FIELD, a, invert=True
+    ) == ntt_reference(FIELD, a, invert=True)
+    return {
+        "size": size,
+        "plan_build_seconds": plan_build,
+        "cached_seconds": cached,
+        "uncached_seconds": uncached,
+        "speedup": uncached / cached if cached else float("inf"),
+        "bit_identical": identical,
+    }
+
+
+def _bench_division(size: int, reps: int, rng: random.Random) -> dict:
+    """Exact division with the cached reversed-divisor inverse vs without.
+
+    Mirrors the prover's step 3: P_w(t) / D(t) where D is fixed across a
+    batch and only the numerator changes per instance.
+    """
+    m = size // 2
+    divisor = poly_from_roots(FIELD, list(range(1, m + 1)))
+    quotient = [rng.randrange(FIELD.p) for _ in range(m)]
+    quotient[-1] = quotient[-1] or 1
+    numerator = poly_mul(FIELD, divisor, quotient)
+    qlen = len(numerator) - len(divisor) + 1
+
+    uncached = _best_of(lambda: poly_div_exact(FIELD, numerator, divisor), reps)
+    t0 = time.perf_counter()
+    inv = _series_inverse(FIELD, list(reversed(divisor)), qlen)
+    inverse_build = time.perf_counter() - t0
+    cached = _best_of(
+        lambda: poly_div_exact(FIELD, numerator, divisor, inv_rev_den=inv), reps
+    )
+    identical = poly_div_exact(
+        FIELD, numerator, divisor, inv_rev_den=inv
+    ) == poly_div_exact(FIELD, numerator, divisor)
+    return {
+        "degree": len(divisor) - 1,
+        "inverse_build_seconds": inverse_build,
+        "cached_seconds": cached,
+        "uncached_seconds": uncached,
+        "speedup": uncached / cached if cached else float("inf"),
+        "bit_identical": identical,
+    }
+
+
+def _bench_interpolation(size: int, reps: int, rng: random.Random) -> dict:
+    """Cold tree build + interpolate vs reinterpolation through a warm tree."""
+    points = list(range(1, size // 4 + 1))
+    values = [rng.randrange(FIELD.p) for _ in points]
+
+    def cold():
+        clear_plan_caches()
+        return SubproductTree(FIELD, points).interpolate(values)
+
+    cold_seconds = _best_of(cold, max(1, reps // 2))
+    clear_plan_caches()
+    tree = SubproductTree(FIELD, points)
+    tree.interpolate(values)  # populate the per-tree caches
+    warm_seconds = _best_of(lambda: tree.interpolate(values), reps)
+    identical = tree.interpolate(values) == cold()
+    return {
+        "points": len(points),
+        "cold_seconds": cold_seconds,
+        "warm_seconds": warm_seconds,
+        "speedup": cold_seconds / warm_seconds if warm_seconds else float("inf"),
+        "bit_identical": identical,
+    }
+
+
+def _bench_counters(size: int) -> dict:
+    """Plan hit/miss accounting over a simulated two-instance batch."""
+    clear_plan_caches()
+    tracer = telemetry.enable()
+    try:
+        with telemetry.span("bench.kernels.counters"):
+            for _ in range(2):  # two "instances" sharing one plan set
+                a = list(range(size))
+                intt(FIELD, ntt(FIELD, a))
+                get_barycentric_weights(FIELD, size // 4)
+    finally:
+        telemetry.disable()
+    totals = tracer.total_counters()
+    return {
+        "plan_hits": int(totals.get("poly.plan_hits", 0)),
+        "plan_misses": int(totals.get("poly.plan_misses", 0)),
+        "cache_entries": plan_cache_info(),
+    }
+
+
+def run_bench(size: int, reps: int) -> dict:
+    rng = random.Random(0xC0DE)
+    out = {
+        "ntt": _bench_ntt(size, reps, rng),
+        "division": _bench_division(size, reps, rng),
+        "interpolation": _bench_interpolation(size, reps, rng),
+        "counters": _bench_counters(size),
+    }
+    for label, row in out.items():
+        RESULTS[("kernels", label)] = row
+    return out
+
+
+def check(results: dict) -> list[str]:
+    """The CI guard: bit-identity always; cached never slower (+margin)."""
+    failures = []
+    for section in ("ntt", "division", "interpolation"):
+        row = results[section]
+        if not row["bit_identical"]:
+            failures.append(f"{section}: cached result differs from reference")
+        fast = row.get("cached_seconds", row.get("warm_seconds"))
+        slow = row.get("uncached_seconds", row.get("cold_seconds"))
+        if fast > slow * CHECK_MARGIN:
+            failures.append(
+                f"{section}: cached path {fast:.6f}s slower than "
+                f"uncached {slow:.6f}s (margin {CHECK_MARGIN}x)"
+            )
+    counters = results["counters"]
+    if counters["plan_hits"] == 0:
+        failures.append("counters: second instance produced no plan hits")
+    if counters["plan_misses"] == 0:
+        failures.append("counters: cold caches produced no plan misses")
+    return failures
+
+
+def _report(results: dict) -> None:
+    rows = []
+    for section in ("ntt", "division", "interpolation"):
+        row = results[section]
+        fast = row.get("cached_seconds", row.get("warm_seconds"))
+        slow = row.get("uncached_seconds", row.get("cold_seconds"))
+        rows.append(
+            [
+                section,
+                fmt_seconds(slow),
+                fmt_seconds(fast),
+                f"{row['speedup']:.2f}x",
+                "yes" if row["bit_identical"] else "NO",
+            ]
+        )
+    print_table(
+        "kernel plans: cached vs from-scratch",
+        ["kernel", "uncached", "cached", "speedup", "bit-identical"],
+        rows,
+    )
+    counters = results["counters"]
+    print(
+        f"\nplan cache over 2 instances: {counters['plan_hits']} hits / "
+        f"{counters['plan_misses']} misses ({counters['cache_entries']})"
+    )
+
+
+def test_kernels(benchmark):
+    """Pytest entry point, shaped like the figure benches."""
+    results = benchmark.pedantic(lambda: run_bench(4096, 3), rounds=1, iterations=1)
+    _report(results)
+    emit_results("kernels")
+    assert not check(results)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--size", type=int, default=4096, help="NTT size (power of two)")
+    parser.add_argument("--reps", type=int, default=5, help="timing repetitions (best-of)")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail (exit 1) unless cached kernels are bit-identical and not slower",
+    )
+    args = parser.parse_args(argv)
+    if args.size < 4 or args.size & (args.size - 1):
+        parser.error("--size must be a power of two >= 4")
+    results = run_bench(args.size, args.reps)
+    _report(results)
+    path = emit_results("kernels")
+    print(f"\nresults written to {path}")
+    if args.check:
+        failures = check(results)
+        for f in failures:
+            print(f"CHECK FAILED: {f}", file=sys.stderr)
+        return 1 if failures else 0
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -87,61 +87,69 @@ def run_parallel_batch(
         batch_size=len(batch_inputs),
         workers=num_workers,
     )
-    verifier_stats = VerifierStats()
-    setup = argument.verifier_setup(verifier_stats)
-    schedule, commitment_verifier, _, _ = setup
+    # Everything below runs under the span; a worker exception must not
+    # leave _WORKER_STATE populated (it pins the argument/setup objects
+    # for the life of the process) or the run span dangling open (which
+    # corrupts every later trace built on this thread's span stack).
+    try:
+        verifier_stats = VerifierStats()
+        setup = argument.verifier_setup(verifier_stats)
+        schedule, commitment_verifier, _, _ = setup
 
-    _WORKER_STATE["argument"] = argument
-    _WORKER_STATE["setup"] = setup
-    _WORKER_STATE["collect_spans"] = num_workers > 1
-    start = time.monotonic()
-    inputs = [list(v) for v in batch_inputs]
-    tasks = list(enumerate(inputs))
-    if num_workers == 1:
-        raw = [_prove_task(t) for t in tasks]
-    else:
-        ctx = multiprocessing.get_context("fork")
-        with ctx.Pool(num_workers) as pool:
-            raw = pool.map(_prove_task, tasks)
-    wall = time.monotonic() - start
-    _WORKER_STATE.clear()
-
-    tracer = telemetry.current()
-    if tracer is not None and run_span is not None:
-        for entry in raw:
-            if entry[-1]:
-                tracer.adopt(entry[-1], parent_id=run_span.span_id)
-
-    timer = PhaseTimer(verifier_stats)
-    results: list[InstanceResult] = []
-    batch = BatchStats(batch_size=len(inputs), verifier=verifier_stats)
-    for x, y, outputs, commitment, answers, stat_tuple, _records in raw:
-        prover_stats = ProverStats(*stat_tuple)
-        with timer.phase("per_instance"):
-            if argument.config.use_commitment:
-                from ..crypto.commitment import DecommitResponse
-
-                commit_ok = commitment_verifier.verify(
-                    commitment, DecommitResponse(answers)
-                )
-                pcp_answers = answers[:-1]
+        _WORKER_STATE["argument"] = argument
+        _WORKER_STATE["setup"] = setup
+        _WORKER_STATE["collect_spans"] = num_workers > 1
+        start = time.monotonic()
+        inputs = [list(v) for v in batch_inputs]
+        tasks = list(enumerate(inputs))
+        try:
+            if num_workers == 1:
+                raw = [_prove_task(t) for t in tasks]
             else:
-                commit_ok = True
-                pcp_answers = answers
-            pcp_result = zaatar_pcp.check_answers(schedule, pcp_answers, x, y)
-        results.append(
-            InstanceResult(
-                accepted=commit_ok and pcp_result.accepted,
-                commitment_ok=commit_ok,
-                pcp_ok=pcp_result.accepted,
-                output_values=outputs,
-                prover_stats=prover_stats,
+                ctx = multiprocessing.get_context("fork")
+                with ctx.Pool(num_workers) as pool:
+                    raw = pool.map(_prove_task, tasks)
+            wall = time.monotonic() - start
+        finally:
+            _WORKER_STATE.clear()
+
+        tracer = telemetry.current()
+        if tracer is not None and run_span is not None:
+            for entry in raw:
+                if entry[-1]:
+                    tracer.adopt(entry[-1], parent_id=run_span.span_id)
+
+        timer = PhaseTimer(verifier_stats)
+        results: list[InstanceResult] = []
+        batch = BatchStats(batch_size=len(inputs), verifier=verifier_stats)
+        for x, y, outputs, commitment, answers, stat_tuple, _records in raw:
+            prover_stats = ProverStats(*stat_tuple)
+            with timer.phase("per_instance"):
+                if argument.config.use_commitment:
+                    from ..crypto.commitment import DecommitResponse
+
+                    commit_ok = commitment_verifier.verify(
+                        commitment, DecommitResponse(answers)
+                    )
+                    pcp_answers = answers[:-1]
+                else:
+                    commit_ok = True
+                    pcp_answers = answers
+                pcp_result = zaatar_pcp.check_answers(schedule, pcp_answers, x, y)
+            results.append(
+                InstanceResult(
+                    accepted=commit_ok and pcp_result.accepted,
+                    commitment_ok=commit_ok,
+                    pcp_ok=pcp_result.accepted,
+                    output_values=outputs,
+                    prover_stats=prover_stats,
+                )
             )
+            batch.prover_per_instance.append(prover_stats)
+        return ParallelBatchResult(
+            result=BatchResult(instances=results, stats=batch),
+            wall_seconds=wall,
+            num_workers=num_workers,
         )
-        batch.prover_per_instance.append(prover_stats)
-    telemetry.end_span(run_span)
-    return ParallelBatchResult(
-        result=BatchResult(instances=results, stats=batch),
-        wall_seconds=wall,
-        num_workers=num_workers,
-    )
+    finally:
+        telemetry.end_span(run_span)

@@ -195,6 +195,15 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print(telemetry.render_tree(tracer))
     print("\ncounter totals:")
     print(telemetry.render_counter_totals(tracer))
+    totals = tracer.total_counters()
+    plan_hits = int(totals.get("poly.plan_hits", 0))
+    plan_misses = int(totals.get("poly.plan_misses", 0))
+    if plan_hits or plan_misses:
+        reuse = plan_hits / (plan_hits + plan_misses)
+        print(
+            f"\nkernel plan cache: {plan_hits} hits / {plan_misses} misses "
+            f"({reuse:.0%} reuse; see docs/PERFORMANCE.md)"
+        )
     accepted = result.all_accepted and net_ok
     verdict = "ACCEPTED" if accepted else "REJECTED"
     print(f"\nbatch of {len(batch)}: {verdict}")

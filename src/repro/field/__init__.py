@@ -3,7 +3,12 @@
 from .counting import CountingField, counting_field
 from .element import FieldElement
 from .params import GOLDILOCKS, NAMED_FIELDS, P128, P192, P220, FieldParams, field_params
-from .prime_field import PrimeField, is_probable_prime
+from .prime_field import (
+    CheckedPrimeField,
+    PrimeField,
+    checked_field,
+    is_probable_prime,
+)
 from .vector import (
     hadamard,
     inner,
@@ -17,6 +22,7 @@ from .vector import (
 )
 
 __all__ = [
+    "CheckedPrimeField",
     "CountingField",
     "FieldElement",
     "FieldParams",
@@ -26,6 +32,7 @@ __all__ = [
     "P192",
     "P220",
     "PrimeField",
+    "checked_field",
     "counting_field",
     "field_params",
     "hadamard",

@@ -52,6 +52,17 @@ class PrimeField:
 
     Instances are cheap, hashable by modulus, and safe to share across
     threads (all state is immutable).
+
+    **Canonical-form precondition.**  The comparison-based operations
+    ``add``/``sub``/``neg`` assume both operands are already canonical
+    (in ``[0, p)``) and *silently return out-of-range results*
+    otherwise — they trade the ``%`` reduction for a single compare,
+    which is what makes the prover's inner loops affordable in pure
+    Python.  ``mul``/``square``/``pow``/``inv``/``div`` reduce fully
+    and tolerate any integer operand.  Callers bringing external or
+    signed values into the field must go through :meth:`reduce` /
+    :meth:`from_signed` first; :class:`CheckedPrimeField` enforces the
+    precondition at runtime for tests and debugging.
     """
 
     __slots__ = ("p", "name", "two_adicity", "_two_adic_generator", "_root_cache")
@@ -104,17 +115,17 @@ class PrimeField:
         return a % self.p
 
     def add(self, a: int, b: int) -> int:
-        """a + b mod p."""
+        """a + b mod p.  Requires canonical operands (see class docs)."""
         s = a + b
         return s - self.p if s >= self.p else s
 
     def sub(self, a: int, b: int) -> int:
-        """a - b mod p."""
+        """a - b mod p.  Requires canonical operands (see class docs)."""
         d = a - b
         return d + self.p if d < 0 else d
 
     def neg(self, a: int) -> int:
-        """-a mod p."""
+        """-a mod p.  Requires a canonical operand (see class docs)."""
         return self.p - a if a else 0
 
     def mul(self, a: int, b: int) -> int:
@@ -242,6 +253,86 @@ class PrimeField:
             cached = pow(g, 1 << (self.two_adicity - log), self.p)
             self._root_cache[order] = cached
         return cached
+
+
+class CheckedPrimeField(PrimeField):
+    """A ``PrimeField`` that enforces the canonical-form precondition.
+
+    ``add``/``sub``/``neg`` on the base class silently produce
+    out-of-range results when fed non-canonical operands; this subclass
+    raises ``ValueError`` instead, on every scalar and batch entry
+    point.  It is a debugging and testing tool — hot paths keep the
+    unchecked base class — and interoperates with plan caches and
+    ``CountingField`` because equality/hashing stay modulus-based.
+    """
+
+    __slots__ = ()
+
+    def _require_canonical(self, *operands: int) -> None:
+        p = self.p
+        for v in operands:
+            if not 0 <= v < p:
+                raise ValueError(
+                    f"non-canonical field operand {v} (expected 0 <= v < {p}); "
+                    "reduce() or from_signed() it first"
+                )
+
+    def add(self, a: int, b: int) -> int:
+        """Checked a + b mod p; raises on non-canonical operands."""
+        self._require_canonical(a, b)
+        return super().add(a, b)
+
+    def sub(self, a: int, b: int) -> int:
+        """Checked a - b mod p; raises on non-canonical operands."""
+        self._require_canonical(a, b)
+        return super().sub(a, b)
+
+    def neg(self, a: int) -> int:
+        """Checked -a mod p; raises on a non-canonical operand."""
+        self._require_canonical(a)
+        return super().neg(a)
+
+    def mul(self, a: int, b: int) -> int:
+        """Checked a · b mod p; raises on non-canonical operands."""
+        self._require_canonical(a, b)
+        return super().mul(a, b)
+
+    def square(self, a: int) -> int:
+        """Checked a² mod p; raises on a non-canonical operand."""
+        self._require_canonical(a)
+        return super().square(a)
+
+    def inv(self, a: int) -> int:
+        """Checked a⁻¹ mod p; raises on a non-canonical operand."""
+        self._require_canonical(a)
+        return super().inv(a)
+
+    def div(self, a: int, b: int) -> int:
+        """Checked a / b mod p; raises on non-canonical operands."""
+        self._require_canonical(a, b)
+        return super().div(a, b)
+
+    def inner_product(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """Checked <a, b>; raises on any non-canonical entry."""
+        self._require_canonical(*a)
+        self._require_canonical(*b)
+        return super().inner_product(a, b)
+
+    def batch_inv(self, values: Sequence[int]) -> list[int]:
+        """Checked batch inversion; raises on any non-canonical entry."""
+        self._require_canonical(*values)
+        return super().batch_inv(values)
+
+
+def checked_field(base: PrimeField) -> CheckedPrimeField:
+    """A checked twin of ``base`` (same modulus, name, NTT structure)."""
+    if isinstance(base, CheckedPrimeField):
+        return base
+    twin = CheckedPrimeField(base.p, check_prime=False)
+    twin.name = base.name
+    twin.two_adicity = base.two_adicity
+    twin._two_adic_generator = base._two_adic_generator
+    return twin
 
 
 def elements(field: PrimeField, values: Iterable[int]) -> list[int]:

@@ -23,22 +23,36 @@ from .interpolate import (
     interpolate_at_roots_of_unity,
     interpolate_lagrange_naive,
 )
-from .multiply import poly_mul
-from .ntt import intt, max_ntt_size, ntt, ntt_mul
+from .multiply import mul_strategy, poly_mul
+from .ntt import intt, max_ntt_size, ntt, ntt_mul, ntt_reference
+from .plan import (
+    NTTPlan,
+    clear_plan_caches,
+    get_barycentric_weights,
+    get_ntt_plan,
+    plan_cache_info,
+)
 
 __all__ = [
+    "NTTPlan",
     "SubproductTree",
     "barycentric_lagrange_coeffs",
     "barycentric_weights",
     "barycentric_weights_arithmetic",
+    "clear_plan_caches",
     "degree",
+    "get_barycentric_weights",
+    "get_ntt_plan",
     "interpolate_at_roots_of_unity",
     "interpolate_lagrange_naive",
     "intt",
     "is_zero",
     "max_ntt_size",
+    "mul_strategy",
     "ntt",
     "ntt_mul",
+    "ntt_reference",
+    "plan_cache_info",
     "poly_add",
     "poly_derivative",
     "poly_div_exact",

@@ -21,8 +21,9 @@ from typing import Sequence
 from .. import telemetry
 from ..field import PrimeField
 from .dense import poly_eval, trim
-from .multiply import poly_mul
+from .multiply import mul_strategy, poly_mul
 from .ntt import intt
+from .plan import get_ntt_plan
 
 
 class SubproductTree:
@@ -54,6 +55,35 @@ class SubproductTree:
         self.levels = levels
         self.n = n
         self._derivative_evals: list[int] | None = None
+        self._inv_derivative_evals: list[int] | None = None
+        self._warm_mul_plans()
+
+    def _warm_mul_plans(self) -> None:
+        """Prebuild the NTT plans the interpolation up-sweep will need.
+
+        At each tree level the up-sweep multiplies an accumulator (at
+        most the sibling subtree's point count) by a fixed node
+        polynomial, so the product sizes — and hence the NTT plan keys
+        — are known at construction time.  Warming them here moves the
+        plan misses into tree build (amortized over the batch) so
+        per-instance interpolation runs entirely on plan-cache hits.
+        """
+        field = self.field
+        sizes: set[int] = set()
+        for level in self.levels[:-1]:
+            for i in range(0, len(level) - 1, 2):
+                # accumulator over subtree i has degree < its point
+                # count = len(node) - 1; the product with the sibling
+                # node polynomial is what poly_mul will see.
+                la = len(level[i]) - 1
+                lb = len(level[i + 1])
+                if mul_strategy(field, la, lb) == "ntt":
+                    size = 1
+                    while size < la + lb - 1:
+                        size <<= 1
+                    sizes.add(size)
+        for size in sorted(sizes):
+            get_ntt_plan(field, size)
 
     @property
     def root(self) -> list[int]:
@@ -92,6 +122,21 @@ class SubproductTree:
             self._derivative_evals = self.evaluate(deriv)
         return self._derivative_evals
 
+    def inv_derivative_evals(self) -> list[int]:
+        """1/m'(x_i) for all points, batch-inverted once and reused.
+
+        Every interpolation over this tree needs these denominators;
+        computing the Montgomery batch inversion once per tree (instead
+        of once per call) is part of the batch amortization measured by
+        ``poly.plan_hits``.
+        """
+        if self._inv_derivative_evals is None:
+            telemetry.count("poly.plan_misses")
+            self._inv_derivative_evals = self.field.batch_inv(self.derivative_evals())
+        else:
+            telemetry.count("poly.plan_hits")
+        return self._inv_derivative_evals
+
     def interpolate(self, values: Sequence[int]) -> list[int]:
         """Coefficients of the unique poly of degree < n through the points."""
         if len(values) != self.n:
@@ -102,8 +147,7 @@ class SubproductTree:
         if self.n == 0:
             return []
         field = self.field
-        denom = self.derivative_evals()
-        inv_denom = field.batch_inv(denom)
+        inv_denom = self.inv_derivative_evals()
         p = field.p
         weights = [v * w % p for v, w in zip(values, inv_denom)]
         # Combine up the tree: node poly = left*M_right + right*M_left.

@@ -59,14 +59,32 @@ def _zip_pad(a: Sequence[int], b: Sequence[int]):
         yield (a[i] if i < len(a) else 0, b[i] if i < len(b) else 0)
 
 
+def mul_strategy(field: PrimeField, len_a: int, len_b: int) -> str:
+    """Which algorithm :func:`poly_mul` picks for operand lengths.
+
+    Returns one of ``"zero"``, ``"naive"``, ``"karatsuba"``, ``"ntt"``.
+    Exposed so plan-warming code (``SubproductTree``) can predict which
+    products will need an :class:`~repro.poly.plan.NTTPlan` without
+    duplicating the cutover logic.
+    """
+    if len_a == 0 or len_b == 0:
+        return "zero"
+    result_len = len_a + len_b - 1
+    if min(len_a, len_b) <= _NAIVE_CUTOFF:
+        return "naive"
+    if result_len <= _KARATSUBA_CUTOFF or result_len > max_ntt_size(field):
+        return "karatsuba"
+    return "ntt"
+
+
 def poly_mul(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
     """Product of two polynomials, choosing the fastest available algorithm."""
-    if not a or not b:
+    strategy = mul_strategy(field, len(a), len(b))
+    if strategy == "zero":
         return []
-    result_len = len(a) + len(b) - 1
-    if min(len(a), len(b)) <= _NAIVE_CUTOFF:
+    if strategy == "naive":
         return poly_mul_naive(field, a, b)
-    if result_len <= _KARATSUBA_CUTOFF or result_len > max_ntt_size(field):
+    if strategy == "karatsuba":
         p = field.p
         return trim([c % p for c in _karatsuba(p, a, b)])
     return ntt_mul(field, a, b)

@@ -3,6 +3,14 @@
 The prover's H(t) pipeline (§A.3) is "operations based on the FFT:
 interpolation, polynomial multiplication, and polynomial division"; over
 our NTT-friendly fields these all bottom out in this transform.
+
+Transforms route through a cached :class:`~repro.poly.plan.NTTPlan`
+(one per ``(field, size)``), so the twiddle factors, the bit-reversal
+schedule, and the inverse transform's ``n⁻¹`` scaling are computed once
+per process instead of once per call — the batch amortization of
+docs/PERFORMANCE.md.  :func:`ntt_reference` keeps the from-scratch
+implementation as the bit-identical oracle for tests and the "uncached"
+side of ``benchmarks/bench_kernels.py``.
 """
 
 from __future__ import annotations
@@ -11,6 +19,7 @@ from typing import Sequence
 
 from .. import telemetry
 from ..field import PrimeField
+from .plan import get_ntt_plan
 
 
 def _bit_reverse_permute(a: list[int]) -> None:
@@ -35,6 +44,25 @@ def ntt(field: PrimeField, values: Sequence[int], invert: bool = False) -> list[
     if telemetry.enabled():
         telemetry.count("poly.ntt_calls")
         telemetry.count("poly.ntt_points", n)
+    if n <= 1:
+        return a
+    plan = get_ntt_plan(field, n)
+    return plan.inverse(a) if invert else plan.forward(a)
+
+
+def ntt_reference(
+    field: PrimeField, values: Sequence[int], invert: bool = False
+) -> list[int]:
+    """Uncached reference transform: recomputes all scaffolding per call.
+
+    This is the pre-plan implementation, kept verbatim so tests can
+    assert the cached path is bit-identical and the kernel bench can
+    measure what the plan cache saves.  It reports no telemetry.
+    """
+    a = list(values)
+    n = len(a)
+    if n & (n - 1):
+        raise ValueError(f"NTT length must be a power of two, got {n}")
     if n <= 1:
         return a
     p = field.p
@@ -73,7 +101,13 @@ def max_ntt_size(field: PrimeField) -> int:
 
 
 def ntt_mul(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
-    """Polynomial product via two forward transforms and one inverse."""
+    """Polynomial product via two forward transforms and one inverse.
+
+    All three transforms share one cached plan lookup per call; the
+    transform count (and thus ``poly.ntt_points``) is identical to the
+    uncached implementation — the plan only removes recomputation of
+    the instance-independent scaffolding.
+    """
     if not a or not b:
         return []
     result_len = len(a) + len(b) - 1

@@ -27,6 +27,7 @@ from ..poly import (
     poly_mul,
     poly_sub,
 )
+from ..poly.divide import _NEWTON_CUTOFF
 from .qap import QAPInstance
 
 
@@ -99,6 +100,12 @@ def compute_h(qap: QAPInstance, w: Sequence[int]) -> list[int]:
     with telemetry.span("qap.divide", mode=qap.mode):
         if qap.mode == "roots":
             h = _divide_by_subgroup_vanishing(field, p_w, qap.m)
+        elif qap.m >= _NEWTON_CUTOFF:
+            # batch-amortized fast division: the QAP caches rev(D)⁻¹,
+            # so instances after the first skip the Newton iteration
+            h = poly_div_exact(
+                field, p_w, qap.divisor_poly, inv_rev_den=qap.divisor_inverse_series()
+            )
         else:
             h = poly_div_exact(field, p_w, qap.divisor_poly)
     if len(h) > qap.h_length:

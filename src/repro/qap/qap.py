@@ -29,9 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field as dataclass_field
 from functools import cached_property
 
+from .. import telemetry
 from ..constraints import QuadraticSystem
 from ..field import PrimeField
-from ..poly import SubproductTree, barycentric_weights_arithmetic, poly_from_roots
+from ..poly import SubproductTree, get_barycentric_weights, poly_from_roots
+from ..poly.divide import _series_inverse
 
 #: sparse map: variable index -> [(constraint_index_1based, coefficient)]
 SparseColumns = dict[int, list[tuple[int, int]]]
@@ -50,6 +52,7 @@ class QAPInstance:
     a_cols: SparseColumns = dataclass_field(default_factory=dict)
     b_cols: SparseColumns = dataclass_field(default_factory=dict)
     c_cols: SparseColumns = dataclass_field(default_factory=dict)
+    _divisor_inverse: list[int] | None = dataclass_field(default=None, repr=False)
 
     def __post_init__(self) -> None:
         if not self.system.is_canonical():
@@ -128,11 +131,42 @@ class QAPInstance:
         materializes D (it is t^m − 1)."""
         return poly_from_roots(self.field, self.sigma)
 
-    @cached_property
+    @property
     def barycentric_weights(self) -> list[int]:
-        """Verifier-side weights over ``prover_points`` (arithmetic mode)."""
-        # points are 0, 1, ..., m — exactly the arithmetic progression.
-        return barycentric_weights_arithmetic(self.field, self.m + 1)
+        """Verifier-side weights over ``prover_points`` (arithmetic mode).
+
+        Backed by the process-wide plan cache (the points are 0, 1,
+        ..., m — exactly the arithmetic progression), so the vector is
+        computed once per (field, size) and shared by every schedule
+        and every same-shape QAP; each query round's reuse shows up as
+        a ``poly.plan_hits`` tick.
+        """
+        return get_barycentric_weights(self.field, self.m + 1)
+
+    def divisor_inverse_series(self) -> list[int]:
+        """Newton inverse of the reversed D(t), to precision |C| + 1.
+
+        ``poly_div_exact`` needs rev(D)⁻¹ mod t^qlen with qlen ≤ m + 1
+        (deg P_w ≤ 2m and deg D = m); computing it once per QAP means
+        every batch instance after the first skips ``_series_inverse``
+        entirely — the dominant share of the division step.  The list
+        is padded (not trimmed) to m + 1 so callers can check its
+        precision by length.
+        """
+        if self._divisor_inverse is None:
+            telemetry.count("poly.plan_misses")
+            rev_den = list(reversed(self.divisor_poly))
+            inverse = _series_inverse(self.field, rev_den, self.h_length)
+            inverse += [0] * (self.h_length - len(inverse))
+            self._divisor_inverse = inverse
+        else:
+            telemetry.count("poly.plan_hits")
+        return self._divisor_inverse
+
+    @cached_property
+    def inv_m(self) -> int:
+        """1/m — the roots-mode Lagrange scale factor, inverted once."""
+        return self.field.inv(self.m % self.field.p)
 
     def divisor_at(self, tau: int) -> int:
         """D(τ).  Arithmetic mode: D(τ) = ℓ(τ)/τ with one division

@@ -78,7 +78,7 @@ def _lagrange_coeffs_at(qap: QAPInstance, tau: int) -> tuple[list[int], int]:
     vanishing = (pow(tau, qap.m, p) - 1) % p
     if vanishing == 0:
         raise ValueError("tau collides with an interpolation point")
-    inv_m = field.inv(qap.m % p)
+    inv_m = qap.inv_m
     diffs = [(tau - s) % p for s in qap.sigma]
     inv_diffs = field.batch_inv(diffs)
     scale = vanishing * inv_m % p

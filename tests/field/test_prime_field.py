@@ -143,3 +143,96 @@ class TestIdentity:
 
     def test_repr(self, gold):
         assert "goldilocks" in repr(gold)
+
+
+class TestCheckedField:
+    """CheckedPrimeField enforces the canonical-form precondition that
+    add/sub/neg silently assume on the plain field."""
+
+    @pytest.fixture()
+    def checked(self, gold):
+        from repro.field import checked_field
+
+        return checked_field(gold)
+
+    def test_twin_preserves_identity(self, gold, checked):
+        assert checked == gold
+        assert checked.name == gold.name
+        assert checked.two_adicity == gold.two_adicity
+        assert checked.root_of_unity(8) == gold.root_of_unity(8)
+
+    def test_idempotent(self, checked):
+        from repro.field import checked_field
+
+        assert checked_field(checked) is checked
+
+    def test_canonical_operands_accepted(self, gold, checked, rng):
+        for _ in range(50):
+            a, b = rng.randrange(gold.p), rng.randrange(gold.p)
+            assert checked.add(a, b) == gold.add(a, b)
+            assert checked.sub(a, b) == gold.sub(a, b)
+            assert checked.neg(a) == gold.neg(a)
+            assert checked.mul(a, b) == gold.mul(a, b)
+
+    def test_non_canonical_operands_raise(self, gold, checked):
+        p = gold.p
+        for bad in (-1, p, p + 1, 2 * p, -p):
+            with pytest.raises(ValueError, match="non-canonical"):
+                checked.add(bad, 1)
+            with pytest.raises(ValueError, match="non-canonical"):
+                checked.add(1, bad)
+            with pytest.raises(ValueError, match="non-canonical"):
+                checked.sub(bad, 0)
+            with pytest.raises(ValueError, match="non-canonical"):
+                checked.neg(bad)
+            with pytest.raises(ValueError, match="non-canonical"):
+                checked.mul(bad, 1)
+            with pytest.raises(ValueError, match="non-canonical"):
+                checked.inv(bad)
+            with pytest.raises(ValueError, match="non-canonical"):
+                checked.div(1, bad)
+            with pytest.raises(ValueError, match="non-canonical"):
+                checked.square(bad)
+
+    def test_batch_entry_points_checked(self, gold, checked):
+        with pytest.raises(ValueError, match="non-canonical"):
+            checked.inner_product([1, 2, gold.p], [1, 2, 3])
+        with pytest.raises(ValueError, match="non-canonical"):
+            checked.batch_inv([1, -2, 3])
+
+    def test_unchecked_base_silently_wraps(self, gold):
+        """Documents the hazard the checked field exists to catch: the
+        base field's compare-based add returns an out-of-range result
+        on a non-canonical operand instead of raising."""
+        out = gold.add(2 * gold.p + 5, 0)
+        assert not 0 <= out < gold.p
+
+    def test_counting_field_is_drift_free(self, gold, rng):
+        """CountingField applied to random canonical operand sequences
+        never feeds add/sub/neg a non-canonical value: replaying every
+        intermediate through the checked field raises nothing and
+        produces identical results."""
+        from repro.field import checked_field, counting_field
+
+        counting = counting_field(gold)
+        checked = checked_field(gold)
+        ops = ("add", "sub", "neg", "mul", "square", "inv", "div")
+        acc = rng.randrange(1, gold.p)
+        for _ in range(300):
+            op = rng.choice(ops)
+            b = rng.randrange(1, gold.p)
+            if op in ("neg", "square", "inv"):
+                got = getattr(counting, op)(acc)
+                want = getattr(checked, op)(acc)
+            else:
+                got = getattr(counting, op)(acc, b)
+                want = getattr(checked, op)(acc, b)
+            assert got == want
+            assert 0 <= got < gold.p  # every intermediate stays canonical
+            acc = got or 1
+        # batch helpers agree too
+        vec = [rng.randrange(gold.p) for _ in range(64)]
+        other = [rng.randrange(gold.p) for _ in range(64)]
+        assert counting.inner_product(vec, other) == checked.inner_product(vec, other)
+        nonzero = [v or 1 for v in vec]
+        assert counting.batch_inv(nonzero) == checked.batch_inv(nonzero)

@@ -134,3 +134,66 @@ class TestCheckAnswers:
         schedule = zaatar.generate_schedule(qap, PARAMS, FieldPRG(gold, b"s"))
         with pytest.raises(ValueError):
             zaatar.check_answers(schedule, [0] * (schedule.num_queries - 1), sol.x, sol.y)
+
+
+class _CollidingTauPRG(FieldPRG):
+    """A FieldPRG whose first τ draws are forced onto interpolation
+    points.  ``next_nonzero`` is only used for τ in schedule
+    generation, so forcing it exercises exactly the collision-retry
+    path; all other draws delegate to the genuine stream."""
+
+    def __init__(self, field, seed, forced):
+        super().__init__(field, seed)
+        self.forced = list(forced)
+        self.tau_draws = 0
+
+    def next_nonzero(self):
+        self.tau_draws += 1
+        if self.forced:
+            return self.forced.pop(0)
+        return super().next_nonzero()
+
+
+class TestTauCollisionFallback:
+    """τ landing on an interpolation point must be retried, not crash
+    the verifier and not corrupt the schedule (§A.1: τ is rejected
+    with probability ~ |C|/|F|)."""
+
+    @pytest.mark.parametrize("mode", ["arithmetic", "roots"])
+    def test_schedule_survives_forced_collision(self, sumsq_program, gold, mode):
+        qap = build_qap(sumsq_program.quadratic, mode=mode)
+        # σ contains 1 in both modes (σ_1 = 1 arithmetic, ω⁰ = 1 roots),
+        # and arithmetic mode also interpolates through every σ_j = j.
+        collisions = [1, 2 % gold.p] if mode == "arithmetic" else [1]
+        for tau in collisions:
+            assert tau in qap.prover_points
+        prg = _CollidingTauPRG(gold, b"collide", collisions)
+        schedule = zaatar.generate_schedule(qap, PARAMS, prg)
+        # every forced collision burned one draw, then a clean τ was found
+        assert prg.tau_draws >= len(collisions) + 1
+        for rep in schedule.repetitions:
+            assert rep.circuit.tau not in qap.prover_points
+
+    @pytest.mark.parametrize("mode", ["arithmetic", "roots"])
+    def test_query_round_accepts_after_collision(self, sumsq_program, gold, mode):
+        """The full PCP round on a schedule that hit the fallback still
+        accepts an honest proof."""
+        qap = build_qap(sumsq_program.quadratic, mode=mode)
+        sol = sumsq_program.solve([2, 3, 4])
+        proof = build_proof_vector(qap, sol.quadratic_witness)
+        prg = _CollidingTauPRG(gold, b"collide-e2e", [1])
+        result = zaatar.run_pcp(
+            qap, PARAMS, prg, VectorOracle(gold, proof.vector), sol.x, sol.y
+        )
+        assert result.accepted
+        assert prg.forced == []  # the collision really was consumed
+
+    def test_direct_circuit_queries_raise_on_collision(self, sumsq_program, gold):
+        """The underlying primitive refuses a colliding τ loudly — the
+        retry lives in generate_schedule, not in silence below it."""
+        from repro.qap import circuit_queries
+
+        for mode in ("arithmetic", "roots"):
+            qap = build_qap(sumsq_program.quadratic, mode=mode)
+            with pytest.raises(ValueError, match="collides"):
+                circuit_queries(qap, 1)

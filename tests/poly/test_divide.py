@@ -75,3 +75,96 @@ class TestExactDivision:
         b = random_poly(gold, rng, 600)
         prod = poly_mul(gold, a, b)
         assert poly_div_exact(gold, prod, a) == trim(list(b))
+
+
+class TestDifferentialFuzz:
+    """Differential fuzz: the Newton fast path against the schoolbook
+    oracle, including the non-canonical inputs (negative and >= p
+    coefficients, high zero coefficients) that used to produce
+    non-canonical remainders from the fast path."""
+
+    @staticmethod
+    def _nasty_poly(gold, rng, n):
+        """Coefficients drawn to stress canonicalization, not uniformity."""
+        p = gold.p
+        pool = (0, 1, p - 1, p, p + 1, 2 * p, -1, -p, -(p + 3), 7)
+        coeffs = [
+            rng.choice(pool) if rng.random() < 0.5 else rng.randrange(-p, 2 * p)
+            for _ in range(n)
+        ]
+        return coeffs
+
+    def test_newton_vs_schoolbook_fuzz(self, gold, rng):
+        for _ in range(60):
+            num = self._nasty_poly(gold, rng, rng.randrange(1, 900))
+            den = self._nasty_poly(gold, rng, rng.randrange(1, 250))
+            if all(c % gold.p == 0 for c in den):
+                den[0] = 1
+            q, r = poly_divmod(gold, num, den)
+            assert (q, r) == poly_divmod_naive(gold, num, den)
+
+    def test_remainder_canonical_on_nasty_input(self, gold, rng):
+        """Regression: the fast path used to return remainder entries
+        outside [0, p) (or entries equal to p, breaking trim/degree)
+        when the numerator held negative or unreduced coefficients."""
+        for _ in range(40):
+            num = self._nasty_poly(gold, rng, rng.randrange(300, 800))
+            den = self._nasty_poly(gold, rng, rng.randrange(64, 128))
+            if all(c % gold.p == 0 for c in den):
+                den[0] = 1
+            q, r = poly_divmod(gold, num, den)
+            assert all(0 <= c < gold.p for c in q)
+            assert all(0 <= c < gold.p for c in r)
+            assert r == trim(r)  # no p-valued "nonzero" leading junk
+            recomposed = poly_add(gold, poly_mul(gold, den, q), r)
+            assert recomposed == trim([c % gold.p for c in num])
+
+    def test_high_zero_coefficients(self, gold, rng):
+        """Numerators padded with (possibly unreduced multiples of p)
+        leading zeros take the same quotient as their trimmed form."""
+        num = [rng.randrange(gold.p) for _ in range(400)]
+        den = [rng.randrange(gold.p) for _ in range(100)]
+        den[-1] = den[-1] or 1
+        baseline = poly_divmod(gold, num, den)
+        padded = list(num) + [0, gold.p, 2 * gold.p, 0]
+        assert poly_divmod(gold, padded, den) == baseline
+
+    def test_precomputed_inverse_matches(self, gold, rng):
+        """poly_divmod with a cached reversed-divisor inverse series is
+        bit-identical to the self-contained computation."""
+        from repro.poly.divide import _series_inverse
+
+        num = [rng.randrange(gold.p) for _ in range(700)]
+        den = [rng.randrange(gold.p) for _ in range(200)]
+        den[-1] = den[-1] or 1
+        baseline = poly_divmod(gold, num, den)
+        qlen = len(num) - len(den) + 1
+        inv = _series_inverse(gold, list(reversed(trim(den))), qlen)
+        assert poly_divmod(gold, num, den, inv_rev_den=inv) == baseline
+        # an over-long cached inverse (as the QAP layer stores) truncates
+        longer = _series_inverse(gold, list(reversed(trim(den))), qlen + 37)
+        assert poly_divmod(gold, num, den, inv_rev_den=longer) == baseline
+
+    def test_short_precomputed_inverse_ignored(self, gold, rng):
+        """An inverse series too short for this quotient is ignored, not
+        misused."""
+        from repro.poly.divide import _series_inverse
+
+        num = [rng.randrange(gold.p) for _ in range(700)]
+        den = [rng.randrange(gold.p) for _ in range(200)]
+        den[-1] = den[-1] or 1
+        short = _series_inverse(gold, list(reversed(trim(den))), 5)
+        assert poly_divmod(gold, num, den, inv_rev_den=short) == poly_divmod(
+            gold, num, den
+        )
+
+    def test_exact_division_with_cached_inverse(self, gold, rng):
+        from repro.poly.divide import _series_inverse
+
+        a = [rng.randrange(gold.p) for _ in range(300)]
+        b = [rng.randrange(gold.p) for _ in range(300)]
+        a[-1], b[-1] = a[-1] or 1, b[-1] or 1
+        prod = poly_mul(gold, a, b)
+        qlen = len(prod) - len(a) + 1
+        inv = _series_inverse(gold, list(reversed(trim(a))), qlen)
+        assert poly_div_exact(gold, prod, a, inv_rev_den=inv) == trim(list(b))

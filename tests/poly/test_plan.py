@@ -1,0 +1,196 @@
+"""Tests for the precomputed NTT/weight plan layer (repro.poly.plan)."""
+
+import threading
+
+import pytest
+
+from repro import telemetry
+from repro.poly import (
+    NTTPlan,
+    SubproductTree,
+    barycentric_weights,
+    barycentric_weights_arithmetic,
+    clear_plan_caches,
+    get_barycentric_weights,
+    get_ntt_plan,
+    intt,
+    mul_strategy,
+    ntt,
+    ntt_reference,
+    plan_cache_info,
+)
+from repro.poly.plan import bit_reversal_swaps
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_plan_caches()
+    yield
+    clear_plan_caches()
+
+
+class TestBitReversal:
+    def test_swaps_are_an_involution(self):
+        for n in (2, 4, 16, 128):
+            perm = list(range(n))
+            for i, j in bit_reversal_swaps(n):
+                assert i < j
+                perm[i], perm[j] = perm[j], perm[i]
+            # applying the permutation twice restores the identity
+            for i, j in bit_reversal_swaps(n):
+                perm[i], perm[j] = perm[j], perm[i]
+            assert perm == list(range(n))
+
+    def test_matches_bit_reversed_indices(self):
+        n = 16
+        perm = list(range(n))
+        for i, j in bit_reversal_swaps(n):
+            perm[i], perm[j] = perm[j], perm[i]
+        width = n.bit_length() - 1
+        expected = [int(f"{i:0{width}b}"[::-1], 2) for i in range(n)]
+        assert perm == expected
+
+
+class TestPlanBitIdentity:
+    """The plan-backed transforms must be bit-identical to the
+    straightforward reference implementation — caching is a pure
+    mechanical rearrangement, never a numerical change."""
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 256, 1024])
+    def test_forward_matches_reference(self, gold, rng, n):
+        a = [rng.randrange(gold.p) for _ in range(n)]
+        assert ntt(gold, a) == ntt_reference(gold, a)
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 64, 256, 1024])
+    def test_inverse_matches_reference(self, gold, rng, n):
+        a = [rng.randrange(gold.p) for _ in range(n)]
+        assert ntt(gold, a, invert=True) == ntt_reference(gold, a, invert=True)
+
+    def test_p128_field(self, p128, rng):
+        a = [rng.randrange(p128.p) for _ in range(128)]
+        assert ntt(p128, a) == ntt_reference(p128, a)
+        assert intt(p128, ntt(p128, a)) == a
+
+    def test_plan_objects_do_not_alias_input(self, gold, rng):
+        a = [rng.randrange(gold.p) for _ in range(32)]
+        original = list(a)
+        ntt(gold, a)
+        assert a == original  # ntt copies before the in-place transform
+
+    def test_outputs_canonical(self, gold, rng):
+        a = [rng.randrange(gold.p) for _ in range(64)]
+        for out in (ntt(gold, a), ntt(gold, a, invert=True)):
+            assert all(0 <= v < gold.p for v in out)
+
+
+class TestPlanCache:
+    def test_same_plan_object_reused(self, gold):
+        assert get_ntt_plan(gold, 64) is get_ntt_plan(gold, 64)
+
+    def test_distinct_sizes_distinct_plans(self, gold):
+        assert get_ntt_plan(gold, 64) is not get_ntt_plan(gold, 128)
+
+    def test_keyed_by_modulus_not_identity(self, gold):
+        """A CountingField twin shares plans with its base field."""
+        from repro.field import counting_field
+
+        twin = counting_field(gold)
+        assert get_ntt_plan(gold, 32) is get_ntt_plan(twin, 32)
+
+    def test_rejects_bad_sizes(self, gold):
+        for n in (0, 1, 3, 12):
+            with pytest.raises(ValueError):
+                NTTPlan(gold, n)
+
+    def test_cache_info_counts_entries(self, gold):
+        assert plan_cache_info() == {"ntt_plans": 0, "barycentric_weight_tables": 0}
+        get_ntt_plan(gold, 16)
+        get_ntt_plan(gold, 32)
+        get_barycentric_weights(gold, 10)
+        info = plan_cache_info()
+        assert info["ntt_plans"] == 2
+        assert info["barycentric_weight_tables"] == 1
+
+    def test_hit_miss_counters(self, gold):
+        tracer = telemetry.enable()
+        try:
+            with telemetry.span("t"):
+                get_ntt_plan(gold, 64)
+                get_ntt_plan(gold, 64)
+                get_ntt_plan(gold, 64)
+        finally:
+            telemetry.disable()
+        totals = tracer.total_counters()
+        assert totals["poly.plan_misses"] == 1
+        assert totals["poly.plan_hits"] == 2
+
+    def test_thread_safety_smoke(self, gold):
+        """Concurrent first-touch lookups all observe one shared plan."""
+        seen = []
+        barrier = threading.Barrier(8)
+
+        def worker():
+            barrier.wait()
+            seen.append(get_ntt_plan(gold, 512))
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(seen) == 8
+        assert all(plan is seen[0] for plan in seen)
+
+
+class TestBarycentricWeightPlans:
+    def test_matches_arithmetic_formula(self, gold):
+        assert get_barycentric_weights(gold, 17) == barycentric_weights_arithmetic(
+            gold, 17
+        )
+
+    def test_matches_generic_quadratic_weights(self, gold):
+        """The cached vector equals the O(n²) generic computation over
+        the same progression 0..count-1."""
+        count = 9
+        generic = barycentric_weights(gold, list(range(count)))
+        assert get_barycentric_weights(gold, count) == generic
+
+    def test_vector_object_shared(self, gold):
+        assert get_barycentric_weights(gold, 33) is get_barycentric_weights(gold, 33)
+
+
+class TestSubproductTreePlans:
+    def test_inverse_derivative_evals_cached(self, gold):
+        tree = SubproductTree(gold, list(range(1, 20)))
+        first = tree.inv_derivative_evals()
+        assert tree.inv_derivative_evals() is first
+        assert first == gold.batch_inv(tree.derivative_evals())
+
+    def test_interpolation_still_correct(self, gold, rng):
+        from repro.poly import poly_eval
+
+        points = list(range(1, 30))
+        values = [rng.randrange(gold.p) for _ in points]
+        tree = SubproductTree(gold, points)
+        poly = tree.interpolate(values)
+        assert [poly_eval(gold, poly, x) for x in points] == values
+        # a second interpolation through the warmed tree is identical
+        assert tree.interpolate(values) == poly
+
+    def test_tree_build_warms_ntt_plans(self, gold):
+        """A tree large enough to multiply via NTT prewarms those plans
+        at construction, so interpolate() itself only reports hits."""
+        points = list(range(1, 600))
+        sizes_needed = set()
+        tree = SubproductTree(gold, points)
+        for level in tree.levels[:-1]:
+            for i in range(0, len(level) - 1, 2):
+                la, lb = len(level[i]) - 1, len(level[i + 1])
+                if mul_strategy(gold, la, lb) == "ntt":
+                    size = 1
+                    while size < la + lb - 1:
+                        size <<= 1
+                    sizes_needed.add(size)
+        assert sizes_needed, "test must be large enough to hit the NTT path"
+        info = plan_cache_info()
+        assert info["ntt_plans"] >= len(sizes_needed)

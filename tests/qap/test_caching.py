@@ -71,3 +71,83 @@ class TestPaperScaleCompiles:
         field = PrimeField(P220, check_prime=False)
         prog = BISECTION.compile(field, {"m": 16, "L": 8, "num_bits": 32})
         assert prog.quadratic.num_constraints > 0
+
+
+class TestDivisorInverseCache:
+    """The Newton inverse of the (reversed) divisor polynomial is a
+    batch-level artifact: computed for the first instance, reused
+    bit-identically by every later one."""
+
+    @pytest.fixture()
+    def big_qap(self, gold):
+        """A QAP over the Newton cutoff, so compute_h actually divides
+        through the cached series (small systems use schoolbook)."""
+        import random
+
+        from repro.apps import MATMUL
+        from repro.poly.divide import _NEWTON_CUTOFF
+
+        prog = MATMUL.compile(gold, {"m": 4})
+        qap = build_qap(prog.quadratic)
+        assert qap.m >= _NEWTON_CUTOFF
+        rng = random.Random(7)
+        inputs = MATMUL.generate_inputs(rng, {"m": 4})
+        return prog, qap, inputs
+
+    def test_series_cached_and_correct(self, big_qap, gold):
+        from repro.poly import poly_mul, trim
+        from repro.poly.divide import _series_inverse
+
+        _, qap, _ = big_qap
+        inv = qap.divisor_inverse_series()
+        assert qap.divisor_inverse_series() is inv
+        assert len(inv) == qap.h_length
+        fresh = _series_inverse(
+            gold, list(reversed(qap.divisor_poly)), qap.h_length
+        )
+        assert trim(list(inv)) == trim(fresh)
+        # rev(D) · inv ≡ 1 (mod t^h_length)
+        prod = poly_mul(gold, list(reversed(qap.divisor_poly)), inv)
+        assert trim(prod[: qap.h_length]) == [1]
+
+    def test_compute_h_bit_identical_to_uncached(self, big_qap):
+        """Dividing through the cached inverse must change nothing —
+        same h, instance after instance, as a fresh uncached QAP."""
+        prog, qap, inputs = big_qap
+        w = prog.solve(inputs).quadratic_witness
+        h_first = compute_h(qap, w)  # builds the cache
+        h_again = compute_h(qap, w)  # uses it
+        assert h_again == h_first
+        fresh_qap = build_qap(prog.quadratic)
+        assert compute_h(fresh_qap, w) == h_first
+
+    def test_plan_hits_after_first_instance(self, big_qap):
+        from repro import telemetry
+
+        prog, _, inputs = big_qap
+        qap = build_qap(prog.quadratic)  # fresh: no warm divisor inverse
+        w = prog.solve(inputs).quadratic_witness
+        tracer = telemetry.enable()
+        try:
+            with telemetry.span("batch"):
+                compute_h(qap, w)
+                first = dict(tracer.total_counters())
+                compute_h(qap, w)
+        finally:
+            telemetry.disable()
+        totals = tracer.total_counters()
+        assert first.get("poly.plan_misses", 0) >= 1  # first instance builds
+        # the second instance adds hits but no new divisor-inverse miss
+        assert totals.get("poly.plan_hits", 0) > first.get("poly.plan_hits", 0)
+        assert totals.get("poly.plan_misses", 0) == first.get("poly.plan_misses", 0)
+
+    def test_small_systems_skip_series_path(self, sumsq_program):
+        """Below the cutoff the prover keeps schoolbook division: the
+        divisor-inverse cache is never populated."""
+        from repro.poly.divide import _NEWTON_CUTOFF
+
+        qap = build_qap(sumsq_program.quadratic)
+        assert qap.m < _NEWTON_CUTOFF
+        sol = sumsq_program.solve([1, 2, 3])
+        compute_h(qap, sol.quadratic_witness)
+        assert qap._divisor_inverse is None
