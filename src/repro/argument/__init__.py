@@ -1,10 +1,13 @@
 """The batched efficient argument system (commitment ∘ linear PCP)."""
 
+from .faults import FaultPlan, FaultRule, FaultySocket
 from .hybrid import EncodingDecision, HybridArgument, choose_encoding
 from .net import (
+    Deadlines,
     NetworkBatchResult,
     ProtocolViolation,
     ProverServer,
+    RetryPolicy,
     program_hash,
     verify_remote,
 )
@@ -36,7 +39,12 @@ __all__ = [
     "ArgumentConfig",
     "BatchResult",
     "BatchStats",
+    "Deadlines",
     "EncodingDecision",
+    "FaultPlan",
+    "FaultRule",
+    "FaultySocket",
+    "RetryPolicy",
     "GingerArgument",
     "HybridArgument",
     "choose_encoding",

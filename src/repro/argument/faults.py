@@ -1,0 +1,246 @@
+"""Deterministic fault injection for the TCP transport.
+
+Robustness claims about the two-party deployment (docs/NETWORKING.md)
+are only as strong as the failure modes they were tested under.  This
+module injects those failures *deterministically*: a :class:`FaultPlan`
+holds a seed and a set of :class:`FaultRule` entries addressed by frame
+index and direction, and :class:`FaultySocket` applies them at frame
+granularity by parsing the same length-prefixed framing the transport
+itself uses.
+
+Actions:
+
+* ``drop``     — the frame vanishes and the connection dies (the
+                 classic mid-handshake partition);
+* ``delay``    — the frame is delivered ``delay`` seconds late
+                 (exercises read deadlines without killing anything);
+* ``truncate`` — a prefix of the frame is delivered, then the
+                 connection dies ("connection closed mid-frame");
+* ``corrupt``  — seeded XOR bit-flips on the payload, always including
+                 the first byte, so the JSON can never parse cleanly
+                 and the receiver must take its bad-frame path.
+
+Frames are counted per connection and per direction (``send`` frame 0
+is the client's hello; ``recv`` frame 0 is the server's hello-ok), and
+each rule fires at most ``times`` times over the plan's lifetime — so
+"corrupt the hello once" leaves the retry attempt clean, which is
+exactly the retrying-then-succeeding scenario ``RetryPolicy`` is
+specified against.
+
+Usage — wrap the verifier's connections (the client side sees both
+directions of the wire, so one hook covers every fault site)::
+
+    plan = FaultPlan([FaultRule(frame=0, action="corrupt")], seed=7)
+    verify_remote(program, batch, addr, config, socket_wrapper=plan.wrap)
+"""
+
+from __future__ import annotations
+
+import random
+import struct
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+from .. import telemetry
+
+_HEADER = struct.Struct("!I")
+
+ACTIONS = ("drop", "delay", "truncate", "corrupt")
+DIRECTIONS = ("send", "recv")
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """Hit frame number ``frame`` (per connection) in ``direction``."""
+
+    frame: int
+    action: str
+    direction: str = "send"
+    #: seconds, for action == "delay"
+    delay: float = 0.05
+    #: total firings over the plan's lifetime before the rule goes inert
+    times: int = 1
+
+    def __post_init__(self):
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if self.direction not in DIRECTIONS:
+            raise ValueError(f"unknown fault direction {self.direction!r}")
+
+
+class FaultPlan:
+    """A seeded set of fault rules, shared across a session's connections."""
+
+    def __init__(self, rules: Sequence[FaultRule], seed: int = 0):
+        self.rules = list(rules)
+        self.seed = seed
+        self._fired = [0] * len(self.rules)
+        #: (direction, frame, action) log of every injected fault
+        self.injected: list[tuple[str, int, str]] = []
+
+    def claim(self, direction: str, frame: int) -> FaultRule | None:
+        """The rule to apply to this frame (consumes one firing), or None."""
+        for i, rule in enumerate(self.rules):
+            if (
+                rule.direction == direction
+                and rule.frame == frame
+                and self._fired[i] < rule.times
+            ):
+                self._fired[i] += 1
+                self.injected.append((direction, frame, rule.action))
+                telemetry.count("net.faults_injected")
+                return rule
+        return None
+
+    def corruption(self, direction: str, frame: int, length: int) -> list[tuple[int, int]]:
+        """Deterministic (offset, xor-mask) flips for a payload of ``length``."""
+        if length <= 0:
+            return []
+        rng = random.Random(f"{self.seed}:{direction}:{frame}")
+        flips = [(0, rng.randrange(1, 256))]  # always break the opening byte
+        for _ in range(min(7, length - 1)):
+            flips.append((rng.randrange(length), rng.randrange(1, 256)))
+        return flips
+
+    def wrap(self, sock) -> "FaultySocket":
+        """``socket_wrapper`` hook for ``verify_remote``."""
+        return FaultySocket(sock, self)
+
+
+class FaultySocket:
+    """Applies a :class:`FaultPlan` to a real socket at frame granularity.
+
+    Outgoing frames are whole ``sendall`` calls (``send_frame`` writes
+    header+payload in one call); incoming frames are reassembled by a
+    small state machine over the length-prefixed stream, so faults land
+    on exact frame boundaries in both directions.
+    """
+
+    def __init__(self, sock, plan: FaultPlan):
+        self._sock = sock
+        self._plan = plan
+        self._send_frame = 0
+        # recv-side framing state
+        self._recv_frame = 0
+        self._rx_header = b""
+        self._rx_left: int | None = None  # None => reading the header
+        self._rx_offset = 0
+        self._rx_rule: FaultRule | None = None
+        self._rx_flips: dict[int, int] | None = None
+        self._rx_cut = 0
+        self._dead = False  # simulated peer close
+
+    # -- outgoing ----------------------------------------------------------
+
+    def sendall(self, data: bytes) -> None:
+        """Send one frame, applying any send-side rule for its index.
+
+        The wire layer emits exactly one ``sendall`` per frame, so the
+        call count *is* the frame index.
+        """
+        frame = self._send_frame
+        self._send_frame += 1
+        rule = self._plan.claim("send", frame)
+        if rule is None:
+            self._sock.sendall(data)
+        elif rule.action == "delay":
+            time.sleep(rule.delay)
+            self._sock.sendall(data)
+        elif rule.action == "drop":
+            self._sock.close()  # the frame is lost with the connection
+        elif rule.action == "truncate":
+            self._sock.sendall(data[: max(len(data) // 2, _HEADER.size)])
+            self._sock.close()
+        elif rule.action == "corrupt":
+            head, payload = data[: _HEADER.size], bytearray(data[_HEADER.size :])
+            # dedup with the first (guaranteed offset-0) flip winning, so
+            # colliding random offsets can never cancel it out
+            flips = dict(reversed(self._plan.corruption("send", frame, len(payload))))
+            for offset, mask in flips.items():
+                payload[offset] ^= mask
+            self._sock.sendall(head + bytes(payload))
+
+    # -- incoming ----------------------------------------------------------
+
+    def recv(self, n: int) -> bytes:
+        """Receive bytes, filtered through the recv-side fault rules."""
+        if self._dead:
+            return b""
+        return self._filter_incoming(self._sock.recv(n))
+
+    def _filter_incoming(self, data: bytes) -> bytes:
+        out = bytearray()
+        view = memoryview(data)
+        while len(view):
+            if self._rx_left is None:
+                take = min(_HEADER.size - len(self._rx_header), len(view))
+                self._rx_header += bytes(view[:take])
+                out += view[:take]
+                view = view[take:]
+                if len(self._rx_header) < _HEADER.size:
+                    continue
+                (length,) = _HEADER.unpack(self._rx_header)
+                self._rx_left = length
+                self._rx_offset = 0
+                self._rx_rule = self._plan.claim("recv", self._recv_frame)
+                self._rx_flips = None
+                if self._rx_rule is not None:
+                    if self._rx_rule.action == "delay":
+                        time.sleep(self._rx_rule.delay)
+                    elif self._rx_rule.action == "drop":
+                        # the frame never arrives: retract this call's
+                        # header bytes and simulate the peer closing
+                        del out[len(out) - take :]
+                        self._dead = True
+                        return bytes(out)
+                    elif self._rx_rule.action == "truncate":
+                        self._rx_cut = length // 2
+                    elif self._rx_rule.action == "corrupt":
+                        self._rx_flips = dict(
+                            reversed(
+                                self._plan.corruption("recv", self._recv_frame, length)
+                            )
+                        )
+                if self._rx_left == 0:
+                    self._finish_frame()
+                continue
+            take = min(self._rx_left, len(view))
+            chunk = bytearray(view[:take])
+            view = view[take:]
+            if self._rx_flips:
+                for i in range(take):
+                    mask = self._rx_flips.get(self._rx_offset + i)
+                    if mask:
+                        chunk[i] ^= mask
+            rule = self._rx_rule
+            if rule is not None and rule.action == "truncate":
+                allowed = max(self._rx_cut - self._rx_offset, 0)
+                if allowed < take:
+                    out += chunk[:allowed]
+                    self._dead = True
+                    return bytes(out)
+            out += chunk
+            self._rx_offset += take
+            self._rx_left -= take
+            if self._rx_left == 0:
+                self._finish_frame()
+        return bytes(out)
+
+    def _finish_frame(self) -> None:
+        self._recv_frame += 1
+        self._rx_header = b""
+        self._rx_left = None
+        self._rx_rule = None
+        self._rx_flips = None
+        self._rx_cut = 0
+
+    # -- plumbing ----------------------------------------------------------
+
+    def settimeout(self, value) -> None:
+        """Pass the timeout through to the wrapped socket."""
+        self._sock.settimeout(value)
+
+    def close(self) -> None:
+        """Close the wrapped socket."""
+        self._sock.close()

@@ -24,39 +24,117 @@ challenge is sent, preserving the commit-then-query order the
 commitment's binding argument needs; the PCP queries themselves are
 public-coin, so the prover knowing them early (via the seed) is
 exactly the standard model (§A.1 derives them from a shared seed).
+
+Robustness (docs/NETWORKING.md has the full failure-mode matrix):
+
+* ``ProverServer`` accepts up to ``max_sessions`` concurrent sessions,
+  each on its own thread with a per-socket read deadline and an
+  optional session wall-clock budget; every violation path sends a
+  structured ``error`` frame (``code`` + ``message``) back to the peer
+  before the drop, and ``close()`` drains in-flight sessions.
+* ``verify_remote`` separates the connect timeout from the read
+  deadline (a prover grinding through a large batch must not be killed
+  by the handshake timeout) and retries connect/transient failures
+  under a ``RetryPolicy`` — but only until the ``commit`` frame is on
+  the wire: the commitment material (r, α, t) is drawn once per call,
+  so replaying a commit-then-query exchange would let a malicious
+  prover answer adaptively.  Post-commit failures raise immediately.
 """
 
 from __future__ import annotations
 
 import hashlib
+import itertools
 import json
+import random
 import socket
 import struct
 import threading
+import time
+from collections import Counter
 from dataclasses import dataclass
+from typing import Callable, Iterator, Sequence
 
 from .. import telemetry
 from ..compiler import CompiledProgram
 from ..constraints import quadratic_to_json
 from ..crypto import CommitmentProver, CommitmentVerifier, FieldPRG
-from ..crypto.commitment import CommitRequest, DecommitResponse
+from ..crypto.commitment import CommitRequest, DecommitChallenge, DecommitResponse
 from ..crypto.elgamal import ElGamalCiphertext
+from ..pcp import SoundnessParams
 from ..pcp import zaatar as zaatar_pcp
 from ..qap import build_proof_vector, build_qap
-from .protocol import ArgumentConfig, InstanceResult, ProverStats
+from .protocol import (
+    ArgumentConfig,
+    InstanceResult,
+    ProtocolViolation,
+    ProverStats,
+)
 
 _HEADER = struct.Struct("!I")
 _MAX_FRAME = 256 * 1024 * 1024
+#: cap on the repetition counts a client may request; the paper's
+#: production setting is ρ_lin=20, ρ=8 — anything far beyond that is a
+#: resource-exhaustion request, not a soundness need
+_MAX_RHO = 128
 
 
-class ProtocolViolation(RuntimeError):
-    """The peer sent something outside the expected flow."""
+# -- deadlines and retry ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Deadlines:
+    """Transport deadlines, all in seconds.
+
+    ``connect`` bounds connection establishment only; ``read`` is the
+    per-``recv`` deadline (how long a peer may go silent mid-session);
+    ``session`` is the server-side wall-clock budget for one whole
+    session (None: unbounded).  Keeping connect and read separate is
+    what lets a verifier wait minutes for a large batch's proofs
+    without tolerating a minutes-long TCP handshake.
+    """
+
+    connect: float = 10.0
+    read: float = 600.0
+    session: float | None = None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped exponential backoff with deterministic jitter.
+
+    ``max_attempts`` counts total tries (1 = no retry).  Sleeps between
+    attempts grow from ``base_delay`` by ``multiplier`` up to
+    ``max_delay``, each stretched by up to ``jitter``× of itself using
+    a PRNG seeded with ``seed`` (so tests are reproducible; pass a
+    varying seed in production fleets to avoid thundering herds).
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    multiplier: float = 2.0
+    jitter: float = 0.5
+    seed: int | None = 0
+
+    @classmethod
+    def none(cls) -> "RetryPolicy":
+        """A policy that never retries."""
+        return cls(max_attempts=1)
+
+    def delays(self) -> Iterator[float]:
+        """Yield the sleep before each retry (max_attempts - 1 values)."""
+        rng = random.Random(self.seed)
+        delay = self.base_delay
+        for _ in range(max(self.max_attempts - 1, 0)):
+            yield min(delay * (1.0 + self.jitter * rng.random()), self.max_delay)
+            delay = min(delay * self.multiplier, self.max_delay)
 
 
 # -- framing ---------------------------------------------------------------
 
 
-def send_frame(sock: socket.socket, payload: dict) -> None:
+def send_frame(sock, payload: dict) -> None:
     """Write one length-prefixed JSON frame (bytes counted per frame type)."""
     data = json.dumps(payload).encode()
     if len(data) > _MAX_FRAME:
@@ -68,26 +146,30 @@ def send_frame(sock: socket.socket, payload: dict) -> None:
     sock.sendall(_HEADER.pack(len(data)) + data)
 
 
-def recv_frame(sock: socket.socket) -> dict:
+def recv_frame(sock) -> dict:
     """Read one frame; raises ProtocolViolation on malformed data."""
     header = _recv_exact(sock, _HEADER.size)
     (length,) = _HEADER.unpack(header)
     if length > _MAX_FRAME:
-        raise ProtocolViolation(f"peer announced {length}-byte frame")
+        raise ProtocolViolation(
+            f"peer announced {length}-byte frame", code="bad-frame"
+        )
     data = _recv_exact(sock, length)
     if telemetry.enabled():
         telemetry.count("net.bytes_received", _HEADER.size + length)
         telemetry.count("net.frames_received")
     try:
         payload = json.loads(data)
-    except json.JSONDecodeError as exc:
-        raise ProtocolViolation(f"bad frame: {exc}") from exc
+    except ValueError as exc:  # JSONDecodeError, UnicodeDecodeError
+        raise ProtocolViolation(f"bad frame: {exc}", code="bad-frame") from exc
     if not isinstance(payload, dict) or "type" not in payload:
-        raise ProtocolViolation("frames must be objects with a 'type'")
+        raise ProtocolViolation(
+            "frames must be objects with a 'type'", code="bad-frame"
+        )
     return payload
 
 
-def _recv_exact(sock: socket.socket, n: int) -> bytes:
+def _recv_exact(sock, n: int) -> bytes:
     chunks = []
     remaining = n
     while remaining:
@@ -101,12 +183,27 @@ def _recv_exact(sock: socket.socket, n: int) -> bytes:
 
 def _expect(payload: dict, expected_type: str) -> dict:
     if payload["type"] == "error":
-        raise ProtocolViolation(f"peer error: {payload.get('message')}")
+        raise ProtocolViolation(
+            f"peer error [{payload.get('code', '?')}]: {payload.get('message')}",
+            code=payload.get("code", "peer-error"),
+        )
     if payload["type"] != expected_type:
         raise ProtocolViolation(
             f"expected {expected_type!r}, got {payload['type']!r}"
         )
     return payload
+
+
+def _get(payload, key: str):
+    """Field access on a decoded frame; ProtocolViolation when absent."""
+    try:
+        return payload[key]
+    except (KeyError, TypeError, IndexError) as exc:
+        name = payload.get("type", "?") if isinstance(payload, dict) else type(payload).__name__
+        raise ProtocolViolation(
+            f"malformed {name!r} frame: missing or bad field {key!r}",
+            code="bad-frame",
+        ) from exc
 
 
 def program_hash(program: CompiledProgram) -> str:
@@ -118,15 +215,44 @@ def _hex_list(values) -> list[str]:
     return [format(v, "x") for v in values]
 
 
-def _unhex_list(values) -> list[int]:
-    return [int(v, 16) for v in values]
+def _unhex_list(values, *, what: str = "field elements", p: int | None = None) -> list[int]:
+    """Decode a hex-string vector; ProtocolViolation on malformed data.
+
+    With ``p`` given the result is canonicalized mod p — peer-supplied
+    integers are never passed non-canonical into the commitment or PCP
+    checks.
+    """
+    try:
+        out = [int(v, 16) for v in values]
+    except (ValueError, TypeError) as exc:
+        raise ProtocolViolation(f"malformed {what}: {exc}", code="bad-frame") from exc
+    if p is not None:
+        out = [v % p for v in out]
+    return out
+
+
+def _unhex_ciphertexts(pairs, *, what: str = "ciphertexts") -> list[ElGamalCiphertext]:
+    """Decode [c1, c2] hex pairs; ProtocolViolation on malformed data."""
+    try:
+        return [ElGamalCiphertext(int(c1, 16), int(c2, 16)) for c1, c2 in pairs]
+    except (ValueError, TypeError) as exc:
+        raise ProtocolViolation(f"malformed {what}: {exc}", code="bad-frame") from exc
 
 
 # -- prover server ------------------------------------------------------------
 
 
 class ProverServer:
-    """Serves one compiled program on a TCP port, one session at a time."""
+    """Serves one compiled program on a TCP port to concurrent sessions.
+
+    The accept loop hands each connection to a session thread, bounded
+    by ``max_sessions`` — a connection past capacity gets a structured
+    ``busy`` error frame (which a client's RetryPolicy treats as
+    transient) instead of queueing behind a possibly-slow session.
+    Every session failure sends a best-effort ``error`` frame before
+    the socket drops and lands in ``stats``/telemetry; ``close()``
+    stops accepting and drains in-flight sessions.
+    """
 
     def __init__(
         self,
@@ -134,24 +260,38 @@ class ProverServer:
         config: ArgumentConfig | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
+        *,
+        max_sessions: int = 8,
+        deadlines: Deadlines | None = None,
+        drain_timeout: float = 10.0,
     ):
         self.program = program
         self.config = config or ArgumentConfig()
-        self._sock = socket.create_server((host, port))
+        self.max_sessions = max_sessions
+        self.deadlines = deadlines or Deadlines(read=120.0)
+        self.drain_timeout = drain_timeout
+        self._sock = socket.create_server((host, port), backlog=max(max_sessions, 8))
         self.address = self._sock.getsockname()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
+        self._slots = threading.BoundedSemaphore(max_sessions)
+        self._sessions_lock = threading.Lock()
+        self._sessions: set[threading.Thread] = set()
+        self._session_ids = itertools.count(1)
+        self._stats: Counter = Counter()
 
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "ProverServer":
         """Begin accepting sessions on a background thread."""
-        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread = threading.Thread(
+            target=self._serve, name="prover-accept", daemon=True
+        )
         self._thread.start()
         return self
 
-    def close(self) -> None:
-        """Stop accepting and join the service thread."""
+    def close(self, *, drain: bool = True) -> None:
+        """Stop accepting; optionally drain in-flight sessions, then join."""
         self._stop.set()
         try:
             # a blocked accept() is not interrupted by closing the
@@ -162,6 +302,25 @@ class ProverServer:
         self._sock.close()
         if self._thread is not None:
             self._thread.join(timeout=5)
+        if drain:
+            deadline = time.monotonic() + self.drain_timeout
+            for thread in self.active_sessions():
+                thread.join(timeout=max(deadline - time.monotonic(), 0))
+
+    def active_sessions(self) -> list[threading.Thread]:
+        """Threads currently running a session (snapshot)."""
+        with self._sessions_lock:
+            return list(self._sessions)
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Session counters: started / ok / errors / rejected."""
+        with self._sessions_lock:
+            return dict(self._stats)
+
+    def _bump(self, key: str) -> None:
+        with self._sessions_lock:
+            self._stats[key] += 1
 
     def __enter__(self) -> "ProverServer":
         return self.start()
@@ -169,8 +328,10 @@ class ProverServer:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # -- accept loop -------------------------------------------------------
+
     def _serve(self) -> None:
-        while not self._stop.is_set():
+        while True:
             try:
                 conn, _ = self._sock.accept()
             except OSError:
@@ -178,63 +339,166 @@ class ProverServer:
             if self._stop.is_set():
                 conn.close()  # the close() wake-up poke, not a client
                 return
-            try:
-                with conn:
-                    self._session(conn)
-            except Exception:  # noqa: BLE001 - a bad client must never
-                continue  # take the service down; drop and keep serving
+            if not self._slots.acquire(blocking=False):
+                self._reject_busy(conn)
+                continue
+            session_id = next(self._session_ids)
+            thread = threading.Thread(
+                target=self._session_entry,
+                args=(conn, session_id),
+                name=f"prover-session-{session_id}",
+                daemon=True,
+            )
+            with self._sessions_lock:
+                self._sessions.add(thread)
+            thread.start()
+
+    def _reject_busy(self, conn: socket.socket) -> None:
+        self._bump("sessions_rejected")
+        telemetry.count("net.sessions_rejected")
+        try:
+            with conn:
+                conn.settimeout(1.0)
+                send_frame(
+                    conn,
+                    {
+                        "type": "error",
+                        "code": "busy",
+                        "message": f"prover at capacity ({self.max_sessions} sessions)",
+                    },
+                )
+        except OSError:
+            pass
+
+    def _session_entry(self, conn: socket.socket, session_id: int) -> None:
+        try:
+            with conn:
+                self._session(conn, session_id)
+        finally:
+            self._slots.release()
+            with self._sessions_lock:
+                self._sessions.discard(threading.current_thread())
 
     # -- one session -------------------------------------------------------------
 
-    def _session(self, conn: socket.socket) -> None:
-        with telemetry.span("wire.prover_session"):
-            self._run_session(conn)
+    def _session(self, conn: socket.socket, session_id: int) -> None:
+        self._bump("sessions_started")
+        telemetry.count("net.sessions_started")
+        conn.settimeout(self.deadlines.read)
+        budget = None
+        if self.deadlines.session is not None:
+            budget = time.monotonic() + self.deadlines.session
+        with telemetry.span("wire.prover_session", session=session_id):
+            try:
+                self._run_session(conn, budget)
+            except ProtocolViolation as exc:
+                self._fail(conn, session_id, exc.code, str(exc))
+            except TimeoutError as exc:
+                self._fail(conn, session_id, "deadline", f"read deadline exceeded: {exc}")
+            except OSError as exc:
+                self._fail(conn, session_id, "io", f"transport failure: {exc}")
+            except Exception as exc:  # noqa: BLE001 - a bad session must never
+                # take the service down; report it and keep serving
+                self._fail(
+                    conn, session_id, "internal", f"{type(exc).__name__}: {exc}"
+                )
+            else:
+                self._bump("sessions_ok")
+                telemetry.count("net.sessions_ok")
 
-    def _run_session(self, conn: socket.socket) -> None:
+    def _fail(self, conn: socket.socket, session_id: int, code: str, message: str) -> None:
+        """Best-effort structured error frame, then count the failure."""
+        self._bump("session_errors")
+        telemetry.count("net.session_errors")
+        telemetry.count(f"net.session_errors.{code}")
+        try:
+            conn.settimeout(1.0)
+            send_frame(
+                conn,
+                {"type": "error", "code": code, "message": message, "session": session_id},
+            )
+        except OSError:
+            pass  # the peer may already be gone
+
+    @staticmethod
+    def _budget_check(budget: float | None) -> None:
+        if budget is not None and time.monotonic() > budget:
+            raise ProtocolViolation(
+                "session wall-clock budget exhausted", code="deadline"
+            )
+
+    def _run_session(self, conn: socket.socket, budget: float | None) -> None:
         field = self.program.field
         hello = _expect(recv_frame(conn), "hello")
-        if hello.get("program") != program_hash(self.program):
-            send_frame(conn, {"type": "error", "message": "unknown program"})
-            raise ProtocolViolation("program hash mismatch")
-        params_spec = hello["params"]
-        from ..pcp import SoundnessParams
-
-        params = SoundnessParams(
-            delta=params_spec["delta"],
-            rho_lin=params_spec["rho_lin"],
-            rho=params_spec["rho"],
-        )
-        seed = bytes.fromhex(hello["seed"])
+        if _get(hello, "program") != program_hash(self.program):
+            raise ProtocolViolation(
+                "program hash mismatch: this prover serves a different program",
+                code="unknown-program",
+            )
+        params_spec = _get(hello, "params")
+        try:
+            params = SoundnessParams(
+                delta=params_spec["delta"],
+                rho_lin=int(params_spec["rho_lin"]),
+                rho=int(params_spec["rho"]),
+            )
+            seed = bytes.fromhex(_get(hello, "seed"))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolViolation(
+                f"malformed hello parameters: {exc}", code="bad-frame"
+            ) from exc
+        if not (1 <= params.rho_lin <= _MAX_RHO and 1 <= params.rho <= _MAX_RHO):
+            raise ProtocolViolation(
+                f"soundness repetitions out of range (max {_MAX_RHO})",
+                code="bad-request",
+            )
+        qap_mode = hello.get("qap_mode", "arithmetic")
+        self._budget_check(budget)
         send_frame(conn, {"type": "hello-ok"})
 
         # regenerate the public-coin query schedule from the seed
-        qap = build_qap(self.program.quadratic, mode=hello.get("qap_mode", "arithmetic"))
+        self._budget_check(budget)
+        try:
+            qap = build_qap(self.program.quadratic, mode=qap_mode)
+        except (ValueError, KeyError) as exc:
+            raise ProtocolViolation(
+                f"bad qap_mode {qap_mode!r}: {exc}", code="bad-request"
+            ) from exc
         schedule = zaatar_pcp.generate_schedule(
             qap, params, FieldPRG(field, seed, "queries")
         )
 
         commit = _expect(recv_frame(conn), "commit")
-        enc_r = [
-            ElGamalCiphertext(int(c1, 16), int(c2, 16))
-            for c1, c2 in commit["enc_r"]
-        ]
-        request = CommitRequest(enc_r)
+        request = CommitRequest(
+            _unhex_ciphertexts(_get(commit, "enc_r"), what="commit enc_r")
+        )
 
         inputs_msg = _expect(recv_frame(conn), "inputs")
-        batch = [_unhex_list(x) for x in inputs_msg["batch"]]
+        batch_spec = _get(inputs_msg, "batch")
+        if not isinstance(batch_spec, list):
+            raise ProtocolViolation("inputs 'batch' must be a list", code="bad-frame")
+        batch = [
+            _unhex_list(x, what="input vector", p=field.p) for x in batch_spec
+        ]
 
         group = self.config.group(field)
         provers: list[CommitmentProver] = []
         outputs_payload = []
         for index, input_values in enumerate(batch):
+            self._budget_check(budget)
             with telemetry.span("prover.instance", index=index):
-                with telemetry.span("prover.solve_constraints"):
-                    sol = self.program.solve(input_values, check=False)
-                with telemetry.span("prover.construct_u"):
-                    proof = build_proof_vector(qap, sol.quadratic_witness)
-                prover = CommitmentProver(field, group, proof.vector)
-                with telemetry.span("prover.crypto_ops"):
-                    commitment = prover.commit(request)
+                try:
+                    with telemetry.span("prover.solve_constraints"):
+                        sol = self.program.solve(input_values, check=False)
+                    with telemetry.span("prover.construct_u"):
+                        proof = build_proof_vector(qap, sol.quadratic_witness)
+                    prover = CommitmentProver(field, group, proof.vector)
+                    with telemetry.span("prover.crypto_ops"):
+                        commitment = prover.commit(request)
+                except (ValueError, TypeError, KeyError, IndexError) as exc:
+                    raise ProtocolViolation(
+                        f"cannot prove instance {index}: {exc}", code="bad-request"
+                    ) from exc
             provers.append(prover)
             outputs_payload.append(
                 {
@@ -245,10 +509,15 @@ class ProverServer:
         send_frame(conn, {"type": "outputs", "instances": outputs_payload})
 
         challenge_msg = _expect(recv_frame(conn), "challenge")
-        t = _unhex_list(challenge_msg["t"])
+        t = _unhex_list(_get(challenge_msg, "t"), what="consistency query", p=field.p)
+        if len(t) != len(schedule.queries[0]):
+            raise ProtocolViolation(
+                f"consistency query length {len(t)} != proof vector "
+                f"length {len(schedule.queries[0])}",
+                code="bad-request",
+            )
         queries = [list(q) for q in schedule.queries] + [t]
-        from ..crypto.commitment import DecommitChallenge
-
+        self._budget_check(budget)
         challenge = DecommitChallenge(queries)
         answers_payload = []
         with telemetry.span("prover.answer_queries", instances=len(provers)):
@@ -266,6 +535,8 @@ class NetworkBatchResult:
     instances: list[InstanceResult]
     bytes_sent: int
     bytes_received: int
+    #: connection attempts this session took (1 = no retries)
+    attempts: int = 1
 
     @property
     def all_accepted(self) -> bool:
@@ -276,7 +547,7 @@ class NetworkBatchResult:
 class _CountingSocket:
     """Socket wrapper tallying traffic in both directions."""
 
-    def __init__(self, sock: socket.socket):
+    def __init__(self, sock):
         self._sock = sock
         self.sent = 0
         self.received = 0
@@ -299,9 +570,30 @@ def verify_remote(
     batch_inputs: list[list[int]],
     address: tuple[str, int],
     config: ArgumentConfig | None = None,
+    *,
+    retry: RetryPolicy | None = None,
+    deadlines: Deadlines | None = None,
+    socket_wrapper: Callable | None = None,
 ) -> NetworkBatchResult:
-    """Drive a full batched session against a remote ProverServer."""
+    """Drive a full batched session against a remote ProverServer.
+
+    ``deadlines.connect`` bounds connection establishment only; once
+    connected, the socket switches to the (much longer)
+    ``deadlines.read`` so a prover grinding through a big batch is not
+    killed spuriously.  Connect and transient failures are retried
+    under ``retry`` — but only while the ``commit`` frame has not been
+    sent: the commitment material is drawn once per call, and a
+    commit-then-query exchange must never be replayed (a prover that
+    saw the consistency query t once could answer adaptively on a
+    rerun).  Any post-commit failure raises ``ProtocolViolation``.
+
+    ``socket_wrapper`` (e.g. ``FaultPlan.wrap`` from
+    ``repro.argument.faults``) wraps each new connection — the
+    fault-injection hook.
+    """
     config = config or ArgumentConfig()
+    retry = retry or RetryPolicy()
+    deadlines = deadlines or Deadlines()
     field = program.field
     with telemetry.span("verifier.query_setup"):
         qap = build_qap(program.quadratic, mode=config.qap_mode)
@@ -317,72 +609,149 @@ def verify_remote(
         request = commitment_verifier.commit_request()
         challenge = commitment_verifier.decommit_challenge(schedule.queries)
 
-    raw = socket.create_connection(address, timeout=30)
-    sock = _CountingSocket(raw)
-    wire_span = telemetry.start_span(
-        "wire.verify_remote", batch_size=len(batch_inputs)
+    delays = retry.delays()
+    attempts = 0
+    total_sent = total_received = 0
+    while True:
+        attempts += 1
+        committed = [False]
+        sock = None
+        try:
+            raw = socket.create_connection(address, timeout=deadlines.connect)
+            raw.settimeout(deadlines.read)
+            if socket_wrapper is not None:
+                raw = socket_wrapper(raw)
+            sock = _CountingSocket(raw)
+            with telemetry.span(
+                "wire.verify_remote", batch_size=len(batch_inputs), attempt=attempts
+            ):
+                results = _drive_session(
+                    program,
+                    batch_inputs,
+                    config,
+                    schedule,
+                    commitment_verifier,
+                    request,
+                    challenge,
+                    sock,
+                    committed,
+                )
+            return NetworkBatchResult(
+                instances=results,
+                bytes_sent=total_sent + sock.sent,
+                bytes_received=total_received + sock.received,
+                attempts=attempts,
+            )
+        except (ProtocolViolation, OSError) as exc:
+            if committed[0]:
+                # the commit-then-query order must never be replayed
+                if isinstance(exc, ProtocolViolation):
+                    raise
+                raise ProtocolViolation(
+                    f"connection lost after commit (not retryable): {exc}",
+                    code="io",
+                ) from exc
+            if isinstance(exc, ProtocolViolation) and not exc.retryable:
+                raise
+            delay = next(delays, None)
+            if delay is None:
+                # policy exhausted: surface the last failure, uniformly
+                # as a ProtocolViolation
+                if isinstance(exc, ProtocolViolation):
+                    raise
+                raise ProtocolViolation(
+                    f"retries exhausted after {attempts} attempts: {exc}",
+                    code="io",
+                ) from exc
+            telemetry.count("net.client_retries")
+            time.sleep(delay)
+        finally:
+            if sock is not None:
+                total_sent += sock.sent
+                total_received += sock.received
+                sock.close()
+
+
+def _drive_session(
+    program: CompiledProgram,
+    batch_inputs: Sequence[Sequence[int]],
+    config: ArgumentConfig,
+    schedule,
+    commitment_verifier: CommitmentVerifier,
+    request: CommitRequest,
+    challenge: DecommitChallenge,
+    sock,
+    committed: list[bool],
+) -> list[InstanceResult]:
+    """One connection's worth of the client protocol (no retry logic)."""
+    field = program.field
+    send_frame(
+        sock,
+        {
+            "type": "hello",
+            "program": program_hash(program),
+            "params": {
+                "delta": config.params.delta,
+                "rho_lin": config.params.rho_lin,
+                "rho": config.params.rho,
+            },
+            "qap_mode": config.qap_mode,
+            "seed": config.seed.hex(),
+        },
+    )
+    _expect(recv_frame(sock), "hello-ok")
+    # point of no return: once any part of the commit frame may be on
+    # the wire, a replay would reuse (r, α, t) against a prover that
+    # might have seen them — never retry past here
+    committed[0] = True
+    send_frame(
+        sock,
+        {
+            "type": "commit",
+            "enc_r": [
+                [format(ct.c1, "x"), format(ct.c2, "x")]
+                for ct in request.ciphertexts
+            ],
+        },
+    )
+    send_frame(
+        sock,
+        {"type": "inputs", "batch": [_hex_list(x) for x in batch_inputs]},
+    )
+    outputs = _get(_expect(recv_frame(sock), "outputs"), "instances")
+    if not isinstance(outputs, list) or len(outputs) != len(batch_inputs):
+        raise ProtocolViolation("instance count mismatch in outputs")
+    # queries are seed-derived on both sides; only t ships
+    send_frame(
+        sock, {"type": "challenge", "t": _hex_list(challenge.queries[-1])}
+    )
+    answers_msg = _get(_expect(recv_frame(sock), "answers"), "instances")
+    if not isinstance(answers_msg, list) or len(answers_msg) != len(batch_inputs):
+        raise ProtocolViolation("instance count mismatch in answers")
+
+    results: list[InstanceResult] = []
+    verify_span = telemetry.start_span(
+        "verifier.per_instance", instances=len(batch_inputs)
     )
     try:
-        send_frame(
-            sock,
-            {
-                "type": "hello",
-                "program": program_hash(program),
-                "params": {
-                    "delta": config.params.delta,
-                    "rho_lin": config.params.rho_lin,
-                    "rho": config.params.rho,
-                },
-                "qap_mode": config.qap_mode,
-                "seed": config.seed.hex(),
-            },
-        )
-        _expect(recv_frame(sock), "hello-ok")
-        send_frame(
-            sock,
-            {
-                "type": "commit",
-                "enc_r": [
-                    [format(ct.c1, "x"), format(ct.c2, "x")]
-                    for ct in request.ciphertexts
-                ],
-            },
-        )
-        send_frame(
-            sock,
-            {"type": "inputs", "batch": [_hex_list(x) for x in batch_inputs]},
-        )
-        outputs = _expect(recv_frame(sock), "outputs")["instances"]
-        if len(outputs) != len(batch_inputs):
-            raise ProtocolViolation("instance count mismatch in outputs")
-        # queries are seed-derived on both sides; only t ships
-        send_frame(
-            sock, {"type": "challenge", "t": _hex_list(challenge.queries[-1])}
-        )
-        answers_msg = _expect(recv_frame(sock), "answers")["instances"]
-        if len(answers_msg) != len(batch_inputs):
-            raise ProtocolViolation("instance count mismatch in answers")
-
-        results: list[InstanceResult] = []
-        verify_span = telemetry.start_span(
-            "verifier.per_instance", instances=len(batch_inputs)
-        )
         for input_values, out_entry, answer_hex in zip(
             batch_inputs, outputs, answers_msg
         ):
-            y = _unhex_list(out_entry["y"])
-            commitment = ElGamalCiphertext(
-                int(out_entry["commitment"][0], 16),
-                int(out_entry["commitment"][1], 16),
-            )
-            answers = _unhex_list(answer_hex)
-            commit_ok = commitment_verifier.verify(
-                commitment, DecommitResponse(answers)
-            )
+            y = _unhex_list(_get(out_entry, "y"), what="outputs y", p=field.p)
+            commitment = _unhex_ciphertexts(
+                [_get(out_entry, "commitment")], what="instance commitment"
+            )[0]
+            answers = _unhex_list(answer_hex, what="answers", p=field.p)
             x = [v % field.p for v in input_values]
-            pcp = zaatar_pcp.check_answers(
-                schedule, answers[:-1], x, [v % field.p for v in y]
-            )
+            try:
+                commit_ok = commitment_verifier.verify(
+                    commitment, DecommitResponse(answers)
+                )
+                pcp = zaatar_pcp.check_answers(schedule, answers[:-1], x, y)
+            except (ValueError, IndexError) as exc:
+                raise ProtocolViolation(
+                    f"malformed answers: {exc}", code="bad-frame"
+                ) from exc
             results.append(
                 InstanceResult(
                     accepted=commit_ok and pcp.accepted,
@@ -392,10 +761,6 @@ def verify_remote(
                     prover_stats=ProverStats(),
                 )
             )
-        telemetry.end_span(verify_span)
-        return NetworkBatchResult(
-            instances=results, bytes_sent=sock.sent, bytes_received=sock.received
-        )
     finally:
-        telemetry.end_span(wire_span)
-        sock.close()
+        telemetry.end_span(verify_span)
+    return results

@@ -38,6 +38,31 @@ from ..pcp.ginger import build_ginger_proof
 from ..qap import QAPInstance, build_proof_vector, build_qap
 from .stats import BatchStats, PhaseTimer, ProverStats, VerifierStats
 
+#: Structured ``error``-frame codes a client must *not* retry: the
+#: failure is a property of the request itself, so resending the same
+#: session can never succeed (everything else — ``busy``, ``bad-frame``,
+#: ``deadline``, ``io``, ``internal`` — is presumed transient).
+NON_RETRYABLE_CODES = frozenset({"unknown-program", "bad-request"})
+
+
+class ProtocolViolation(RuntimeError):
+    """The peer sent something outside the expected protocol flow.
+
+    ``code`` mirrors the structured ``error``-frame vocabulary (see
+    docs/NETWORKING.md): the server attaches it to the error frame it
+    sends before dropping a session, and the client uses it to decide
+    whether a failed attempt is safe and useful to retry.
+    """
+
+    def __init__(self, message: str, *, code: str = "violation"):
+        super().__init__(message)
+        self.code = code
+
+    @property
+    def retryable(self) -> bool:
+        """False when a retry of the same session is guaranteed futile."""
+        return self.code not in NON_RETRYABLE_CODES
+
 
 @dataclass
 class ArgumentConfig:

@@ -25,6 +25,14 @@ from ..crypto.groups import SchnorrGroup
 from ..field import PrimeField
 
 
+class WireFormatError(ValueError):
+    """Bytes on the wire do not decode to valid field/group elements.
+
+    A ``ValueError`` subclass so existing callers keep working; the
+    network layer maps it onto its structured ``bad-frame`` error path.
+    """
+
+
 def element_width(field: PrimeField) -> int:
     """Bytes per field element on the wire."""
     return (field.p.bit_length() + 7) // 8
@@ -40,12 +48,12 @@ def decode_elements(field: PrimeField, data: bytes) -> list[int]:
     """Inverse of ``encode_elements``; validates range and framing."""
     width = element_width(field)
     if len(data) % width:
-        raise ValueError(f"byte length {len(data)} not a multiple of {width}")
+        raise WireFormatError(f"byte length {len(data)} not a multiple of {width}")
     out = []
     for offset in range(0, len(data), width):
         v = int.from_bytes(data[offset : offset + width], "little")
         if v >= field.p:
-            raise ValueError("encoded value out of field range")
+            raise WireFormatError("encoded value out of field range")
         out.append(v)
     return out
 
@@ -72,13 +80,13 @@ def decode_ciphertexts(group: SchnorrGroup, data: bytes) -> list[ElGamalCipherte
     width = group_element_width(group)
     chunk = 2 * width
     if len(data) % chunk:
-        raise ValueError("byte length does not tile into ciphertexts")
+        raise WireFormatError("byte length does not tile into ciphertexts")
     out = []
     for offset in range(0, len(data), chunk):
         c1 = int.from_bytes(data[offset : offset + width], "little")
         c2 = int.from_bytes(data[offset + width : offset + chunk], "little")
         if c1 >= group.modulus or c2 >= group.modulus:
-            raise ValueError("encoded group element out of range")
+            raise WireFormatError("encoded group element out of range")
         out.append(ElGamalCiphertext(c1, c2))
     return out
 

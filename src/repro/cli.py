@@ -6,6 +6,7 @@ Examples::
     python -m repro prove program.zr --inputs 1,2,3 --inputs 4,5,6
     python -m repro trace program.zr --inputs 1,2,3 --out run.trace.jsonl
     python -m repro trace --app matmul --size m=2
+    python -m repro serve program.zr --max-sessions 16
     python -m repro microbench --field goldilocks
 
 ``compile`` prints the encoding statistics (the Figure-9 quantities)
@@ -26,9 +27,11 @@ from pathlib import Path
 from . import telemetry
 from .argument import (
     ArgumentConfig,
+    Deadlines,
     ProverServer,
     ZaatarArgument,
     choose_encoding,
+    program_hash,
     verify_remote,
 )
 from .compiler import compile_source
@@ -211,6 +214,53 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0 if accepted else 1
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """``repro serve``: run a prover server for one compiled program.
+
+    Serves concurrent verifier sessions until interrupted (or for
+    ``--duration`` seconds); the deadline/capacity knobs map onto
+    ``ProverServer`` — see docs/NETWORKING.md for what each bounds.
+    """
+    import time
+
+    field = _field(args.field)
+    program = _load_program(args.program, field, args.bit_width)
+    deadlines = Deadlines(read=args.read_timeout, session=args.session_budget)
+    server = ProverServer(
+        program,
+        ArgumentConfig(),
+        host=args.host,
+        port=args.port,
+        max_sessions=args.max_sessions,
+        deadlines=deadlines,
+    )
+    server.start()
+    host, port = server.address
+    print(
+        f"serving {program.name} on {host}:{port} "
+        f"(hash {program_hash(program)[:16]}…, max {args.max_sessions} sessions, "
+        f"read deadline {args.read_timeout:g}s"
+        + (f", session budget {args.session_budget:g}s)" if args.session_budget else ")")
+    )
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:  # pragma: no cover - interactive foreground loop
+            while True:
+                time.sleep(3600)
+    except KeyboardInterrupt:  # pragma: no cover
+        print("\nshutting down (draining in-flight sessions)...")
+    finally:
+        server.close()
+        stats = server.stats
+        print(
+            f"sessions: {stats.get('sessions_ok', 0)} ok, "
+            f"{stats.get('session_errors', 0)} failed, "
+            f"{stats.get('sessions_rejected', 0)} rejected at capacity"
+        )
+    return 0
+
+
 def cmd_microbench(args: argparse.Namespace) -> int:
     """``repro microbench``: measure the Figure-3 cost parameters."""
     field = _field(args.field)
@@ -302,6 +352,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_trace.add_argument("--out", help="trace path (default: <program>.trace.jsonl)")
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_serve = sub.add_parser(
+        "serve",
+        parents=[common],
+        help="run a prover server for one compiled program",
+    )
+    p_serve.add_argument("program", help="path to a .zr source file")
+    p_serve.add_argument("--bit-width", type=int, default=32)
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=0, help="0 picks a free port")
+    p_serve.add_argument(
+        "--max-sessions",
+        type=int,
+        default=8,
+        help="concurrent session cap; extra clients get a 'busy' error frame",
+    )
+    p_serve.add_argument(
+        "--read-timeout",
+        type=float,
+        default=120.0,
+        help="per-recv deadline in seconds (how long a client may go silent)",
+    )
+    p_serve.add_argument(
+        "--session-budget",
+        type=float,
+        default=None,
+        help="wall-clock budget per session in seconds (default: unbounded)",
+    )
+    p_serve.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="serve for this many seconds then exit (default: until interrupted)",
+    )
+    p_serve.set_defaults(fn=cmd_serve)
 
     p_mb = sub.add_parser(
         "microbench", parents=[common], help="measure the Figure-3 cost parameters"

@@ -1,13 +1,18 @@
 """Tests for the TCP prover server / verifier client."""
 
 import socket
+import struct
+import threading
+import time
 
 import pytest
 
 from repro.argument import (
     ArgumentConfig,
+    Deadlines,
     ProtocolViolation,
     ProverServer,
+    RetryPolicy,
     program_hash,
     verify_remote,
 )
@@ -16,12 +21,51 @@ from repro.compiler import compile_program
 from repro.pcp import SoundnessParams
 
 FAST = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+NO_RETRY = RetryPolicy.none()
 
 
 @pytest.fixture
 def server(sumsq_program):
     with ProverServer(sumsq_program, FAST) as srv:
         yield srv
+
+
+@pytest.fixture
+def scripted_server():
+    """A fake prover: accepts one connection and runs a script on it.
+
+    Lets client-side tests see arbitrary misbehaviour (wrong counts,
+    oversized frames, mid-session disconnects) without a real prover.
+    """
+    listeners = []
+
+    def start(script):
+        sock = socket.create_server(("127.0.0.1", 0))
+        listeners.append(sock)
+
+        def run():
+            conn, _ = sock.accept()
+            conn.settimeout(10)
+            with conn:
+                try:
+                    script(conn)
+                except Exception:
+                    pass
+
+        threading.Thread(target=run, daemon=True).start()
+        return sock.getsockname()
+
+    yield start
+    for sock in listeners:
+        sock.close()
+
+
+def _serve_through_inputs(conn):
+    """Play the honest server up to (and including) the inputs frame."""
+    recv_frame(conn)  # hello
+    send_frame(conn, {"type": "hello-ok"})
+    recv_frame(conn)  # commit
+    recv_frame(conn)  # inputs
 
 
 class TestRemoteVerification:
@@ -71,8 +115,14 @@ class TestProtocolErrors:
             b.output(b.input() * 2)
 
         other_prog = compile_program(gold, other)
-        with pytest.raises(ProtocolViolation):
+        with pytest.raises(ProtocolViolation) as excinfo:
             verify_remote(other_prog, [[1]], server.address, FAST)
+        # structured, non-retryable, and with a useful message
+        assert excinfo.value.code == "unknown-program"
+        assert not excinfo.value.retryable
+        assert "program" in str(excinfo.value)
+        # the default retry policy must not have replayed the session
+        assert server.stats["sessions_started"] == 1
 
     def test_garbage_frame_does_not_kill_server(self, sumsq_program, server):
         with socket.create_connection(server.address, timeout=5) as sock:
@@ -81,12 +131,140 @@ class TestProtocolErrors:
         result = verify_remote(sumsq_program, [[1, 1, 1]], server.address, FAST)
         assert result.all_accepted
 
+    def test_truncated_frame_does_not_kill_server(self, sumsq_program, server):
+        with socket.create_connection(server.address, timeout=5) as sock:
+            sock.sendall(b"\x00\x00\x01\x00partial")  # announces 256B, sends 7
+        result = verify_remote(sumsq_program, [[3, 1, 1]], server.address, FAST)
+        assert result.all_accepted
+
     def test_oversized_frame_rejected(self, sumsq_program, server):
         with socket.create_connection(server.address, timeout=5) as sock:
             sock.sendall((300 * 1024 * 1024).to_bytes(4, "big"))
             # server should drop us; next session still works
         result = verify_remote(sumsq_program, [[2, 2, 2]], server.address, FAST)
         assert result.all_accepted
+
+    def test_non_object_payload_gets_error_frame(self, sumsq_program, server):
+        with socket.create_connection(server.address, timeout=5) as sock:
+            data = b'["not", "an", "object"]'
+            sock.sendall(struct.pack("!I", len(data)) + data)
+            reply = recv_frame(sock)
+            assert reply["type"] == "error"
+            assert reply["code"] == "bad-frame"
+        result = verify_remote(sumsq_program, [[4, 1, 1]], server.address, FAST)
+        assert result.all_accepted
+
+
+class TestClientSideViolations:
+    """The client must raise ProtocolViolation (with a useful message)
+    on every way a misbehaving prover can deviate — and, since these
+    all happen post-commit, must never retry."""
+
+    def test_instance_count_mismatch(self, sumsq_program, scripted_server):
+        def script(conn):
+            _serve_through_inputs(conn)
+            send_frame(conn, {"type": "outputs", "instances": []})
+
+        address = scripted_server(script)
+        with pytest.raises(ProtocolViolation, match="instance count"):
+            verify_remote(sumsq_program, [[1, 2, 3]], address, FAST)
+
+    def test_oversized_announced_frame(self, sumsq_program, scripted_server):
+        def script(conn):
+            recv_frame(conn)  # hello
+            conn.sendall((512 * 1024 * 1024).to_bytes(4, "big"))
+
+        address = scripted_server(script)
+        with pytest.raises(ProtocolViolation, match="announced"):
+            verify_remote(sumsq_program, [[1, 2, 3]], address, FAST, retry=NO_RETRY)
+
+    def test_non_object_frame_from_server(self, sumsq_program, scripted_server):
+        def script(conn):
+            recv_frame(conn)  # hello
+            data = b"[1, 2, 3]"
+            conn.sendall(struct.pack("!I", len(data)) + data)
+
+        address = scripted_server(script)
+        with pytest.raises(ProtocolViolation, match="objects with a 'type'"):
+            verify_remote(sumsq_program, [[1, 2, 3]], address, FAST, retry=NO_RETRY)
+
+    def test_mid_session_disconnect_after_commit(self, sumsq_program, scripted_server):
+        def script(conn):
+            _serve_through_inputs(conn)
+            conn.close()  # vanish while the client awaits outputs
+
+        address = scripted_server(script)
+        # post-commit: even a retrying client must fail fast instead of
+        # replaying the commit against a fresh connection
+        with pytest.raises(ProtocolViolation, match="mid-frame"):
+            verify_remote(sumsq_program, [[1, 2, 3]], address, FAST)
+
+    def test_malformed_answer_hex(self, sumsq_program, scripted_server):
+        def script(conn):
+            _serve_through_inputs(conn)
+            send_frame(
+                conn,
+                {
+                    "type": "outputs",
+                    "instances": [{"y": ["zz"], "commitment": ["1", "2"]}],
+                },
+            )
+            recv_frame(conn)  # challenge
+            send_frame(conn, {"type": "answers", "instances": [["0"]]})
+
+        address = scripted_server(script)
+        with pytest.raises(ProtocolViolation, match="outputs y"):
+            verify_remote(sumsq_program, [[1, 2, 3]], address, FAST)
+
+
+class TestRetryPolicy:
+    def test_delays_are_capped_exponential(self):
+        policy = RetryPolicy(
+            max_attempts=5, base_delay=0.1, max_delay=0.5, multiplier=2.0, jitter=0.0
+        )
+        assert list(policy.delays()) == [0.1, 0.2, 0.4, 0.5]
+
+    def test_jitter_is_deterministic_in_the_seed(self):
+        a = list(RetryPolicy(max_attempts=6, seed=42).delays())
+        b = list(RetryPolicy(max_attempts=6, seed=42).delays())
+        c = list(RetryPolicy(max_attempts=6, seed=43).delays())
+        assert a == b
+        assert a != c
+        base = list(RetryPolicy(max_attempts=6, seed=42, jitter=0.0).delays())
+        assert all(lo <= d <= lo * 1.5 + 1e-9 for d, lo in zip(a, base))
+
+    def test_none_never_retries(self):
+        assert list(RetryPolicy.none().delays()) == []
+
+    def test_connect_retries_through_late_server_start(self, sumsq_program):
+        # reserve a port, but start the server only after the client's
+        # first connect attempt has failed
+        placeholder = socket.create_server(("127.0.0.1", 0))
+        address = placeholder.getsockname()
+        placeholder.close()
+        done = threading.Event()
+
+        def late_start():
+            time.sleep(0.3)
+            with ProverServer(sumsq_program, FAST, port=address[1]):
+                done.wait(timeout=30)
+
+        thread = threading.Thread(target=late_start, daemon=True)
+        thread.start()
+        try:
+            result = verify_remote(
+                sumsq_program,
+                [[1, 2, 3]],
+                address,
+                FAST,
+                retry=RetryPolicy(max_attempts=8, base_delay=0.1, max_delay=0.4, seed=1),
+                deadlines=Deadlines(connect=2, read=30),
+            )
+            assert result.all_accepted
+            assert result.attempts > 1
+        finally:
+            done.set()
+            thread.join(timeout=10)
 
 
 class TestFraming:
@@ -127,7 +305,7 @@ class TestCheatingOverNetwork:
         """A server that doctors its outputs fails verification."""
 
         class LyingServer(ProverServer):
-            def _session(self, conn):
+            def _session(self, conn, session_id):
                 # intercept by monkeypatching solve output: easiest is to
                 # wrap the program object
                 original_solve = self.program.solve
@@ -140,7 +318,7 @@ class TestCheatingOverNetwork:
 
                 self.program.solve = bad_solve
                 try:
-                    super()._session(conn)
+                    super()._session(conn, session_id)
                 finally:
                     self.program.solve = original_solve
 

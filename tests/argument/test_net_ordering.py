@@ -1,8 +1,9 @@
 """Protocol-ordering attacks against the TCP prover server.
 
-A client that skips or reorders protocol phases must get a clean drop,
-and — crucially — must never extract answers without having committed
-the protocol to its proper order (commit before challenge)."""
+A client that skips or reorders protocol phases must get a structured
+``error`` frame and a clean drop, and — crucially — must never extract
+answers without having committed the protocol to its proper order
+(commit before challenge)."""
 
 import socket
 
@@ -31,41 +32,50 @@ def hello_payload(program):
     }
 
 
+def assert_error_reply(sock, *, code=None):
+    """The server must answer with an error frame — never with data."""
+    reply = recv_frame(sock)
+    assert reply["type"] == "error"
+    assert reply.get("message")
+    if code is not None:
+        assert reply.get("code") == code
+    return reply
+
+
 class TestPhaseOrdering:
-    def test_challenge_before_commit_dropped(self, sumsq_program, server):
+    def test_challenge_before_commit_rejected(self, sumsq_program, server):
         with socket.create_connection(server.address, timeout=5) as sock:
             send_frame(sock, hello_payload(sumsq_program))
             assert recv_frame(sock)["type"] == "hello-ok"
-            # jump straight to the challenge: server must drop the session
+            # jump straight to the challenge: the server must refuse
+            # with a structured error, never leak answers
             send_frame(sock, {"type": "challenge", "t": []})
-            with pytest.raises(Exception):
-                recv_frame(sock)  # connection closed, no answers leaked
+            reply = assert_error_reply(sock)
+            assert "commit" in reply["message"]
         # server alive for honest clients afterwards
         assert verify_remote(sumsq_program, [[1, 1, 1]], server.address, FAST).all_accepted
 
-    def test_inputs_before_commit_dropped(self, sumsq_program, server):
+    def test_inputs_before_commit_rejected(self, sumsq_program, server):
         with socket.create_connection(server.address, timeout=5) as sock:
             send_frame(sock, hello_payload(sumsq_program))
             assert recv_frame(sock)["type"] == "hello-ok"
             send_frame(sock, {"type": "inputs", "batch": [["1", "2", "3"]]})
-            with pytest.raises(Exception):
-                recv_frame(sock)
+            assert_error_reply(sock)
         assert verify_remote(sumsq_program, [[2, 2, 2]], server.address, FAST).all_accepted
 
-    def test_no_hello_dropped(self, sumsq_program, server):
+    def test_no_hello_rejected(self, sumsq_program, server):
         with socket.create_connection(server.address, timeout=5) as sock:
             send_frame(sock, {"type": "commit", "enc_r": []})
-            with pytest.raises(Exception):
-                recv_frame(sock)
+            reply = assert_error_reply(sock)
+            assert "hello" in reply["message"]
         assert verify_remote(sumsq_program, [[3, 3, 3]], server.address, FAST).all_accepted
 
-    def test_malformed_hex_in_commit_dropped(self, sumsq_program, server):
+    def test_malformed_hex_in_commit_rejected(self, sumsq_program, server):
         with socket.create_connection(server.address, timeout=5) as sock:
             send_frame(sock, hello_payload(sumsq_program))
             assert recv_frame(sock)["type"] == "hello-ok"
             send_frame(sock, {"type": "commit", "enc_r": [["zz", "qq"]]})
-            with pytest.raises(Exception):
-                recv_frame(sock)
+            assert_error_reply(sock, code="bad-frame")
         assert verify_remote(sumsq_program, [[1, 2, 3]], server.address, FAST).all_accepted
 
     def test_abrupt_disconnect_midway(self, sumsq_program, server):

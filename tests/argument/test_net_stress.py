@@ -1,0 +1,183 @@
+"""Concurrent-session stress tests for the prover server.
+
+The ROADMAP north star is a service under heavy traffic: many
+verifiers hitting one prover at once, capacity limits that degrade
+into structured ``busy`` errors (which clients retry through), read
+deadlines that reap stalled peers, and a shutdown that drains rather
+than drops in-flight sessions.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.argument import (
+    ArgumentConfig,
+    Deadlines,
+    ProtocolViolation,
+    ProverServer,
+    RetryPolicy,
+    program_hash,
+    verify_remote,
+)
+from repro.argument.net import recv_frame, send_frame
+from repro.pcp import SoundnessParams
+
+FAST = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+
+
+def _run_clients(program, address, count, **kwargs):
+    """Fire ``count`` concurrent verify_remote calls; return results/errors."""
+    results: dict[int, object] = {}
+    barrier = threading.Barrier(count)
+
+    def client(i):
+        try:
+            barrier.wait(timeout=30)
+            results[i] = verify_remote(
+                program, [[i % 7, 1, 1]], address, FAST, **kwargs
+            )
+        except Exception as exc:  # noqa: BLE001 - surfaced via results
+            results[i] = exc
+
+    threads = [threading.Thread(target=client, args=(i,)) for i in range(count)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+    return results
+
+
+class TestConcurrentSessions:
+    def test_eight_concurrent_clients_all_accept(self, sumsq_program):
+        n = 8
+        with ProverServer(sumsq_program, FAST, max_sessions=n) as server:
+            results = _run_clients(sumsq_program, server.address, n)
+        assert len(results) == n
+        for i, result in results.items():
+            assert not isinstance(result, Exception), f"client {i}: {result!r}"
+            assert result.all_accepted, f"client {i} rejected"
+
+    def test_capacity_overflow_retries_to_success(self, sumsq_program):
+        # 6 clients against 2 session slots: the overflow gets 'busy'
+        # error frames and must retry through them
+        retry = RetryPolicy(max_attempts=20, base_delay=0.05, max_delay=0.25, seed=9)
+        with ProverServer(sumsq_program, FAST, max_sessions=2) as server:
+            results = _run_clients(
+                sumsq_program, server.address, 6, retry=retry
+            )
+            server.close()
+            stats = server.stats
+        for i, result in results.items():
+            assert not isinstance(result, Exception), f"client {i}: {result!r}"
+            assert result.all_accepted
+        assert stats["sessions_ok"] == 6
+        # every connection was either served or cleanly rejected
+        assert stats["sessions_started"] == 6 + stats.get("session_errors", 0)
+
+    def test_busy_rejection_is_structured_and_retryable(self, sumsq_program):
+        with ProverServer(sumsq_program, FAST, max_sessions=1) as server:
+            # occupy the single slot with a half-open session
+            holder = socket.create_connection(server.address, timeout=5)
+            try:
+                send_frame(
+                    holder,
+                    {
+                        "type": "hello",
+                        "program": program_hash(sumsq_program),
+                        "params": {
+                            "delta": FAST.params.delta,
+                            "rho_lin": 2,
+                            "rho": 1,
+                        },
+                        "qap_mode": "arithmetic",
+                        "seed": FAST.seed.hex(),
+                    },
+                )
+                assert recv_frame(holder)["type"] == "hello-ok"
+                # the next client must get a structured busy error
+                with pytest.raises(ProtocolViolation) as excinfo:
+                    verify_remote(
+                        sumsq_program,
+                        [[1, 1, 1]],
+                        server.address,
+                        FAST,
+                        retry=RetryPolicy.none(),
+                    )
+                assert excinfo.value.code == "busy"
+                assert excinfo.value.retryable
+            finally:
+                holder.close()
+            # slot freed: the same request now succeeds (with retries to
+            # ride out the release race)
+            result = verify_remote(
+                sumsq_program,
+                [[1, 1, 1]],
+                server.address,
+                FAST,
+                retry=RetryPolicy(max_attempts=10, base_delay=0.05, seed=2),
+            )
+            assert result.all_accepted
+
+
+class TestDeadlines:
+    def test_silent_client_reaped_by_read_deadline(self, sumsq_program):
+        deadlines = Deadlines(read=0.3)
+        with ProverServer(sumsq_program, FAST, deadlines=deadlines) as server:
+            with socket.create_connection(server.address, timeout=5) as sock:
+                # send nothing: the server must reap us with a deadline error
+                reply = recv_frame(sock)
+                assert reply["type"] == "error"
+                assert reply["code"] == "deadline"
+            # and keep serving honest clients
+            assert verify_remote(
+                sumsq_program, [[2, 1, 1]], server.address, FAST
+            ).all_accepted
+
+    def test_session_budget_enforced(self, sumsq_program):
+        deadlines = Deadlines(read=5.0, session=0.0)  # budget exhausted at once
+        with ProverServer(sumsq_program, FAST, deadlines=deadlines) as server:
+            with pytest.raises(ProtocolViolation, match="budget"):
+                verify_remote(
+                    sumsq_program,
+                    [[1, 2, 3]],
+                    server.address,
+                    FAST,
+                    retry=RetryPolicy.none(),
+                    deadlines=Deadlines(connect=5, read=5),
+                )
+
+
+class TestGracefulShutdown:
+    def test_close_drains_in_flight_session(self, sumsq_program):
+        server = ProverServer(sumsq_program, FAST).start()
+        results: dict[int, object] = {}
+
+        def client():
+            try:
+                results[0] = verify_remote(
+                    sumsq_program, [[3, 2, 1]], server.address, FAST
+                )
+            except Exception as exc:  # noqa: BLE001
+                results[0] = exc
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        deadline = time.monotonic() + 10
+        while server.stats.get("sessions_started", 0) < 1:
+            assert time.monotonic() < deadline, "session never started"
+            time.sleep(0.005)
+        server.close()  # must drain, not kill, the in-flight session
+        thread.join(timeout=30)
+        result = results[0]
+        assert not isinstance(result, Exception), repr(result)
+        assert result.all_accepted
+        assert server.stats["sessions_ok"] == 1
+
+    def test_close_with_no_sessions_is_quick(self, sumsq_program):
+        server = ProverServer(sumsq_program, FAST).start()
+        t0 = time.monotonic()
+        server.close()
+        assert time.monotonic() - t0 < 3.0

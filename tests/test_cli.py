@@ -131,6 +131,46 @@ class TestMicrobenchCommand:
             assert f"{key:7s}:" in out or f"  {key}" in out
 
 
+class TestServeCommand:
+    def test_serves_and_reports_stats(self, program_file, capsys):
+        rc = main(["serve", program_file, "--duration", "0.05", "--max-sessions", "2"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "serving" in out
+        assert "max 2 sessions" in out
+        assert "sessions: 0 ok" in out
+
+    def test_accepts_remote_session(self, program_file):
+        import socket
+        import threading
+
+        from repro.argument import ArgumentConfig, RetryPolicy, verify_remote
+        from repro.cli import _field, _load_program
+        from repro.pcp import SoundnessParams
+
+        placeholder = socket.create_server(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", program_file, "--port", str(port), "--duration", "5"],),
+            daemon=True,
+        )
+        thread.start()
+        program = _load_program(program_file, _field("goldilocks"), 32)
+        config = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+        result = verify_remote(
+            program,
+            [[3, 4]],
+            ("127.0.0.1", port),
+            config,
+            retry=RetryPolicy(max_attempts=10, base_delay=0.1, seed=0),
+        )
+        assert result.all_accepted
+        assert result.instances[0].output_values == [reference(3, 4)]
+        thread.join(timeout=30)
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
