@@ -18,10 +18,11 @@ per-instance latency observation.
 
 import math
 import os
+import time
 
 import pytest
 
-from _harness import RESULTS, measure_zaatar, print_table
+from _harness import RESULTS, emit_results, measure_zaatar, print_table
 
 #: measured GPU gain from the paper (§5.2): ~20% of per-instance latency
 GPU_CRYPTO_LATENCY_FACTOR = 0.8
@@ -53,7 +54,7 @@ def test_fig6_speedup(benchmark):
             batch_latency = math.ceil(BATCH / workers) * t_instance
             speedup = serial_latency / batch_latency
             speedups[(name, workers)] = speedup
-            RESULTS[("fig6", name, workers)] = speedup
+            RESULTS[("fig6", f"{name}/{workers}C")] = speedup
             rows.append([name, f"{workers}C", f"{speedup:.1f}x", "modeled from measured t_instance"])
             # paired GPU configuration (paper runs 15C+15G, 30C+30G)
             gpu_instance = t_instance * (
@@ -68,25 +69,63 @@ def test_fig6_speedup(benchmark):
                     f"crypto {crypto_fraction:.0%} of prover, x{GPU_CRYPTO_LATENCY_FACTOR} modeled",
                 ]
             )
+    import random
+
+    from repro.apps import ALL_APPS
+    from repro.argument import ArgumentConfig, ZaatarArgument, run_parallel_batch
+    from repro.pcp import SoundnessParams
+
+    from _harness import compiled, sizes_key
+
+    name, sizes = next(iter(CASES.items()))
+    app = ALL_APPS[name]
+    prog = compiled(name, sizes_key(sizes))
+    arg = ZaatarArgument(prog, ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1)))
+    rng = random.Random(17)
+    batch = [app.generate_inputs(rng, sizes) for _ in range(8)]
+
+    # Happy-path overhead of the resilient engine (docs/RESILIENCE.md):
+    # structured outcomes, retry bookkeeping, and liveness scaffolding
+    # on an all-ok batch, engine inline vs the plain serial path.
+    # Target <2%; the hard assertion is lenient because noise on shared
+    # CI runners dwarfs the target — the measured figure lands in the
+    # BENCH json for trend tracking.
+    t0 = time.perf_counter()
+    arg.run_batch(batch)
+    serial_wall = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    inline = run_parallel_batch(arg, batch, num_workers=1)
+    engine_wall = time.perf_counter() - t0
+    overhead = engine_wall / serial_wall - 1
+    rows.append(
+        [name, "1C engine (measured)", f"{overhead:+.1%}",
+         "resilient-engine overhead vs serial, happy path"]
+    )
+    RESULTS[("fig6", "engine/happy_path_overhead")] = overhead
+    RESULTS[("fig6", "engine/instances_failed")] = inline.result.num_failed
+    RESULTS[("fig6", "engine/retries")] = inline.retries
+    RESULTS[("fig6", "engine/worker_deaths")] = inline.worker_deaths
+    RESULTS[("fig6", "engine/resumed")] = inline.resumed
+    assert inline.result.all_accepted
+    assert inline.result.num_failed == 0 and inline.retries == 0
+    assert overhead < 0.25, f"engine happy-path overhead {overhead:.1%}"
+
     # If real cores exist, also measure true multiprocess speedup.
     if (os.cpu_count() or 1) > 1:
-        import random
-
-        from repro.apps import ALL_APPS
-        from repro.argument import ArgumentConfig, ZaatarArgument, run_parallel_batch
-        from repro.pcp import SoundnessParams
-
-        from _harness import compiled, sizes_key
-
-        name, sizes = next(iter(CASES.items()))
-        app = ALL_APPS[name]
-        prog = compiled(name, sizes_key(sizes))
-        arg = ZaatarArgument(prog, ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1)))
-        rng = random.Random(17)
-        batch = [app.generate_inputs(rng, sizes) for _ in range(8)]
-        base = run_parallel_batch(arg, batch, num_workers=1).wall_seconds
-        multi = run_parallel_batch(arg, batch, num_workers=min(4, os.cpu_count())).wall_seconds
-        rows.append([name, f"{min(4, os.cpu_count())}C (measured)", f"{base / multi:.2f}x", "real multiprocess run"])
+        multi = run_parallel_batch(arg, batch, num_workers=min(4, os.cpu_count()))
+        rows.append(
+            [name, f"{min(4, os.cpu_count())}C (measured)",
+             f"{inline.wall_seconds / multi.wall_seconds:.2f}x",
+             "real multiprocess run"]
+        )
+        RESULTS[("fig6", "engine/measured_multiprocess_speedup")] = (
+            inline.wall_seconds / multi.wall_seconds
+        )
+        RESULTS[("fig6", "engine/multiprocess_instances_failed")] = (
+            multi.result.num_failed
+        )
+        RESULTS[("fig6", "engine/multiprocess_retries")] = multi.retries
+        RESULTS[("fig6", "engine/multiprocess_worker_deaths")] = multi.worker_deaths
 
     print_table(
         f"Figure 6: prover speedup over single core (batch of {BATCH})",
@@ -103,3 +142,4 @@ def test_fig6_speedup(benchmark):
         # within 15% of ideal for every configuration (ceil effects only)
         for w in WORKER_COUNTS:
             assert speedups[(name, w)] >= 0.85 * min(w, BATCH), (name, w)
+    emit_results("fig6")

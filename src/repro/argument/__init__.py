@@ -1,6 +1,19 @@
 """The batched efficient argument system (commitment ∘ linear PCP)."""
 
-from .faults import FaultPlan, FaultRule, FaultySocket
+from .adversary import MUTATION_CATALOG, MUTATIONS, AdversarialProver
+from .checkpoint import (
+    BatchCheckpoint,
+    CheckpointError,
+    transcript_from_checkpoint,
+)
+from .faults import (
+    FaultPlan,
+    FaultRule,
+    FaultySocket,
+    InjectedWorkerFault,
+    ProcessFaultPlan,
+    ProcessFaultRule,
+)
 from .hybrid import EncodingDecision, HybridArgument, choose_encoding
 from .net import (
     Deadlines,
@@ -13,11 +26,14 @@ from .net import (
 )
 from .parallel import ParallelBatchResult, run_parallel_batch
 from .protocol import (
+    FAILURE_CODES,
     ArgumentConfig,
     BatchResult,
+    FailureSummary,
     GingerArgument,
     InstanceResult,
     ZaatarArgument,
+    classify_failure,
 )
 from .stats import BatchStats, PhaseTimer, ProverStats, VerifierStats
 from .transcript import (
@@ -36,15 +52,27 @@ from .wire import (
 )
 
 __all__ = [
+    "AdversarialProver",
     "ArgumentConfig",
+    "BatchCheckpoint",
     "BatchResult",
     "BatchStats",
+    "CheckpointError",
     "Deadlines",
     "EncodingDecision",
+    "FAILURE_CODES",
+    "FailureSummary",
     "FaultPlan",
     "FaultRule",
     "FaultySocket",
+    "InjectedWorkerFault",
+    "MUTATIONS",
+    "MUTATION_CATALOG",
+    "ProcessFaultPlan",
+    "ProcessFaultRule",
     "RetryPolicy",
+    "classify_failure",
+    "transcript_from_checkpoint",
     "GingerArgument",
     "HybridArgument",
     "choose_encoding",

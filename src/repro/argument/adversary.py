@@ -1,0 +1,152 @@
+"""Malicious-prover harness: seeded mutations the verifier must reject.
+
+"If P does not compute correctly — if it does not participate in the
+commitment protocol correctly, if it commits to a function that is not
+linear, if it commits to a linear function not of the form (z, h), or
+if it commits to (z', ...) where z' is not a satisfying assignment —
+then V rejects the proof with probability ≥ 1 − ε" (§2.2).  Formal
+Verification of Zero-Knowledge Circuits (PAPERS.md) argues this must be
+a *tested invariant*, not an assumption; this module is the standing
+soundness-regression harness that keeps it one.
+
+:class:`AdversarialProver` wraps the honest Zaatar prover and applies
+exactly one seeded mutation from :data:`MUTATION_CATALOG` per instance.
+Each mutation maps onto a §2.2 cheating mode; the test suite
+(``tests/argument/test_adversary.py``) asserts the verifier rejects
+every one of them, for every seed it runs.  Mutations are deterministic
+in ``(mutation, seed)``, so a rejection regression bisects cleanly.
+
+The PCP-level counterpart (adversaries below the commitment layer) is
+:class:`repro.pcp.oracle.MutatingOracle`.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .. import telemetry
+from ..crypto import CommitmentProver
+from ..qap import build_proof_vector
+from .protocol import ArgumentConfig, ZaatarArgument
+
+#: every supported mutation, with the invariant it attacks
+MUTATION_CATALOG: dict[str, str] = {
+    "tamper-witness": (
+        "flip one seeded entry of the z-part of u: a committed linear "
+        "function over a non-satisfying assignment (divisibility test "
+        "must fail)"
+    ),
+    "wrong-h": (
+        "flip one seeded entry of the h-part of u: wrong H(t) "
+        "contribution, so D(t)*H(t) != A*B - C (divisibility test must "
+        "fail)"
+    ),
+    "zero-h": (
+        "zero the entire h-part of u: the (z, h) form is violated "
+        "wholesale (divisibility test must fail)"
+    ),
+    "substitute-commitment": (
+        "commit to a shifted vector but answer with the honest one: "
+        "breaks commit-then-answer binding (consistency check must "
+        "fail)"
+    ),
+    "swap-answers": (
+        "swap two seeded query answers of an honest proof: answers no "
+        "longer come from one linear function (consistency or PCP "
+        "checks must fail)"
+    ),
+    "tamper-output": (
+        "prove honestly but claim a perturbed output y': valid proof "
+        "for a wrong claim (circuit test against the claimed I/O must "
+        "fail)"
+    ),
+}
+
+MUTATIONS = tuple(sorted(MUTATION_CATALOG))
+
+
+class AdversarialProver(ZaatarArgument):
+    """The honest prover plus one seeded mutation per instance.
+
+    Drop-in for :class:`~repro.argument.protocol.ZaatarArgument`: run
+    it through ``run_batch`` / ``run_parallel_batch`` and check that no
+    instance is accepted.  ``seed`` varies the mutated coordinates, not
+    whether a mutation happens.
+    """
+
+    def __init__(
+        self,
+        program,
+        config: ArgumentConfig | None = None,
+        *,
+        mutation: str,
+        seed: int = 0,
+    ):
+        super().__init__(program, config)
+        if not self.config.use_commitment:
+            raise ValueError(
+                "the adversary harness attacks the committed protocol; "
+                "use_commitment must stay on"
+            )
+        if mutation not in MUTATION_CATALOG:
+            raise ValueError(
+                f"unknown mutation {mutation!r} "
+                f"(catalog: {', '.join(MUTATIONS)})"
+            )
+        self.mutation = mutation
+        self.seed = seed
+
+    def _rng(self, input_values) -> random.Random:
+        return random.Random(f"{self.mutation}:{self.seed}:{list(input_values)!r}")
+
+    def prove_instance(self, input_values, setup, stats):
+        """Prove with exactly one mutation applied (see the catalog)."""
+        schedule, _, request, challenge = setup
+        rng = self._rng(input_values)
+        p = self.field.p
+        n_prime = self.qap.n_prime
+        telemetry.count("adversary.mutations")
+        telemetry.count(f"adversary.mutations.{self.mutation}")
+
+        sol = self.program.solve(input_values, check=False)
+        vector = list(build_proof_vector(self.qap, sol.quadratic_witness).vector)
+
+        if self.mutation == "tamper-witness":
+            at = rng.randrange(n_prime)
+            vector[at] = (vector[at] + rng.randrange(1, p)) % p
+        elif self.mutation == "wrong-h":
+            at = n_prime + rng.randrange(len(vector) - n_prime)
+            vector[at] = (vector[at] + rng.randrange(1, p)) % p
+        elif self.mutation == "zero-h":
+            vector[n_prime:] = [0] * (len(vector) - n_prime)
+        elif self.mutation == "tamper-output":
+            at = rng.randrange(len(sol.y))
+            delta = rng.randrange(1, p)
+            sol.y[at] = (sol.y[at] + delta) % p
+            # keep the externally-claimed outputs consistent with the
+            # tampered PCP claim (both are the prover's word)
+            if sol.output_values:
+                out_at = at % len(sol.output_values)
+                sol.output_values[out_at] = (
+                    sol.output_values[out_at] + delta
+                ) % p
+
+        prover = CommitmentProver(self.field, self.config.group(self.field), vector)
+
+        if self.mutation == "substitute-commitment":
+            shifted = [(v + rng.randrange(1, p)) % p for v in vector]
+            other = CommitmentProver(self.field, self.config.group(self.field), shifted)
+            commitment = other.commit(request)
+        else:
+            commitment = prover.commit(request)
+        response = prover.answer(challenge)
+
+        if self.mutation == "swap-answers":
+            answers = response.answers
+            i = rng.randrange(len(answers))
+            j = rng.randrange(len(answers))
+            while j == i or answers[i] == answers[j]:
+                j = (j + 1) % len(answers)
+            answers[i], answers[j] = answers[j], answers[i]
+
+        return sol, commitment, response, response.answers

@@ -1,0 +1,284 @@
+"""Batch checkpoints: persist per-instance progress, resume a killed run.
+
+A long batch run loses everything when the driving process dies unless
+completed instances are durably recorded.  ``BatchCheckpoint`` appends
+one JSONL record per *finished* instance (ok or failed) to
+``<dir>/batch.ckpt.jsonl`` behind a header that pins everything the
+run's determinism depends on: the program hash, the verifier seed (all
+query/commitment randomness derives from it), the soundness parameters,
+the QAP mode, and a digest of the batch inputs.  Resuming validates the
+header — a checkpoint from a different program, seed, or batch is
+refused loudly — then replays the recorded outcomes and proves only the
+missing instances.
+
+Because every verifier draw is a pure function of ``config.seed`` and
+every prover message is a pure function of (program, seed, inputs), a
+resumed run reproduces *bit-identical* prover messages for the
+remaining instances; ``transcript_from_checkpoint`` turns a completed
+checkpoint into the same :class:`~repro.argument.transcript.Transcript`
+an uninterrupted run records (tested in
+``tests/argument/test_checkpoint.py``).
+
+Records are flushed and fsync'd individually, so a kill -9 of the
+engine loses at most the instance in flight; a torn trailing line from
+a mid-write crash is ignored on load.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from ..crypto.elgamal import ElGamalCiphertext
+from ..pcp import SoundnessParams
+from .stats import ProverStats
+from .transcript import InstanceRecord, Transcript
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .protocol import InstanceResult, ZaatarArgument
+
+CHECKPOINT_FORMAT = "repro-batch-checkpoint-v1"
+CHECKPOINT_FILENAME = "batch.ckpt.jsonl"
+
+
+class CheckpointError(ValueError):
+    """Missing, malformed, or incompatible checkpoint data."""
+
+
+def batch_digest(field, batch_inputs) -> str:
+    """Digest of the (canonicalized) batch inputs — resume must present
+    the same batch the checkpoint was started with."""
+    canon = [[field.reduce(v) for v in vec] for vec in batch_inputs]
+    blob = json.dumps([[format(v, "x") for v in vec] for vec in canon])
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+class BatchCheckpoint:
+    """Append-only JSONL progress for one batch run, in a directory."""
+
+    def __init__(self, directory: str | Path):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / CHECKPOINT_FILENAME
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def begin(self, argument: "ZaatarArgument", batch_inputs) -> dict[int, dict]:
+        """Open the checkpoint for this run.
+
+        A fresh directory gets a header written; an existing checkpoint
+        is validated against the run (program hash, seed, params, QAP
+        mode, commitment flag, batch digest) and its completed instance
+        records are returned, keyed by batch index.  Incompatible
+        checkpoints raise :class:`CheckpointError` rather than silently
+        mixing two runs' proofs.
+        """
+        from .net import program_hash  # local: avoid import cycle
+
+        cfg = argument.config
+        header = {
+            "type": "header",
+            "format": CHECKPOINT_FORMAT,
+            "program": program_hash(argument.program),
+            "seed": cfg.seed.hex(),
+            "params": {
+                "delta": cfg.params.delta,
+                "rho_lin": cfg.params.rho_lin,
+                "rho": cfg.params.rho,
+            },
+            "qap_mode": cfg.qap_mode,
+            "paper_scale_crypto": cfg.paper_scale_crypto,
+            "use_commitment": cfg.use_commitment,
+            "batch_digest": batch_digest(argument.field, batch_inputs),
+            "batch_size": len(batch_inputs),
+        }
+        if not self.path.exists():
+            with self.path.open("w") as fh:
+                fh.write(json.dumps(header) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            return {}
+        existing, records = self.load()
+        if existing is None:
+            raise CheckpointError(f"{self.path}: no header record")
+        for key, want in header.items():
+            if existing.get(key) != want:
+                raise CheckpointError(
+                    f"{self.path}: checkpoint {key} mismatch "
+                    f"(checkpoint {existing.get(key)!r}, run {want!r})"
+                )
+        return records
+
+    def load(self) -> tuple[dict | None, dict[int, dict]]:
+        """(header, {index: record}) from disk; torn tail lines are
+        dropped (the crash the checkpoint exists to survive)."""
+        if not self.path.exists():
+            return None, {}
+        header: dict | None = None
+        records: dict[int, dict] = {}
+        with self.path.open() as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail from a mid-write crash
+                if not isinstance(payload, dict):
+                    raise CheckpointError(f"{self.path}: non-object record")
+                if payload.get("type") == "header":
+                    header = payload
+                elif payload.get("type") == "instance":
+                    try:
+                        records[int(payload["index"])] = payload
+                    except (KeyError, TypeError, ValueError) as exc:
+                        raise CheckpointError(
+                            f"{self.path}: malformed instance record: {exc}"
+                        ) from exc
+        return header, records
+
+    def append(self, record: dict) -> None:
+        """Durably append one finished-instance record."""
+        with self.path.open("a") as fh:
+            fh.write(json.dumps(record) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+
+
+# -- record <-> result bridging ------------------------------------------------
+
+
+def instance_record(
+    result: "InstanceResult",
+    *,
+    input_values=None,
+    commitment=None,
+    answers=None,
+) -> dict:
+    """Serialize one finished instance (with its prover messages when it
+    produced any — that is what makes resumed transcripts possible)."""
+    record: dict = {
+        "type": "instance",
+        "index": result.index,
+        "ok": result.ok,
+        "attempts": result.attempts,
+    }
+    if not result.ok:
+        record["code"] = result.error_code
+        record["message"] = result.error_message
+        return record
+    record.update(
+        {
+            "accepted": result.accepted,
+            "commitment_ok": result.commitment_ok,
+            "pcp_ok": result.pcp_ok,
+            "y": [format(v, "x") for v in result.output_values],
+            "stats": {
+                phase: getattr(result.prover_stats, phase)
+                for phase in ProverStats.PHASES
+            },
+            "wall": dict(result.prover_stats.wall),
+        }
+    )
+    if input_values is not None:
+        record["x"] = [format(v, "x") for v in input_values]
+    if commitment is not None:
+        record["commitment"] = [
+            format(commitment.c1, "x"),
+            format(commitment.c2, "x"),
+        ]
+    if answers is not None:
+        record["answers"] = [format(v, "x") for v in answers]
+    return record
+
+
+def result_from_record(record: dict) -> "InstanceResult":
+    """Rebuild the structured outcome a recorded instance produced."""
+    from .protocol import InstanceResult  # local: avoid import cycle
+
+    try:
+        index = int(record["index"])
+        attempts = int(record.get("attempts", 1))
+        if not record.get("ok", False):
+            return InstanceResult.failure(
+                index,
+                record.get("code") or "internal",
+                record.get("message", ""),
+                attempts=attempts,
+            )
+        stats = ProverStats(
+            **{phase: record["stats"][phase] for phase in ProverStats.PHASES},
+            wall=dict(record.get("wall", {})),
+        )
+        return InstanceResult(
+            accepted=bool(record["accepted"]),
+            commitment_ok=bool(record["commitment_ok"]),
+            pcp_ok=bool(record["pcp_ok"]),
+            output_values=[int(v, 16) for v in record["y"]],
+            prover_stats=stats,
+            index=index,
+            attempts=attempts,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed instance record: {exc}") from exc
+
+
+def transcript_from_checkpoint(
+    header: dict, records: dict[int, dict]
+) -> Transcript:
+    """A completed checkpoint as a replayable session transcript.
+
+    Every instance must be present, ``ok``, and carry its prover
+    messages (commitment + answers) — i.e. the run finished with the
+    commitment layer on.  The result is byte-identical to the
+    transcript :func:`~repro.argument.transcript.record_batch` records
+    for an uninterrupted run with the same config.
+    """
+    if header is None:
+        raise CheckpointError("checkpoint has no header")
+    size = int(header.get("batch_size", 0))
+    instances: list[InstanceRecord] = []
+    for index in range(size):
+        record = records.get(index)
+        if record is None:
+            raise CheckpointError(f"instance {index} not in checkpoint")
+        if not record.get("ok"):
+            raise CheckpointError(
+                f"instance {index} failed ({record.get('code')}); "
+                "no prover messages to transcribe"
+            )
+        try:
+            instances.append(
+                InstanceRecord(
+                    input_values=[int(v, 16) for v in record["x"]],
+                    claimed_outputs=[int(v, 16) for v in record["y"]],
+                    commitment=ElGamalCiphertext(
+                        int(record["commitment"][0], 16),
+                        int(record["commitment"][1], 16),
+                    ),
+                    answers=[int(v, 16) for v in record["answers"]],
+                )
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise CheckpointError(
+                f"instance {index} lacks transcript material: {exc}"
+            ) from exc
+    try:
+        params = SoundnessParams(
+            delta=header["params"]["delta"],
+            rho_lin=header["params"]["rho_lin"],
+            rho=header["params"]["rho"],
+        )
+        return Transcript(
+            seed=bytes.fromhex(header["seed"]),
+            params=params,
+            qap_mode=header["qap_mode"],
+            paper_scale_crypto=header["paper_scale_crypto"],
+            instances=instances,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise CheckpointError(f"malformed checkpoint header: {exc}") from exc

@@ -36,7 +36,9 @@ directions of the wire, so one hook covers every fault site)::
 
 from __future__ import annotations
 
+import os
 import random
+import signal
 import struct
 import time
 from dataclasses import dataclass
@@ -48,6 +50,97 @@ _HEADER = struct.Struct("!I")
 
 ACTIONS = ("drop", "delay", "truncate", "corrupt")
 DIRECTIONS = ("send", "recv")
+
+#: process-level actions, for the batch engine's worker pool
+PROCESS_ACTIONS = ("kill", "raise", "slow")
+
+
+class InjectedWorkerFault(RuntimeError):
+    """A seeded transient worker failure (``action="raise"``).
+
+    Carries ``code = "io"`` so the batch engine classifies it with the
+    same vocabulary as a real worker/transport loss — and therefore
+    retries it under the batch ``RetryPolicy``.
+    """
+
+    code = "io"
+
+
+@dataclass(frozen=True)
+class ProcessFaultRule:
+    """Hit batch instance ``index`` on proving attempt ``attempt``.
+
+    Addressing by (instance, attempt) keeps firing deterministic with
+    no cross-process shared state: a task retried after a kill runs as
+    attempt 2, which is clean unless another rule targets it.
+    """
+
+    index: int
+    action: str
+    #: 1-based proving attempt this rule fires on
+    attempt: int = 1
+    #: seconds, for action == "slow"
+    delay: float = 0.05
+
+    def __post_init__(self):
+        if self.action not in PROCESS_ACTIONS:
+            raise ValueError(f"unknown process fault action {self.action!r}")
+        if self.attempt < 1:
+            raise ValueError("attempt numbers are 1-based")
+
+
+class ProcessFaultPlan:
+    """Seeded process-level fault rules for the batch engine.
+
+    Installed in the worker state *before* fork, so every worker —
+    including replacements spawned after a crash — inherits the same
+    rules.  Actions:
+
+    * ``kill`` — SIGKILL the worker process at task start (the classic
+      dead-machine scenario; the engine must detect it, reassign the
+      in-flight instance, and replenish the pool);
+    * ``raise`` — raise :class:`InjectedWorkerFault` (a transient task
+      exception: the worker survives, the instance is retried);
+    * ``slow`` — sleep ``delay`` seconds before proving (a straggler).
+
+    When the engine runs inline (one worker / no fork), ``kill`` is
+    surfaced as the same transient :class:`InjectedWorkerFault` the
+    engine would observe — there is no separate process to kill.
+    """
+
+    def __init__(self, rules: Sequence[ProcessFaultRule], seed: int = 0):
+        self.rules = list(rules)
+        self.seed = seed
+        #: (index, attempt, action) log — meaningful in the applying
+        #: process (inline runs; in forked workers it stays local)
+        self.injected: list[tuple[int, int, str]] = []
+
+    def rule_for(self, index: int, attempt: int) -> ProcessFaultRule | None:
+        """The rule targeting this (instance, attempt), or None."""
+        for rule in self.rules:
+            if rule.index == index and rule.attempt == attempt:
+                return rule
+        return None
+
+    def apply(self, index: int, attempt: int, *, inline: bool = False) -> None:
+        """Inject the fault (if any) for this task execution."""
+        rule = self.rule_for(index, attempt)
+        if rule is None:
+            return
+        self.injected.append((index, attempt, rule.action))
+        telemetry.count("batch.faults_injected")
+        if rule.action == "slow":
+            time.sleep(rule.delay)
+        elif rule.action == "raise":
+            raise InjectedWorkerFault(
+                f"injected fault at instance {index} attempt {attempt}"
+            )
+        elif rule.action == "kill":
+            if inline:
+                raise InjectedWorkerFault(
+                    f"injected worker loss at instance {index} attempt {attempt}"
+                )
+            os.kill(os.getpid(), signal.SIGKILL)
 
 
 @dataclass(frozen=True)

@@ -44,6 +44,52 @@ from .stats import BatchStats, PhaseTimer, ProverStats, VerifierStats
 #: ``deadline``, ``io``, ``internal`` — is presumed transient).
 NON_RETRYABLE_CODES = frozenset({"unknown-program", "bad-request"})
 
+#: The full structured error-code vocabulary (docs/NETWORKING.md).  The
+#: batch engine reuses it for per-instance outcomes so a failure means
+#: the same thing whether it crossed a socket or a process boundary.
+FAILURE_CODES = frozenset(
+    {
+        "unknown-program",
+        "bad-request",
+        "bad-frame",
+        "busy",
+        "deadline",
+        "io",
+        "violation",
+        "internal",
+    }
+)
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Map an exception from proving/verifying one instance to a code.
+
+    Exceptions that already carry a ``code`` attribute from the
+    vocabulary (``ProtocolViolation``, injected worker faults) keep it;
+    input-shaped failures (the solver rejecting its inputs — wrong
+    arity, unsatisfiable constraints, malformed values) are
+    ``bad-request`` and therefore not retryable; anything else is
+    ``internal``.
+    """
+    code = getattr(exc, "code", None)
+    if isinstance(code, str) and code in FAILURE_CODES:
+        return code
+    if isinstance(exc, (ValueError, TypeError, KeyError, IndexError, ArithmeticError)):
+        return "bad-request"
+    return "internal"
+
+
+def record_instance_failure(
+    index: int, exc: BaseException, *, attempts: int = 1
+) -> "InstanceResult":
+    """Classify one instance's failure, count it, build the outcome."""
+    code = classify_failure(exc)
+    telemetry.count("batch.instances_failed")
+    telemetry.count(f"batch.instances_failed.{code}")
+    return InstanceResult.failure(
+        index, code, f"{type(exc).__name__}: {exc}", attempts=attempts
+    )
+
 
 class ProtocolViolation(RuntimeError):
     """The peer sent something outside the expected protocol flow.
@@ -88,6 +134,60 @@ class InstanceResult:
     pcp_ok: bool
     output_values: list[int]
     prover_stats: ProverStats
+    #: position in the batch (-1: unknown, e.g. legacy constructors)
+    index: int = -1
+    #: False when the instance never produced a verifiable proof — the
+    #: prover raised, its worker died, or retries were exhausted.  An
+    #: ``ok`` instance may still be rejected (accepted=False) on a
+    #: failed commitment/PCP check; a not-``ok`` one was never checked.
+    ok: bool = True
+    #: structured failure code from FAILURE_CODES when not ``ok``
+    error_code: str | None = None
+    error_message: str = ""
+    #: proving attempts consumed (1 = no retries)
+    attempts: int = 1
+
+    @classmethod
+    def failure(
+        cls, index: int, code: str, message: str, *, attempts: int = 1
+    ) -> "InstanceResult":
+        """A structured failed outcome (no proof was produced)."""
+        return cls(
+            accepted=False,
+            commitment_ok=False,
+            pcp_ok=False,
+            output_values=[],
+            prover_stats=ProverStats(),
+            index=index,
+            ok=False,
+            error_code=code,
+            error_message=message,
+            attempts=attempts,
+        )
+
+
+@dataclass
+class FailureSummary:
+    """Per-code failure counts + indices for one batch (diagnosable
+    partial batches — the CLI prints this verbatim)."""
+
+    total: int
+    by_code: dict[str, list[int]]
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Failure count per error code."""
+        return {code: len(indices) for code, indices in self.by_code.items()}
+
+    def __str__(self) -> str:
+        if not self.total:
+            return "no failures"
+        parts = [
+            f"{code}: {len(indices)} (instance{'s' if len(indices) > 1 else ''} "
+            f"{', '.join(map(str, indices))})"
+            for code, indices in sorted(self.by_code.items())
+        ]
+        return f"{self.total} failed — " + "; ".join(parts)
 
 
 @dataclass
@@ -99,6 +199,21 @@ class BatchResult:
     def all_accepted(self) -> bool:
         """True iff every instance in the batch verified."""
         return all(r.accepted for r in self.instances)
+
+    @property
+    def num_failed(self) -> int:
+        """Instances that never produced a verifiable proof."""
+        return sum(1 for r in self.instances if not r.ok)
+
+    @property
+    def failures(self) -> FailureSummary:
+        """Structured summary of the not-``ok`` instances, by code."""
+        by_code: dict[str, list[int]] = {}
+        for i, r in enumerate(self.instances):
+            if not r.ok:
+                index = r.index if r.index >= 0 else i
+                by_code.setdefault(r.error_code or "internal", []).append(index)
+        return FailureSummary(total=self.num_failed, by_code=by_code)
 
 
 class ZaatarArgument:
@@ -183,29 +298,35 @@ class ZaatarArgument:
         batch = BatchStats(batch_size=len(batch_inputs), verifier=verifier_stats)
         for index, input_values in enumerate(batch_inputs):
             prover_stats = ProverStats()
-            with telemetry.span("prover.instance", index=index):
-                sol, commitment, response, answers = self.prove_instance(
-                    input_values, setup, prover_stats
+            try:
+                with telemetry.span("prover.instance", index=index):
+                    sol, commitment, response, answers = self.prove_instance(
+                        input_values, setup, prover_stats
+                    )
+                with timer.phase("per_instance"):
+                    if self.config.use_commitment:
+                        commit_ok = commitment_verifier.verify(commitment, response)
+                        pcp_answers = answers[:-1]
+                    else:
+                        commit_ok = True
+                        pcp_answers = answers
+                    pcp_result = zaatar_pcp.check_answers(
+                        schedule, pcp_answers, sol.x, sol.y
+                    )
+            except Exception as exc:  # noqa: BLE001 - one bad instance
+                # must not abort the rest of the batch
+                results.append(record_instance_failure(index, exc))
+            else:
+                results.append(
+                    InstanceResult(
+                        accepted=commit_ok and pcp_result.accepted,
+                        commitment_ok=commit_ok,
+                        pcp_ok=pcp_result.accepted,
+                        output_values=sol.output_values,
+                        prover_stats=prover_stats,
+                        index=index,
+                    )
                 )
-            with timer.phase("per_instance"):
-                if self.config.use_commitment:
-                    commit_ok = commitment_verifier.verify(commitment, response)
-                    pcp_answers = answers[:-1]
-                else:
-                    commit_ok = True
-                    pcp_answers = answers
-                pcp_result = zaatar_pcp.check_answers(
-                    schedule, pcp_answers, sol.x, sol.y
-                )
-            results.append(
-                InstanceResult(
-                    accepted=commit_ok and pcp_result.accepted,
-                    commitment_ok=commit_ok,
-                    pcp_ok=pcp_result.accepted,
-                    output_values=sol.output_values,
-                    prover_stats=prover_stats,
-                )
-            )
             batch.prover_per_instance.append(prover_stats)
         return BatchResult(instances=results, stats=batch)
 
@@ -250,45 +371,50 @@ class GingerArgument:
         for index, input_values in enumerate(batch_inputs):
             prover_stats = ProverStats()
             ptimer = PhaseTimer(prover_stats)
-            with telemetry.span("prover.instance", index=index):
-                with ptimer.phase("solve_constraints"):
-                    sol = self.program.solve(input_values, check=False)
-                with ptimer.phase("construct_u"):
-                    vector = build_ginger_proof(gsys, sol.ginger_witness)
-                commitment = None
-                prover = None
-                if cfg.use_commitment:
-                    prover = CommitmentProver(self.field, cfg.group(self.field), vector)
-                    with ptimer.phase("crypto_ops"):
-                        commitment = prover.commit(request)
-                with ptimer.phase("answer_queries"):
-                    if prover is not None:
-                        response = prover.answer(challenge)
-                        answers = response.answers
+            try:
+                with telemetry.span("prover.instance", index=index):
+                    with ptimer.phase("solve_constraints"):
+                        sol = self.program.solve(input_values, check=False)
+                    with ptimer.phase("construct_u"):
+                        vector = build_ginger_proof(gsys, sol.ginger_witness)
+                    commitment = None
+                    prover = None
+                    if cfg.use_commitment:
+                        prover = CommitmentProver(self.field, cfg.group(self.field), vector)
+                        with ptimer.phase("crypto_ops"):
+                            commitment = prover.commit(request)
+                    with ptimer.phase("answer_queries"):
+                        if prover is not None:
+                            response = prover.answer(challenge)
+                            answers = response.answers
+                        else:
+                            response = None
+                            answers = [
+                                self.field.inner_product(q, vector)
+                                for q in schedule.queries
+                            ]
+                with timer.phase("per_instance"):
+                    if cfg.use_commitment:
+                        commit_ok = commitment_verifier.verify(commitment, response)
+                        pcp_answers = answers[:-1]
                     else:
-                        response = None
-                        answers = [
-                            self.field.inner_product(q, vector)
-                            for q in schedule.queries
-                        ]
-            with timer.phase("per_instance"):
-                if cfg.use_commitment:
-                    commit_ok = commitment_verifier.verify(commitment, response)
-                    pcp_answers = answers[:-1]
-                else:
-                    commit_ok = True
-                    pcp_answers = answers
-                pcp_result = ginger_pcp.check_answers(
-                    schedule, pcp_answers, sol.input_values, sol.output_values
+                        commit_ok = True
+                        pcp_answers = answers
+                    pcp_result = ginger_pcp.check_answers(
+                        schedule, pcp_answers, sol.input_values, sol.output_values
+                    )
+            except Exception as exc:  # noqa: BLE001 - isolate bad instances
+                results.append(record_instance_failure(index, exc))
+            else:
+                results.append(
+                    InstanceResult(
+                        accepted=commit_ok and pcp_result.accepted,
+                        commitment_ok=commit_ok,
+                        pcp_ok=pcp_result.accepted,
+                        output_values=sol.output_values,
+                        prover_stats=prover_stats,
+                        index=index,
+                    )
                 )
-            results.append(
-                InstanceResult(
-                    accepted=commit_ok and pcp_result.accepted,
-                    commitment_ok=commit_ok,
-                    pcp_ok=pcp_result.accepted,
-                    output_values=sol.output_values,
-                    prover_stats=prover_stats,
-                )
-            )
             batch.prover_per_instance.append(prover_stats)
         return BatchResult(instances=results, stats=batch)

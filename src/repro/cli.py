@@ -27,11 +27,13 @@ from pathlib import Path
 from . import telemetry
 from .argument import (
     ArgumentConfig,
+    CheckpointError,
     Deadlines,
     ProverServer,
     ZaatarArgument,
     choose_encoding,
     program_hash,
+    run_parallel_batch,
     verify_remote,
 )
 from .compiler import compile_source
@@ -82,7 +84,13 @@ def _parse_batch(specs: list[str]) -> list[list[int]] | None:
 
 
 def cmd_prove(args: argparse.Namespace) -> int:
-    """``repro prove``: run the batched argument on input vectors."""
+    """``repro prove``: run the batched argument on input vectors.
+
+    With ``--workers`` > 1 or ``--checkpoint`` the batch runs on the
+    resilient engine (docs/RESILIENCE.md): failed instances become
+    structured outcomes instead of aborting the batch, and a killed
+    checkpointed run resumes without re-proving finished instances.
+    """
     field = _field(args.field)
     program = _load_program(args.program, field, args.bit_width)
     if not args.inputs:
@@ -98,8 +106,29 @@ def cmd_prove(args: argparse.Namespace) -> int:
     )
     config = ArgumentConfig(params=params, use_commitment=not args.no_commitment)
     argument = ZaatarArgument(program, config)
-    result = argument.run_batch(batch)
+    resumed = retries = worker_deaths = 0
+    if args.workers > 1 or args.checkpoint:
+        try:
+            engine_result = run_parallel_batch(
+                argument, batch, num_workers=args.workers, checkpoint=args.checkpoint
+            )
+        except CheckpointError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        result = engine_result.result
+        resumed = engine_result.resumed
+        retries = engine_result.retries
+        worker_deaths = engine_result.worker_deaths
+    else:
+        result = argument.run_batch(batch)
     for inputs, instance in zip(batch, result.instances):
+        if not instance.ok:
+            print(
+                f"x={inputs} -> FAILED[{instance.error_code}] "
+                f"after {instance.attempts} attempt"
+                f"{'s' if instance.attempts > 1 else ''}: {instance.error_message}"
+            )
+            continue
         status = "ACCEPTED" if instance.accepted else "REJECTED"
         print(f"x={inputs} -> y={instance.output_values}  [{status}]")
     mean = result.stats.mean_prover()
@@ -110,6 +139,12 @@ def cmd_prove(args: argparse.Namespace) -> int:
     )
     v = result.stats.verifier
     print(f"verifier: setup={v.query_setup:.3f}s per-instance={v.per_instance / max(len(batch), 1):.3f}s")
+    print(f"failures: {result.failures}")
+    if resumed or retries or worker_deaths:
+        print(
+            f"engine: {resumed} resumed from checkpoint, {retries} retries, "
+            f"{worker_deaths} worker deaths"
+        )
     return 0 if result.all_accepted else 1
 
 
@@ -314,6 +349,18 @@ def build_parser() -> argparse.ArgumentParser:
         help="use the paper's production parameters (rho_lin=20, rho=8; slow)",
     )
     p_prove.add_argument("--no-commitment", action="store_true")
+    p_prove.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="prover worker processes (>1 uses the resilient batch engine)",
+    )
+    p_prove.add_argument(
+        "--checkpoint",
+        metavar="DIR",
+        help="persist per-instance progress to DIR and resume a killed "
+        "run without re-proving finished instances",
+    )
     p_prove.set_defaults(fn=cmd_prove)
 
     p_trace = sub.add_parser(

@@ -4,6 +4,7 @@ from . import ginger, zaatar
 from .oracle import (
     LinearOracle,
     MostlyLinearOracle,
+    MutatingOracle,
     NonLinearOracle,
     TargetedCheatOracle,
     VectorOracle,
@@ -22,6 +23,7 @@ __all__ = [
     "CheckResult",
     "LinearOracle",
     "MostlyLinearOracle",
+    "MutatingOracle",
     "NonLinearOracle",
     "PAPER_PARAMS",
     "SoundnessParams",

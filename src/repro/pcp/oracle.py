@@ -93,6 +93,28 @@ class MostlyLinearOracle:
         return value
 
 
+class MutatingOracle:
+    """Adversary hook: rewrites an inner oracle's answers per query.
+
+    ``mutate(query_index, q, honest_answer) -> answer`` sees the 0-based
+    order in which the verifier issued its queries, so harnesses (e.g.
+    ``repro.argument.adversary``) can express "swap the answers to
+    queries i and j" or "shift every k-th answer" below the commitment
+    layer, against the information-theoretic PCP itself.
+    """
+
+    def __init__(self, inner_oracle: LinearOracle, mutate):
+        self.inner = inner_oracle
+        self.mutate = mutate
+        self.calls = 0
+
+    def query(self, q: Sequence[int]) -> int:
+        """The inner oracle's answer, filtered through ``mutate``."""
+        index = self.calls
+        self.calls += 1
+        return self.mutate(index, q, self.inner.query(q))
+
+
 class TargetedCheatOracle:
     """Linear oracle that lies on one specific query vector.
 

@@ -1,7 +1,5 @@
 """Tests for the multiprocess distributed prover."""
 
-import pytest
-
 from repro.argument import ArgumentConfig, ZaatarArgument, run_parallel_batch
 from repro.pcp import SoundnessParams
 
@@ -37,36 +35,54 @@ class TestParallelBatch:
         assert stats.e2e > 0
 
 
-class TestCleanupOnFailure:
-    """A raising instance must not leak module/telemetry state: the
-    worker-state dict is cleared and the run span is closed even when
-    the fan-out dies (regression for the missing try/finally)."""
+class TestFailureIsolation:
+    """A bad instance must not abort the batch or leak module/telemetry
+    state: it becomes a structured ``failed[code]`` outcome, the
+    worker-state dict is cleared, and the run span is closed."""
 
-    def test_worker_state_cleared_on_raise(self, sumsq_program):
+    def test_bad_arity_is_structured_failure(self, sumsq_program):
         from repro.argument import parallel as par
 
         arg = ZaatarArgument(sumsq_program, FAST)
-        with pytest.raises(ValueError):
-            # wrong input arity -> solve raises inside the fan-out
-            run_parallel_batch(arg, [[1, 2]], num_workers=1)
+        # wrong input arity -> solve raises inside the fan-out; the
+        # engine classifies it instead of letting it escape
+        result = run_parallel_batch(arg, [[1, 2]], num_workers=1)
+        (instance,) = result.result.instances
+        assert not instance.ok
+        assert instance.error_code == "bad-request"
+        assert instance.attempts == 1  # deterministic failures fail fast
         assert par._WORKER_STATE == {}
 
-    def test_worker_state_cleared_on_raise_multiprocess(self, sumsq_program):
+    def test_bad_instance_does_not_poison_batch_multiprocess(self, sumsq_program):
         from repro.argument import parallel as par
 
         arg = ZaatarArgument(sumsq_program, FAST)
-        with pytest.raises(ValueError):
-            run_parallel_batch(arg, [[1, 2], [3, 4]], num_workers=2)
+        result = run_parallel_batch(
+            arg, [[1, 2], [1, 2, 3], [2, 3, 4]], num_workers=2
+        )
         assert par._WORKER_STATE == {}
+        by_index = {r.index: r for r in result.result.instances}
+        assert not by_index[0].ok and by_index[0].error_code == "bad-request"
+        assert by_index[1].ok and by_index[1].accepted
+        assert by_index[2].ok and by_index[2].accepted
+        assert result.result.num_failed == 1
 
-    def test_run_span_closed_on_raise(self, sumsq_program):
+    def test_failure_summary(self, sumsq_program):
+        arg = ZaatarArgument(sumsq_program, FAST)
+        result = run_parallel_batch(arg, [[1, 2], [1, 2, 3]], num_workers=1)
+        summary = result.result.failures
+        assert summary.total == 1
+        assert summary.by_code == {"bad-request": [0]}
+        assert "bad-request" in str(summary)
+
+    def test_run_span_closed_on_failure(self, sumsq_program):
         from repro import telemetry
 
         arg = ZaatarArgument(sumsq_program, FAST)
         tracer = telemetry.enable()
         try:
-            with pytest.raises(ValueError):
-                run_parallel_batch(arg, [[1, 2]], num_workers=1)
+            result = run_parallel_batch(arg, [[1, 2]], num_workers=1)
+            assert result.result.num_failed == 1
             # the span stack is balanced: a fresh span lands at the root,
             # not under a dangling argument.run_parallel_batch
             with telemetry.span("probe"):
@@ -74,14 +90,12 @@ class TestCleanupOnFailure:
         finally:
             telemetry.disable()
         by_name = {s.name: s for s in tracer.spans}
-        # spans are only recorded once closed — its presence proves the
-        # finally block ran despite the exception
         assert "argument.run_parallel_batch" in by_name
         assert by_name["probe"].parent_id is None
 
     def test_subsequent_batch_still_works(self, sumsq_program):
         arg = ZaatarArgument(sumsq_program, FAST)
-        with pytest.raises(ValueError):
-            run_parallel_batch(arg, [[1, 2]], num_workers=1)
+        failed = run_parallel_batch(arg, [[1, 2]], num_workers=1)
+        assert failed.result.num_failed == 1
         result = run_parallel_batch(arg, [[1, 2, 3]], num_workers=1)
         assert result.result.all_accepted

@@ -129,6 +129,13 @@ class TestStaleSchedule:
 
 
 class TestInputValidation:
-    def test_batch_with_wrong_arity_raises(self, argument):
-        with pytest.raises(ValueError):
-            argument.run_batch([[1, 2]])  # program takes 3 inputs
+    def test_batch_with_wrong_arity_is_isolated(self, argument):
+        # program takes 3 inputs; the bad instance becomes a structured
+        # failure instead of aborting the batch
+        result = argument.run_batch([[1, 2], [1, 2, 3]])
+        bad, good = result.instances
+        assert not bad.ok
+        assert bad.error_code == "bad-request"
+        assert good.ok and good.accepted
+        assert result.num_failed == 1
+        assert result.failures.by_code == {"bad-request": [0]}

@@ -76,6 +76,48 @@ class TestProveCommand:
     def test_malformed_inputs_is_error(self, program_file):
         assert main(["prove", program_file, "--inputs", "1,x"]) == 2
 
+    def test_workers_flag_uses_engine(self, program_file, capsys):
+        rc = main(
+            ["prove", program_file, "--inputs", "3,4", "--inputs", "5,6",
+             "--workers", "2", "--rho-lin", "2", "--rho", "1"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert f"y=[{reference(3, 4)}]  [ACCEPTED]" in out
+        assert "failures: no failures" in out
+
+    def test_failed_instance_is_reported_not_fatal(self, program_file, capsys):
+        # wrong arity (program takes 2 inputs): structured failure, and
+        # the healthy instance still proves
+        rc = main(
+            ["prove", program_file, "--inputs", "1", "--inputs", "3,4",
+             "--rho-lin", "2", "--rho", "1"]
+        )
+        assert rc == 1  # not everything accepted — but no crash
+        out = capsys.readouterr().out
+        assert "FAILED[bad-request]" in out
+        assert f"y=[{reference(3, 4)}]  [ACCEPTED]" in out
+        assert "failures: 1 failed — bad-request: 1 (instance 0)" in out
+
+    def test_checkpoint_resume(self, program_file, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        args = ["prove", program_file, "--inputs", "3,4", "--inputs", "5,6",
+                "--checkpoint", ckpt, "--rho-lin", "2", "--rho", "1"]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(args) == 0
+        out = capsys.readouterr().out
+        assert "engine: 2 resumed from checkpoint" in out
+
+    def test_incompatible_checkpoint_is_error(self, program_file, capsys, tmp_path):
+        ckpt = str(tmp_path / "ckpt")
+        base = ["prove", program_file, "--checkpoint", ckpt,
+                "--rho-lin", "2", "--rho", "1"]
+        assert main(base + ["--inputs", "3,4"]) == 0
+        capsys.readouterr()
+        assert main(base + ["--inputs", "7,8"]) == 2
+        assert "batch_digest mismatch" in capsys.readouterr().err
+
 
 class TestTraceCommand:
     def test_traces_program_file(self, program_file, capsys, tmp_path):
