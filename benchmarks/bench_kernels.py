@@ -8,6 +8,13 @@ from-scratch reference kernels and (b) never be slower than them.  The
 the CI ``kernel-bench`` job runs; the JSON artifact lands in
 ``benchmarks/out/BENCH_kernels.json``.
 
+It also sweeps the field-arithmetic backends (``repro.field.backend``):
+scalar vs numpy on NTT round-trips, elementwise products, and inner
+products over the 64-bit field, at sizes bracketing ``--size``.  Under
+``--check`` the backends must agree bit-for-bit and the numpy NTT must
+beat scalar at sizes >= 2^12; the sweep lands in
+``benchmarks/out/BENCH_backends.json``.
+
 Standalone::
 
     PYTHONPATH=src python benchmarks/bench_kernels.py --size 4096 --reps 5 --check
@@ -30,6 +37,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from _harness import FIELD, RESULTS, emit_results, fmt_seconds, print_table
 
 from repro import telemetry
+from repro.field import GOLDILOCKS, HAVE_NUMPY, PrimeField
 from repro.poly import (
     SubproductTree,
     clear_plan_caches,
@@ -48,6 +56,12 @@ from repro.poly.divide import _series_inverse
 #: cached kernels must be at least this close to the uncached reference
 #: (generous: CI machines are noisy; locally the speedup is 1.3-2x)
 CHECK_MARGIN = 1.25
+
+#: under --check, the numpy NTT must beat scalar by at least this factor
+#: at sizes >= NUMPY_NTT_MIN_SIZE (locally it is 8-10x; the margin
+#: absorbs CI noise while still catching a broken vector path)
+NUMPY_NTT_MIN_SPEEDUP = 2.0
+NUMPY_NTT_MIN_SIZE = 4096
 
 
 def _best_of(fn, reps: int) -> float:
@@ -162,6 +176,55 @@ def _bench_counters(size: int) -> dict:
     }
 
 
+def _bench_backends(size: int, reps: int, rng: random.Random) -> dict:
+    """Scalar vs numpy field backends on the batch-shaped kernels.
+
+    One row per vector size (bracketing ``--size``); each op records
+    both backends' best-of-``reps`` time and whether their outputs are
+    bit-identical.  Runs scalar-only (with ``numpy_seconds: None``)
+    when numpy is absent.
+    """
+    scalar_field = PrimeField(GOLDILOCKS, check_prime=False, backend="scalar")
+    numpy_field = (
+        PrimeField(GOLDILOCKS, check_prime=False, backend="numpy")
+        if HAVE_NUMPY
+        else None
+    )
+    p = scalar_field.p
+    sizes = sorted({max(256, size // 4), size, size * 4})
+    ops = {
+        "ntt_roundtrip": lambda f, a, b: intt(f, ntt(f, a)),
+        "hadamard": lambda f, a, b: f.hadamard(a, b),
+        "inner_product": lambda f, a, b: f.inner_product(a, b),
+    }
+    rows = []
+    for n in sizes:
+        a = [rng.randrange(p) for _ in range(n)]
+        b = [rng.randrange(p) for _ in range(n)]
+        get_ntt_plan(scalar_field, n)  # warm the shared plan out of the timings
+        row: dict = {"size": n}
+        for name, op in ops.items():
+            scalar_out = op(scalar_field, a, b)
+            scalar_seconds = _best_of(lambda: op(scalar_field, a, b), reps)
+            entry = {
+                "scalar_seconds": scalar_seconds,
+                "numpy_seconds": None,
+                "speedup": None,
+                "bit_identical": None,
+            }
+            if numpy_field is not None:
+                numpy_out = op(numpy_field, a, b)
+                numpy_seconds = _best_of(lambda: op(numpy_field, a, b), reps)
+                entry["numpy_seconds"] = numpy_seconds
+                entry["speedup"] = (
+                    scalar_seconds / numpy_seconds if numpy_seconds else float("inf")
+                )
+                entry["bit_identical"] = numpy_out == scalar_out
+            row[name] = entry
+        rows.append(row)
+    return {"numpy_available": HAVE_NUMPY, "sizes": rows}
+
+
 def run_bench(size: int, reps: int) -> dict:
     rng = random.Random(0xC0DE)
     out = {
@@ -169,9 +232,13 @@ def run_bench(size: int, reps: int) -> dict:
         "division": _bench_division(size, reps, rng),
         "interpolation": _bench_interpolation(size, reps, rng),
         "counters": _bench_counters(size),
+        "backends": _bench_backends(size, reps, rng),
     }
     for label, row in out.items():
-        RESULTS[("kernels", label)] = row
+        if label == "backends":
+            RESULTS[("backends", "sweep")] = row
+        else:
+            RESULTS[("kernels", label)] = row
     return out
 
 
@@ -194,6 +261,21 @@ def check(results: dict) -> list[str]:
         failures.append("counters: second instance produced no plan hits")
     if counters["plan_misses"] == 0:
         failures.append("counters: cold caches produced no plan misses")
+    for row in results["backends"]["sizes"]:
+        n = row["size"]
+        for op in ("ntt_roundtrip", "hadamard", "inner_product"):
+            entry = row[op]
+            if entry["numpy_seconds"] is None:
+                continue  # numpy absent: scalar-only run, nothing to compare
+            if not entry["bit_identical"]:
+                failures.append(f"backends: {op} at n={n} differs scalar vs numpy")
+            if op == "ntt_roundtrip" and n >= NUMPY_NTT_MIN_SIZE:
+                if entry["speedup"] < NUMPY_NTT_MIN_SPEEDUP:
+                    failures.append(
+                        f"backends: numpy NTT at n={n} only "
+                        f"{entry['speedup']:.2f}x over scalar "
+                        f"(need {NUMPY_NTT_MIN_SPEEDUP}x)"
+                    )
     return failures
 
 
@@ -223,12 +305,37 @@ def _report(results: dict) -> None:
         f"{counters['plan_misses']} misses ({counters['cache_entries']})"
     )
 
+    backends = results["backends"]
+    if not backends["numpy_available"]:
+        print("\nfield backends: numpy not installed, scalar-only run")
+        return
+    rows = []
+    for row in backends["sizes"]:
+        for op in ("ntt_roundtrip", "hadamard", "inner_product"):
+            entry = row[op]
+            rows.append(
+                [
+                    f"{op} n={row['size']}",
+                    fmt_seconds(entry["scalar_seconds"]),
+                    fmt_seconds(entry["numpy_seconds"]),
+                    f"{entry['speedup']:.2f}x",
+                    "yes" if entry["bit_identical"] else "NO",
+                ]
+            )
+    print()
+    print_table(
+        "field backends: scalar vs numpy (goldilocks)",
+        ["kernel", "scalar", "numpy", "speedup", "bit-identical"],
+        rows,
+    )
+
 
 def test_kernels(benchmark):
     """Pytest entry point, shaped like the figure benches."""
     results = benchmark.pedantic(lambda: run_bench(4096, 3), rounds=1, iterations=1)
     _report(results)
     emit_results("kernels")
+    emit_results("backends")
     assert not check(results)
 
 
@@ -247,7 +354,8 @@ def main(argv: list[str] | None = None) -> int:
     results = run_bench(args.size, args.reps)
     _report(results)
     path = emit_results("kernels")
-    print(f"\nresults written to {path}")
+    backend_path = emit_results("backends")
+    print(f"\nresults written to {path} and {backend_path}")
     if args.check:
         failures = check(results)
         for f in failures:

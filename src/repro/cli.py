@@ -242,6 +242,15 @@ def cmd_trace(args: argparse.Namespace) -> int:
             f"\nkernel plan cache: {plan_hits} hits / {plan_misses} misses "
             f"({reuse:.0%} reuse; see docs/PERFORMANCE.md)"
         )
+    backend_counts = sorted(
+        (k, int(v)) for k, v in totals.items() if k.startswith("backend.")
+    )
+    kernel_stats = (
+        ", ".join(f"{k}={v}" for k, v in backend_counts)
+        if backend_counts
+        else "no vector-kernel calls"
+    )
+    print(f"field backend: {field.backend.name} ({kernel_stats})")
     accepted = result.all_accepted and net_ok
     verdict = "ACCEPTED" if accepted else "REJECTED"
     print(f"\nbatch of {len(batch)}: {verdict}")

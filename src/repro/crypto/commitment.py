@@ -122,15 +122,12 @@ class CommitmentVerifier:
         """Append the consistency query t = r + Σ αᵢ·qᵢ to the PCP queries."""
         if self._r is None:
             raise RuntimeError("commit_request must run before decommit")
-        p = self.field.p
         self._alphas = [self._prg.next_element() for _ in range(len(queries))]
         t = list(self._r)
         for alpha, q in zip(self._alphas, queries):
             if len(q) != self.n:
                 raise ValueError(f"query length {len(q)} != vector length {self.n}")
-            for i, qi in enumerate(q):
-                if qi:
-                    t[i] = (t[i] + alpha * qi) % p
+            t = self.field.vec_addmul(t, alpha, q)
         self.counts.field_muls += sum(
             1 for q in queries for qi in q if qi
         )

@@ -1,5 +1,14 @@
 """Finite-field substrate: named primes, scalar and vector arithmetic."""
 
+from .backend import (
+    BACKEND_ENV_VAR,
+    HAVE_NUMPY,
+    FieldBackend,
+    NumpyBackend,
+    ScalarBackend,
+    available_backends,
+    resolve_backend,
+)
 from .counting import CountingField, counting_field
 from .element import FieldElement
 from .params import GOLDILOCKS, NAMED_FIELDS, P128, P192, P220, FieldParams, field_params
@@ -22,8 +31,15 @@ from .vector import (
 )
 
 __all__ = [
+    "BACKEND_ENV_VAR",
     "CheckedPrimeField",
     "CountingField",
+    "FieldBackend",
+    "HAVE_NUMPY",
+    "NumpyBackend",
+    "ScalarBackend",
+    "available_backends",
+    "resolve_backend",
     "FieldElement",
     "FieldParams",
     "GOLDILOCKS",

@@ -1,0 +1,652 @@
+"""Pluggable vectorized field-arithmetic backends.
+
+Every hot path of the argument system — NTT butterflies, the QAP
+prover's H(t) pipeline, linear-PCP query evaluation, commitment dot
+products — bottoms out in batch-shaped field arithmetic.  This module
+is the kernel-dispatch layer for those shapes: a :class:`PrimeField`
+owns one :class:`FieldBackend`, and the vector entry points
+(``field.vec_add`` … ``field.inner_product`` … ``field.transform``)
+route through it.
+
+Two backends exist:
+
+* :class:`ScalarBackend` — the original pure-Python kernels, always
+  available, and the semantic reference every other backend must match
+  bit-for-bit (the ``tests/property/test_backend_parity.py`` harness
+  enforces this differentially).
+* :class:`NumpyBackend` — batched kernels over ``numpy`` arrays,
+  selected per modulus:
+
+  - the 64-bit Goldilocks test field gets an exact ``uint64``
+    limb-arithmetic kernel (64×64→128-bit products via 32-bit limbs,
+    then the classic ``2^64 ≡ 2^32 − 1 (mod p)`` reduction);
+  - moduli below ``2^32`` get a direct ``uint64`` kernel (products
+    fit without splitting);
+  - the big 128/192/220-bit moduli fall back to *chunked* big-int
+    kernels (``object``-dtype arrays, processed in fixed-size chunks
+    so memory stays bounded) for elementwise ops and dot products,
+    and delegate transforms/scans to the scalar kernels.
+
+Selection order: an explicit ``PrimeField(backend=...)`` argument, the
+``REPRO_FIELD_BACKEND`` environment variable (``scalar`` / ``numpy`` /
+``auto``), then ``auto`` — numpy when importable, scalar otherwise.
+Requesting ``numpy`` without numpy installed degrades to scalar with a
+single warning, never an error, so the system imports and runs cleanly
+on minimal installs.
+
+Every backend reports ``backend.<name>.calls`` / ``backend.<name>.elements``
+counters to telemetry, attributed to whichever kernel actually ran
+(a numpy backend that delegates a tiny vector to its scalar fallback
+ticks the scalar counters), so ``repro trace`` can show where the
+vector work landed.  See docs/PERFORMANCE.md for the exactness
+argument and measured speedups.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import warnings
+from typing import Sequence
+
+from .. import telemetry
+
+try:  # pragma: no cover - exercised via the no-numpy CI job
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+HAVE_NUMPY = _np is not None
+
+#: environment variable consulted when ``PrimeField`` gets no explicit backend
+BACKEND_ENV_VAR = "REPRO_FIELD_BACKEND"
+
+#: the Goldilocks modulus, whose reduction the uint64 kernel hardcodes
+_GOLDILOCKS_P = 2**64 - 2**32 + 1
+
+
+class _ScalarFallback(Exception):
+    """Internal: a numpy kernel declining an input it cannot handle
+    exactly (non-canonical or unconvertible values); the dispatching
+    backend retries on the scalar kernel, which is tolerant."""
+
+
+def available_backends() -> list[str]:
+    """Names accepted by :func:`resolve_backend` on this install."""
+    return ["scalar", "numpy"] if HAVE_NUMPY else ["scalar"]
+
+
+class FieldBackend:
+    """One field's vector-kernel set.
+
+    All methods take and return plain Python ``int`` lists in the same
+    canonical representation ``PrimeField`` uses; implementations must
+    be *bit-identical* to :class:`ScalarBackend` on canonical inputs
+    (every value is a fully reduced element of [0, p), so any exact
+    algorithm yields the same integers).  ``ntt`` may mutate the list
+    it is given; callers pass private copies.
+    """
+
+    name = "?"
+
+    def __init__(self, p: int):
+        self.p = p
+        self._calls_key = f"backend.{self.name}.calls"
+        self._elems_key = f"backend.{self.name}.elements"
+
+    def _tick(self, n: int) -> None:
+        telemetry.count(self._calls_key)
+        telemetry.count(self._elems_key, n)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(p={self.p:#x})"
+
+
+class ScalarBackend(FieldBackend):
+    """The pure-Python reference kernels (the seed implementations).
+
+    Tolerant of non-canonical operands wherever the original code was
+    (everything funnels through ``% p``), which is also why it is the
+    universal fallback.
+    """
+
+    name = "scalar"
+
+    def vec_add(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Componentwise sum via ``% p`` list comprehension."""
+        self._tick(len(a))
+        p = self.p
+        return [(x + y) % p for x, y in zip(a, b)]
+
+    def vec_sub(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Componentwise difference via ``% p`` list comprehension."""
+        self._tick(len(a))
+        p = self.p
+        return [(x - y) % p for x, y in zip(a, b)]
+
+    def vec_neg(self, a: Sequence[int]) -> list[int]:
+        """Componentwise negation via ``% p`` list comprehension."""
+        self._tick(len(a))
+        p = self.p
+        return [(-x) % p for x in a]
+
+    def vec_scale(self, c: int, a: Sequence[int]) -> list[int]:
+        """Scalar multiple c·a via ``% p`` list comprehension."""
+        self._tick(len(a))
+        p = self.p
+        return [c * x % p for x in a]
+
+    def vec_addmul(self, a: Sequence[int], c: int, b: Sequence[int]) -> list[int]:
+        """a + c·b via ``% p`` list comprehension."""
+        self._tick(len(a))
+        p = self.p
+        return [(x + c * y) % p for x, y in zip(a, b)]
+
+    def hadamard(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Componentwise product via ``% p`` list comprehension."""
+        self._tick(len(a))
+        p = self.p
+        return [x * y % p for x, y in zip(a, b)]
+
+    def inner_product(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """<a, b> with lazy reduction (one ``%`` at the end)."""
+        self._tick(len(a))
+        acc = 0
+        for x, y in zip(a, b):
+            acc += x * y
+        return acc % self.p
+
+    def batch_inv(self, values: Sequence[int]) -> list[int]:
+        """Montgomery's trick: one inversion + 3n sequential muls."""
+        self._tick(len(values))
+        p = self.p
+        n = len(values)
+        prefix = [1] * (n + 1)
+        for i, v in enumerate(values):
+            if v == 0:
+                raise ZeroDivisionError("batch_inv of 0")
+            prefix[i + 1] = prefix[i] * v % p
+        inv_all = pow(prefix[n], -1, p)
+        out = [0] * n
+        for i in range(n - 1, -1, -1):
+            out[i] = prefix[i] * inv_all % p
+            inv_all = inv_all * values[i] % p
+        return out
+
+    def ntt(self, plan, a: list[int], invert: bool) -> list[int]:
+        """Run the plan's pure-Python in-place butterflies."""
+        self._tick(plan.n)
+        return plan.inverse(a) if invert else plan.forward(a)
+
+
+# -- numpy kernels --------------------------------------------------------------
+
+
+class _U64KernelBase:
+    """Shared structure of the exact ``uint64`` kernels.
+
+    Subclasses supply ``mulmod``/``addmod``/``submod`` over uint64
+    arrays; the butterfly schedule, reduction trees, and the prefix/
+    suffix scans of Montgomery batch inversion live here.  Everything
+    is exact integer arithmetic, so results are the same canonical
+    field elements the scalar kernels produce.
+    """
+
+    supports_ntt = True
+    supports_batch_inv = True
+
+    def __init__(self, p: int):
+        self.p = p
+        self.pu = _np.uint64(p)
+        self.m32 = _np.uint64(0xFFFFFFFF)
+        self.s32 = _np.uint64(32)
+
+    # subclasses: mulmod(a, b), addmod(u, v), submod(u, v)
+
+    def _load(self, values: Sequence[int], *, canonical: bool):
+        """List → uint64 array; refuse anything the kernel can't do exactly."""
+        try:
+            arr = _np.asarray(values, dtype=_np.uint64)
+        except (OverflowError, TypeError, ValueError) as exc:
+            raise _ScalarFallback() from exc
+        if canonical and arr.size and bool((arr >= self.pu).any()):
+            raise _ScalarFallback()
+        return arr
+
+    def _scalar_operand(self, c: int):
+        if not 0 <= c < 2**64:
+            raise _ScalarFallback()
+        return _np.uint64(c)
+
+    # -- elementwise ----------------------------------------------------------
+
+    def vec_add(self, a, b):
+        return self.addmod(self._load(a, canonical=True), self._load(b, canonical=True)).tolist()
+
+    def vec_sub(self, a, b):
+        return self.submod(self._load(a, canonical=True), self._load(b, canonical=True)).tolist()
+
+    def vec_neg(self, a):
+        arr = self._load(a, canonical=True)
+        return (self.pu * (arr > 0).astype(_np.uint64) - arr).tolist()
+
+    def vec_scale(self, c, a):
+        return self.mulmod(self._load(a, canonical=False), self._scalar_operand(c)).tolist()
+
+    def vec_addmul(self, a, c, b):
+        prod = self.mulmod(self._load(b, canonical=False), self._scalar_operand(c))
+        return self.addmod(self._load(a, canonical=True), prod).tolist()
+
+    def hadamard(self, a, b):
+        return self.mulmod(self._load(a, canonical=False), self._load(b, canonical=False)).tolist()
+
+    # -- reductions -----------------------------------------------------------
+
+    def _split_sum(self, x) -> int:
+        """Exact Σxᵢ of a uint64 array: sum the 32-bit halves separately
+        (each stays below 2^64 for any realistic length) and recombine
+        as a Python int."""
+        return (int((x >> self.s32).sum()) << 32) + int((x & self.m32).sum())
+
+    def inner_product(self, a, b) -> int:
+        av = self._load(a, canonical=False)
+        bv = self._load(b, canonical=False)
+        if av.size == 0:
+            return 0
+        # Σ a·b from the four 32×32 partial-product sums, recombined
+        # exactly in Python — the vectorized version of lazy reduction.
+        a0 = av & self.m32
+        a1 = av >> self.s32
+        b0 = bv & self.m32
+        b1 = bv >> self.s32
+        total = (
+            self._split_sum(a0 * b0)
+            + ((self._split_sum(a0 * b1) + self._split_sum(a1 * b0)) << 32)
+            + (self._split_sum(a1 * b1) << 64)
+        )
+        return total % self.p
+
+    def _scan_products(self, arr):
+        """Inclusive prefix products mod p (Hillis-Steele doubling scan)."""
+        out = arr.copy()
+        shift = 1
+        n = out.size
+        while shift < n:
+            out[shift:] = self.mulmod(out[shift:], out[:-shift])
+            shift <<= 1
+        return out
+
+    def batch_inv(self, values):
+        arr = self._load(values, canonical=False)
+        if bool((arr == 0).any()):
+            raise ZeroDivisionError("batch_inv of 0")
+        n = arr.size
+        inclusive = self._scan_products(arr)
+        total = int(inclusive[-1])
+        inv_total = _np.uint64(pow(total, -1, self.p))
+        # exclusive prefix / suffix products
+        prefix = _np.empty_like(arr)
+        prefix[0] = 1
+        prefix[1:] = inclusive[:-1]
+        suffix = _np.empty_like(arr)
+        suffix[-1] = 1
+        if n > 1:
+            suffix[:-1] = self._scan_products(arr[::-1])[:-1][::-1]
+        out = self.mulmod(self.mulmod(prefix, suffix), inv_total)
+        return out.tolist()
+
+    # -- transforms -----------------------------------------------------------
+
+    def _scratch(self, plan):
+        scratch = plan.np_scratch.get("u64")
+        if scratch is None:
+            perm = _np.arange(plan.n)
+            for i, j in plan.swaps:
+                perm[i], perm[j] = perm[j], perm[i]
+            scratch = {
+                "perm": perm,
+                "fwd": [_np.asarray(t, dtype=_np.uint64) for t in plan.fwd],
+                "inv_head": [_np.asarray(t, dtype=_np.uint64) for t in plan._inv_head],
+                "inv_last": _np.asarray(plan._inv_last, dtype=_np.uint64),
+                "n_inv": _np.uint64(plan.n_inv),
+            }
+            # benign race: identical dict, last writer wins
+            plan.np_scratch["u64"] = scratch
+        return scratch
+
+    def _butterflies(self, a, tables) -> None:
+        for tw in tables:
+            h = tw.size
+            view = a.reshape(-1, 2 * h)
+            u = view[:, :h].copy()
+            v = self.mulmod(view[:, h:], tw)
+            view[:, :h] = self.addmod(u, v)
+            view[:, h:] = self.submod(u, v)
+
+    def ntt(self, plan, values, invert: bool) -> list[int]:
+        scratch = self._scratch(plan)
+        a = self._load(values, canonical=True)[scratch["perm"]]
+        if not invert:
+            self._butterflies(a, scratch["fwd"])
+        else:
+            self._butterflies(a, scratch["inv_head"])
+            half = plan.n >> 1
+            u = self.mulmod(a[:half], scratch["n_inv"])
+            v = self.mulmod(a[half:], scratch["inv_last"])
+            a[:half] = self.addmod(u, v)
+            a[half:] = self.submod(u, v)
+        return a.tolist()
+
+
+class _GoldilocksKernel(_U64KernelBase):
+    """Exact uint64 kernel for p = 2^64 − 2^32 + 1.
+
+    Products are formed as full 128-bit integers from 32-bit limbs
+    (every partial product fits a uint64), then reduced with the
+    field's defining identities ``2^64 ≡ 2^32 − 1`` and
+    ``2^96 ≡ −1 (mod p)``.  ``mulmod`` is exact for *any* uint64
+    inputs; the compare-based ``addmod``/``submod`` require canonical
+    operands, which ``_load(canonical=True)`` enforces (falling back
+    to scalar otherwise).  The parity suite fuzzes this against pure
+    Python across the edge values 0, 1, p−1.
+    """
+
+    _EPS = None  # set in __init__ (numpy may be absent at class-creation time)
+
+    def __init__(self, p: int):
+        assert p == _GOLDILOCKS_P
+        super().__init__(p)
+        self.eps = _np.uint64(2**32 - 1)
+
+    def mulmod(self, a, b):
+        m32, s32 = self.m32, self.s32
+        a0 = a & m32
+        a1 = a >> s32
+        b0 = b & m32
+        b1 = b >> s32
+        ll = a0 * b0
+        # standard 64×64 → (hi, lo) recombination; no partial overflows
+        mid = a0 * b1 + (ll >> s32)
+        mid2 = a1 * b0 + (mid & m32)
+        hi = a1 * b1 + (mid >> s32) + (mid2 >> s32)
+        lo = (mid2 << s32) | (ll & m32)
+        # reduce hi·2^64 + lo:  2^64 ≡ 2^32 − 1,  2^96 ≡ −1 (mod p)
+        hi1 = hi >> s32
+        hi0 = hi & m32
+        t0 = lo - hi1 - (self.eps * (lo < hi1).astype(_np.uint64))
+        t1 = hi0 * self.eps
+        res = t0 + t1
+        res = res + self.eps * (res < t1).astype(_np.uint64)
+        return res - self.pu * (res >= self.pu).astype(_np.uint64)
+
+    def addmod(self, u, v):
+        # u + v − p, then add p back where the true sum was below p
+        s = u + (v - self.pu)
+        return s + self.pu * (u < (self.pu - v)).astype(_np.uint64)
+
+    def submod(self, u, v):
+        return u - v + self.pu * (u < v).astype(_np.uint64)
+
+
+class _Small64Kernel(_U64KernelBase):
+    """Direct uint64 kernel for moduli below 2^32: products fit as-is."""
+
+    def __init__(self, p: int):
+        assert p < 2**32
+        super().__init__(p)
+
+    def _load(self, values, *, canonical: bool):
+        # products only stay below 2^64 for canonical operands, so
+        # *every* op needs the canonical check here
+        return super()._load(values, canonical=True)
+
+    def _scalar_operand(self, c: int):
+        if not 0 <= c < self.p:
+            raise _ScalarFallback()
+        return _np.uint64(c)
+
+    def mulmod(self, a, b):
+        return (a * b) % self.pu
+
+    def addmod(self, u, v):
+        return (u + v) % self.pu
+
+    def submod(self, u, v):
+        return (u + (self.pu - v)) % self.pu
+
+    def inner_product(self, a, b) -> int:
+        av = self._load(a, canonical=True)
+        bv = self._load(b, canonical=True)
+        if av.size == 0:
+            return 0
+        # both operands below 2^32, so the plain product never wraps
+        return self._split_sum(av * bv) % self.p
+
+
+class _ObjectKernel:
+    """Chunked big-int kernel for the 128/192/220-bit moduli.
+
+    ``object``-dtype arrays keep the per-element dispatch loop in C
+    while the arithmetic stays arbitrary-precision Python ints, and
+    fixed-size chunks bound the transient allocation on long vectors.
+    Transforms and the (inherently sequential) batch-inversion scan
+    stay on the scalar kernels — for big moduli the big-int multiply
+    dominates and vectorizing the loop shell buys little there.
+    """
+
+    supports_ntt = False
+    supports_batch_inv = False
+
+    #: elements per chunk; big-int entries make huge arrays expensive
+    CHUNK = 8192
+
+    def __init__(self, p: int):
+        self.p = p
+
+    def _chunked(self, n: int):
+        for start in range(0, n, self.CHUNK):
+            yield start, min(start + self.CHUNK, n)
+
+    def _binary(self, a, b, op) -> list[int]:
+        out: list[int] = []
+        for lo, hi in self._chunked(len(a)):
+            xa = _np.asarray(a[lo:hi], dtype=object)
+            xb = _np.asarray(b[lo:hi], dtype=object)
+            out.extend(op(xa, xb) % self.p)
+        return out
+
+    def vec_add(self, a, b):
+        return self._binary(a, b, lambda x, y: x + y)
+
+    def vec_sub(self, a, b):
+        return self._binary(a, b, lambda x, y: x - y)
+
+    def vec_neg(self, a):
+        out: list[int] = []
+        for lo, hi in self._chunked(len(a)):
+            out.extend((-_np.asarray(a[lo:hi], dtype=object)) % self.p)
+        return out
+
+    def vec_scale(self, c, a):
+        out: list[int] = []
+        for lo, hi in self._chunked(len(a)):
+            out.extend((_np.asarray(a[lo:hi], dtype=object) * c) % self.p)
+        return out
+
+    def vec_addmul(self, a, c, b):
+        return self._binary(a, b, lambda x, y: x + y * c)
+
+    def hadamard(self, a, b):
+        return self._binary(a, b, lambda x, y: x * y)
+
+    def inner_product(self, a, b) -> int:
+        acc = 0
+        for lo, hi in self._chunked(len(a)):
+            xa = _np.asarray(a[lo:hi], dtype=object)
+            xb = _np.asarray(b[lo:hi], dtype=object)
+            acc += int((xa * xb).sum())
+        return acc % self.p
+
+
+def _kernel_for(p: int):
+    if p == _GOLDILOCKS_P:
+        return _GoldilocksKernel(p)
+    if p < 2**32:
+        return _Small64Kernel(p)
+    return _ObjectKernel(p)
+
+
+class NumpyBackend(FieldBackend):
+    """Batched kernels over numpy arrays, per-modulus (see module docs).
+
+    Small vectors delegate to the scalar kernels (numpy call overhead
+    would dominate), as does any input the exact kernels decline
+    (non-canonical or unconvertible values) — so results match the
+    scalar backend on every input the scalar backend accepts.
+    """
+
+    name = "numpy"
+
+    #: below this many elements the scalar kernels win
+    MIN_VECTOR = 32
+    #: below this transform size the scalar butterflies win
+    MIN_NTT = 64
+
+    def __init__(self, p: int):
+        if not HAVE_NUMPY:
+            raise RuntimeError("NumpyBackend requires numpy")
+        super().__init__(p)
+        self.scalar = ScalarBackend(p)
+        self.kernel = _kernel_for(p)
+
+    def _dispatch(self, n: int, kernel_op, scalar_op):
+        if n < self.MIN_VECTOR:
+            return scalar_op()
+        try:
+            result = kernel_op()
+        except _ScalarFallback:
+            return scalar_op()
+        self._tick(n)
+        return result
+
+    def vec_add(self, a, b):
+        """Componentwise sum on the per-modulus kernel."""
+        return self._dispatch(
+            len(a), lambda: self.kernel.vec_add(a, b), lambda: self.scalar.vec_add(a, b)
+        )
+
+    def vec_sub(self, a, b):
+        """Componentwise difference on the per-modulus kernel."""
+        return self._dispatch(
+            len(a), lambda: self.kernel.vec_sub(a, b), lambda: self.scalar.vec_sub(a, b)
+        )
+
+    def vec_neg(self, a):
+        """Componentwise negation on the per-modulus kernel."""
+        return self._dispatch(
+            len(a), lambda: self.kernel.vec_neg(a), lambda: self.scalar.vec_neg(a)
+        )
+
+    def vec_scale(self, c, a):
+        """Scalar multiple c·a on the per-modulus kernel."""
+        return self._dispatch(
+            len(a), lambda: self.kernel.vec_scale(c, a), lambda: self.scalar.vec_scale(c, a)
+        )
+
+    def vec_addmul(self, a, c, b):
+        """a + c·b on the per-modulus kernel."""
+        return self._dispatch(
+            len(a),
+            lambda: self.kernel.vec_addmul(a, c, b),
+            lambda: self.scalar.vec_addmul(a, c, b),
+        )
+
+    def hadamard(self, a, b):
+        """Componentwise product on the per-modulus kernel."""
+        return self._dispatch(
+            len(a), lambda: self.kernel.hadamard(a, b), lambda: self.scalar.hadamard(a, b)
+        )
+
+    def inner_product(self, a, b):
+        """<a, b> via limb-split partial-product sums."""
+        return self._dispatch(
+            len(a),
+            lambda: self.kernel.inner_product(a, b),
+            lambda: self.scalar.inner_product(a, b),
+        )
+
+    def batch_inv(self, values):
+        """Montgomery inversion via prefix/suffix product scans."""
+        if not self.kernel.supports_batch_inv or len(values) < self.MIN_VECTOR:
+            return self.scalar.batch_inv(values)
+        try:
+            result = self.kernel.batch_inv(values)
+        except _ScalarFallback:
+            return self.scalar.batch_inv(values)
+        self._tick(len(values))
+        return result
+
+    def ntt(self, plan, a, invert):
+        """Vectorized butterfly levels over the plan's cached arrays."""
+        if not self.kernel.supports_ntt or plan.n < self.MIN_NTT:
+            return self.scalar.ntt(plan, a, invert)
+        try:
+            result = self.kernel.ntt(plan, a, invert)
+        except _ScalarFallback:
+            return self.scalar.ntt(plan, a, invert)
+        self._tick(plan.n)
+        return result
+
+
+# -- resolution -----------------------------------------------------------------
+
+_RESOLVE_LOCK = threading.Lock()
+_BACKENDS: dict[tuple[str, int], FieldBackend] = {}
+_warned_missing_numpy = False
+
+
+def _warn_missing_numpy() -> None:
+    global _warned_missing_numpy
+    if not _warned_missing_numpy:
+        _warned_missing_numpy = True
+        warnings.warn(
+            "REPRO_FIELD_BACKEND requested the numpy backend but numpy is not "
+            "importable; degrading to the scalar backend",
+            RuntimeWarning,
+            stacklevel=4,
+        )
+
+
+def resolve_backend(spec: "str | FieldBackend | None", p: int) -> FieldBackend:
+    """The backend a field of modulus ``p`` should use.
+
+    ``spec`` is a :class:`FieldBackend` instance (used as-is), a name
+    (``"scalar"`` / ``"numpy"`` / ``"auto"``), or ``None`` — which
+    consults :data:`BACKEND_ENV_VAR` and then defaults to ``auto``.
+    ``auto`` picks numpy when importable; an *explicit* numpy request
+    without numpy degrades to scalar with a one-time warning.  Resolved
+    backends are cached per ``(name, modulus)``, so every field over
+    one modulus shares one backend object (and its kernels).
+    """
+    if isinstance(spec, FieldBackend):
+        return spec
+    name = (spec or os.environ.get(BACKEND_ENV_VAR) or "auto").strip().lower()
+    if name == "auto":
+        name = "numpy" if HAVE_NUMPY else "scalar"
+    elif name == "numpy" and not HAVE_NUMPY:
+        _warn_missing_numpy()
+        name = "scalar"
+    if name not in ("scalar", "numpy"):
+        raise ValueError(
+            f"unknown field backend {name!r}; choose from scalar, numpy, auto"
+        )
+    key = (name, p)
+    backend = _BACKENDS.get(key)
+    if backend is None:
+        with _RESOLVE_LOCK:
+            backend = _BACKENDS.get(key)
+            if backend is None:
+                cls = NumpyBackend if name == "numpy" else ScalarBackend
+                backend = cls(p)
+                _BACKENDS[key] = backend
+    return backend

@@ -95,12 +95,61 @@ class CountingField(PrimeField):
         telemetry.count("field.inv")
         return super().batch_inv(values)
 
+    # -- vector kernels -------------------------------------------------------
+    #
+    # Counted per *element*, not per call, and by the canonical algorithm's
+    # cost — never by what the active backend happens to execute — so the
+    # Figure 5 op-count tables are identical under every backend.  (The
+    # parity suite pins this cross-backend.)
+
+    def vec_add(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Componentwise sum: ``len(a)`` ``field.add``."""
+        telemetry.count("field.add", len(a))
+        return super().vec_add(a, b)
+
+    def vec_sub(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Componentwise difference: ``len(a)`` ``field.add``."""
+        telemetry.count("field.add", len(a))
+        return super().vec_sub(a, b)
+
+    def vec_neg(self, a: Sequence[int]) -> list[int]:
+        """Componentwise negation: ``len(a)`` ``field.add``."""
+        telemetry.count("field.add", len(a))
+        return super().vec_neg(a)
+
+    def vec_scale(self, c: int, a: Sequence[int]) -> list[int]:
+        """Scalar multiple: ``len(a)`` ``field.mul``."""
+        telemetry.count("field.mul", len(a))
+        return super().vec_scale(c, a)
+
+    def vec_addmul(self, a: Sequence[int], c: int, b: Sequence[int]) -> list[int]:
+        """a + c·b: ``len(a)`` ``field.mul`` + ``len(a)`` ``field.add``."""
+        telemetry.count("field.mul", len(a))
+        telemetry.count("field.add", len(a))
+        return super().vec_addmul(a, c, b)
+
+    def hadamard(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Componentwise product: ``len(a)`` ``field.mul``."""
+        telemetry.count("field.mul", len(a))
+        return super().hadamard(a, b)
+
+    def transform(self, plan, values: list[int], invert: bool = False) -> list[int]:
+        """Size-n radix-2 NTT: (n/2)·log₂n muls + n·log₂n adds.
+
+        The inverse transform's fused n⁻¹ scaling adds n more muls.
+        """
+        n = plan.n
+        levels = n.bit_length() - 1
+        telemetry.count("field.mul", (n >> 1) * levels + (n if invert else 0))
+        telemetry.count("field.add", n * levels)
+        return super().transform(plan, values, invert)
+
 
 def counting_field(base: PrimeField) -> CountingField:
     """A counting twin of ``base`` (same modulus, name, NTT structure)."""
     if isinstance(base, CountingField):
         return base
-    twin = CountingField(base.p, check_prime=False)
+    twin = CountingField(base.p, check_prime=False, backend=base.backend)
     twin.name = base.name
     twin.two_adicity = base.two_adicity
     twin._two_adic_generator = base._two_adic_generator

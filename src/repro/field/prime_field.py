@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 from typing import Iterable, Sequence
 
+from .backend import FieldBackend, resolve_backend
 from .params import FieldParams, field_params
 
 _SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
@@ -63,11 +64,33 @@ class PrimeField:
     signed values into the field must go through :meth:`reduce` /
     :meth:`from_signed` first; :class:`CheckedPrimeField` enforces the
     precondition at runtime for tests and debugging.
+
+    **Vector kernels.**  The batch-shaped entry points
+    (:meth:`vec_add` … :meth:`inner_product` … :meth:`transform`)
+    route through a pluggable :class:`~repro.field.backend.FieldBackend`
+    selected at construction (``backend=`` argument, the
+    ``REPRO_FIELD_BACKEND`` environment variable, or auto-detection) —
+    see ``repro.field.backend``.  All backends are bit-identical on
+    canonical inputs; the vector ops reduce fully and tolerate any
+    integer operand, like ``mul``.
     """
 
-    __slots__ = ("p", "name", "two_adicity", "_two_adic_generator", "_root_cache")
+    __slots__ = (
+        "p",
+        "name",
+        "two_adicity",
+        "backend",
+        "_two_adic_generator",
+        "_root_cache",
+    )
 
-    def __init__(self, params_or_modulus: FieldParams | int, *, check_prime: bool = True):
+    def __init__(
+        self,
+        params_or_modulus: FieldParams | int,
+        *,
+        check_prime: bool = True,
+        backend: "str | FieldBackend | None" = None,
+    ):
         if isinstance(params_or_modulus, FieldParams):
             params = params_or_modulus
             self.p = params.modulus
@@ -86,6 +109,7 @@ class PrimeField:
             self._two_adic_generator = 0
         if check_prime and not is_probable_prime(self.p):
             raise ValueError(f"{self.p} is not prime")
+        self.backend = resolve_backend(backend, self.p)
         self._root_cache: dict[int, int] = {}
 
     # -- identities ---------------------------------------------------------
@@ -176,14 +200,14 @@ class PrimeField:
 
     # -- batch helpers -------------------------------------------------------
 
-    def inner_product(self, a: Sequence[int], b: Sequence[int]) -> int:
-        """<a, b> with lazy reduction; the prover's core operation."""
+    def _require_same_length(self, a: Sequence[int], b: Sequence[int]) -> None:
         if len(a) != len(b):
             raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
-        acc = 0
-        for x, y in zip(a, b):
-            acc += x * y
-        return acc % self.p
+
+    def inner_product(self, a: Sequence[int], b: Sequence[int]) -> int:
+        """<a, b> with lazy reduction; the prover's core operation."""
+        self._require_same_length(a, b)
+        return self.backend.inner_product(a, b)
 
     def batch_inv(self, values: Sequence[int]) -> list[int]:
         """Montgomery's trick: n inversions for one inversion + 3n muls.
@@ -191,19 +215,44 @@ class PrimeField:
         Used by the verifier's barycentric-weight computation (§A.3),
         where ``f_div``-heavy loops would otherwise dominate.
         """
-        p = self.p
-        n = len(values)
-        prefix = [1] * (n + 1)
-        for i, v in enumerate(values):
-            if v == 0:
-                raise ZeroDivisionError("batch_inv of 0")
-            prefix[i + 1] = prefix[i] * v % p
-        inv_all = pow(prefix[n], -1, p)
-        out = [0] * n
-        for i in range(n - 1, -1, -1):
-            out[i] = prefix[i] * inv_all % p
-            inv_all = inv_all * values[i] % p
-        return out
+        return self.backend.batch_inv(values)
+
+    def vec_add(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Componentwise sum (fully reduced)."""
+        self._require_same_length(a, b)
+        return self.backend.vec_add(a, b)
+
+    def vec_sub(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Componentwise difference (fully reduced)."""
+        self._require_same_length(a, b)
+        return self.backend.vec_sub(a, b)
+
+    def vec_neg(self, a: Sequence[int]) -> list[int]:
+        """Componentwise negation (fully reduced)."""
+        return self.backend.vec_neg(a)
+
+    def vec_scale(self, c: int, a: Sequence[int]) -> list[int]:
+        """Scalar multiple c·a (fully reduced)."""
+        return self.backend.vec_scale(c, a)
+
+    def vec_addmul(self, a: Sequence[int], c: int, b: Sequence[int]) -> list[int]:
+        """a + c·b, the FMA shape used when folding queries together."""
+        self._require_same_length(a, b)
+        return self.backend.vec_addmul(a, c, b)
+
+    def hadamard(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Componentwise product (fully reduced)."""
+        self._require_same_length(a, b)
+        return self.backend.hadamard(a, b)
+
+    def transform(self, plan, values: list[int], invert: bool = False) -> list[int]:
+        """Run an :class:`~repro.poly.plan.NTTPlan` on ``values``.
+
+        The kernel may mutate ``values`` in place; callers pass a
+        private copy and use the returned list.  Inputs must be
+        canonical field elements (`repro.poly.ntt` guarantees this).
+        """
+        return self.backend.ntt(plan, values, invert)
 
     # -- randomness ----------------------------------------------------------
 
@@ -323,12 +372,51 @@ class CheckedPrimeField(PrimeField):
         self._require_canonical(*values)
         return super().batch_inv(values)
 
+    def vec_add(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Checked componentwise sum; raises on any non-canonical entry."""
+        self._require_canonical(*a)
+        self._require_canonical(*b)
+        return super().vec_add(a, b)
+
+    def vec_sub(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Checked componentwise difference; raises on any non-canonical entry."""
+        self._require_canonical(*a)
+        self._require_canonical(*b)
+        return super().vec_sub(a, b)
+
+    def vec_neg(self, a: Sequence[int]) -> list[int]:
+        """Checked componentwise negation; raises on any non-canonical entry."""
+        self._require_canonical(*a)
+        return super().vec_neg(a)
+
+    def vec_scale(self, c: int, a: Sequence[int]) -> list[int]:
+        """Checked scalar multiple; raises on any non-canonical entry."""
+        self._require_canonical(c, *a)
+        return super().vec_scale(c, a)
+
+    def vec_addmul(self, a: Sequence[int], c: int, b: Sequence[int]) -> list[int]:
+        """Checked a + c·b; raises on any non-canonical entry."""
+        self._require_canonical(c, *a)
+        self._require_canonical(*b)
+        return super().vec_addmul(a, c, b)
+
+    def hadamard(self, a: Sequence[int], b: Sequence[int]) -> list[int]:
+        """Checked componentwise product; raises on any non-canonical entry."""
+        self._require_canonical(*a)
+        self._require_canonical(*b)
+        return super().hadamard(a, b)
+
+    def transform(self, plan, values: list[int], invert: bool = False) -> list[int]:
+        """Checked transform; raises on any non-canonical entry."""
+        self._require_canonical(*values)
+        return super().transform(plan, values, invert)
+
 
 def checked_field(base: PrimeField) -> CheckedPrimeField:
     """A checked twin of ``base`` (same modulus, name, NTT structure)."""
     if isinstance(base, CheckedPrimeField):
         return base
-    twin = CheckedPrimeField(base.p, check_prime=False)
+    twin = CheckedPrimeField(base.p, check_prime=False, backend=base.backend)
     twin.name = base.name
     twin.two_adicity = base.two_adicity
     twin._two_adic_generator = base._two_adic_generator

@@ -2,8 +2,10 @@
 
 The argument system is dominated by operations on long vectors of field
 elements: the proof vector u, query vectors q_i, and their inner
-products.  These helpers keep that code in one place and use lazy
-reduction wherever the math permits.
+products.  These helpers are thin wrappers over the field's vector
+methods, which dispatch to the active kernel backend
+(``repro.field.backend``) — pure-Python scalar loops or batched numpy
+kernels, bit-identical either way.
 """
 
 from __future__ import annotations
@@ -15,40 +17,29 @@ from .prime_field import PrimeField
 
 def vec_add(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
     """Componentwise sum."""
-    if len(a) != len(b):
-        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
-    p = field.p
-    return [(x + y) % p for x, y in zip(a, b)]
+    return field.vec_add(a, b)
 
 
 def vec_sub(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
     """Componentwise difference."""
-    if len(a) != len(b):
-        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
-    p = field.p
-    return [(x - y) % p for x, y in zip(a, b)]
+    return field.vec_sub(a, b)
 
 
 def vec_neg(field: PrimeField, a: Sequence[int]) -> list[int]:
     """Componentwise negation."""
-    p = field.p
-    return [(-x) % p for x in a]
+    return field.vec_neg(a)
 
 
 def vec_scale(field: PrimeField, c: int, a: Sequence[int]) -> list[int]:
     """Scalar multiple c·a."""
-    p = field.p
-    return [c * x % p for x in a]
+    return field.vec_scale(c, a)
 
 
 def vec_addmul(
     field: PrimeField, a: Sequence[int], c: int, b: Sequence[int]
 ) -> list[int]:
     """a + c*b, the FMA shape used when folding queries together."""
-    if len(a) != len(b):
-        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
-    p = field.p
-    return [(x + c * y) % p for x, y in zip(a, b)]
+    return field.vec_addmul(a, c, b)
 
 
 def inner(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> int:
@@ -71,10 +62,7 @@ def outer(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
 
 def hadamard(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
     """Componentwise product."""
-    if len(a) != len(b):
-        raise ValueError(f"length mismatch: {len(a)} vs {len(b)}")
-    p = field.p
-    return [x * y % p for x, y in zip(a, b)]
+    return field.hadamard(a, b)
 
 
 def powers(field: PrimeField, x: int, count: int) -> list[int]:

@@ -149,7 +149,7 @@ class SubproductTree:
         field = self.field
         inv_denom = self.inv_derivative_evals()
         p = field.p
-        weights = [v * w % p for v, w in zip(values, inv_denom)]
+        weights = field.hadamard(list(values), inv_denom)
         # Combine up the tree: node poly = left*M_right + right*M_left.
         polys: list[list[int]] = [[w] if w else [] for w in weights]
         for depth in range(len(self.levels) - 1):
@@ -271,5 +271,5 @@ def barycentric_lagrange_coeffs(
     for d in diffs:
         ell = ell * d % p
     inv_diffs = field.batch_inv(diffs)
-    lam = [ell * w % p * inv_d % p for w, inv_d in zip(weights, inv_diffs)]
+    lam = field.hadamard(field.vec_scale(ell, list(weights)), inv_diffs)
     return ell, lam

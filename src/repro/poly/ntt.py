@@ -47,7 +47,7 @@ def ntt(field: PrimeField, values: Sequence[int], invert: bool = False) -> list[
     if n <= 1:
         return a
     plan = get_ntt_plan(field, n)
-    return plan.inverse(a) if invert else plan.forward(a)
+    return field.transform(plan, a, invert=invert)
 
 
 def ntt_reference(
@@ -120,8 +120,7 @@ def ntt_mul(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> list[int]:
         )
     fa = ntt(field, list(a) + [0] * (size - len(a)))
     fb = ntt(field, list(b) + [0] * (size - len(b)))
-    p = field.p
-    fc = [x * y % p for x, y in zip(fa, fb)]
+    fc = field.hadamard(fa, fb)
     out = intt(field, fc)
     del out[result_len:]
     from .dense import trim

@@ -64,11 +64,28 @@ class NTTPlan:
     so the final pass scales both butterfly legs without a separate
     O(n) sweep).
 
-    Plans never mutate after ``__init__`` and hold plain ints only, so
-    they are safe to share across threads and forked workers.
+    The integer tables never mutate after ``__init__``, so plans are
+    safe to share across threads and forked workers.  ``np_scratch`` is
+    the one lazily-filled slot: vector backends (``repro.field.backend``)
+    cache their array-typed views of the tables there, keyed by kernel
+    kind.  Each entry is a pure function of the immutable tables and is
+    built idempotently, so a racing double-build is benign (last writer
+    wins with an identical value).
     """
 
-    __slots__ = ("p", "n", "root", "inv_root", "n_inv", "swaps", "fwd", "inv", "_inv_head", "_inv_last")
+    __slots__ = (
+        "p",
+        "n",
+        "root",
+        "inv_root",
+        "n_inv",
+        "swaps",
+        "fwd",
+        "inv",
+        "_inv_head",
+        "_inv_last",
+        "np_scratch",
+    )
 
     def __init__(self, field: PrimeField, n: int):
         if n < 2 or n & (n - 1):
@@ -87,6 +104,7 @@ class NTTPlan:
         # the classic full post-scaling pass.
         self._inv_head = self.inv[:-1]
         self._inv_last = [w * self.n_inv % p for w in self.inv[-1]]
+        self.np_scratch: dict[str, object] = {}
 
     def _twiddle_tables(self, root: int) -> list[list[int]]:
         p, n = self.p, self.n

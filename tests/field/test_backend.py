@@ -1,0 +1,198 @@
+"""Backend selection, degradation, and counting semantics.
+
+The parity suite (tests/property/test_backend_parity.py) proves the
+kernels compute identical values; this module covers the dispatch
+machinery around them: how a backend is chosen (argument > env var >
+auto), how a numpy request degrades when numpy is absent, how twin
+fields (checked/counting) inherit the base field's backend, and that
+``CountingField`` reports identical ``field.*`` op counts under every
+backend (the Figure 5 tables must not depend on kernel choice).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import telemetry
+from repro.field import (
+    BACKEND_ENV_VAR,
+    GOLDILOCKS,
+    HAVE_NUMPY,
+    NumpyBackend,
+    PrimeField,
+    ScalarBackend,
+    available_backends,
+    checked_field,
+    counting_field,
+    resolve_backend,
+)
+from repro.field import backend as backend_module
+from repro.poly.ntt import intt, ntt
+
+
+def _gold(**kwargs) -> PrimeField:
+    return PrimeField(GOLDILOCKS, check_prime=False, **kwargs)
+
+
+class TestSelection:
+    def test_explicit_scalar(self):
+        assert isinstance(_gold(backend="scalar").backend, ScalarBackend)
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy absent")
+    def test_explicit_numpy(self):
+        assert isinstance(_gold(backend="numpy").backend, NumpyBackend)
+
+    def test_default_is_auto(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        expected = NumpyBackend if HAVE_NUMPY else ScalarBackend
+        assert isinstance(_gold().backend, expected)
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "scalar")
+        assert isinstance(_gold().backend, ScalarBackend)
+
+    def test_argument_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "scalar")
+        expected = NumpyBackend if HAVE_NUMPY else ScalarBackend
+        assert isinstance(_gold(backend="auto").backend, expected)
+
+    def test_backend_instance_passes_through(self):
+        shared = _gold(backend="scalar").backend
+        assert _gold(backend=shared).backend is shared
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown field backend"):
+            _gold(backend="cuda")
+
+    def test_backends_cached_per_modulus(self):
+        assert _gold(backend="scalar").backend is _gold(backend="scalar").backend
+
+    def test_available_backends(self):
+        names = available_backends()
+        assert "scalar" in names
+        assert ("numpy" in names) == HAVE_NUMPY
+
+
+class TestDegradation:
+    def test_numpy_request_degrades_with_warning(self, monkeypatch):
+        monkeypatch.setattr(backend_module, "HAVE_NUMPY", False)
+        monkeypatch.setattr(backend_module, "_warned_missing_numpy", False)
+        with pytest.warns(RuntimeWarning, match="degrading to the scalar backend"):
+            backend = resolve_backend("numpy", GOLDILOCKS.modulus)
+        assert isinstance(backend, ScalarBackend)
+
+    def test_warning_fires_once(self, monkeypatch):
+        import warnings
+
+        monkeypatch.setattr(backend_module, "HAVE_NUMPY", False)
+        monkeypatch.setattr(backend_module, "_warned_missing_numpy", False)
+        with pytest.warns(RuntimeWarning):
+            resolve_backend("numpy", GOLDILOCKS.modulus)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            resolve_backend("numpy", GOLDILOCKS.modulus)
+
+    def test_auto_without_numpy_is_silent(self, monkeypatch):
+        import warnings
+
+        monkeypatch.setattr(backend_module, "HAVE_NUMPY", False)
+        monkeypatch.setattr(backend_module, "_warned_missing_numpy", False)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            backend = resolve_backend("auto", GOLDILOCKS.modulus)
+        assert isinstance(backend, ScalarBackend)
+
+
+class TestTwins:
+    def test_checked_field_inherits_backend(self):
+        base = _gold(backend="scalar")
+        assert checked_field(base).backend is base.backend
+
+    def test_counting_field_inherits_backend(self):
+        base = _gold(backend="scalar")
+        assert counting_field(base).backend is base.backend
+
+    def test_checked_field_still_rejects_noncanonical_vectors(self):
+        chk = checked_field(_gold())
+        good = list(range(40))
+        with pytest.raises(ValueError, match="non-canonical"):
+            chk.vec_add(good, [-1] + good[1:])
+
+
+@pytest.mark.skipif(not HAVE_NUMPY, reason="numpy absent")
+class TestNumpyDispatch:
+    def test_small_vectors_delegate_to_scalar(self):
+        field = _gold(backend="numpy")
+        n = NumpyBackend.MIN_VECTOR - 1
+        a, b = list(range(n)), list(range(n, 2 * n))
+        tracer = telemetry.enable()
+        try:
+            with telemetry.span("t"):
+                field.vec_add(a, b)
+        finally:
+            telemetry.disable()
+        totals = tracer.total_counters()
+        assert totals.get("backend.scalar.calls") == 1
+        assert "backend.numpy.calls" not in totals
+
+    def test_large_vectors_hit_numpy_kernel(self):
+        field = _gold(backend="numpy")
+        a = list(range(100))
+        tracer = telemetry.enable()
+        try:
+            with telemetry.span("t"):
+                field.vec_add(a, a)
+        finally:
+            telemetry.disable()
+        totals = tracer.total_counters()
+        assert totals.get("backend.numpy.calls") == 1
+        assert totals.get("backend.numpy.elements") == 100
+
+    def test_results_are_plain_ints(self):
+        field = _gold(backend="numpy")
+        a = list(range(100))
+        for value in field.vec_add(a, a) + [field.inner_product(a, a)]:
+            assert type(value) is int
+
+
+def _counting_workload(backend_name: str) -> dict[str, float]:
+    """A fixed batch-shaped workload; returns its field.* counter totals."""
+    field = counting_field(_gold(backend=backend_name))
+    n = 64
+    a = [(i * 17 + 3) % field.p for i in range(n)]
+    b = [(i * 29 + 7) % field.p for i in range(1, n + 1)]
+    tracer = telemetry.enable()
+    try:
+        with telemetry.span("workload"):
+            field.vec_add(a, b)
+            field.vec_sub(a, b)
+            field.vec_neg(a)
+            field.vec_scale(5, a)
+            field.vec_addmul(a, 5, b)
+            field.hadamard(a, b)
+            field.inner_product(a, b)
+            field.batch_inv(b)
+            intt(field, ntt(field, a))
+    finally:
+        telemetry.disable()
+    return {
+        k: v for k, v in tracer.total_counters().items() if k.startswith("field.")
+    }
+
+
+class TestCountingBackendIndependence:
+    """CountingField counts per element by the canonical algorithm, so the
+    Figure 5 op tables are identical no matter which kernels execute."""
+
+    # n=64 workload above: adds = 64*4 (add/sub/neg/addmul)
+    #   + 64 (inner) + 64*6*2 (two transforms, n·log2 n each) = 1088
+    # muls = 64*3 (scale/addmul/hadamard) + 64 (inner) + 3*64 (batch_inv)
+    #   + 32*6*2 (transform butterflies) + 64 (fused n⁻¹) = 896
+    EXPECTED = {"field.add": 1088.0, "field.mul": 896.0, "field.inv": 1.0}
+
+    def test_scalar_counts_match_closed_form(self):
+        assert _counting_workload("scalar") == self.EXPECTED
+
+    @pytest.mark.skipif(not HAVE_NUMPY, reason="numpy absent")
+    def test_counts_identical_across_backends(self):
+        assert _counting_workload("scalar") == _counting_workload("numpy")

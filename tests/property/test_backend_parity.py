@@ -1,0 +1,158 @@
+"""Differential backend-parity suite: scalar vs numpy, bit-for-bit.
+
+The numpy backend's claim (docs/PERFORMANCE.md) is that every vector
+kernel computes the *same canonical integers* as the pure-Python
+scalar kernels — exactness, not approximate agreement.  This suite is
+the differential harness behind that claim: Hypothesis drives both
+backends of each named modulus (goldilocks through p220, so the
+uint64 limb kernel, the sub-2^32 kernel, and the chunked object
+kernel are all covered) across add/sub/neg/scale/addmul/mul/dot/inv
+and ntt/intt, with the canonical edge values 0, 1, p−1 force-included
+and non-power-of-two lengths throughout the elementwise ops.
+
+Runs are meaningful only with numpy installed; without it the numpy
+backend degrades to scalar and the comparison is vacuous, so the
+module skips.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.field import HAVE_NUMPY, NAMED_FIELDS, PrimeField
+from repro.poly.ntt import ntt, ntt_reference
+
+pytestmark = pytest.mark.skipif(
+    not HAVE_NUMPY, reason="numpy absent: numpy backend degrades to scalar"
+)
+
+_MODULI = sorted(NAMED_FIELDS)
+
+
+def _pair(name: str) -> tuple[PrimeField, PrimeField]:
+    params = NAMED_FIELDS[name]
+    return (
+        PrimeField(params, check_prime=False, backend="scalar"),
+        PrimeField(params, check_prime=False, backend="numpy"),
+    )
+
+
+_FIELDS = {name: _pair(name) for name in _MODULI}
+
+
+def _elements(p: int):
+    """Canonical elements, biased toward the reduction edge cases."""
+    return st.one_of(
+        st.sampled_from([0, 1, p - 1, p // 2]),
+        st.integers(min_value=0, max_value=p - 1),
+    )
+
+
+def _vectors(p: int, min_size: int = 0, max_size: int = 97):
+    # 97 is prime, so drawn lengths are overwhelmingly non-powers of two
+    # and straddle the numpy backend's small-vector cutoff (32)
+    return st.lists(_elements(p), min_size=min_size, max_size=max_size)
+
+
+@pytest.mark.parametrize("name", _MODULI)
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_elementwise_parity(name, data):
+    scalar, vec = _FIELDS[name]
+    p = scalar.p
+    a = data.draw(_vectors(p), label="a")
+    b = data.draw(st.lists(_elements(p), min_size=len(a), max_size=len(a)), label="b")
+    c = data.draw(_elements(p), label="c")
+    assert vec.vec_add(a, b) == scalar.vec_add(a, b)
+    assert vec.vec_sub(a, b) == scalar.vec_sub(a, b)
+    assert vec.vec_neg(a) == scalar.vec_neg(a)
+    assert vec.vec_scale(c, a) == scalar.vec_scale(c, a)
+    assert vec.vec_addmul(a, c, b) == scalar.vec_addmul(a, c, b)
+    assert vec.hadamard(a, b) == scalar.hadamard(a, b)
+
+
+@pytest.mark.parametrize("name", _MODULI)
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_inner_product_parity(name, data):
+    scalar, vec = _FIELDS[name]
+    p = scalar.p
+    a = data.draw(_vectors(p), label="a")
+    b = data.draw(st.lists(_elements(p), min_size=len(a), max_size=len(a)), label="b")
+    assert vec.inner_product(a, b) == scalar.inner_product(a, b)
+
+
+@pytest.mark.parametrize("name", _MODULI)
+@settings(max_examples=40, deadline=None)
+@given(data=st.data())
+def test_batch_inv_parity(name, data):
+    scalar, vec = _FIELDS[name]
+    p = scalar.p
+    values = data.draw(
+        st.lists(st.integers(min_value=1, max_value=p - 1), max_size=97),
+        label="values",
+    )
+    got = vec.batch_inv(values)
+    assert got == scalar.batch_inv(values)
+    # agreement with the one-at-a-time inverses, not just cross-backend
+    assert got == [scalar.inv(v) for v in values]
+
+
+@pytest.mark.parametrize("name", _MODULI)
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_ntt_parity(name, data):
+    scalar, vec = _FIELDS[name]
+    p = scalar.p
+    max_log = min(scalar.two_adicity, 8)
+    log = data.draw(st.integers(min_value=0, max_value=max_log), label="log_size")
+    n = 1 << log
+    values = data.draw(
+        st.lists(_elements(p), min_size=n, max_size=n), label="values"
+    )
+    forward = ntt(vec, values)
+    assert forward == ntt(scalar, values) == ntt_reference(scalar, values)
+    inverse = ntt(vec, values, invert=True)
+    assert inverse == ntt(scalar, values, invert=True)
+    assert ntt(vec, forward, invert=True) == values
+
+
+@pytest.mark.parametrize("name", _MODULI)
+def test_large_ntt_roundtrip_parity(name):
+    """One deterministic size-4096 transform per modulus: the vectorized
+    butterfly path (above the backend's small-transform cutoff) against
+    the from-scratch reference."""
+    import random
+
+    scalar, vec = _FIELDS[name]
+    if scalar.two_adicity < 12:
+        pytest.skip(f"{name} caps NTT size below 2^12")
+    rng = random.Random(0xBACCE5)
+    values = [rng.randrange(scalar.p) for _ in range(4096)]
+    forward = ntt(vec, values)
+    assert forward == ntt_reference(scalar, values)
+    assert ntt(vec, forward, invert=True) == values
+
+
+@pytest.mark.parametrize("name", _MODULI)
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_noncanonical_fallback_parity(name, data):
+    """Non-canonical operands (negative, >= p) must fall back to the
+    tolerant scalar semantics, not produce silently different values."""
+    scalar, vec = _FIELDS[name]
+    p = scalar.p
+    wild = st.integers(min_value=-2 * p, max_value=2 * p)
+    n = data.draw(st.integers(min_value=33, max_value=70), label="n")
+    a = data.draw(st.lists(wild, min_size=n, max_size=n), label="a")
+    b = data.draw(st.lists(wild, min_size=n, max_size=n), label="b")
+    c = data.draw(wild, label="c")
+    assert vec.vec_add(a, b) == scalar.vec_add(a, b)
+    assert vec.vec_sub(a, b) == scalar.vec_sub(a, b)
+    assert vec.vec_neg(a) == scalar.vec_neg(a)
+    assert vec.vec_scale(c, a) == scalar.vec_scale(c, a)
+    assert vec.vec_addmul(a, c, b) == scalar.vec_addmul(a, c, b)
+    assert vec.hadamard(a, b) == scalar.hadamard(a, b)
+    assert vec.inner_product(a, b) == scalar.inner_product(a, b)

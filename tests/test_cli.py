@@ -133,6 +133,8 @@ class TestTraceCommand:
         assert "prover.instance" in out
         assert "verifier.query_setup" in out
         assert "field.mul" in out
+        assert "field backend:" in out
+        assert "backend." in out  # per-backend kernel counters in the summary
         assert "ACCEPTED" in out
         lines = out_path.read_text().splitlines()
         assert json.loads(lines[0])["type"] == "trace"
