@@ -21,6 +21,7 @@ from pathlib import Path
 
 from repro import telemetry
 from repro.apps import ALL_APPS, BenchmarkApp
+from repro.benchgate import bench_metadata
 from repro.argument import ArgumentConfig, ProverStats, ZaatarArgument
 from repro.costmodel import (
     ComputationProfile,
@@ -83,7 +84,12 @@ def _jsonable(value):
 
 
 def emit_results(figure: str) -> Path:
-    """Write one figure's RESULTS rows to ``BENCH_<figure>.json``."""
+    """Write one figure's RESULTS rows to ``BENCH_<figure>.json``.
+
+    The artifact is stamped with provenance metadata (schema version,
+    git sha, backend, interpreter versions) so two artifacts can be
+    diffed by ``repro bench-check`` — see ``repro.benchgate``.
+    """
     rows = {
         label: _jsonable(value)
         for (fig, label), value in RESULTS.items()
@@ -91,7 +97,12 @@ def emit_results(figure: str) -> Path:
     }
     OUT_DIR.mkdir(parents=True, exist_ok=True)
     path = OUT_DIR / f"BENCH_{figure}.json"
-    path.write_text(json.dumps({"figure": figure, "results": rows}, indent=2) + "\n")
+    document = {
+        "figure": figure,
+        "meta": bench_metadata(backend=FIELD.backend.name),
+        "results": rows,
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n")
     return path
 
 

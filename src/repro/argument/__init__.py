@@ -21,6 +21,7 @@ from .net import (
     ProtocolViolation,
     ProverServer,
     RetryPolicy,
+    fetch_stats,
     program_hash,
     verify_remote,
 )
@@ -82,6 +83,7 @@ __all__ = [
     "ParallelBatchResult",
     "ProtocolViolation",
     "ProverServer",
+    "fetch_stats",
     "program_hash",
     "verify_remote",
     "decode_ciphertexts",

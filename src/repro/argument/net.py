@@ -56,6 +56,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterator, Sequence
 
 from .. import telemetry
+from ..telemetry import metrics as metrics_mod
 from ..compiler import CompiledProgram
 from ..constraints import quadratic_to_json
 from ..crypto import CommitmentProver, CommitmentVerifier, FieldPRG
@@ -77,6 +78,13 @@ _MAX_FRAME = 256 * 1024 * 1024
 #: production setting is ρ_lin=20, ρ=8 — anything far beyond that is a
 #: resource-exhaustion request, not a soundness need
 _MAX_RHO = 128
+#: server-side budget for the serialized ``trace`` field of the final
+#: frame: past this the span records are dropped down to the session
+#: root so a chatty trace can never dwarf the protocol payload
+_MAX_TRACE_BYTES = 1_000_000
+#: client-side ceiling on a peer-supplied ``trace`` payload; anything
+#: larger is a protocol violation, not a trace worth keeping
+_MAX_CLIENT_TRACE_BYTES = 4_000_000
 
 
 # -- deadlines and retry ------------------------------------------------------
@@ -252,6 +260,21 @@ class ProverServer:
     Every session failure sends a best-effort ``error`` frame before
     the socket drops and lands in ``stats``/telemetry; ``close()``
     stops accepting and drains in-flight sessions.
+
+    Introspection (docs/OBSERVABILITY.md):
+
+    * ``metrics`` is a live :class:`~repro.telemetry.MetricsRegistry`
+      (session counters and error codes, in-flight gauge, exact
+      p50/p99 latency and queue-wait histograms, per-backend element
+      throughput) — exposed read-only to any client via a
+      ``{"type": "stats"}`` first frame (see :func:`fetch_stats` and
+      ``repro top``) and over HTTP by ``repro serve --metrics-port``.
+    * with ``trace_sessions`` on (the default), a client whose
+      ``hello`` carries a ``trace`` context gets this session's span
+      records back in the final ``answers`` frame — recorded into a
+      private per-session tracer under the client's ``trace_id``, and
+      size-bounded by ``max_trace_bytes`` (past the budget only the
+      session root span ships, with a ``trace_truncated`` attr).
     """
 
     def __init__(
@@ -264,12 +287,17 @@ class ProverServer:
         max_sessions: int = 8,
         deadlines: Deadlines | None = None,
         drain_timeout: float = 10.0,
+        trace_sessions: bool = True,
+        max_trace_bytes: int = _MAX_TRACE_BYTES,
+        metrics_seed: int = 0,
     ):
         self.program = program
         self.config = config or ArgumentConfig()
         self.max_sessions = max_sessions
         self.deadlines = deadlines or Deadlines(read=120.0)
         self.drain_timeout = drain_timeout
+        self.trace_sessions = trace_sessions
+        self.max_trace_bytes = max_trace_bytes
         self._sock = socket.create_server((host, port), backlog=max(max_sessions, 8))
         self.address = self._sock.getsockname()
         self._thread: threading.Thread | None = None
@@ -279,6 +307,14 @@ class ProverServer:
         self._sessions: set[threading.Thread] = set()
         self._session_ids = itertools.count(1)
         self._stats: Counter = Counter()
+        self.metrics = metrics_mod.MetricsRegistry(
+            seed=metrics_seed,
+            program=program.name,
+            program_hash=program_hash(program)[:16],
+            field=program.field.name,
+            backend=getattr(program.field.backend, "name", "?"),
+            max_sessions=max_sessions,
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -345,7 +381,7 @@ class ProverServer:
             session_id = next(self._session_ids)
             thread = threading.Thread(
                 target=self._session_entry,
-                args=(conn, session_id),
+                args=(conn, session_id, time.monotonic()),
                 name=f"prover-session-{session_id}",
                 daemon=True,
             )
@@ -356,6 +392,7 @@ class ProverServer:
     def _reject_busy(self, conn: socket.socket) -> None:
         self._bump("sessions_rejected")
         telemetry.count("net.sessions_rejected")
+        self.metrics.inc("sessions_rejected")
         try:
             with conn:
                 conn.settimeout(1.0)
@@ -370,11 +407,21 @@ class ProverServer:
         except OSError:
             pass
 
-    def _session_entry(self, conn: socket.socket, session_id: int) -> None:
+    def _session_entry(
+        self, conn: socket.socket, session_id: int, accepted_at: float
+    ) -> None:
+        started = time.monotonic()
+        self.metrics.inc("sessions_started")
+        self.metrics.observe("session_queue_wait_seconds", started - accepted_at)
+        self.metrics.add_gauge("sessions_in_flight", 1)
         try:
-            with conn:
+            with conn, metrics_mod.use(self.metrics):
                 self._session(conn, session_id)
         finally:
+            self.metrics.add_gauge("sessions_in_flight", -1)
+            self.metrics.observe(
+                "session_latency_seconds", time.monotonic() - started
+            )
             self._slots.release()
             with self._sessions_lock:
                 self._sessions.discard(threading.current_thread())
@@ -388,29 +435,31 @@ class ProverServer:
         budget = None
         if self.deadlines.session is not None:
             budget = time.monotonic() + self.deadlines.session
-        with telemetry.span("wire.prover_session", session=session_id):
-            try:
-                self._run_session(conn, budget)
-            except ProtocolViolation as exc:
-                self._fail(conn, session_id, exc.code, str(exc))
-            except TimeoutError as exc:
-                self._fail(conn, session_id, "deadline", f"read deadline exceeded: {exc}")
-            except OSError as exc:
-                self._fail(conn, session_id, "io", f"transport failure: {exc}")
-            except Exception as exc:  # noqa: BLE001 - a bad session must never
-                # take the service down; report it and keep serving
-                self._fail(
-                    conn, session_id, "internal", f"{type(exc).__name__}: {exc}"
-                )
-            else:
-                self._bump("sessions_ok")
-                telemetry.count("net.sessions_ok")
+        try:
+            self._run_session(conn, budget, session_id)
+        except ProtocolViolation as exc:
+            self._fail(conn, session_id, exc.code, str(exc))
+        except TimeoutError as exc:
+            self._fail(conn, session_id, "deadline", f"read deadline exceeded: {exc}")
+        except OSError as exc:
+            self._fail(conn, session_id, "io", f"transport failure: {exc}")
+        except Exception as exc:  # noqa: BLE001 - a bad session must never
+            # take the service down; report it and keep serving
+            self._fail(
+                conn, session_id, "internal", f"{type(exc).__name__}: {exc}"
+            )
+        else:
+            self._bump("sessions_ok")
+            telemetry.count("net.sessions_ok")
+            self.metrics.inc("sessions_ok")
 
     def _fail(self, conn: socket.socket, session_id: int, code: str, message: str) -> None:
         """Best-effort structured error frame, then count the failure."""
         self._bump("session_errors")
         telemetry.count("net.session_errors")
         telemetry.count(f"net.session_errors.{code}")
+        self.metrics.inc("session_errors")
+        self.metrics.inc(f"session_errors.{code}")
         try:
             conn.settimeout(1.0)
             send_frame(
@@ -427,9 +476,30 @@ class ProverServer:
                 "session wall-clock budget exhausted", code="deadline"
             )
 
-    def _run_session(self, conn: socket.socket, budget: float | None) -> None:
-        field = self.program.field
-        hello = _expect(recv_frame(conn), "hello")
+    def _run_session(
+        self, conn: socket.socket, budget: float | None, session_id: int
+    ) -> None:
+        first = recv_frame(conn)
+        if first.get("type") == "stats":
+            # read-only introspection: answer the metrics snapshot and
+            # end the session without touching the protocol machinery
+            self.metrics.inc("stats_requests")
+            send_frame(
+                conn,
+                {
+                    "type": "stats",
+                    "server": {
+                        "program": self.program.name,
+                        "program_hash": program_hash(self.program),
+                        "address": list(self.address),
+                        "max_sessions": self.max_sessions,
+                        "stats": self.stats,
+                    },
+                    "metrics": self.metrics.snapshot(),
+                },
+            )
+            return
+        hello = _expect(first, "hello")
         if _get(hello, "program") != program_hash(self.program):
             raise ProtocolViolation(
                 "program hash mismatch: this prover serves a different program",
@@ -453,6 +523,76 @@ class ProverServer:
                 code="bad-request",
             )
         qap_mode = hello.get("qap_mode", "arithmetic")
+
+        # cross-process trace propagation: a hello carrying a trace
+        # context gets this session recorded into a private tracer
+        # under the client's trace_id, its records returned in the
+        # final frame (and the session span stitches in as a child of
+        # the client's span on adoption)
+        session_tracer: telemetry.Tracer | None = None
+        trace_req = hello.get("trace")
+        if self.trace_sessions and isinstance(trace_req, dict):
+            session_tracer = telemetry.Tracer(
+                trace_id=str(trace_req.get("trace_id", "") or telemetry.new_trace_id())
+            )
+
+        if session_tracer is not None:
+            with telemetry.thread_tracer(session_tracer):
+                answers_payload = self._serve_proofs(
+                    conn, budget, hello, params, seed, qap_mode, session_id
+                )
+            frame = {"type": "answers", "instances": answers_payload}
+            frame["trace"] = self._bounded_trace(session_tracer)
+        else:
+            answers_payload = self._serve_proofs(
+                conn, budget, hello, params, seed, qap_mode, session_id
+            )
+            frame = {"type": "answers", "instances": answers_payload}
+        send_frame(conn, frame)
+
+    def _bounded_trace(self, tracer: telemetry.Tracer) -> list[dict]:
+        """This session's span records, capped at ``max_trace_bytes``.
+
+        Spans finish in post-order, so the session root is the last
+        record; when the serialized records overflow the budget, only
+        the root ships, annotated with how many spans were dropped.
+        """
+        records = tracer.records_since(0)
+        if len(json.dumps(records)) > self.max_trace_bytes:
+            root = records[-1]
+            root.setdefault("attrs", {})["trace_truncated"] = len(records) - 1
+            records = [root]
+        return records
+
+    def _serve_proofs(
+        self,
+        conn: socket.socket,
+        budget: float | None,
+        hello: dict,
+        params: SoundnessParams,
+        seed: bytes,
+        qap_mode: str,
+        session_id: int,
+    ) -> list[dict]:
+        """The commit → inputs → outputs → challenge exchange, under
+        the session span; returns the final answers payload (sent by
+        the caller, so the session span is closed before the trace
+        records are collected for the trailing frame)."""
+        span = telemetry.start_span("wire.prover_session", session=session_id)
+        try:
+            return self._prove_exchange(conn, budget, params, seed, qap_mode)
+        finally:
+            telemetry.end_span(span)
+
+    def _prove_exchange(
+        self,
+        conn: socket.socket,
+        budget: float | None,
+        params: SoundnessParams,
+        seed: bytes,
+        qap_mode: str,
+    ) -> list[dict]:
+        field = self.program.field
         self._budget_check(budget)
         send_frame(conn, {"type": "hello-ok"})
 
@@ -480,6 +620,7 @@ class ProverServer:
         batch = [
             _unhex_list(x, what="input vector", p=field.p) for x in batch_spec
         ]
+        self.metrics.observe("session_batch_size", len(batch))
 
         group = self.config.group(field)
         provers: list[CommitmentProver] = []
@@ -524,7 +665,7 @@ class ProverServer:
             for prover in provers:
                 response = prover.answer(challenge)
                 answers_payload.append(_hex_list(response.answers))
-        send_frame(conn, {"type": "answers", "instances": answers_payload})
+        return answers_payload
 
 
 # -- verifier client ---------------------------------------------------------------
@@ -574,6 +715,8 @@ def verify_remote(
     retry: RetryPolicy | None = None,
     deadlines: Deadlines | None = None,
     socket_wrapper: Callable | None = None,
+    collect_trace: bool | None = None,
+    max_trace_bytes: int = _MAX_CLIENT_TRACE_BYTES,
 ) -> NetworkBatchResult:
     """Drive a full batched session against a remote ProverServer.
 
@@ -590,6 +733,16 @@ def verify_remote(
     ``socket_wrapper`` (e.g. ``FaultPlan.wrap`` from
     ``repro.argument.faults``) wraps each new connection — the
     fault-injection hook.
+
+    ``collect_trace`` controls cross-process trace stitching: the
+    ``hello`` frame carries ``{trace_id, parent_span}`` and the
+    server's per-session span records come back in the final frame,
+    adopted under this call's ``wire.verify_remote`` span so ``repro
+    trace --remote`` renders one tree across both processes.  The
+    default (None) turns it on exactly when telemetry is enabled
+    here.  A returned ``trace`` payload larger than
+    ``max_trace_bytes`` (or structurally malformed) is rejected as
+    ``ProtocolViolation[bad-frame]``.
     """
     config = config or ArgumentConfig()
     retry = retry or RetryPolicy()
@@ -624,7 +777,7 @@ def verify_remote(
             sock = _CountingSocket(raw)
             with telemetry.span(
                 "wire.verify_remote", batch_size=len(batch_inputs), attempt=attempts
-            ):
+            ) as remote_span:
                 results = _drive_session(
                     program,
                     batch_inputs,
@@ -635,6 +788,9 @@ def verify_remote(
                     challenge,
                     sock,
                     committed,
+                    remote_span=remote_span,
+                    collect_trace=collect_trace,
+                    max_trace_bytes=max_trace_bytes,
                 )
             return NetworkBatchResult(
                 instances=results,
@@ -682,23 +838,32 @@ def _drive_session(
     challenge: DecommitChallenge,
     sock,
     committed: list[bool],
+    remote_span=None,
+    collect_trace: bool | None = None,
+    max_trace_bytes: int = _MAX_CLIENT_TRACE_BYTES,
 ) -> list[InstanceResult]:
     """One connection's worth of the client protocol (no retry logic)."""
     field = program.field
-    send_frame(
-        sock,
-        {
-            "type": "hello",
-            "program": program_hash(program),
-            "params": {
-                "delta": config.params.delta,
-                "rho_lin": config.params.rho_lin,
-                "rho": config.params.rho,
-            },
-            "qap_mode": config.qap_mode,
-            "seed": config.seed.hex(),
+    tracer = telemetry.current()
+    if collect_trace is None:
+        collect_trace = tracer is not None
+    hello = {
+        "type": "hello",
+        "program": program_hash(program),
+        "params": {
+            "delta": config.params.delta,
+            "rho_lin": config.params.rho_lin,
+            "rho": config.params.rho,
         },
-    )
+        "qap_mode": config.qap_mode,
+        "seed": config.seed.hex(),
+    }
+    if collect_trace and tracer is not None:
+        hello["trace"] = {
+            "trace_id": tracer.trace_id,
+            "parent_span": remote_span.span_id if remote_span is not None else None,
+        }
+    send_frame(sock, hello)
     _expect(recv_frame(sock), "hello-ok")
     # point of no return: once any part of the commit frame may be on
     # the wire, a replay would reuse (r, α, t) against a prover that
@@ -725,9 +890,13 @@ def _drive_session(
     send_frame(
         sock, {"type": "challenge", "t": _hex_list(challenge.queries[-1])}
     )
-    answers_msg = _get(_expect(recv_frame(sock), "answers"), "instances")
+    answers_frame = _expect(recv_frame(sock), "answers")
+    answers_msg = _get(answers_frame, "instances")
     if not isinstance(answers_msg, list) or len(answers_msg) != len(batch_inputs):
         raise ProtocolViolation("instance count mismatch in answers")
+    _adopt_session_trace(
+        answers_frame.get("trace"), tracer, remote_span, max_trace_bytes
+    )
 
     results: list[InstanceResult] = []
     verify_span = telemetry.start_span(
@@ -764,3 +933,58 @@ def _drive_session(
     finally:
         telemetry.end_span(verify_span)
     return results
+
+
+def _adopt_session_trace(
+    trace_payload, tracer, remote_span, max_trace_bytes: int
+) -> None:
+    """Stitch server-returned span records under the client's span.
+
+    The payload is peer-supplied: structurally malformed or oversized
+    trace data is a ``bad-frame`` violation, never a crash — a server
+    must not be able to smuggle an unbounded blob past the protocol
+    checks inside an optional diagnostic field.
+    """
+    if trace_payload is None:
+        return
+    if not isinstance(trace_payload, list):
+        raise ProtocolViolation(
+            "answers 'trace' must be a list of span records", code="bad-frame"
+        )
+    if len(json.dumps(trace_payload)) > max_trace_bytes:
+        raise ProtocolViolation(
+            f"oversized trace payload ({len(trace_payload)} spans over "
+            f"{max_trace_bytes}-byte limit)",
+            code="bad-frame",
+        )
+    if tracer is None:
+        return
+    parent_id = remote_span.span_id if remote_span is not None else None
+    try:
+        tracer.adopt(trace_payload, parent_id=parent_id)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolViolation(
+            f"malformed trace payload: {exc}", code="bad-frame"
+        ) from exc
+
+
+def fetch_stats(
+    address: tuple[str, int],
+    *,
+    connect_timeout: float = 5.0,
+    read_timeout: float = 10.0,
+) -> dict:
+    """One ``{"type": "stats"}`` round trip against a ProverServer.
+
+    Returns the server's reply payload: ``server`` (program identity,
+    address, capacity, lifetime session counts) and ``metrics`` (the
+    registry snapshot — counters, gauges, histogram summaries with
+    p50/p90/p99).  This is the poll ``repro top`` renders.
+    """
+    sock = socket.create_connection(address, timeout=connect_timeout)
+    try:
+        sock.settimeout(read_timeout)
+        send_frame(sock, {"type": "stats"})
+        return _expect(recv_frame(sock), "stats")
+    finally:
+        sock.close()

@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import Sequence
 
 from .. import telemetry
+from ..telemetry import metrics as metrics_mod
 from ..pcp import zaatar as zaatar_pcp
 from .checkpoint import BatchCheckpoint, instance_record, result_from_record
 from .faults import ProcessFaultPlan
@@ -298,9 +299,12 @@ class _Engine:
                 state.ready_at = time.monotonic() + delay
                 self.retries += 1
                 telemetry.count("batch.retries")
+                metrics_mod.inc("batch.retries")
                 return True
         telemetry.count("batch.instances_failed")
         telemetry.count(f"batch.instances_failed.{code}")
+        metrics_mod.inc("batch.instances_failed")
+        metrics_mod.inc(f"batch.instances_failed.{code}")
         self._finish(
             InstanceResult.failure(
                 state.index, code, message, attempts=state.attempts
@@ -347,6 +351,7 @@ class _Engine:
         workers = [
             _Worker(ctx, result_q) for _ in range(min(num_workers, len(states)))
         ]
+        metrics_mod.set_gauge("batch.workers_alive", len(workers))
         try:
             while not target <= self.outcomes.keys():
                 now = time.monotonic()
@@ -364,6 +369,7 @@ class _Engine:
                 self._reap_dead(ctx, result_q, workers, pending, waiting)
         finally:
             self._shutdown(workers, result_q)
+            metrics_mod.set_gauge("batch.workers_alive", 0)
 
     @staticmethod
     def _drain(result_q, timeout: float) -> list[tuple]:
@@ -408,6 +414,7 @@ class _Engine:
             if state is not None:
                 self.worker_deaths += 1
                 telemetry.count("batch.worker_deaths")
+                metrics_mod.inc("batch.worker_deaths")
                 self.last_prove_done = time.monotonic()
                 if self.handle_failure(
                     state,
@@ -421,6 +428,10 @@ class _Engine:
             )
             if outstanding >= len(workers) + 1:
                 workers.append(_Worker(ctx, result_q))
+            metrics_mod.set_gauge(
+                "batch.workers_alive",
+                sum(1 for w in workers if w.process.is_alive()),
+            )
 
     @staticmethod
     def _shutdown(workers, result_q) -> None:

@@ -1,0 +1,227 @@
+"""Benchmark trajectory gate: stamped artifacts + regression comparison.
+
+The figure benches (``benchmarks/bench_*.py``) emit
+``BENCH_<figure>.json`` artifacts.  Those numbers are only a
+*trajectory* if successive artifacts are comparable — so
+:func:`bench_metadata` stamps each one with a schema version, the git
+revision, wall-clock timestamp, the resolved field backend, and the
+python/numpy versions, and :func:`compare` diffs two stamped artifacts
+metric-by-metric with a tolerance (``repro bench-check``, wired into
+CI so a kernel change that quietly gives back the NTT speedup floors
+fails the build rather than landing).
+
+Which direction is "worse" is inferred from the metric's name
+(:func:`direction`): names speaking of time — ``*_seconds``, ``wall``,
+``cpu``, ``latency`` — regress upward, names speaking of rates —
+``speedup``, ``throughput``, ``*_per_second`` — regress downward.
+Metrics with no recognisable direction (sizes, counts, booleans,
+identifiers) are structural and only checked for presence, never for
+magnitude, so the gate never false-positives on, say, a constraint
+count that legitimately changed.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+#: bumped when the artifact layout changes incompatibly;
+#: ``compare`` refuses to diff artifacts across schema versions
+BENCH_SCHEMA_VERSION = 1
+
+#: leaf-name fragments implying smaller-is-better
+_LOWER_BETTER = ("seconds", "wall", "cpu", "latency", "_s", "time")
+
+#: leaf-name fragments implying larger-is-better
+_HIGHER_BETTER = ("speedup", "throughput", "per_second", "ops_per")
+
+
+def git_revision(cwd: str | Path | None = None) -> str | None:
+    """The repo's HEAD commit hash, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    return out.stdout.strip() if out.returncode == 0 else None
+
+
+def bench_metadata(backend: str | None = None) -> dict[str, Any]:
+    """The provenance stamp every bench artifact carries under ``meta``."""
+    try:
+        import numpy
+
+        numpy_version: str | None = numpy.__version__
+    except ImportError:
+        numpy_version = None
+    if backend is None:
+        from .field import GOLDILOCKS, resolve_backend
+
+        backend = resolve_backend(None, GOLDILOCKS.modulus).name
+    return {
+        "bench_schema": BENCH_SCHEMA_VERSION,
+        "git_sha": git_revision(),
+        "created_unix": time.time(),
+        "backend": backend,
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "machine": platform.machine(),
+    }
+
+
+def parse_tolerance(text: str) -> float:
+    """``"15%"`` or ``"0.15"`` -> 0.15; rejects negatives and garbage."""
+    text = text.strip()
+    try:
+        value = float(text[:-1]) / 100 if text.endswith("%") else float(text)
+    except ValueError:
+        raise ValueError(f"unparseable tolerance {text!r} (want '15%' or '0.15')")
+    if value < 0:
+        raise ValueError(f"tolerance must be >= 0, got {text!r}")
+    return value
+
+
+def direction(path: tuple[str, ...]) -> str | None:
+    """``"lower"``/``"higher"`` if the metric's worse-direction is clear.
+
+    Decided from the leaf name alone — the container names are figure
+    labels and app names, which say nothing about units.
+    """
+    leaf = path[-1].lower()
+    for frag in _HIGHER_BETTER:
+        if frag in leaf:
+            return "higher"
+    for frag in _LOWER_BETTER:
+        if frag in leaf:
+            return "lower"
+    return None
+
+
+def iter_metrics(value: Any, path: tuple[str, ...] = ()) -> Iterator[tuple[tuple[str, ...], float]]:
+    """Every numeric leaf of a results tree, as (path, value) pairs.
+
+    Booleans are structural (bit_identical flags), not metrics; list
+    elements get their index as a path component so rows at the same
+    position compare against each other.
+    """
+    if isinstance(value, bool):
+        return
+    if isinstance(value, (int, float)):
+        yield path, float(value)
+    elif isinstance(value, dict):
+        for key, sub in value.items():
+            yield from iter_metrics(sub, path + (str(key),))
+    elif isinstance(value, (list, tuple)):
+        for i, sub in enumerate(value):
+            yield from iter_metrics(sub, path + (str(i),))
+
+
+@dataclass
+class Regression:
+    """One metric that moved past tolerance in its worse direction."""
+
+    path: tuple[str, ...]
+    direction: str
+    baseline: float
+    current: float
+
+    @property
+    def change(self) -> float:
+        """Signed relative change, positive = worse."""
+        if self.baseline == 0:
+            return float("inf")
+        rel = (self.current - self.baseline) / abs(self.baseline)
+        return rel if self.direction == "lower" else -rel
+
+    def describe(self) -> str:
+        """One human-readable line: metric, movement, relative change."""
+        name = ".".join(self.path)
+        arrow = "rose" if self.current > self.baseline else "fell"
+        sense = "worse" if self.change > 0 else "better"
+        return (
+            f"{name}: {arrow} {self.baseline:.6g} -> {self.current:.6g} "
+            f"({abs(self.change) * 100:.1f}% {sense}; "
+            f"{self.direction}-is-better)"
+        )
+
+
+@dataclass
+class BenchComparison:
+    """The full diff of two artifacts: what regressed, moved, or vanished."""
+
+    regressions: list[Regression] = field(default_factory=list)
+    improvements: list[Regression] = field(default_factory=list)
+    missing: list[tuple[str, ...]] = field(default_factory=list)
+    compared: int = 0
+    skipped_directionless: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed and nothing vanished."""
+        return not self.regressions and not self.missing
+
+
+def compare(
+    baseline: dict[str, Any], current: dict[str, Any], max_regress: float
+) -> BenchComparison:
+    """Diff two ``BENCH_*.json`` documents under a relative tolerance.
+
+    A directional metric regresses when it moves more than
+    ``max_regress`` (relative) in its worse direction; a metric present
+    in the baseline but absent from the current run counts as missing
+    (silently dropping a measurement must not pass the gate).  Metrics
+    new in the current run are fine — the trajectory grows.
+    """
+    comparison = BenchComparison()
+    base_schema = (baseline.get("meta") or {}).get("bench_schema")
+    cur_schema = (current.get("meta") or {}).get("bench_schema")
+    if base_schema != cur_schema:
+        comparison.notes.append(
+            f"schema mismatch: baseline {base_schema!r} vs current {cur_schema!r}"
+        )
+    base_backend = (baseline.get("meta") or {}).get("backend")
+    cur_backend = (current.get("meta") or {}).get("backend")
+    if base_backend != cur_backend:
+        comparison.notes.append(
+            f"backend mismatch: baseline {base_backend!r} vs current "
+            f"{cur_backend!r} — numbers are not comparable across backends"
+        )
+    base_metrics = dict(iter_metrics(baseline.get("results", {})))
+    cur_metrics = dict(iter_metrics(current.get("results", {})))
+    for path, base_value in base_metrics.items():
+        if path not in cur_metrics:
+            comparison.missing.append(path)
+            continue
+        sense = direction(path)
+        if sense is None:
+            comparison.skipped_directionless += 1
+            continue
+        comparison.compared += 1
+        reg = Regression(path, sense, base_value, cur_metrics[path])
+        if reg.change > max_regress:
+            comparison.regressions.append(reg)
+        elif reg.change < -max_regress:
+            comparison.improvements.append(reg)
+    comparison.regressions.sort(key=lambda r: r.change, reverse=True)
+    comparison.improvements.sort(key=lambda r: r.change)
+    return comparison
+
+
+def check_files(
+    baseline_path: str | Path, current_path: str | Path, max_regress: float
+) -> BenchComparison:
+    """File-level entry point used by ``repro bench-check``."""
+    baseline = json.loads(Path(baseline_path).read_text())
+    current = json.loads(Path(current_path).read_text())
+    return compare(baseline, current, max_regress)

@@ -6,7 +6,10 @@ Examples::
     python -m repro prove program.zr --inputs 1,2,3 --inputs 4,5,6
     python -m repro trace program.zr --inputs 1,2,3 --out run.trace.jsonl
     python -m repro trace --app matmul --size m=2
-    python -m repro serve program.zr --max-sessions 16
+    python -m repro trace program.zr --inputs 1,2,3 --remote 127.0.0.1:9410 --json
+    python -m repro serve program.zr --max-sessions 16 --metrics-port 9464
+    python -m repro top 127.0.0.1:9410 --interval 2
+    python -m repro bench-check baseline/BENCH_kernels.json benchmarks/out/BENCH_kernels.json --max-regress 15%
     python -m repro microbench --field goldilocks
 
 ``compile`` prints the encoding statistics (the Figure-9 quantities)
@@ -20,8 +23,10 @@ writes a JSONL trace — see docs/OBSERVABILITY.md for how to read it.
 from __future__ import annotations
 
 import argparse
+import json
 import random
 import sys
+import time
 from pathlib import Path
 
 from . import telemetry
@@ -29,9 +34,11 @@ from .argument import (
     ArgumentConfig,
     CheckpointError,
     Deadlines,
+    ProtocolViolation,
     ProverServer,
     ZaatarArgument,
     choose_encoding,
+    fetch_stats,
     program_hash,
     run_parallel_batch,
     verify_remote,
@@ -158,13 +165,29 @@ def _trace_app_registry() -> dict:
     return registry
 
 
+def _parse_address(spec: str) -> tuple[str, int] | None:
+    """``HOST:PORT`` (or just ``PORT`` for localhost); None if malformed."""
+    host, _, port_text = spec.rpartition(":")
+    try:
+        return (host or "127.0.0.1", int(port_text))
+    except ValueError:
+        print(f"error: bad address {spec!r} (want HOST:PORT)", file=sys.stderr)
+        return None
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """``repro trace``: run the argument under telemetry, dump a trace.
 
     The run covers the local batched argument (Figure-5 prover phases,
     verifier setup/per-instance spans, field/crypto/poly counters) and,
     unless ``--no-net``, a loopback prover-server session so bytes on
-    the wire are measured too (``net.*`` counters).
+    the wire are measured too (``net.*`` counters).  With ``--remote
+    HOST:PORT`` the local run is skipped and the batch is verified
+    against a running prover server instead; the server ships its
+    session spans back in the answers frame, so the rendered tree is
+    one stitched distributed trace.  ``--json`` emits the whole result
+    (spans, counter totals, verdict) as a JSON document on stdout for
+    scripted consumers.
     """
     # the counting field is the opt-in field-op instrumentation: the
     # program is compiled against it, so every solve/answer counts
@@ -202,6 +225,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
         if batch is None:
             return 2
 
+    remote_addr = None
+    if args.remote:
+        remote_addr = _parse_address(args.remote)
+        if remote_addr is None:
+            return 2
+
     params = SoundnessParams(rho_lin=args.rho_lin, rho=args.rho)
     config = ArgumentConfig(params=params)
     tracer = telemetry.enable()
@@ -209,16 +238,28 @@ def cmd_trace(args: argparse.Namespace) -> int:
         with telemetry.span(
             "trace", program=program.name, field=field.name, batch_size=len(batch)
         ):
-            argument = ZaatarArgument(program, config)
-            result = argument.run_batch(batch)
-            net_ok = True
-            if args.net:
-                with telemetry.span("wire.loopback"):
-                    with ProverServer(program, config) as server:
-                        net_result = verify_remote(
-                            program, batch, server.address, config
-                        )
-                    net_ok = net_result.all_accepted
+            if remote_addr is not None:
+                try:
+                    net_result = verify_remote(program, batch, remote_addr, config)
+                except (ProtocolViolation, OSError) as exc:
+                    print(
+                        f"error: remote verification against "
+                        f"{remote_addr[0]}:{remote_addr[1]} failed: {exc}",
+                        file=sys.stderr,
+                    )
+                    return 1
+                accepted = net_result.all_accepted
+            else:
+                argument = ZaatarArgument(program, config)
+                result = argument.run_batch(batch)
+                accepted = result.all_accepted
+                if args.net:
+                    with telemetry.span("wire.loopback"):
+                        with ProverServer(program, config) as server:
+                            net_result = verify_remote(
+                                program, batch, server.address, config
+                            )
+                        accepted = accepted and net_result.all_accepted
     finally:
         telemetry.disable()
 
@@ -230,10 +271,30 @@ def cmd_trace(args: argparse.Namespace) -> int:
         stem = "".join(c if c.isalnum() or c in "-_." else "_" for c in program.name)
         out = Path(f"{stem.strip('_')}.trace.jsonl")
     telemetry.write_jsonl(tracer, out)
+    totals = tracer.total_counters()
+
+    if args.json:
+        doc = {
+            "trace_version": telemetry.TRACE_VERSION,
+            "trace_id": tracer.trace_id,
+            "program": program.name,
+            "field": field.name,
+            "backend": field.backend.name,
+            "batch_size": len(batch),
+            "remote": (
+                f"{remote_addr[0]}:{remote_addr[1]}" if remote_addr else None
+            ),
+            "accepted": accepted,
+            "trace_file": str(out),
+            "spans": [s.to_record() for s in tracer.spans],
+            "counter_totals": totals,
+        }
+        print(json.dumps(doc, indent=2))
+        return 0 if accepted else 1
+
     print(telemetry.render_tree(tracer))
     print("\ncounter totals:")
     print(telemetry.render_counter_totals(tracer))
-    totals = tracer.total_counters()
     plan_hits = int(totals.get("poly.plan_hits", 0))
     plan_misses = int(totals.get("poly.plan_misses", 0))
     if plan_hits or plan_misses:
@@ -251,7 +312,6 @@ def cmd_trace(args: argparse.Namespace) -> int:
         else "no vector-kernel calls"
     )
     print(f"field backend: {field.backend.name} ({kernel_stats})")
-    accepted = result.all_accepted and net_ok
     verdict = "ACCEPTED" if accepted else "REJECTED"
     print(f"\nbatch of {len(batch)}: {verdict}")
     print(f"trace written to {out} ({len(tracer.spans)} spans)")
@@ -264,9 +324,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
     Serves concurrent verifier sessions until interrupted (or for
     ``--duration`` seconds); the deadline/capacity knobs map onto
     ``ProverServer`` — see docs/NETWORKING.md for what each bounds.
+    ``--metrics-port`` additionally serves the live metrics registry
+    over HTTP as a Prometheus-style plaintext page (``/json`` for the
+    snapshot form that ``repro top`` renders).
     """
-    import time
-
     field = _field(args.field)
     program = _load_program(args.program, field, args.bit_width)
     deadlines = Deadlines(read=args.read_timeout, session=args.session_budget)
@@ -286,6 +347,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"read deadline {args.read_timeout:g}s"
         + (f", session budget {args.session_budget:g}s)" if args.session_budget else ")")
     )
+    exporter = None
+    if args.metrics_port is not None:
+        exporter = telemetry.start_http_exporter(
+            server.metrics, host=args.host, port=args.metrics_port
+        )
+        mhost, mport = exporter.server_address[:2]
+        print(f"metrics on http://{mhost}:{mport}/ (plaintext; /json for snapshot)")
     try:
         if args.duration is not None:
             time.sleep(args.duration)
@@ -295,6 +363,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
     except KeyboardInterrupt:  # pragma: no cover
         print("\nshutting down (draining in-flight sessions)...")
     finally:
+        if exporter is not None:
+            exporter.shutdown()
         server.close()
         stats = server.stats
         print(
@@ -303,6 +373,160 @@ def cmd_serve(args: argparse.Namespace) -> int:
             f"{stats.get('sessions_rejected', 0)} rejected at capacity"
         )
     return 0
+
+
+def _fmt_duration(seconds) -> str:
+    if seconds is None:
+        return "-"
+    if seconds >= 1:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _render_top(doc: dict) -> str:
+    """One screenful of a prover server's stats snapshot."""
+    server = doc.get("server") or {}
+    metrics = doc.get("metrics") or {}
+    info = metrics.get("info") or {}
+    counters = metrics.get("counters") or {}
+    gauges = metrics.get("gauges") or {}
+    hists = metrics.get("histograms") or {}
+    address = server.get("address") or ["?", "?"]
+    lines = [
+        f"repro top — {server.get('program', '?')} "
+        f"@ {address[0]}:{address[1]} "
+        f"(hash {str(server.get('program_hash', ''))[:16]}…)",
+        f"uptime {metrics.get('uptime_seconds', 0.0):.0f}s   "
+        f"backend {info.get('backend', '?')}   field {info.get('field', '?')}   "
+        f"capacity {server.get('max_sessions', '?')} sessions",
+        "",
+        "sessions   started {:.0f}   ok {:.0f}   errors {:.0f}   "
+        "rejected {:.0f}   in-flight {:.0f}".format(
+            counters.get("sessions_started", 0),
+            counters.get("sessions_ok", 0),
+            counters.get("session_errors", 0),
+            counters.get("sessions_rejected", 0),
+            gauges.get("sessions_in_flight", 0),
+        ),
+    ]
+    for name, label in (
+        ("session_latency_seconds", "latency"),
+        ("session_queue_wait_seconds", "queue wait"),
+    ):
+        hist = hists.get(name)
+        if hist:
+            exact = "exact" if hist.get("exact") else "sampled"
+            lines.append(
+                f"{label:10s} n={hist['count']}  "
+                f"p50={_fmt_duration(hist.get('p50'))}  "
+                f"p90={_fmt_duration(hist.get('p90'))}  "
+                f"p99={_fmt_duration(hist.get('p99'))}  "
+                f"max={_fmt_duration(hist.get('max'))}  ({exact})"
+            )
+    batch_hist = hists.get("session_batch_size")
+    if batch_hist:
+        lines.append(
+            f"batch size n={batch_hist['count']}  "
+            f"p50={batch_hist.get('p50'):g}  max={batch_hist.get('max'):g}"
+        )
+    error_codes = sorted(
+        (key.split(".", 1)[1], value)
+        for key, value in counters.items()
+        if key.startswith("session_errors.")
+    )
+    if error_codes:
+        lines.append(
+            "errors by code   "
+            + "   ".join(f"{code}={value:.0f}" for code, value in error_codes)
+        )
+    workers = gauges.get("batch.workers_alive")
+    if workers is not None:
+        lines.append(f"workers alive {workers:.0f}")
+    backend_counts = sorted(
+        (key, value) for key, value in counters.items() if key.startswith("backend.")
+    )
+    if backend_counts:
+        lines.append("")
+        lines.append("vector-kernel throughput (lifetime):")
+        for key, value in backend_counts:
+            lines.append(f"  {key:32s} {value:>16,.0f}")
+    return "\n".join(lines)
+
+
+def cmd_top(args: argparse.Namespace) -> int:
+    """``repro top``: live one-screen view of a prover server.
+
+    Polls the server's read-only ``{"type": "stats"}`` wire request
+    every ``--interval`` seconds and redraws; ``--once`` prints a
+    single snapshot and exits (the scripted/CI form).
+    """
+    address = _parse_address(args.server)
+    if address is None:
+        return 2
+    refreshes = 1 if args.once else args.count
+    drawn = 0
+    try:
+        while True:
+            try:
+                doc = fetch_stats(
+                    address,
+                    connect_timeout=args.timeout,
+                    read_timeout=args.timeout,
+                )
+            except (ProtocolViolation, OSError) as exc:
+                print(
+                    f"error: cannot poll {address[0]}:{address[1]}: {exc}",
+                    file=sys.stderr,
+                )
+                return 1
+            if not args.once:
+                print("\x1b[2J\x1b[H", end="")
+            print(_render_top(doc))
+            drawn += 1
+            if refreshes is not None and drawn >= refreshes:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:  # pragma: no cover - interactive exit
+        return 0
+
+
+def cmd_bench_check(args: argparse.Namespace) -> int:
+    """``repro bench-check``: gate a bench artifact against a baseline.
+
+    Exit 0 when every directional metric stayed within tolerance,
+    1 on a regression (or a metric silently vanishing), 2 on usage
+    errors.  See ``repro.benchgate`` for the direction heuristics.
+    """
+    from .benchgate import check_files, parse_tolerance
+
+    try:
+        tolerance = parse_tolerance(args.max_regress)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        comparison = check_files(args.baseline, args.current, tolerance)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for note in comparison.notes:
+        print(f"note: {note}")
+    print(
+        f"compared {comparison.compared} directional metrics at "
+        f"tolerance {tolerance:.0%} "
+        f"({comparison.skipped_directionless} structural values skipped)"
+    )
+    for regression in comparison.improvements:
+        print(f"improved: {regression.describe()}")
+    for path in comparison.missing:
+        print(f"MISSING: {'.'.join(path)} (in baseline, absent from current)")
+    for regression in comparison.regressions:
+        print(f"REGRESSION: {regression.describe()}")
+    if comparison.ok:
+        print("bench-check: OK")
+        return 0
+    print("bench-check: FAILED", file=sys.stderr)
+    return 1
 
 
 def cmd_microbench(args: argparse.Namespace) -> int:
@@ -407,6 +631,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip the loopback network session (no net.* counters)",
     )
     p_trace.add_argument("--out", help="trace path (default: <program>.trace.jsonl)")
+    p_trace.add_argument(
+        "--remote",
+        metavar="HOST:PORT",
+        help="verify against a running prover server instead of running "
+        "locally; the rendered tree stitches the server's session spans in",
+    )
+    p_trace.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the run (spans, counters, verdict) as JSON on stdout",
+    )
     p_trace.set_defaults(fn=cmd_trace)
 
     p_serve = sub.add_parser(
@@ -442,7 +677,49 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="serve for this many seconds then exit (default: until interrupted)",
     )
+    p_serve.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="also serve live metrics over HTTP on this port (0 picks one)",
+    )
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_top = sub.add_parser(
+        "top", help="live one-screen stats view of a running prover server"
+    )
+    p_top.add_argument("server", metavar="HOST:PORT", help="prover server address")
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, help="refresh period in seconds"
+    )
+    p_top.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
+    p_top.add_argument(
+        "--count",
+        type=int,
+        default=None,
+        help="exit after this many refreshes (default: until interrupted)",
+    )
+    p_top.add_argument(
+        "--timeout", type=float, default=5.0, help="per-poll socket timeout"
+    )
+    p_top.set_defaults(fn=cmd_top)
+
+    p_bench = sub.add_parser(
+        "bench-check",
+        help="compare two BENCH_*.json artifacts, fail on perf regressions",
+    )
+    p_bench.add_argument("baseline", help="baseline BENCH_*.json")
+    p_bench.add_argument("current", help="current BENCH_*.json")
+    p_bench.add_argument(
+        "--max-regress",
+        default="15%",
+        help="worst tolerated relative move in a metric's worse direction "
+        "('15%%' or '0.15'; default 15%%)",
+    )
+    p_bench.set_defaults(fn=cmd_bench_check)
 
     p_mb = sub.add_parser(
         "microbench", parents=[common], help="measure the Figure-3 cost parameters"

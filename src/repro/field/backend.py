@@ -38,7 +38,10 @@ Every backend reports ``backend.<name>.calls`` / ``backend.<name>.elements``
 counters to telemetry, attributed to whichever kernel actually ran
 (a numpy backend that delegates a tiny vector to its scalar fallback
 ticks the scalar counters), so ``repro trace`` can show where the
-vector work landed.  See docs/PERFORMANCE.md for the exactness
+vector work landed.  When a metrics registry is bound (prover-server
+sessions — see ``repro.telemetry.metrics``), the same names tick live
+counters there too, giving ``repro top`` a per-backend element
+throughput series.  See docs/PERFORMANCE.md for the exactness
 argument and measured speedups.
 """
 
@@ -50,6 +53,7 @@ import warnings
 from typing import Sequence
 
 from .. import telemetry
+from ..telemetry import metrics as _metrics
 
 try:  # pragma: no cover - exercised via the no-numpy CI job
     import numpy as _np
@@ -97,6 +101,10 @@ class FieldBackend:
     def _tick(self, n: int) -> None:
         telemetry.count(self._calls_key)
         telemetry.count(self._elems_key, n)
+        registry = _metrics.active()
+        if registry is not None:
+            registry.inc(self._calls_key)
+            registry.inc(self._elems_key, n)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(p={self.p:#x})"

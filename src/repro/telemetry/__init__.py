@@ -6,6 +6,7 @@ schema.  Telemetry is off by default; ``repro trace`` and the
 benchmark harness enable it around one run.
 """
 
+from . import metrics
 from .core import (
     Span,
     Tracer,
@@ -15,9 +16,11 @@ from .core import (
     enable,
     enabled,
     end_span,
+    new_trace_id,
     session,
     span,
     start_span,
+    thread_tracer,
     traced,
 )
 from .export import (
@@ -30,7 +33,11 @@ from .export import (
     write_jsonl,
 )
 
+from .metrics import MetricsRegistry, QuantileHistogram, start_http_exporter
+
 __all__ = [
+    "MetricsRegistry",
+    "QuantileHistogram",
     "Span",
     "TRACE_VERSION",
     "Trace",
@@ -41,12 +48,16 @@ __all__ = [
     "enable",
     "enabled",
     "end_span",
+    "metrics",
+    "new_trace_id",
     "read_jsonl",
     "render_counter_totals",
     "render_tree",
     "session",
     "span",
     "start_span",
+    "start_http_exporter",
+    "thread_tracer",
     "trace_records",
     "traced",
     "write_jsonl",

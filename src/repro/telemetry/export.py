@@ -23,7 +23,7 @@ from typing import Any, Iterable
 
 from .core import Span, Tracer
 
-TRACE_VERSION = 1
+TRACE_VERSION = 2
 
 
 def trace_records(tracer: Tracer) -> list[dict[str, Any]]:
@@ -33,6 +33,7 @@ def trace_records(tracer: Tracer) -> list[dict[str, Any]]:
         {
             "type": "trace",
             "version": TRACE_VERSION,
+            "trace_id": tracer.trace_id,
             "spans": len(spans),
             "created_unix": time.time(),
         }
@@ -60,16 +61,22 @@ class Trace:
         spans: list[Span],
         version: int = TRACE_VERSION,
         orphan_counters: dict[str, int | float] | None = None,
+        trace_id: str | None = None,
     ):
         self.spans = spans
         self.version = version
         self.orphan_counters = orphan_counters or {}
+        self.trace_id = trace_id
         self._by_id = {s.span_id: s for s in spans}
 
     @classmethod
     def from_tracer(cls, tracer: Tracer) -> "Trace":
         """View a live tracer's finished spans as a Trace."""
-        return cls(list(tracer.spans), orphan_counters=dict(tracer.orphan_counters))
+        return cls(
+            list(tracer.spans),
+            orphan_counters=dict(tracer.orphan_counters),
+            trace_id=tracer.trace_id,
+        )
 
     def roots(self) -> list[Span]:
         """Spans with no (present) parent, in start order."""
@@ -110,6 +117,7 @@ def read_jsonl(path: str | Path) -> Trace:
     """Parse a trace file written by :func:`write_jsonl`."""
     spans: list[Span] = []
     version = TRACE_VERSION
+    trace_id: str | None = None
     orphans: dict[str, int | float] = {}
     with Path(path).open("r", encoding="utf-8") as fh:
         for line in fh:
@@ -120,12 +128,13 @@ def read_jsonl(path: str | Path) -> Trace:
             kind = record.get("type")
             if kind == "trace":
                 version = record.get("version", TRACE_VERSION)
+                trace_id = record.get("trace_id")
             elif kind == "span":
                 spans.append(Span.from_record(record))
             elif kind == "orphans":
                 for key, value in record.get("counters", {}).items():
                     orphans[key] = orphans.get(key, 0) + value
-    return Trace(spans, version=version, orphan_counters=orphans)
+    return Trace(spans, version=version, orphan_counters=orphans, trace_id=trace_id)
 
 
 # -- pretty renderer -----------------------------------------------------------

@@ -213,3 +213,155 @@ class TestSpanRecords:
         assert back.counters == {"field.mul": 42}
         assert back.wall_seconds == 1.5
         assert back.cpu_seconds == 1.25
+
+
+class TestAdoptIdempotence:
+    def test_adopt_is_idempotent_per_origin(self):
+        """Re-adopting the same exported records must not double-count."""
+        worker = Tracer()
+        root = worker.start("prover.instance", index=0)
+        worker.end(root)
+        records = worker.records_since(0)
+
+        parent = Tracer()
+        run = parent.start("argument.run_parallel_batch")
+        parent.end(run)
+        first = parent.adopt(records, parent_id=run.span_id)
+        second = parent.adopt(records, parent_id=run.span_id)
+        assert len(first) == 1
+        assert second == []  # nothing inserted the second time
+        assert len(parent.find("prover.instance")) == 1
+
+    def test_readopt_still_links_late_children(self):
+        """A skipped (already-adopted) parent still anchors new children."""
+        worker = Tracer()
+        root = worker.start("prover.instance", index=0)
+        child = worker.start("prover.solve_constraints")
+        worker.end(child)
+        worker.end(root)
+        all_records = worker.records_since(0)
+        root_record = [r for r in all_records if r["name"] == "prover.instance"]
+        parent = Tracer()
+        parent.adopt(root_record)
+        parent.adopt(all_records)  # root deduped, child fresh
+        inst = parent.find("prover.instance")
+        solve = parent.find("prover.solve_constraints")
+        assert len(inst) == 1 and len(solve) == 1
+        assert solve[0].parent_id == inst[0].span_id
+
+    def test_adopt_dedupes_only_same_origin(self):
+        """Distinct exporters may reuse span ids; both sets must land."""
+        parent = Tracer()
+        for _ in range(2):
+            worker = Tracer()
+            sp = worker.start("prover.instance")
+            worker.end(sp)
+            parent.adopt(worker.records_since(0))
+        assert len(parent.find("prover.instance")) == 2
+
+    def test_records_without_origin_never_dedupe(self):
+        parent = Tracer()
+        record = {"type": "span", "id": 1, "parent": None, "name": "x",
+                  "wall_s": 0.0, "cpu_s": 0.0}
+        parent.adopt([record])
+        parent.adopt([dict(record)])
+        assert len(parent.find("x")) == 2
+
+
+class TestTraceId:
+    def test_spans_carry_the_tracer_trace_id(self):
+        tracer = Tracer(trace_id="cafe0123deadbeef")
+        sp = tracer.start("a")
+        tracer.end(sp)
+        assert sp.trace_id == "cafe0123deadbeef"
+        assert sp.to_record()["trace_id"] == "cafe0123deadbeef"
+
+    def test_fresh_tracers_get_distinct_trace_ids(self):
+        assert Tracer().trace_id != Tracer().trace_id
+        assert len(Tracer().trace_id) == 16
+
+    def test_adopted_spans_keep_their_trace_id(self):
+        remote = Tracer(trace_id="feedface00000001")
+        sp = remote.start("wire.prover_session")
+        remote.end(sp)
+        local = Tracer(trace_id="feedface00000001")
+        adopted = local.adopt(remote.records_since(0))
+        assert adopted[0].trace_id == "feedface00000001"
+
+
+class TestSpanRecordRoundTrip:
+    def test_round_trip_preserves_identity_fields(self):
+        span = Span("qap.divide", 7, 3, {"mode": "arithmetic"},
+                    trace_id="0123456789abcdef")
+        span.wall_seconds = 1.5
+        span.cpu_seconds = 1.25
+        span.count("field.mul", 42)
+        back = Span.from_record(span.to_record())
+        assert back.name == "qap.divide"
+        assert back.span_id == 7
+        assert back.parent_id == 3
+        assert back.trace_id == "0123456789abcdef"
+        assert back.wall_seconds == 1.5
+        assert back.cpu_seconds == 1.25
+        assert back.counters == {"field.mul": 42}
+        assert back.attrs == {"mode": "arithmetic"}
+
+    def test_round_trip_without_trace_id_omits_the_key(self):
+        span = Span("a", 1, None)
+        record = span.to_record()
+        assert "trace_id" not in record
+        assert Span.from_record(record).trace_id is None
+
+    def test_from_record_tolerates_unknown_keys(self):
+        """Records from a newer schema (or stamped with transport
+        metadata like ``origin``) must stay readable."""
+        record = {"type": "span", "id": 5, "parent": None, "name": "x",
+                  "wall_s": 0.25, "cpu_s": 0.2,
+                  "origin": "abcd1234:4242", "future_field": {"nested": True}}
+        span = Span.from_record(record)
+        assert span.name == "x"
+        assert span.wall_seconds == 0.25
+
+
+class TestThreadTracerOverride:
+    def test_override_takes_precedence_over_global(self):
+        with telemetry.session() as global_tracer:
+            private = Tracer()
+            with telemetry.thread_tracer(private):
+                assert telemetry.current() is private
+                with telemetry.span("inside"):
+                    telemetry.count("ops", 1)
+            assert telemetry.current() is global_tracer
+        assert [s.name for s in private.spans] == ["inside"]
+        assert global_tracer.spans == []
+
+    def test_override_works_with_telemetry_disabled(self):
+        assert telemetry.current() is None
+        private = Tracer()
+        with telemetry.thread_tracer(private):
+            assert telemetry.enabled()
+            with telemetry.span("solo"):
+                pass
+        assert telemetry.current() is None
+        assert [s.name for s in private.spans] == ["solo"]
+
+    def test_override_is_thread_local(self):
+        private = Tracer()
+        seen = {}
+
+        def other_thread():
+            seen["tracer"] = telemetry.current()
+
+        with telemetry.thread_tracer(private):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert seen["tracer"] is None
+
+    def test_overrides_nest_and_restore(self):
+        outer, inner = Tracer(), Tracer()
+        with telemetry.thread_tracer(outer):
+            with telemetry.thread_tracer(inner):
+                assert telemetry.current() is inner
+            assert telemetry.current() is outer
+        assert telemetry.current() is None

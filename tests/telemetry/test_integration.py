@@ -147,7 +147,11 @@ class TestWireCounters:
         assert totals["net.bytes_sent"] == totals["net.bytes_received"]
         assert totals["net.bytes_sent"] > 0
         assert totals["net.frames_sent"] == totals["net.frames_received"]
-        # the server thread's spans are separate roots of the forest
-        session_spans = Trace.from_tracer(tracer).find("wire.prover_session")
+        # the server ships its session span back in the answers frame
+        # and the client adopts it under wire.verify_remote: one tree
+        trace = Trace.from_tracer(tracer)
+        session_spans = trace.find("wire.prover_session")
         assert len(session_spans) == 1
-        assert session_spans[0].parent_id is None
+        remote = trace.find("wire.verify_remote")[0]
+        assert session_spans[0].parent_id == remote.span_id
+        assert session_spans[0].trace_id == tracer.trace_id

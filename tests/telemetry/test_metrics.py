@@ -1,0 +1,203 @@
+"""MetricsRegistry: instruments, determinism, binding, exposition."""
+
+import json
+import threading
+import urllib.request
+
+from repro.telemetry import MetricsRegistry, QuantileHistogram, metrics
+
+
+class TestQuantileHistogram:
+    def test_exact_quantiles_within_capacity(self):
+        hist = QuantileHistogram(capacity=100)
+        for v in range(1, 101):
+            hist.observe(v)
+        assert hist.exact
+        assert hist.quantile(0.5) == 50
+        assert hist.quantile(0.9) == 90
+        assert hist.quantile(0.99) == 99
+        assert hist.quantile(1.0) == 100
+        assert hist.quantile(0.0) == 1
+        assert hist.count == 100
+        assert hist.min == 1 and hist.max == 100
+
+    def test_single_observation(self):
+        hist = QuantileHistogram()
+        hist.observe(3.5)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert hist.quantile(q) == 3.5
+
+    def test_empty_histogram_has_no_quantiles(self):
+        hist = QuantileHistogram()
+        assert hist.quantile(0.5) is None
+        assert hist.min is None and hist.max is None
+
+    def test_reservoir_is_deterministic_under_seed(self):
+        def run(seed):
+            hist = QuantileHistogram(capacity=64, seed=seed)
+            for v in range(10_000):
+                hist.observe((v * 7919) % 1000)
+            return [hist.quantile(q) for q in (0.5, 0.9, 0.99)]
+
+        assert run(1) == run(1)
+        # a different seed keeps a different sample (overwhelmingly)
+        assert run(1) != run(2)
+
+    def test_count_sum_extremes_stay_exact_past_capacity(self):
+        hist = QuantileHistogram(capacity=8)
+        for v in range(1000):
+            hist.observe(v)
+        assert not hist.exact
+        assert hist.count == 1000
+        assert hist.sum == sum(range(1000))
+        assert hist.min == 0 and hist.max == 999
+        assert len(hist._values) == 8
+
+    def test_summary_shape(self):
+        hist = QuantileHistogram()
+        hist.observe(2.0)
+        summary = hist.summary()
+        assert summary["count"] == 1
+        assert summary["exact"] is True
+        assert summary["p50"] == summary["p90"] == summary["p99"] == 2.0
+
+
+class TestMetricsRegistry:
+    def test_counters_gauges_histograms(self):
+        registry = MetricsRegistry()
+        registry.inc("sessions_started")
+        registry.inc("sessions_started", 2)
+        registry.set_gauge("in_flight", 3)
+        registry.add_gauge("in_flight", -1)
+        registry.observe("latency_seconds", 0.25)
+        assert registry.counter_value("sessions_started") == 3
+        assert registry.gauge_value("in_flight") == 2
+        assert registry.histogram("latency_seconds").count == 1
+
+    def test_snapshot_contains_everything(self):
+        registry = MetricsRegistry(program="mul", backend="scalar")
+        registry.inc("a")
+        registry.set_gauge("g", 7)
+        registry.observe("h", 1.0)
+        snap = registry.snapshot()
+        assert snap["info"] == {"program": "mul", "backend": "scalar"}
+        assert snap["counters"] == {"a": 1}
+        assert snap["gauges"] == {"g": 7}
+        assert snap["histograms"]["h"]["count"] == 1
+        assert snap["uptime_seconds"] >= 0
+        json.dumps(snap)  # must be wire-serialisable as-is
+
+    def test_registry_seed_makes_snapshots_reproducible(self):
+        def run():
+            registry = MetricsRegistry(seed=5)
+            for v in range(5000):
+                registry.observe("h", (v * 31) % 100, capacity=32)
+            return registry.snapshot()["histograms"]["h"]
+
+        assert run() == run()
+
+    def test_thread_safety(self):
+        registry = MetricsRegistry()
+
+        def worker():
+            for _ in range(1000):
+                registry.inc("ops")
+                registry.observe("h", 1.0)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert registry.counter_value("ops") == 8000
+        assert registry.histogram("h").count == 8000
+
+    def test_render_text_exposition(self):
+        registry = MetricsRegistry(program="mul")
+        registry.inc("sessions_ok", 2)
+        registry.set_gauge("sessions_in_flight", 1)
+        registry.observe("session_latency_seconds", 0.5)
+        text = registry.render_text()
+        assert 'repro_server_info{program="mul"} 1' in text
+        assert "sessions_ok_total 2" in text
+        assert "sessions_in_flight 1" in text
+        assert "session_latency_seconds_count 1" in text
+        assert 'session_latency_seconds{quantile="0.5"} 0.5' in text
+        # dotted names flatten to exposition-safe ones
+        registry.inc("backend.numpy.elements", 10)
+        assert "backend_numpy_elements_total 10" in registry.render_text()
+
+
+class TestHookBinding:
+    def test_hooks_are_noops_when_nothing_bound(self):
+        assert metrics.active() is None
+        metrics.inc("ghost")
+        metrics.observe("ghost", 1.0)
+        metrics.set_gauge("ghost", 1)  # no raise, no state
+
+    def test_thread_binding_scopes_hooks(self):
+        registry = MetricsRegistry()
+        with metrics.use(registry):
+            assert metrics.active() is registry
+            metrics.inc("ops", 5)
+        assert metrics.active() is None
+        assert registry.counter_value("ops") == 5
+
+    def test_thread_binding_is_per_thread(self):
+        registry = MetricsRegistry()
+        seen = {}
+
+        def other_thread():
+            seen["registry"] = metrics.active()
+
+        with metrics.use(registry):
+            t = threading.Thread(target=other_thread)
+            t.start()
+            t.join()
+        assert seen["registry"] is None
+
+    def test_install_binds_globally(self):
+        registry = MetricsRegistry()
+        metrics.install(registry)
+        try:
+            metrics.inc("global_ops")
+            assert registry.counter_value("global_ops") == 1
+            # a thread binding still wins over the global
+            private = MetricsRegistry()
+            with metrics.use(private):
+                metrics.inc("global_ops")
+            assert registry.counter_value("global_ops") == 1
+            assert private.counter_value("global_ops") == 1
+        finally:
+            metrics.install(None)
+        assert metrics.active() is None
+
+    def test_backend_ticks_land_in_bound_registry(self):
+        from repro.field import GOLDILOCKS, PrimeField
+
+        field = PrimeField(GOLDILOCKS, check_prime=False, backend="scalar")
+        registry = MetricsRegistry()
+        with metrics.use(registry):
+            field.vec_add([1, 2, 3], [4, 5, 6])
+        assert registry.counter_value("backend.scalar.calls") == 1
+        assert registry.counter_value("backend.scalar.elements") == 3
+
+
+class TestHttpExporter:
+    def test_serves_plaintext_and_json(self):
+        registry = MetricsRegistry(program="mul")
+        registry.inc("sessions_ok")
+        server = metrics.start_http_exporter(registry, port=0)
+        try:
+            host, port = server.server_address[:2]
+            with urllib.request.urlopen(f"http://{host}:{port}/") as resp:
+                text = resp.read().decode()
+                assert resp.headers["Content-Type"].startswith("text/plain")
+            assert "sessions_ok_total 1" in text
+            with urllib.request.urlopen(f"http://{host}:{port}/json") as resp:
+                doc = json.loads(resp.read())
+            assert doc["counters"] == {"sessions_ok": 1.0}
+            assert doc["info"] == {"program": "mul"}
+        finally:
+            server.shutdown()
+            server.server_close()

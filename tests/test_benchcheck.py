@@ -1,0 +1,161 @@
+"""The bench trajectory gate: metadata stamping and regression diffs."""
+
+import json
+
+import pytest
+
+from repro.benchgate import (
+    BENCH_SCHEMA_VERSION,
+    bench_metadata,
+    check_files,
+    compare,
+    direction,
+    iter_metrics,
+    parse_tolerance,
+)
+
+
+def _doc(results, backend="numpy"):
+    return {
+        "figure": "kernels",
+        "meta": {"bench_schema": BENCH_SCHEMA_VERSION, "backend": backend},
+        "results": results,
+    }
+
+
+class TestMetadata:
+    def test_stamp_fields(self):
+        meta = bench_metadata(backend="scalar")
+        assert meta["bench_schema"] == BENCH_SCHEMA_VERSION
+        assert meta["backend"] == "scalar"
+        assert isinstance(meta["python"], str)
+        assert meta["created_unix"] > 0
+        json.dumps(meta)
+
+    def test_backend_resolved_when_omitted(self):
+        assert bench_metadata()["backend"] in ("scalar", "numpy")
+
+
+class TestTolerance:
+    def test_percent_and_fraction_forms(self):
+        assert parse_tolerance("15%") == pytest.approx(0.15)
+        assert parse_tolerance("0.15") == pytest.approx(0.15)
+        assert parse_tolerance(" 7% ") == pytest.approx(0.07)
+
+    def test_rejects_garbage_and_negatives(self):
+        with pytest.raises(ValueError):
+            parse_tolerance("fast")
+        with pytest.raises(ValueError):
+            parse_tolerance("-5%")
+
+
+class TestDirectionHeuristics:
+    @pytest.mark.parametrize(
+        "leaf,expected",
+        [
+            ("warm_seconds", "lower"),
+            ("wall", "lower"),
+            ("cpu", "lower"),
+            ("latency_p99", "lower"),
+            ("speedup", "higher"),
+            ("throughput", "higher"),
+            ("elements_per_second", "higher"),
+            ("size", None),
+            ("count", None),
+            ("c_zaatar", None),
+        ],
+    )
+    def test_leaf_name_decides(self, leaf, expected):
+        assert direction(("ntt", leaf)) == expected
+
+
+class TestIterMetrics:
+    def test_walks_nested_dicts_and_lists(self):
+        tree = {"a": {"b": [{"c": 1.5}, {"c": 2.5}]}, "d": 3}
+        found = dict(iter_metrics(tree))
+        assert found == {
+            ("a", "b", "0", "c"): 1.5,
+            ("a", "b", "1", "c"): 2.5,
+            ("d",): 3.0,
+        }
+
+    def test_booleans_and_strings_are_not_metrics(self):
+        tree = {"bit_identical": True, "label": "ntt", "x": 1}
+        assert dict(iter_metrics(tree)) == {("x",): 1.0}
+
+
+class TestCompare:
+    def test_within_tolerance_is_ok(self):
+        base = _doc({"ntt": {"speedup": 10.0, "warm_seconds": 0.5}})
+        cur = _doc({"ntt": {"speedup": 9.0, "warm_seconds": 0.55}})
+        comparison = compare(base, cur, 0.15)
+        assert comparison.ok
+        assert comparison.compared == 2
+        assert comparison.regressions == []
+
+    def test_speedup_drop_regresses(self):
+        base = _doc({"ntt": {"speedup": 10.0}})
+        cur = _doc({"ntt": {"speedup": 6.0}})
+        comparison = compare(base, cur, 0.15)
+        assert not comparison.ok
+        [reg] = comparison.regressions
+        assert reg.path == ("ntt", "speedup")
+        assert reg.direction == "higher"
+        assert reg.change == pytest.approx(0.4)
+
+    def test_time_rise_regresses_and_fall_improves(self):
+        base = _doc({"ntt": {"warm_seconds": 0.5}, "div": {"warm_seconds": 0.5}})
+        cur = _doc({"ntt": {"warm_seconds": 0.9}, "div": {"warm_seconds": 0.2}})
+        comparison = compare(base, cur, 0.15)
+        assert [r.path for r in comparison.regressions] == [("ntt", "warm_seconds")]
+        assert [r.path for r in comparison.improvements] == [("div", "warm_seconds")]
+
+    def test_structural_values_never_regress(self):
+        base = _doc({"ntt": {"size": 4096, "count": 7}})
+        cur = _doc({"ntt": {"size": 1, "count": 99}})
+        comparison = compare(base, cur, 0.15)
+        assert comparison.ok
+        assert comparison.compared == 0
+        assert comparison.skipped_directionless == 2
+
+    def test_missing_metric_fails_the_gate(self):
+        base = _doc({"ntt": {"warm_seconds": 0.5}})
+        cur = _doc({})
+        comparison = compare(base, cur, 0.15)
+        assert not comparison.ok
+        assert comparison.missing == [("ntt", "warm_seconds")]
+
+    def test_new_metrics_are_fine(self):
+        base = _doc({})
+        cur = _doc({"ntt": {"warm_seconds": 0.5}})
+        assert compare(base, cur, 0.15).ok
+
+    def test_schema_and_backend_mismatch_noted(self):
+        base = _doc({}, backend="numpy")
+        cur = _doc({}, backend="scalar")
+        cur["meta"]["bench_schema"] = BENCH_SCHEMA_VERSION + 1
+        notes = compare(base, cur, 0.15).notes
+        assert any("schema" in n for n in notes)
+        assert any("backend" in n for n in notes)
+
+    def test_zero_baseline_counts_as_infinite_regression(self):
+        base = _doc({"ntt": {"warm_seconds": 0.0}})
+        cur = _doc({"ntt": {"warm_seconds": 0.5}})
+        comparison = compare(base, cur, 0.15)
+        assert not comparison.ok
+
+    def test_self_diff_is_clean(self):
+        doc = _doc({"ntt": {"speedup": 8.5, "warm_seconds": 0.4, "size": 4096}})
+        comparison = compare(doc, doc, 0.0)
+        assert comparison.ok
+        assert comparison.regressions == comparison.improvements == []
+
+
+class TestCheckFiles:
+    def test_round_trip_through_files(self, tmp_path):
+        base = tmp_path / "base.json"
+        cur = tmp_path / "cur.json"
+        base.write_text(json.dumps(_doc({"ntt": {"speedup": 10.0}})))
+        cur.write_text(json.dumps(_doc({"ntt": {"speedup": 5.0}})))
+        comparison = check_files(base, cur, 0.15)
+        assert not comparison.ok

@@ -223,3 +223,177 @@ class TestParser:
     def test_unknown_field_rejected(self, program_file):
         with pytest.raises(SystemExit):
             main(["compile", program_file, "--field", "p999"])
+
+
+class TestTraceJsonAndRemote:
+    def test_json_output_is_machine_readable(self, program_file, capsys, tmp_path):
+        import json
+
+        rc = main(
+            ["trace", program_file, "--inputs", "3,4", "--no-net", "--json",
+             "--out", str(tmp_path / "t.jsonl")]
+        )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["accepted"] is True
+        assert doc["program"] == "mul"
+        assert doc["remote"] is None
+        assert len(doc["trace_id"]) == 16
+        names = {s["name"] for s in doc["spans"]}
+        assert "prover.instance" in names
+        assert doc["counter_totals"]["field.mul"] > 0
+        assert all(s.get("trace_id") == doc["trace_id"] for s in doc["spans"])
+
+    def test_remote_trace_stitches_server_spans(self, program_file, capsys, tmp_path):
+        import json
+
+        from repro.argument import ArgumentConfig, ProverServer
+        from repro.cli import _field, _load_program
+        from repro.pcp import SoundnessParams
+
+        program = _load_program(program_file, _field("goldilocks"), 32)
+        config = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+        with ProverServer(program, config) as server:
+            host, port = server.address
+            rc = main(
+                ["trace", program_file, "--inputs", "3,4",
+                 "--remote", f"{host}:{port}", "--json",
+                 "--out", str(tmp_path / "t.jsonl")]
+            )
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["accepted"] is True
+        assert doc["remote"] == f"{host}:{port}"
+        spans = {s["name"]: s for s in doc["spans"]}
+        # the server's session span is stitched under the client span
+        assert spans["wire.prover_session"]["parent"] == (
+            spans["wire.verify_remote"]["id"]
+        )
+        assert "prover.instance" in spans
+
+    def test_remote_against_dead_server_fails_cleanly(self, program_file, capsys, tmp_path):
+        import socket
+
+        placeholder = socket.create_server(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+        rc = main(
+            ["trace", program_file, "--inputs", "3,4",
+             "--remote", f"127.0.0.1:{port}",
+             "--out", str(tmp_path / "t.jsonl")]
+        )
+        assert rc == 1
+        assert "remote verification" in capsys.readouterr().err
+
+    def test_bad_remote_address_is_usage_error(self, program_file):
+        assert main(["trace", program_file, "--inputs", "1,1",
+                     "--remote", "nonsense"]) == 2
+
+
+class TestTopCommand:
+    def test_once_renders_live_stats(self, program_file, capsys):
+        from repro.argument import ArgumentConfig, ProverServer, verify_remote
+        from repro.cli import _field, _load_program
+        from repro.pcp import SoundnessParams
+
+        program = _load_program(program_file, _field("goldilocks"), 32)
+        config = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+        with ProverServer(program, config) as server:
+            verify_remote(program, [[3, 4]], server.address, config)
+            host, port = server.address
+            rc = main(["top", f"{host}:{port}", "--once"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "repro top — mul" in out
+        assert "sessions" in out
+        assert "started" in out
+        assert "p50=" in out and "p99=" in out
+
+    def test_unreachable_server_is_an_error(self, capsys):
+        import socket
+
+        placeholder = socket.create_server(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+        assert main(["top", f"127.0.0.1:{port}", "--once"]) == 1
+        assert "cannot poll" in capsys.readouterr().err
+
+    def test_bad_address_is_usage_error(self):
+        assert main(["top", "nonsense", "--once"]) == 2
+
+
+class TestServeMetricsPort:
+    def test_metrics_endpoint_serves_plaintext(self, program_file, capsys):
+        import re
+        import socket
+        import threading
+        import time
+        import urllib.request
+
+        placeholder = socket.create_server(("127.0.0.1", 0))
+        mport = placeholder.getsockname()[1]
+        placeholder.close()
+        thread = threading.Thread(
+            target=main,
+            args=(["serve", program_file, "--duration", "3",
+                   "--metrics-port", str(mport)],),
+            daemon=True,
+        )
+        thread.start()
+        deadline = time.monotonic() + 5
+        text = None
+        while time.monotonic() < deadline:
+            try:
+                with urllib.request.urlopen(
+                    f"http://127.0.0.1:{mport}/", timeout=1
+                ) as resp:
+                    text = resp.read().decode()
+                break
+            except OSError:
+                time.sleep(0.05)
+        thread.join(timeout=30)
+        assert text is not None, "metrics endpoint never came up"
+        assert re.search(r'repro_server_info\{.*program="mul".*\} 1', text)
+        assert "repro_uptime_seconds" in text
+
+
+class TestBenchCheckCommand:
+    @staticmethod
+    def _write(tmp_path, name, results):
+        import json
+
+        path = tmp_path / name
+        path.write_text(json.dumps({
+            "figure": "kernels",
+            "meta": {"bench_schema": 1, "backend": "numpy"},
+            "results": results,
+        }))
+        return str(path)
+
+    def test_ok_within_tolerance(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {"ntt": {"speedup": 10.0}})
+        cur = self._write(tmp_path, "cur.json", {"ntt": {"speedup": 9.5}})
+        assert main(["bench-check", base, cur, "--max-regress", "15%"]) == 0
+        assert "bench-check: OK" in capsys.readouterr().out
+
+    def test_regression_exits_one(self, tmp_path, capsys):
+        base = self._write(tmp_path, "base.json", {"ntt": {"speedup": 10.0}})
+        cur = self._write(tmp_path, "cur.json", {"ntt": {"speedup": 5.0}})
+        assert main(["bench-check", base, cur, "--max-regress", "15%"]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION: ntt.speedup" in captured.out
+        assert "bench-check: FAILED" in captured.err
+
+    def test_self_diff_is_clean(self, tmp_path):
+        base = self._write(tmp_path, "base.json",
+                           {"ntt": {"speedup": 10.0, "warm_seconds": 0.4}})
+        assert main(["bench-check", base, base]) == 0
+
+    def test_missing_file_is_usage_error(self, tmp_path):
+        base = self._write(tmp_path, "base.json", {})
+        missing = str(tmp_path / "nope.json")
+        assert main(["bench-check", base, missing]) == 2
+
+    def test_bad_tolerance_is_usage_error(self, tmp_path):
+        base = self._write(tmp_path, "base.json", {})
+        assert main(["bench-check", base, base, "--max-regress", "soon"]) == 2
