@@ -15,6 +15,12 @@ products over the 64-bit field, at sizes bracketing ``--size``.  Under
 beat scalar at sizes >= 2^12; the sweep lands in
 ``benchmarks/out/BENCH_backends.json``.
 
+Finally it exercises the batch-axis prover path on the 128-bit modulus
+(``benchmarks/out/BENCH_batch.json``): the batched H(t) pipeline must
+stay bit-identical to the per-row route, and the CRT residue-plane
+product must beat the object-dtype stacked-NTT route it replaces by
+``BATCH_MIN_SPEEDUP`` on the fixed gate shape.
+
 Standalone::
 
     PYTHONPATH=src python benchmarks/bench_kernels.py --size 4096 --reps 5 --check
@@ -62,6 +68,18 @@ CHECK_MARGIN = 1.25
 #: absorbs CI noise while still catching a broken vector path)
 NUMPY_NTT_MIN_SPEEDUP = 2.0
 NUMPY_NTT_MIN_SIZE = 4096
+
+#: under --check, the CRT residue-plane batched product must beat the
+#: object-dtype stacked-NTT route it replaces by at least this factor
+#: on the gate shape below (measured 4.6-4.9x locally; the margin
+#: absorbs CI noise while still catching a broken fast path)
+BATCH_MIN_SPEEDUP = 4.0
+BATCH_MIN_BATCH = 32
+#: product-stage gate shape: p128 operand rows of width BATCH_GATE_M,
+#: BATCH_GATE_BATCH rows per operand (the batch >= BATCH_MIN_BATCH the
+#: issue criterion asks for; the speedup grows with both dimensions)
+BATCH_GATE_M = 4096
+BATCH_GATE_BATCH = 64
 
 
 def _best_of(fn, reps: int) -> float:
@@ -225,6 +243,136 @@ def _bench_backends(size: int, reps: int, rng: random.Random) -> dict:
     return {"numpy_available": HAVE_NUMPY, "sizes": rows}
 
 
+def _bench_batch(size: int, reps: int, rng: random.Random) -> dict:
+    """Batch-axis prover pipeline on the 128-bit modulus: per-row vs 2-D.
+
+    Mirrors the QAP prover's roots-mode H(t) construction — interpolate
+    three evaluation rows, multiply, subtract, divide by ``t^m − 1`` —
+    once per row (the object-dtype route big moduli used to be stuck
+    on) and once as stacked 2-D kernels (one shared plan; the multiply
+    drops into the CRT residue planes).  ``evals_c = a ∘ b`` makes every
+    row exactly divisible, so the telescoped division runs end to end.
+    """
+    from repro.field import NAMED_FIELDS
+    from repro.poly import (
+        interpolate_at_roots_of_unity,
+        mat_interpolate_at_roots_of_unity,
+        mat_poly_mul,
+        pad_rows,
+        poly_sub,
+        trim,
+    )
+    from repro.qap.prover import (
+        _divide_by_subgroup_vanishing,
+        _mat_divide_by_subgroup_vanishing,
+    )
+
+    m = max(256, size // 2)
+    field = PrimeField(NAMED_FIELDS["p128"], check_prime=False, backend="numpy")
+    p = field.p
+
+    def sequential(evals):
+        out = []
+        for ea, eb, ec in evals:
+            pa = interpolate_at_roots_of_unity(field, ea)
+            pb = interpolate_at_roots_of_unity(field, eb)
+            pc = interpolate_at_roots_of_unity(field, ec)
+            p_w = poly_sub(field, poly_mul(field, pa, pb), pc)
+            out.append(_divide_by_subgroup_vanishing(field, p_w, m))
+        return out
+
+    def batched(evals):
+        ra = mat_interpolate_at_roots_of_unity(field, [e[0] for e in evals])
+        rb = mat_interpolate_at_roots_of_unity(field, [e[1] for e in evals])
+        rc = mat_interpolate_at_roots_of_unity(field, [e[2] for e in evals])
+        prod = mat_poly_mul(field, ra, rb)
+        p_rows = field.mat_sub(pad_rows(prod, 2 * m), pad_rows(rc, 2 * m))
+        return _mat_divide_by_subgroup_vanishing(field, p_rows, m)
+
+    rows = []
+    for batch in (1, 8, 32):
+        evals = []
+        for _ in range(batch):
+            ea = [rng.randrange(p) for _ in range(m)]
+            eb = [rng.randrange(p) for _ in range(m)]
+            evals.append((ea, eb, field.hadamard(ea, eb)))
+        seq_out = sequential(evals)  # also warms the shared NTT plans
+        bat_out = batched(evals)
+        # batched quotients carry fixed-width padding; values must agree
+        identical = [trim(list(r)) for r in bat_out] == [
+            trim(list(r)) for r in seq_out
+        ]
+        seq_reps = reps if batch == 1 else 1  # the slow route: ~seconds/rep
+        seq_seconds = _best_of(lambda: sequential(evals), seq_reps)
+        bat_seconds = _best_of(lambda: batched(evals), reps)
+        rows.append(
+            {
+                "batch": batch,
+                "sequential_seconds": seq_seconds,
+                "batched_seconds": bat_seconds,
+                "per_instance_speedup": (
+                    seq_seconds / bat_seconds if bat_seconds else float("inf")
+                ),
+                "bit_identical": identical,
+            }
+        )
+    return {
+        "modulus": "p128",
+        "m": m,
+        "numpy_available": HAVE_NUMPY,
+        "batches": rows,
+        "product": _bench_batch_product(reps, rng),
+    }
+
+
+def _bench_batch_product(reps: int, rng: random.Random) -> dict | None:
+    """The gated product stage: CRT residue planes vs object-dtype NTTs.
+
+    Isolates the multiply that :func:`repro.poly.batch.mat_poly_mul`
+    routes — the CRT fast path versus the stacked object-dtype
+    transforms the same call falls back to when the fast path declines.
+    This is the stage the batch-axis work accelerates (interpolation
+    and division bracket it identically on both routes), measured on
+    the fixed gate shape rather than ``--size`` so the CI floor always
+    tests the same workload.
+    """
+    if not HAVE_NUMPY:
+        return None
+    from repro.field import NAMED_FIELDS
+    from repro.poly import get_ntt_plan, mat_poly_mul, pad_rows
+
+    m, batch = BATCH_GATE_M, BATCH_GATE_BATCH
+    field = PrimeField(NAMED_FIELDS["p128"], check_prime=False, backend="numpy")
+    p = field.p
+    rows_a = [[rng.randrange(p) for _ in range(m)] for _ in range(batch)]
+    rows_b = [[rng.randrange(p) for _ in range(m)] for _ in range(batch)]
+    out_len = 2 * m - 1
+    size = 2
+    while size < out_len:
+        size <<= 1
+
+    def object_route():
+        plan = get_ntt_plan(field, size)
+        fa = field.mat_transform(plan, pad_rows(rows_a, size))
+        fb = field.mat_transform(plan, pad_rows(rows_b, size))
+        out = field.mat_transform(plan, field.mat_hadamard(fa, fb), invert=True)
+        return [row[:out_len] for row in out]
+
+    crt_out = mat_poly_mul(field, rows_a, rows_b)  # warm plane tables
+    object_out = object_route()  # warm the shared plan
+    crt_seconds = _best_of(lambda: mat_poly_mul(field, rows_a, rows_b), min(reps, 3))
+    object_seconds = _best_of(object_route, min(reps, 2))
+    return {
+        "modulus": "p128",
+        "m": m,
+        "batch": batch,
+        "object_seconds": object_seconds,
+        "crt_seconds": crt_seconds,
+        "speedup": object_seconds / crt_seconds if crt_seconds else float("inf"),
+        "bit_identical": crt_out == object_out,
+    }
+
+
 def run_bench(size: int, reps: int) -> dict:
     rng = random.Random(0xC0DE)
     out = {
@@ -233,10 +381,13 @@ def run_bench(size: int, reps: int) -> dict:
         "interpolation": _bench_interpolation(size, reps, rng),
         "counters": _bench_counters(size),
         "backends": _bench_backends(size, reps, rng),
+        "batch": _bench_batch(size, reps, rng),
     }
     for label, row in out.items():
         if label == "backends":
             RESULTS[("backends", "sweep")] = row
+        elif label == "batch":
+            RESULTS[("batch", "sweep")] = row
         else:
             RESULTS[("kernels", label)] = row
     return out
@@ -276,6 +427,26 @@ def check(results: dict) -> list[str]:
                         f"{entry['speedup']:.2f}x over scalar "
                         f"(need {NUMPY_NTT_MIN_SPEEDUP}x)"
                     )
+    for row in results["batch"]["batches"]:
+        if not row["bit_identical"]:
+            failures.append(
+                f"batch: batched H pipeline differs at batch={row['batch']}"
+            )
+    product = results["batch"]["product"]
+    if product is not None:
+        if not product["bit_identical"]:
+            failures.append(
+                "batch: CRT product differs from the object-dtype route "
+                f"at m={product['m']} batch={product['batch']}"
+            )
+        if product["batch"] >= BATCH_MIN_BATCH and (
+            product["speedup"] < BATCH_MIN_SPEEDUP
+        ):
+            failures.append(
+                f"batch: CRT product at m={product['m']} "
+                f"batch={product['batch']} only {product['speedup']:.2f}x "
+                f"over the object-dtype route (need {BATCH_MIN_SPEEDUP}x)"
+            )
     return failures
 
 
@@ -329,6 +500,35 @@ def _report(results: dict) -> None:
         rows,
     )
 
+    batch = results["batch"]
+    rows = [
+        [
+            f"batch={row['batch']}",
+            fmt_seconds(row["sequential_seconds"]),
+            fmt_seconds(row["batched_seconds"]),
+            f"{row['per_instance_speedup']:.2f}x",
+            "yes" if row["bit_identical"] else "NO",
+        ]
+        for row in batch["batches"]
+    ]
+    print()
+    print_table(
+        f"batched H(t) pipeline ({batch['modulus']}, m={batch['m']}): "
+        "per-row vs 2-D + CRT",
+        ["batch", "per-row", "batched", "speedup", "bit-identical"],
+        rows,
+    )
+    product = batch.get("product")
+    if product is not None:
+        print(
+            f"\nproduct stage gate ({product['modulus']}, m={product['m']}, "
+            f"batch={product['batch']}): object-dtype "
+            f"{fmt_seconds(product['object_seconds'])} vs CRT "
+            f"{fmt_seconds(product['crt_seconds'])} — "
+            f"{product['speedup']:.2f}x, bit-identical: "
+            f"{'yes' if product['bit_identical'] else 'NO'}"
+        )
+
 
 def test_kernels(benchmark):
     """Pytest entry point, shaped like the figure benches."""
@@ -336,6 +536,7 @@ def test_kernels(benchmark):
     _report(results)
     emit_results("kernels")
     emit_results("backends")
+    emit_results("batch")
     assert not check(results)
 
 
@@ -355,7 +556,8 @@ def main(argv: list[str] | None = None) -> int:
     _report(results)
     path = emit_results("kernels")
     backend_path = emit_results("backends")
-    print(f"\nresults written to {path} and {backend_path}")
+    batch_path = emit_results("batch")
+    print(f"\nresults written to {path}, {backend_path} and {batch_path}")
     if args.check:
         failures = check(results)
         for f in failures:

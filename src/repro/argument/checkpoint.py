@@ -113,32 +113,44 @@ class BatchCheckpoint:
         return records
 
     def load(self) -> tuple[dict | None, dict[int, dict]]:
-        """(header, {index: record}) from disk; torn tail lines are
-        dropped (the crash the checkpoint exists to survive)."""
+        """(header, {index: record}) from disk; a torn *tail* line is
+        dropped (the crash the checkpoint exists to survive), but a
+        malformed record with valid records after it is corruption —
+        the writer never produces that shape — and raises
+        :class:`CheckpointError` naming the record index."""
         if not self.path.exists():
             return None, {}
         header: dict | None = None
         records: dict[int, dict] = {}
         with self.path.open() as fh:
-            for line in fh:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    payload = json.loads(line)
-                except json.JSONDecodeError:
+            lines = fh.read().splitlines()
+        last_content = max(
+            (i for i, line in enumerate(lines) if line.strip()), default=-1
+        )
+        for lineno, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if lineno == last_content:
                     break  # torn tail from a mid-write crash
-                if not isinstance(payload, dict):
-                    raise CheckpointError(f"{self.path}: non-object record")
-                if payload.get("type") == "header":
-                    header = payload
-                elif payload.get("type") == "instance":
-                    try:
-                        records[int(payload["index"])] = payload
-                    except (KeyError, TypeError, ValueError) as exc:
-                        raise CheckpointError(
-                            f"{self.path}: malformed instance record: {exc}"
-                        ) from exc
+                raise CheckpointError(
+                    f"{self.path}: corrupt record {lineno} "
+                    f"(followed by valid records): {exc}"
+                ) from exc
+            if not isinstance(payload, dict):
+                raise CheckpointError(f"{self.path}: non-object record")
+            if payload.get("type") == "header":
+                header = payload
+            elif payload.get("type") == "instance":
+                try:
+                    records[int(payload["index"])] = payload
+                except (KeyError, TypeError, ValueError) as exc:
+                    raise CheckpointError(
+                        f"{self.path}: malformed instance record: {exc}"
+                    ) from exc
         return header, records
 
     def append(self, record: dict) -> None:

@@ -315,9 +315,65 @@ class _Engine:
 
     # -- inline execution --------------------------------------------------
 
+    def _prove_inline_batched(
+        self, states: list[_InstanceState]
+    ) -> list[_InstanceState]:
+        """One batched prover pass; returns states left for the loop.
+
+        The whole group moves through ``ZaatarArgument.prove_batch``
+        (stacked 2-D kernels, one shared construct_u pass) with
+        byte-identical proofs.  Per-instance failures either finish
+        with a structured outcome or — when retryable — fall back to
+        the classic per-instance loop below.
+        """
+        for state in states:
+            state.attempts += 1
+        per_stats = [ProverStats() for _ in states]
+        entries = self.argument.prove_batch(
+            [state.inputs for state in states],
+            self.setup,
+            indices=[state.index for state in states],
+            per_stats=per_stats,
+        )
+        leftover: list[_InstanceState] = []
+        for state, entry, stats in zip(states, entries, per_stats):
+            self.last_prove_done = time.monotonic()
+            if isinstance(entry, Exception):
+                if self.handle_failure(
+                    state, classify_failure(entry), f"{type(entry).__name__}: {entry}"
+                ):
+                    leftover.append(state)
+                continue
+            sol, commitment, _, answers = entry
+            self.handle_success(
+                state,
+                _ProofPayload(
+                    index=state.index,
+                    input_values=list(sol.input_values),
+                    x=sol.x,
+                    y=sol.y,
+                    output_values=sol.output_values,
+                    commitment=commitment,
+                    answers=list(answers),
+                    stat_tuple=(
+                        stats.solve_constraints,
+                        stats.construct_u,
+                        stats.crypto_ops,
+                        stats.answer_queries,
+                        stats.wall,
+                    ),
+                    records=None,
+                ),
+            )
+        return leftover
+
     def run_inline(self, states: list[_InstanceState]) -> None:
         """Single-process execution (1 worker, or fork unavailable)."""
         plan: ProcessFaultPlan | None = _WORKER_STATE.get("process_faults")
+        if plan is None and self.argument.use_batch_prover(len(states)):
+            # fault injection targets the per-instance path, so the
+            # batched fast pass only runs on fault-free configurations
+            states = self._prove_inline_batched(states)
         pending = deque(states)
         while pending:
             state = pending.popleft()

@@ -36,6 +36,7 @@ from ..pcp import ginger as ginger_pcp
 from ..pcp import zaatar as zaatar_pcp
 from ..pcp.ginger import build_ginger_proof
 from ..qap import QAPInstance, build_proof_vector, build_qap
+from ..qap.prover import compute_h_batch
 from .stats import BatchStats, PhaseTimer, ProverStats, VerifierStats
 
 #: Structured ``error``-frame codes a client must *not* retry: the
@@ -121,6 +122,11 @@ class ArgumentConfig:
     #: skip the ElGamal layer entirely (PCP-only runs for benches that
     #: study the proof encoding in isolation)
     use_commitment: bool = True
+    #: batched-prover routing: "auto" (batched whenever the batch has
+    #: ≥ 2 instances), "always", or "never" (the classic per-instance
+    #: loop).  Both routes produce byte-identical transcripts — the
+    #: batched H(t) pipeline is bit-exact (see ``repro.qap.prover``).
+    batch_prover: str = "auto"
 
     def group(self, field) -> SchnorrGroup:
         """The commitment group matching this config and field."""
@@ -280,6 +286,119 @@ class ZaatarArgument:
                 answers = [self.field.inner_product(q, vector) for q in schedule.queries]
         return sol, commitment, response, answers
 
+    # -- prover per batch --------------------------------------------------------
+
+    def use_batch_prover(self, batch_size: int) -> bool:
+        """Whether ``config.batch_prover`` routes this batch batched."""
+        if type(self).prove_instance is not ZaatarArgument.prove_instance:
+            # a subclass customized the per-instance prover (e.g. the
+            # adversary harness) — the batched route would bypass it
+            return False
+        mode = self.config.batch_prover
+        if mode == "never":
+            return False
+        if mode == "always":
+            return True
+        if mode != "auto":
+            raise ValueError(f"unknown batch_prover mode: {mode!r}")
+        return batch_size >= 2
+
+    def prove_batch(
+        self,
+        batch_inputs: Sequence[Sequence[int]],
+        setup,
+        *,
+        indices: Sequence[int] | None = None,
+        per_stats: Sequence[ProverStats] | None = None,
+    ):
+        """The whole batch through the prover as one array program.
+
+        Equivalent to ``prove_instance`` per input — same solutions,
+        commitments, responses, and answers, byte for byte — but the
+        H(t) construction runs once over the stacked instance axis
+        (``compute_h_batch``), so the batch shares one NTT plan and,
+        on big moduli, the CRT residue-plane convolution.
+
+        Returns one entry per input: the ``(sol, commitment, response,
+        answers)`` tuple, or the exception that instance raised
+        (failure isolation — batchmates are unaffected).
+
+        Span taxonomy: a ``prover.batch`` span wraps per-instance
+        ``prover.solve_constraints`` spans (each carrying ``index``),
+        one shared ``prover.construct_u`` span carrying ``batch_size``
+        (its clocks are split evenly across the batch's stats — the
+        same shares ``BatchStats.from_trace`` reconstructs), then
+        per-instance ``prover.instance`` spans for the crypto phases.
+        """
+        schedule, _, request, challenge = setup
+        batch = len(batch_inputs)
+        if indices is None:
+            indices = range(batch)
+        if per_stats is None:
+            per_stats = [ProverStats() for _ in range(batch)]
+        qap = self.qap
+        results: list = [None] * batch
+        sols: list = [None] * batch
+        with telemetry.span("prover.batch", size=batch):
+            for i, input_values in enumerate(batch_inputs):
+                timer = PhaseTimer(per_stats[i])
+                try:
+                    with timer.phase("solve_constraints", index=indices[i]):
+                        sols[i] = self.program.solve(input_values, check=False)
+                except Exception as exc:  # noqa: BLE001 - isolate bad instances
+                    results[i] = exc
+            live = [i for i in range(batch) if results[i] is None]
+            shared = ProverStats()
+            with PhaseTimer(shared).phase("construct_u", batch_size=batch):
+                h_rows = compute_h_batch(
+                    qap, [sols[i].quadratic_witness for i in live]
+                )
+            vectors: dict[int, list[int]] = {}
+            for i, h in zip(live, h_rows):
+                if isinstance(h, Exception):
+                    results[i] = h
+                else:
+                    z = list(sols[i].quadratic_witness[1 : qap.n_prime + 1])
+                    vectors[i] = z + h
+            # the shared pass is everyone's construct_u cost: equal
+            # shares, one add per instance (from_trace mirrors this)
+            cpu_share = shared.construct_u / batch if batch else 0.0
+            wall_share = shared.wall.get("construct_u", 0.0) / batch if batch else 0.0
+            for stats in per_stats:
+                stats.construct_u += cpu_share
+                stats.wall["construct_u"] = (
+                    stats.wall.get("construct_u", 0.0) + wall_share
+                )
+            for i in range(batch):
+                if results[i] is not None:
+                    continue
+                timer = PhaseTimer(per_stats[i])
+                try:
+                    with telemetry.span("prover.instance", index=indices[i]):
+                        vector = vectors[i]
+                        commitment = None
+                        prover = None
+                        if self.config.use_commitment:
+                            prover = CommitmentProver(
+                                self.field, self.config.group(self.field), vector
+                            )
+                            with timer.phase("crypto_ops"):
+                                commitment = prover.commit(request)
+                        with timer.phase("answer_queries"):
+                            if prover is not None:
+                                response = prover.answer(challenge)
+                                answers = response.answers
+                            else:
+                                response = None
+                                answers = [
+                                    self.field.inner_product(q, vector)
+                                    for q in schedule.queries
+                                ]
+                    results[i] = (sols[i], commitment, response, answers)
+                except Exception as exc:  # noqa: BLE001 - isolate bad instances
+                    results[i] = exc
+        return results
+
     # -- full batch ------------------------------------------------------------------
 
     def run_batch(self, batch_inputs: Sequence[Sequence[int]]) -> BatchResult:
@@ -289,13 +408,52 @@ class ZaatarArgument:
         ):
             return self._run_batch(batch_inputs)
 
+    def _verify_instance(self, setup, timer: PhaseTimer, sol, commitment, response, answers):
+        """One instance's verifier-side checks (shared by both routes)."""
+        schedule, commitment_verifier, _, _ = setup
+        with timer.phase("per_instance"):
+            if self.config.use_commitment:
+                commit_ok = commitment_verifier.verify(commitment, response)
+                pcp_answers = answers[:-1]
+            else:
+                commit_ok = True
+                pcp_answers = answers
+            pcp_result = zaatar_pcp.check_answers(schedule, pcp_answers, sol.x, sol.y)
+        return commit_ok, pcp_result
+
     def _run_batch(self, batch_inputs: Sequence[Sequence[int]]) -> BatchResult:
         verifier_stats = VerifierStats()
         setup = self.verifier_setup(verifier_stats)
-        schedule, commitment_verifier, _, _ = setup
         timer = PhaseTimer(verifier_stats)
         results: list[InstanceResult] = []
         batch = BatchStats(batch_size=len(batch_inputs), verifier=verifier_stats)
+        if self.use_batch_prover(len(batch_inputs)):
+            per_stats = [ProverStats() for _ in batch_inputs]
+            proved = self.prove_batch(batch_inputs, setup, per_stats=per_stats)
+            for index, (entry, prover_stats) in enumerate(zip(proved, per_stats)):
+                if isinstance(entry, Exception):
+                    results.append(record_instance_failure(index, entry))
+                else:
+                    sol, commitment, response, answers = entry
+                    try:
+                        commit_ok, pcp_result = self._verify_instance(
+                            setup, timer, sol, commitment, response, answers
+                        )
+                    except Exception as exc:  # noqa: BLE001 - one bad instance
+                        results.append(record_instance_failure(index, exc))
+                    else:
+                        results.append(
+                            InstanceResult(
+                                accepted=commit_ok and pcp_result.accepted,
+                                commitment_ok=commit_ok,
+                                pcp_ok=pcp_result.accepted,
+                                output_values=sol.output_values,
+                                prover_stats=prover_stats,
+                                index=index,
+                            )
+                        )
+                batch.prover_per_instance.append(prover_stats)
+            return BatchResult(instances=results, stats=batch)
         for index, input_values in enumerate(batch_inputs):
             prover_stats = ProverStats()
             try:
@@ -303,16 +461,9 @@ class ZaatarArgument:
                     sol, commitment, response, answers = self.prove_instance(
                         input_values, setup, prover_stats
                     )
-                with timer.phase("per_instance"):
-                    if self.config.use_commitment:
-                        commit_ok = commitment_verifier.verify(commitment, response)
-                        pcp_answers = answers[:-1]
-                    else:
-                        commit_ok = True
-                        pcp_answers = answers
-                    pcp_result = zaatar_pcp.check_answers(
-                        schedule, pcp_answers, sol.x, sol.y
-                    )
+                commit_ok, pcp_result = self._verify_instance(
+                    setup, timer, sol, commitment, response, answers
+                )
             except Exception as exc:  # noqa: BLE001 - one bad instance
                 # must not abort the rest of the batch
                 results.append(record_instance_failure(index, exc))

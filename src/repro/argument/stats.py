@@ -159,18 +159,51 @@ class BatchStats:
     def from_trace(cls, trace) -> "BatchStats":
         """Rebuild batch stats from a trace (``telemetry.Trace``).
 
-        Per-instance prover stats come from the ``prover.instance``
-        spans' subtrees; verifier stats from the ``verifier.*`` spans
-        anywhere in the trace.
+        Classic (sequential) traces nest every prover phase under a
+        ``prover.instance`` span, whose subtree is that instance's
+        stats.  Batched-prover traces (``prover.batch``) additionally
+        leave two kinds of span *outside* any instance subtree:
+
+        - ``prover.solve_constraints`` spans carrying an ``index``
+          attr — attributed to that instance directly;
+        - one ``prover.construct_u`` span carrying ``batch_size`` —
+          its clocks are an equal per-instance share, exactly the
+          ``cpu/B`` / ``wall/B`` amounts the live protocol adds, so
+          trace-derived stats still match the accumulated ones.
         """
-        instances = sorted(
-            trace.find("prover.instance"), key=lambda s: s.attrs.get("index", 0)
-        )
-        per_instance = [
-            ProverStats.from_spans(trace.subtree(span)) for span in instances
-        ]
+        by_index: dict[int, ProverStats] = {}
+        claimed: set[int] = set()
+        for span in trace.find("prover.instance"):
+            idx = span.attrs.get("index", len(by_index))
+            subtree = trace.subtree(span)
+            claimed.update(s.span_id for s in subtree)
+            by_index.setdefault(idx, ProverStats()).merge(
+                ProverStats.from_spans(subtree)
+            )
+        for span in trace.find("prover.solve_constraints"):
+            idx = span.attrs.get("index")
+            if span.span_id in claimed or idx is None:
+                continue
+            stats = by_index.setdefault(idx, ProverStats())
+            stats.solve_constraints += span.cpu_seconds
+            stats.wall["solve_constraints"] = (
+                stats.wall.get("solve_constraints", 0.0) + span.wall_seconds
+            )
+        for span in trace.find("prover.construct_u"):
+            bs = span.attrs.get("batch_size")
+            if span.span_id in claimed or not bs:
+                continue
+            cpu_share = span.cpu_seconds / bs
+            wall_share = span.wall_seconds / bs
+            for idx in range(bs):
+                stats = by_index.setdefault(idx, ProverStats())
+                stats.construct_u += cpu_share
+                stats.wall["construct_u"] = (
+                    stats.wall.get("construct_u", 0.0) + wall_share
+                )
+        per_instance = [by_index[idx] for idx in sorted(by_index)]
         return cls(
-            batch_size=len(instances),
+            batch_size=len(per_instance),
             prover_per_instance=per_instance,
             verifier=VerifierStats.from_spans(trace.spans),
         )
@@ -194,9 +227,15 @@ class PhaseTimer:
         self.component = component
 
     @contextmanager
-    def phase(self, attr: str):
-        """Time a block; add CPU seconds to ``attr`` and wall to ``wall``."""
-        span = telemetry.start_span(f"{self.component}.{attr}")
+    def phase(self, attr: str, **span_attrs):
+        """Time a block; add CPU seconds to ``attr`` and wall to ``wall``.
+
+        Extra keyword arguments become span attributes (e.g.
+        ``index=i`` on batched per-instance phases), which
+        ``BatchStats.from_trace`` uses to re-attribute spans that do
+        not sit inside a ``prover.instance`` subtree.
+        """
+        span = telemetry.start_span(f"{self.component}.{attr}", **span_attrs)
         start_wall = time.perf_counter()
         start_cpu = time.process_time()
         try:

@@ -135,10 +135,20 @@ def record_batch(
     schedule, commitment_verifier, _, _ = setup
     records: list[InstanceRecord] = []
     all_ok = True
-    for input_values in batch_inputs:
-        sol, commitment, response, answers = argument.prove_instance(
-            input_values, setup, ProverStats()
-        )
+    if argument.use_batch_prover(len(batch_inputs)):
+        # the batched prover produces byte-identical messages, so the
+        # resulting transcript is the same object either way — a prover
+        # error here is a recording failure, not an auditable rejection
+        entries = argument.prove_batch(batch_inputs, setup)
+        for entry in entries:
+            if isinstance(entry, Exception):
+                raise entry
+    else:
+        entries = [
+            argument.prove_instance(input_values, setup, ProverStats())
+            for input_values in batch_inputs
+        ]
+    for sol, commitment, response, answers in entries:
         records.append(
             InstanceRecord(
                 input_values=list(sol.input_values),

@@ -10,6 +10,7 @@ from .backend import (
     resolve_backend,
 )
 from .counting import CountingField, counting_field
+from .crt import MAX_CONV, PLANE_TWO_ADICITY, mat_polymul_crt
 from .element import FieldElement
 from .params import GOLDILOCKS, NAMED_FIELDS, P128, P192, P220, FieldParams, field_params
 from .prime_field import (
@@ -36,7 +37,10 @@ __all__ = [
     "CountingField",
     "FieldBackend",
     "HAVE_NUMPY",
+    "MAX_CONV",
     "NumpyBackend",
+    "PLANE_TWO_ADICITY",
+    "mat_polymul_crt",
     "ScalarBackend",
     "available_backends",
     "resolve_backend",

@@ -34,15 +34,30 @@ Requesting ``numpy`` without numpy installed degrades to scalar with a
 single warning, never an error, so the system imports and runs cleanly
 on minimal installs.
 
+Beyond the 1-D vector kernels, every backend exposes **2-D batch-axis
+kernels** (``mat_add`` … ``mat_ntt`` … ``mat_batch_inv``) operating on
+a ``batch × n`` matrix of rows at once — the shape of a Zaatar batch,
+where one fixed QAP proves many instances and the H(t) pipeline is
+SIMD across the *instance* axis.  The stacked NTT reuses one
+:class:`~repro.poly.plan.NTTPlan`'s cached twiddle/permutation arrays
+across all rows, and ``mat_batch_inv`` runs a single prefix/suffix
+scan over the flattened matrix (one modular inversion for the whole
+batch).  For the big 128/192/220-bit moduli, ``mat_polymul`` lifts
+batched polynomial products off the object-dtype slow path entirely
+via CRT residue planes (see ``repro.field.crt``).
+
 Every backend reports ``backend.<name>.calls`` / ``backend.<name>.elements``
 counters to telemetry, attributed to whichever kernel actually ran
 (a numpy backend that delegates a tiny vector to its scalar fallback
 ticks the scalar counters), so ``repro trace`` can show where the
-vector work landed.  When a metrics registry is bound (prover-server
-sessions — see ``repro.telemetry.metrics``), the same names tick live
-counters there too, giving ``repro top`` a per-backend element
-throughput series.  See docs/PERFORMANCE.md for the exactness
-argument and measured speedups.
+vector work landed.  The 2-D entry points additionally tick
+``backend.<name>.batch_calls`` / ``backend.<name>.batch_rows`` so
+batched work is distinguishable from an equal volume of 1-D calls.
+When a metrics registry is bound (prover-server sessions — see
+``repro.telemetry.metrics``), the same names tick live counters there
+too, giving ``repro top`` a per-backend element throughput series.
+See docs/PERFORMANCE.md for the exactness argument and measured
+speedups.
 """
 
 from __future__ import annotations
@@ -97,6 +112,8 @@ class FieldBackend:
         self.p = p
         self._calls_key = f"backend.{self.name}.calls"
         self._elems_key = f"backend.{self.name}.elements"
+        self._batch_calls_key = f"backend.{self.name}.batch_calls"
+        self._batch_rows_key = f"backend.{self.name}.batch_rows"
 
     def _tick(self, n: int) -> None:
         telemetry.count(self._calls_key)
@@ -105,6 +122,27 @@ class FieldBackend:
         if registry is not None:
             registry.inc(self._calls_key)
             registry.inc(self._elems_key, n)
+
+    def _tick_batch(self, rows: int, elems: int) -> None:
+        telemetry.count(self._batch_calls_key)
+        telemetry.count(self._batch_rows_key, rows)
+        telemetry.count(self._elems_key, elems)
+        registry = _metrics.active()
+        if registry is not None:
+            registry.inc(self._batch_calls_key)
+            registry.inc(self._batch_rows_key, rows)
+            registry.inc(self._elems_key, elems)
+
+    def mat_polymul(self, rows_a, rows_b):
+        """Batched per-row polynomial products, or None.
+
+        Returns ``rows_a[i] * rows_b[i]`` (full, untrimmed convolution
+        of length ``len(a_i) + len(b_i) - 1``) for every row when this
+        backend has a fast path for the shape, else ``None`` — callers
+        fall back to the transform/poly_mul route.  Inputs must be
+        canonical.  The base implementation has no fast path.
+        """
+        return None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}(p={self.p:#x})"
@@ -171,7 +209,9 @@ class ScalarBackend(FieldBackend):
         n = len(values)
         prefix = [1] * (n + 1)
         for i, v in enumerate(values):
-            if v == 0:
+            # v ≡ 0 (mod p) must fail the same way literal 0 does, even
+            # when v is a non-canonical multiple of p
+            if v % p == 0:
                 raise ZeroDivisionError("batch_inv of 0")
             prefix[i + 1] = prefix[i] * v % p
         inv_all = pow(prefix[n], -1, p)
@@ -185,6 +225,85 @@ class ScalarBackend(FieldBackend):
         """Run the plan's pure-Python in-place butterflies."""
         self._tick(plan.n)
         return plan.inverse(a) if invert else plan.forward(a)
+
+    # -- 2-D batch-axis kernels (the semantic reference) -----------------------
+    #
+    # Each mat_* result equals the corresponding vec_* applied per row
+    # (and mat_batch_inv equals batch_inv of the flattened matrix,
+    # reshaped); the numpy backend's 2-D kernels must match these
+    # bit-for-bit on canonical inputs.
+
+    def _mat_elems(self, rows) -> int:
+        return sum(len(r) for r in rows)
+
+    def mat_add(self, a, b) -> list[list[int]]:
+        """Row-wise componentwise sum."""
+        self._tick_batch(len(a), self._mat_elems(a))
+        p = self.p
+        return [[(x + y) % p for x, y in zip(ra, rb)] for ra, rb in zip(a, b)]
+
+    def mat_sub(self, a, b) -> list[list[int]]:
+        """Row-wise componentwise difference."""
+        self._tick_batch(len(a), self._mat_elems(a))
+        p = self.p
+        return [[(x - y) % p for x, y in zip(ra, rb)] for ra, rb in zip(a, b)]
+
+    def mat_hadamard(self, a, b) -> list[list[int]]:
+        """Row-wise componentwise product."""
+        self._tick_batch(len(a), self._mat_elems(a))
+        p = self.p
+        return [[x * y % p for x, y in zip(ra, rb)] for ra, rb in zip(a, b)]
+
+    def mat_addmul(self, a, c, b) -> list[list[int]]:
+        """Row-wise a + c·b."""
+        self._tick_batch(len(a), self._mat_elems(a))
+        p = self.p
+        return [[(x + c * y) % p for x, y in zip(ra, rb)] for ra, rb in zip(a, b)]
+
+    def mat_inner_product(self, a, b) -> list[int]:
+        """One lazily-reduced dot product per row."""
+        self._tick_batch(len(a), self._mat_elems(a))
+        p = self.p
+        out = []
+        for ra, rb in zip(a, b):
+            acc = 0
+            for x, y in zip(ra, rb):
+                acc += x * y
+            out.append(acc % p)
+        return out
+
+    def mat_batch_inv(self, rows) -> list[list[int]]:
+        """Montgomery inversion over the flattened matrix: ONE real
+        inversion for the whole batch, then reshape."""
+        self._tick_batch(len(rows), self._mat_elems(rows))
+        flat: list[int] = []
+        for row in rows:
+            flat.extend(row)
+        p = self.p
+        n = len(flat)
+        prefix = [1] * (n + 1)
+        for i, v in enumerate(flat):
+            if v % p == 0:
+                raise ZeroDivisionError("batch_inv of 0")
+            prefix[i + 1] = prefix[i] * v % p
+        inv_all = pow(prefix[n], -1, p)
+        inv_flat = [0] * n
+        for i in range(n - 1, -1, -1):
+            inv_flat[i] = prefix[i] * inv_all % p
+            inv_all = inv_all * flat[i] % p
+        out: list[list[int]] = []
+        pos = 0
+        for row in rows:
+            out.append(inv_flat[pos : pos + len(row)])
+            pos += len(row)
+        return out
+
+    def mat_ntt(self, plan, rows, invert: bool) -> list[list[int]]:
+        """Per-row plan butterflies (rows transformed independently)."""
+        self._tick_batch(len(rows), len(rows) * plan.n)
+        if invert:
+            return [plan.inverse(list(row)) for row in rows]
+        return [plan.forward(list(row)) for row in rows]
 
 
 # -- numpy kernels --------------------------------------------------------------
@@ -202,6 +321,8 @@ class _U64KernelBase:
 
     supports_ntt = True
     supports_batch_inv = True
+    supports_mat_ntt = True
+    supports_mat_batch_inv = True
 
     def __init__(self, p: int):
         self.p = p
@@ -225,6 +346,29 @@ class _U64KernelBase:
         if not 0 <= c < 2**64:
             raise _ScalarFallback()
         return _np.uint64(c)
+
+    def _canon(self, arr):
+        """One conditional subtraction, [0, 2p) → [0, p).
+
+        Every loadable uint64 value lies below 2p for these kernels
+        (Goldilocks has 2p > 2^64; the small-modulus kernel only loads
+        canonical values), so this fully canonicalizes inputs that are
+        ≡ 0 (mod p) without being the literal zero — the case the zero
+        guard in :meth:`batch_inv` must catch.
+        """
+        return arr - self.pu * (arr >= self.pu).astype(_np.uint64)
+
+    def _load_mat(self, rows, *, canonical: bool):
+        """List of equal-length rows → (batch × n) uint64 array."""
+        try:
+            arr = _np.asarray(rows, dtype=_np.uint64)
+        except (OverflowError, TypeError, ValueError) as exc:
+            raise _ScalarFallback() from exc
+        if arr.ndim != 2:
+            raise _ScalarFallback()
+        if canonical and arr.size and bool((arr >= self.pu).any()):
+            raise _ScalarFallback()
+        return arr
 
     # -- elementwise ----------------------------------------------------------
 
@@ -284,10 +428,8 @@ class _U64KernelBase:
             shift <<= 1
         return out
 
-    def batch_inv(self, values):
-        arr = self._load(values, canonical=False)
-        if bool((arr == 0).any()):
-            raise ZeroDivisionError("batch_inv of 0")
+    def _inv_scan(self, arr):
+        """Vectorized Montgomery inversion of a 1-D canonical array."""
         n = arr.size
         inclusive = self._scan_products(arr)
         total = int(inclusive[-1])
@@ -300,8 +442,16 @@ class _U64KernelBase:
         suffix[-1] = 1
         if n > 1:
             suffix[:-1] = self._scan_products(arr[::-1])[:-1][::-1]
-        out = self.mulmod(self.mulmod(prefix, suffix), inv_total)
-        return out.tolist()
+        return self.mulmod(self.mulmod(prefix, suffix), inv_total)
+
+    def batch_inv(self, values):
+        # canonicalize BEFORE the zero guard: an input ≡ 0 (mod p) that
+        # is not the literal 0 (e.g. p itself, for Goldilocks) must
+        # raise ZeroDivisionError exactly like the scalar kernel does
+        arr = self._canon(self._load(values, canonical=False))
+        if bool((arr == 0).any()):
+            raise ZeroDivisionError("batch_inv of 0")
+        return self._inv_scan(arr).tolist()
 
     # -- transforms -----------------------------------------------------------
 
@@ -318,8 +468,10 @@ class _U64KernelBase:
                 "inv_last": _np.asarray(plan._inv_last, dtype=_np.uint64),
                 "n_inv": _np.uint64(plan.n_inv),
             }
-            # benign race: identical dict, last writer wins
-            plan.np_scratch["u64"] = scratch
+            # build fully, then publish: setdefault keeps the first
+            # complete dict when two sessions race, so no reader can
+            # ever observe a partially-populated scratch
+            scratch = plan.np_scratch.setdefault("u64", scratch)
         return scratch
 
     def _butterflies(self, a, tables) -> None:
@@ -331,19 +483,94 @@ class _U64KernelBase:
             view[:, :h] = self.addmod(u, v)
             view[:, h:] = self.submod(u, v)
 
-    def ntt(self, plan, values, invert: bool) -> list[int]:
+    def _transform(self, plan, a, invert: bool):
+        """Plan butterflies over the last axis of ``a`` (a 1-D vector or
+        a 2-D row-stack), in place.  ``_butterflies``'s
+        ``reshape(-1, 2h)`` never mixes rows because every row length is
+        a multiple of ``2h`` at every level."""
         scratch = self._scratch(plan)
-        a = self._load(values, canonical=True)[scratch["perm"]]
         if not invert:
             self._butterflies(a, scratch["fwd"])
         else:
             self._butterflies(a, scratch["inv_head"])
             half = plan.n >> 1
-            u = self.mulmod(a[:half], scratch["n_inv"])
-            v = self.mulmod(a[half:], scratch["inv_last"])
-            a[:half] = self.addmod(u, v)
-            a[half:] = self.submod(u, v)
-        return a.tolist()
+            u = self.mulmod(a[..., :half], scratch["n_inv"])
+            v = self.mulmod(a[..., half:], scratch["inv_last"])
+            a[..., :half] = self.addmod(u, v)
+            a[..., half:] = self.submod(u, v)
+        return a
+
+    def ntt(self, plan, values, invert: bool) -> list[int]:
+        a = self._load(values, canonical=True)[self._scratch(plan)["perm"]]
+        return self._transform(plan, a, invert).tolist()
+
+    # -- 2-D batch-axis kernels -----------------------------------------------
+
+    def mat_add(self, a, b):
+        return self.addmod(
+            self._load_mat(a, canonical=True), self._load_mat(b, canonical=True)
+        ).tolist()
+
+    def mat_sub(self, a, b):
+        return self.submod(
+            self._load_mat(a, canonical=True), self._load_mat(b, canonical=True)
+        ).tolist()
+
+    def mat_hadamard(self, a, b):
+        return self.mulmod(
+            self._load_mat(a, canonical=False), self._load_mat(b, canonical=False)
+        ).tolist()
+
+    def mat_addmul(self, a, c, b):
+        prod = self.mulmod(self._load_mat(b, canonical=False), self._scalar_operand(c))
+        return self.addmod(self._load_mat(a, canonical=True), prod).tolist()
+
+    def _row_split_sums(self, x) -> list[int]:
+        """Exact per-row Σ of a 2-D uint64 array, as Python ints: the
+        32-bit halves are summed separately (each stays below 2^64 for
+        any realistic row length) and recombined without overflow."""
+        hi = (x >> self.s32).sum(axis=1)
+        lo = (x & self.m32).sum(axis=1)
+        return [(h << 32) + l for h, l in zip(hi.tolist(), lo.tolist())]
+
+    def mat_inner_product(self, a, b) -> list[int]:
+        av = self._load_mat(a, canonical=False)
+        bv = self._load_mat(b, canonical=False)
+        if av.shape[1] == 0:
+            return [0] * av.shape[0]
+        # per-row version of the four 32×32 partial-product sums
+        a0 = av & self.m32
+        a1 = av >> self.s32
+        b0 = bv & self.m32
+        b1 = bv >> self.s32
+        s00 = self._row_split_sums(a0 * b0)
+        s01 = self._row_split_sums(a0 * b1)
+        s10 = self._row_split_sums(a1 * b0)
+        s11 = self._row_split_sums(a1 * b1)
+        p = self.p
+        return [
+            (x00 + ((x01 + x10) << 32) + (x11 << 64)) % p
+            for x00, x01, x10, x11 in zip(s00, s01, s10, s11)
+        ]
+
+    def mat_batch_inv(self, rows):
+        # one flattened prefix/suffix scan — ONE modular inversion for
+        # the whole batch — then reshape back to rows
+        arr = self._canon(self._load_mat(rows, canonical=False))
+        if bool((arr == 0).any()):
+            raise ZeroDivisionError("batch_inv of 0")
+        return self._inv_scan(arr.reshape(-1)).reshape(arr.shape).tolist()
+
+    def mat_ntt(self, plan, rows, invert: bool):
+        scratch = self._scratch(plan)
+        arr = self._load_mat(rows, canonical=True)
+        if arr.shape[1] != plan.n:
+            raise _ScalarFallback()
+        # ascontiguousarray: column fancy-indexing yields a non-C-order
+        # array, and _butterflies' reshape must be a view (its writes
+        # are in place)
+        a = _np.ascontiguousarray(arr[:, scratch["perm"]])
+        return self._transform(plan, a, invert).tolist()
 
 
 class _GoldilocksKernel(_U64KernelBase):
@@ -408,6 +635,9 @@ class _Small64Kernel(_U64KernelBase):
         # *every* op needs the canonical check here
         return super()._load(values, canonical=True)
 
+    def _load_mat(self, rows, *, canonical: bool):
+        return super()._load_mat(rows, canonical=True)
+
     def _scalar_operand(self, c: int):
         if not 0 <= c < self.p:
             raise _ScalarFallback()
@@ -430,6 +660,13 @@ class _Small64Kernel(_U64KernelBase):
         # both operands below 2^32, so the plain product never wraps
         return self._split_sum(av * bv) % self.p
 
+    def mat_inner_product(self, a, b) -> list[int]:
+        av = self._load_mat(a, canonical=True)
+        bv = self._load_mat(b, canonical=True)
+        if av.shape[1] == 0:
+            return [0] * av.shape[0]
+        return [s % self.p for s in self._row_split_sums(av * bv)]
+
 
 class _ObjectKernel:
     """Chunked big-int kernel for the 128/192/220-bit moduli.
@@ -437,13 +674,19 @@ class _ObjectKernel:
     ``object``-dtype arrays keep the per-element dispatch loop in C
     while the arithmetic stays arbitrary-precision Python ints, and
     fixed-size chunks bound the transient allocation on long vectors.
-    Transforms and the (inherently sequential) batch-inversion scan
-    stay on the scalar kernels — for big moduli the big-int multiply
-    dominates and vectorizing the loop shell buys little there.
+    The (inherently sequential) 1-D batch-inversion scan stays on the
+    scalar kernels — for big moduli the big-int multiply dominates and
+    vectorizing the loop shell buys little there.  Transforms run the
+    plan's butterfly schedule over object arrays (cached object-dtype
+    twiddles in ``plan.np_scratch["obj"]``): one C-level dispatch per
+    level instead of one per butterfly, which is what makes the *2-D*
+    stacked transform worthwhile for a whole batch of rows at once.
     """
 
-    supports_ntt = False
+    supports_ntt = True
     supports_batch_inv = False
+    supports_mat_ntt = True
+    supports_mat_batch_inv = False
 
     #: elements per chunk; big-int entries make huge arrays expensive
     CHUNK = 8192
@@ -494,6 +737,104 @@ class _ObjectKernel:
             xb = _np.asarray(b[lo:hi], dtype=object)
             acc += int((xa * xb).sum())
         return acc % self.p
+
+    # -- transforms -----------------------------------------------------------
+
+    def _scratch(self, plan):
+        scratch = plan.np_scratch.get("obj")
+        if scratch is None:
+            perm = _np.arange(plan.n)
+            for i, j in plan.swaps:
+                perm[i], perm[j] = perm[j], perm[i]
+            scratch = {
+                "perm": perm,
+                "fwd": [_np.asarray(t, dtype=object) for t in plan.fwd],
+                "inv_head": [_np.asarray(t, dtype=object) for t in plan._inv_head],
+                "inv_last": _np.asarray(plan._inv_last, dtype=object),
+                "n_inv": plan.n_inv,
+            }
+            # build fully, then publish (same no-torn-reads discipline
+            # as the uint64 scratch)
+            scratch = plan.np_scratch.setdefault("obj", scratch)
+        return scratch
+
+    def _butterflies(self, a, tables) -> None:
+        # same level order and formulas as plan.forward/inverse, so the
+        # resulting canonical integers are bit-identical to the scalar
+        # butterflies; reshape(-1, 2h) never mixes rows (row length is
+        # a multiple of 2h at every level)
+        p = self.p
+        for tw in tables:
+            h = tw.size
+            view = a.reshape(-1, 2 * h)
+            u = view[:, :h].copy()
+            v = (view[:, h:] * tw) % p
+            view[:, :h] = (u + v) % p
+            view[:, h:] = (u - v) % p
+
+    def _transform(self, plan, a, invert: bool):
+        scratch = self._scratch(plan)
+        if not invert:
+            self._butterflies(a, scratch["fwd"])
+        else:
+            self._butterflies(a, scratch["inv_head"])
+            half = plan.n >> 1
+            p = self.p
+            u = (a[..., :half] * scratch["n_inv"]) % p
+            v = (a[..., half:] * scratch["inv_last"]) % p
+            a[..., :half] = (u + v) % p
+            a[..., half:] = (u - v) % p
+        return a
+
+    def ntt(self, plan, values, invert: bool) -> list[int]:
+        a = _np.asarray(values, dtype=object)[self._scratch(plan)["perm"]]
+        return self._transform(plan, a, invert).tolist()
+
+    # -- 2-D batch-axis kernels -----------------------------------------------
+
+    def _rows_per_chunk(self, n: int) -> int:
+        return max(1, self.CHUNK // max(1, n))
+
+    def _mat_binary(self, a, b, op) -> list[list[int]]:
+        out: list[list[int]] = []
+        step = self._rows_per_chunk(len(a[0]) if a else 0)
+        for lo in range(0, len(a), step):
+            xa = _np.asarray(a[lo : lo + step], dtype=object)
+            xb = _np.asarray(b[lo : lo + step], dtype=object)
+            out.extend((op(xa, xb) % self.p).tolist())
+        return out
+
+    def mat_add(self, a, b):
+        return self._mat_binary(a, b, lambda x, y: x + y)
+
+    def mat_sub(self, a, b):
+        return self._mat_binary(a, b, lambda x, y: x - y)
+
+    def mat_hadamard(self, a, b):
+        return self._mat_binary(a, b, lambda x, y: x * y)
+
+    def mat_addmul(self, a, c, b):
+        return self._mat_binary(a, b, lambda x, y: x + y * c)
+
+    def mat_inner_product(self, a, b) -> list[int]:
+        out: list[int] = []
+        step = self._rows_per_chunk(len(a[0]) if a else 0)
+        for lo in range(0, len(a), step):
+            xa = _np.asarray(a[lo : lo + step], dtype=object)
+            xb = _np.asarray(b[lo : lo + step], dtype=object)
+            out.extend(int(s) % self.p for s in (xa * xb).sum(axis=1))
+        return out
+
+    def mat_ntt(self, plan, rows, invert: bool):
+        scratch = self._scratch(plan)
+        if any(len(row) != plan.n for row in rows):
+            raise _ScalarFallback()
+        arr = _np.empty((len(rows), plan.n), dtype=object)
+        for i, row in enumerate(rows):
+            arr[i] = row
+        # C-order required: _butterflies' reshape must stay a view
+        a = _np.ascontiguousarray(arr[:, scratch["perm"]])
+        return self._transform(plan, a, invert).tolist()
 
 
 def _kernel_for(p: int):
@@ -603,6 +944,115 @@ class NumpyBackend(FieldBackend):
         except _ScalarFallback:
             return self.scalar.ntt(plan, a, invert)
         self._tick(plan.n)
+        return result
+
+    # -- 2-D batch-axis entry points ------------------------------------------
+
+    @staticmethod
+    def _rect(rows):
+        """Total element count when all rows have equal length, else None
+        (the numpy kernels need a rectangular matrix; the scalar
+        reference handles anything)."""
+        if not rows:
+            return 0
+        n = len(rows[0])
+        for row in rows:
+            if len(row) != n:
+                return None
+        return n * len(rows)
+
+    def _dispatch_mat(self, rows, kernel_op, scalar_op):
+        elems = self._rect(rows)
+        if elems is None or elems < self.MIN_VECTOR:
+            return scalar_op()
+        try:
+            result = kernel_op()
+        except _ScalarFallback:
+            return scalar_op()
+        self._tick_batch(len(rows), elems)
+        return result
+
+    def mat_add(self, a, b):
+        """Row-wise sums in one 2-D kernel call."""
+        return self._dispatch_mat(
+            a, lambda: self.kernel.mat_add(a, b), lambda: self.scalar.mat_add(a, b)
+        )
+
+    def mat_sub(self, a, b):
+        """Row-wise differences in one 2-D kernel call."""
+        return self._dispatch_mat(
+            a, lambda: self.kernel.mat_sub(a, b), lambda: self.scalar.mat_sub(a, b)
+        )
+
+    def mat_hadamard(self, a, b):
+        """Row-wise componentwise products in one 2-D kernel call."""
+        return self._dispatch_mat(
+            a,
+            lambda: self.kernel.mat_hadamard(a, b),
+            lambda: self.scalar.mat_hadamard(a, b),
+        )
+
+    def mat_addmul(self, a, c, b):
+        """Row-wise a + c·b in one 2-D kernel call."""
+        return self._dispatch_mat(
+            a,
+            lambda: self.kernel.mat_addmul(a, c, b),
+            lambda: self.scalar.mat_addmul(a, c, b),
+        )
+
+    def mat_inner_product(self, a, b):
+        """One dot product per row, via per-row limb-split sums."""
+        return self._dispatch_mat(
+            a,
+            lambda: self.kernel.mat_inner_product(a, b),
+            lambda: self.scalar.mat_inner_product(a, b),
+        )
+
+    def mat_batch_inv(self, rows):
+        """One flattened Montgomery scan for the whole matrix."""
+        elems = self._rect(rows)
+        if (
+            elems is None
+            or elems < self.MIN_VECTOR
+            or not self.kernel.supports_mat_batch_inv
+        ):
+            return self.scalar.mat_batch_inv(rows)
+        try:
+            result = self.kernel.mat_batch_inv(rows)
+        except _ScalarFallback:
+            return self.scalar.mat_batch_inv(rows)
+        self._tick_batch(len(rows), elems)
+        return result
+
+    def mat_ntt(self, plan, rows, invert):
+        """Stacked transforms sharing one plan's cached twiddles."""
+        if not rows or not self.kernel.supports_mat_ntt or plan.n < self.MIN_NTT:
+            return self.scalar.mat_ntt(plan, rows, invert)
+        try:
+            result = self.kernel.mat_ntt(plan, rows, invert)
+        except _ScalarFallback:
+            return self.scalar.mat_ntt(plan, rows, invert)
+        self._tick_batch(len(rows), len(rows) * plan.n)
+        return result
+
+    def mat_polymul(self, rows_a, rows_b):
+        """CRT residue-plane batched convolution for the big moduli.
+
+        Splits each row into k uint64 residue planes modulo 31-bit NTT
+        primes, convolves every plane with stacked uint64 transforms,
+        and reconstructs exact integer convolutions via Garner/CRT —
+        bit-identical to per-row ``poly_mul`` (see ``repro.field.crt``).
+        Returns None (no fast path) for moduli that already have native
+        uint64 transforms, or shapes the CRT path cannot cover.
+        """
+        if not isinstance(self.kernel, _ObjectKernel):
+            return None
+        from .crt import mat_polymul_crt
+
+        result = mat_polymul_crt(self.p, rows_a, rows_b)
+        if result is not None:
+            elems = sum(len(r) for r in rows_a) + sum(len(r) for r in rows_b)
+            self._tick_batch(len(rows_a), elems)
         return result
 
 

@@ -144,6 +144,67 @@ class CountingField(PrimeField):
         telemetry.count("field.add", n * levels)
         return super().transform(plan, values, invert)
 
+    # -- 2-D batch-axis kernels ----------------------------------------------
+    #
+    # Same rule: the canonical per-element cost, independent of whether
+    # the backend ran one fused array program or B separate rows.
+
+    @staticmethod
+    def _mat_elems(rows) -> int:
+        return sum(len(row) for row in rows)
+
+    def mat_add(self, a, b) -> list[list[int]]:
+        """Row-wise sums: one ``field.add`` per element."""
+        telemetry.count("field.add", self._mat_elems(a))
+        return super().mat_add(a, b)
+
+    def mat_sub(self, a, b) -> list[list[int]]:
+        """Row-wise differences: one ``field.add`` per element."""
+        telemetry.count("field.add", self._mat_elems(a))
+        return super().mat_sub(a, b)
+
+    def mat_hadamard(self, a, b) -> list[list[int]]:
+        """Row-wise products: one ``field.mul`` per element."""
+        telemetry.count("field.mul", self._mat_elems(a))
+        return super().mat_hadamard(a, b)
+
+    def mat_addmul(self, a, c: int, b) -> list[list[int]]:
+        """Row-wise a + c·b: one mul and one add per element."""
+        elems = self._mat_elems(a)
+        telemetry.count("field.mul", elems)
+        telemetry.count("field.add", elems)
+        return super().mat_addmul(a, c, b)
+
+    def mat_inner_product(self, a, b) -> list[int]:
+        """Per-row inner products: one mul and one add per element."""
+        elems = self._mat_elems(a)
+        telemetry.count("field.mul", elems)
+        telemetry.count("field.add", elems)
+        return super().mat_inner_product(a, b)
+
+    def mat_batch_inv(self, rows) -> list[list[int]]:
+        """Flattened Montgomery scan: 3n muls + ONE real inversion."""
+        telemetry.count("field.mul", 3 * self._mat_elems(rows))
+        telemetry.count("field.inv")
+        return super().mat_batch_inv(rows)
+
+    def mat_transform(self, plan, rows, invert: bool = False) -> list[list[int]]:
+        """B stacked transforms cost B × the 1-D transform."""
+        n = plan.n
+        levels = n.bit_length() - 1
+        batch = len(rows)
+        telemetry.count(
+            "field.mul", batch * ((n >> 1) * levels + (n if invert else 0))
+        )
+        telemetry.count("field.add", batch * n * levels)
+        return super().mat_transform(plan, rows, invert)
+
+    def mat_polymul(self, rows_a, rows_b):
+        """No fast path under counting: the CRT route's residue-plane
+        op mix has no canonical ``field.*`` equivalent, so counting
+        runs always take the transform/poly_mul route it replaces."""
+        return None
+
 
 def counting_field(base: PrimeField) -> CountingField:
     """A counting twin of ``base`` (same modulus, name, NTT structure)."""

@@ -254,6 +254,75 @@ class PrimeField:
         """
         return self.backend.ntt(plan, values, invert)
 
+    # -- 2-D batch-axis entry points -----------------------------------------
+    #
+    # The mat_* family operates on a batch × n matrix of rows at once —
+    # the shape of a Zaatar batch, where one fixed QAP proves many
+    # instances.  Semantics are exactly the corresponding vec_* op
+    # applied per row (and mat_batch_inv is batch_inv of the flattened
+    # matrix); backends may execute the whole matrix as one array
+    # program (see repro.field.backend).
+
+    def _require_same_shape(self, a, b) -> None:
+        if len(a) != len(b):
+            raise ValueError(f"batch size mismatch: {len(a)} vs {len(b)}")
+        for i, (ra, rb) in enumerate(zip(a, b)):
+            if len(ra) != len(rb):
+                raise ValueError(f"row {i} length mismatch: {len(ra)} vs {len(rb)}")
+
+    def mat_add(self, a, b) -> list[list[int]]:
+        """Row-wise componentwise sums (fully reduced)."""
+        self._require_same_shape(a, b)
+        return self.backend.mat_add(a, b)
+
+    def mat_sub(self, a, b) -> list[list[int]]:
+        """Row-wise componentwise differences (fully reduced)."""
+        self._require_same_shape(a, b)
+        return self.backend.mat_sub(a, b)
+
+    def mat_hadamard(self, a, b) -> list[list[int]]:
+        """Row-wise componentwise products (fully reduced)."""
+        self._require_same_shape(a, b)
+        return self.backend.mat_hadamard(a, b)
+
+    def mat_addmul(self, a, c: int, b) -> list[list[int]]:
+        """Row-wise a + c·b with one shared scalar c."""
+        self._require_same_shape(a, b)
+        return self.backend.mat_addmul(a, c, b)
+
+    def mat_inner_product(self, a, b) -> list[int]:
+        """One inner product per row pair."""
+        self._require_same_shape(a, b)
+        return self.backend.mat_inner_product(a, b)
+
+    def mat_batch_inv(self, rows) -> list[list[int]]:
+        """Elementwise inverses of a whole matrix: one real inversion
+        (Montgomery's trick over the flattened matrix)."""
+        return self.backend.mat_batch_inv(rows)
+
+    def mat_transform(self, plan, rows, invert: bool = False) -> list[list[int]]:
+        """Run one :class:`~repro.poly.plan.NTTPlan` over every row.
+
+        All rows must have length ``plan.n``.  Backends share the
+        plan's cached twiddle/permutation arrays across rows, so a
+        whole batch of transforms is one array program.
+        """
+        return self.backend.mat_ntt(plan, rows, invert)
+
+    def mat_polymul(self, rows_a, rows_b):
+        """Batched per-row polynomial products, or None.
+
+        ``rows_a[i] * rows_b[i]`` as full untrimmed convolutions when
+        the backend has a dedicated fast path (the CRT residue-plane
+        route for big moduli), else None — callers fall back to
+        transforms or per-row ``poly_mul``.
+        """
+        if len(rows_a) != len(rows_b):
+            raise ValueError(
+                f"batch size mismatch: {len(rows_a)} vs {len(rows_b)}"
+            )
+        return self.backend.mat_polymul(rows_a, rows_b)
+
     # -- randomness ----------------------------------------------------------
 
     def random_element(self, rng: random.Random) -> int:
@@ -410,6 +479,57 @@ class CheckedPrimeField(PrimeField):
         """Checked transform; raises on any non-canonical entry."""
         self._require_canonical(*values)
         return super().transform(plan, values, invert)
+
+    def _require_canonical_rows(self, rows) -> None:
+        for row in rows:
+            self._require_canonical(*row)
+
+    def mat_add(self, a, b) -> list[list[int]]:
+        """Checked row-wise sums; raises on any non-canonical entry."""
+        self._require_canonical_rows(a)
+        self._require_canonical_rows(b)
+        return super().mat_add(a, b)
+
+    def mat_sub(self, a, b) -> list[list[int]]:
+        """Checked row-wise differences; raises on any non-canonical entry."""
+        self._require_canonical_rows(a)
+        self._require_canonical_rows(b)
+        return super().mat_sub(a, b)
+
+    def mat_hadamard(self, a, b) -> list[list[int]]:
+        """Checked row-wise products; raises on any non-canonical entry."""
+        self._require_canonical_rows(a)
+        self._require_canonical_rows(b)
+        return super().mat_hadamard(a, b)
+
+    def mat_addmul(self, a, c: int, b) -> list[list[int]]:
+        """Checked row-wise a + c·b; raises on any non-canonical entry."""
+        self._require_canonical(c)
+        self._require_canonical_rows(a)
+        self._require_canonical_rows(b)
+        return super().mat_addmul(a, c, b)
+
+    def mat_inner_product(self, a, b) -> list[int]:
+        """Checked per-row inner products; raises on any non-canonical entry."""
+        self._require_canonical_rows(a)
+        self._require_canonical_rows(b)
+        return super().mat_inner_product(a, b)
+
+    def mat_batch_inv(self, rows) -> list[list[int]]:
+        """Checked matrix inversion; raises on any non-canonical entry."""
+        self._require_canonical_rows(rows)
+        return super().mat_batch_inv(rows)
+
+    def mat_transform(self, plan, rows, invert: bool = False) -> list[list[int]]:
+        """Checked stacked transform; raises on any non-canonical entry."""
+        self._require_canonical_rows(rows)
+        return super().mat_transform(plan, rows, invert)
+
+    def mat_polymul(self, rows_a, rows_b):
+        """Checked batched convolution; raises on any non-canonical entry."""
+        self._require_canonical_rows(rows_a)
+        self._require_canonical_rows(rows_b)
+        return super().mat_polymul(rows_a, rows_b)
 
 
 def checked_field(base: PrimeField) -> CheckedPrimeField:

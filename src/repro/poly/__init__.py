@@ -1,5 +1,6 @@
 """Polynomial algebra substrate (dense polys, NTT, fast division, interpolation)."""
 
+from .batch import mat_interpolate_at_roots_of_unity, mat_poly_mul, pad_rows
 from .dense import (
     degree,
     is_zero,
@@ -47,8 +48,11 @@ __all__ = [
     "interpolate_lagrange_naive",
     "intt",
     "is_zero",
+    "mat_interpolate_at_roots_of_unity",
+    "mat_poly_mul",
     "max_ntt_size",
     "mul_strategy",
+    "pad_rows",
     "ntt",
     "ntt_mul",
     "ntt_reference",

@@ -66,11 +66,15 @@ class NTTPlan:
 
     The integer tables never mutate after ``__init__``, so plans are
     safe to share across threads and forked workers.  ``np_scratch`` is
-    the one lazily-filled slot: vector backends (``repro.field.backend``)
-    cache their array-typed views of the tables there, keyed by kernel
-    kind.  Each entry is a pure function of the immutable tables and is
-    built idempotently, so a racing double-build is benign (last writer
-    wins with an identical value).
+    the one lazily-filled slot: vector backends (``repro.field.backend``
+    and the CRT planes in ``repro.field.crt``) cache their array-typed
+    views of the tables there, keyed by kernel kind.  Each entry is a
+    pure function of the immutable tables, and builders follow a
+    build-fully-then-publish discipline: the complete entry is
+    constructed locally and installed with ``dict.setdefault``, so a
+    concurrent reader can never observe a partially-built entry and a
+    racing double-build keeps the first complete value (the losers'
+    identical copies are discarded).
     """
 
     __slots__ = (

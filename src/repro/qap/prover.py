@@ -23,9 +23,14 @@ from typing import Sequence
 from .. import telemetry
 from ..poly import (
     interpolate_at_roots_of_unity,
+    mat_interpolate_at_roots_of_unity,
+    mat_poly_mul,
+    max_ntt_size,
+    pad_rows,
     poly_div_exact,
     poly_mul,
     poly_sub,
+    trim,
 )
 from ..poly.divide import _NEWTON_CUTOFF
 from .qap import QAPInstance
@@ -139,6 +144,136 @@ def _divide_by_subgroup_vanishing(field, p_w: list[int], m: int) -> list[int]:
                 "(witness does not satisfy the constraints?)"
             )
     return h
+
+
+def _mat_divide_by_subgroup_vanishing(field, p_rows, m: int):
+    """Batched telescoped division of every row by t^m − 1.
+
+    For deg(P) ≤ 2m − 1 the recurrence h_{k−m} = p_k + h_k collapses:
+    every h index on the right is ≥ m, where h vanishes, so the
+    quotient is literally ``P[m:2m]`` and the remainder condition is
+    ``P[:m] + P[m:2m] ≡ 0`` — one batched add and a zero test instead
+    of a per-coefficient walk.  Returns one length-m quotient row (the
+    true quotient plus trailing zeros) per input row; a row that fails
+    the remainder check yields the exact ``ValueError`` the scalar
+    :func:`_divide_by_subgroup_vanishing` raises for it (failure
+    isolation — one bad witness never poisons its batchmates).
+    """
+    width = 2 * m
+    padded = pad_rows(p_rows, width)
+    heads = [row[:m] for row in padded]
+    tails = [row[m:] for row in padded]
+    checks = field.mat_add(heads, tails)
+    out: list = []
+    for i, check in enumerate(checks):
+        if any(check):
+            # re-run the scalar division for the row to reproduce its
+            # exact exception (deg < m vs nonzero-remainder message)
+            try:
+                _divide_by_subgroup_vanishing(field, trim(list(p_rows[i])), m)
+            except ValueError as exc:
+                out.append(exc)
+                continue
+            raise AssertionError(
+                "batched remainder check disagreed with scalar division"
+            )  # pragma: no cover - the two are algebraically identical
+        out.append(tails[i])
+    return out
+
+
+def _compute_h_rows_sequential(qap: QAPInstance, witnesses):
+    """Per-witness fallback: ``compute_h`` each row, capturing failures."""
+    out: list = []
+    for w in witnesses:
+        try:
+            out.append(compute_h(qap, w))
+        except ValueError as exc:
+            out.append(exc)
+    return out
+
+
+def compute_h_batch(qap: QAPInstance, witnesses: Sequence[Sequence[int]]) -> list:
+    """H_w(t) rows for many witnesses against one fixed QAP.
+
+    The batch-axis twin of :func:`compute_h`: the interpolate/multiply/
+    divide pipeline runs as stacked 2-D kernels (one plan, one array
+    program per step — see ``repro.poly.batch``), and each returned
+    entry is either the padded coefficient list ``compute_h`` returns
+    for that witness or the ``ValueError`` it raises (failure
+    isolation).  Results are bit-identical to the sequential route;
+    ``tests/qap/test_prover.py`` pins this per mode.
+    """
+    batch = len(witnesses)
+    if batch == 0:
+        return []
+    if batch == 1:
+        return _compute_h_rows_sequential(qap, witnesses)
+    field = qap.field
+    with telemetry.span("qap.witness_evals", rows=batch):
+        triples = [witness_poly_evaluations(qap, w) for w in witnesses]
+    evals_a = [t[0] for t in triples]
+    evals_b = [t[1] for t in triples]
+    evals_c = [t[2] for t in triples]
+    if qap.mode == "roots":
+        m = qap.m
+        if 2 * m > max_ntt_size(field):  # pragma: no cover - tiny two-adicity
+            return _compute_h_rows_sequential(qap, witnesses)
+        with telemetry.span("qap.interpolate", mode=qap.mode, rows=batch):
+            rows_a = mat_interpolate_at_roots_of_unity(field, evals_a)
+            rows_b = mat_interpolate_at_roots_of_unity(field, evals_b)
+            rows_c = mat_interpolate_at_roots_of_unity(field, evals_c)
+        with telemetry.span("qap.multiply", rows=batch):
+            prod = mat_poly_mul(field, rows_a, rows_b)  # width 2m − 1
+            p_rows = field.mat_sub(pad_rows(prod, 2 * m), pad_rows(rows_c, 2 * m))
+        with telemetry.span("qap.divide", mode=qap.mode, rows=batch):
+            h_rows = _mat_divide_by_subgroup_vanishing(field, p_rows, m)
+    else:
+        with telemetry.span("qap.interpolate", mode=qap.mode, rows=batch):
+            tree = qap.subproduct_tree
+            polys_a = [tree.interpolate(e) for e in evals_a]
+            polys_b = [tree.interpolate(e) for e in evals_b]
+            polys_c = [tree.interpolate(e) for e in evals_c]
+        with telemetry.span("qap.multiply", rows=batch):
+            la = max((len(r) for r in polys_a), default=0)
+            lb = max((len(r) for r in polys_b), default=0)
+            if la and lb:
+                prod = mat_poly_mul(
+                    field, pad_rows(polys_a, la), pad_rows(polys_b, lb)
+                )
+            else:
+                prod = [[] for _ in range(batch)]
+            width = max(
+                la + lb - 1 if la and lb else 0,
+                max((len(r) for r in polys_c), default=0),
+            )
+            p_rows = field.mat_sub(pad_rows(prod, width), pad_rows(polys_c, width))
+        with telemetry.span("qap.divide", mode=qap.mode, rows=batch):
+            inv_rev = (
+                qap.divisor_inverse_series() if qap.m >= _NEWTON_CUTOFF else None
+            )
+            h_rows = []
+            for row in p_rows:
+                try:
+                    p_w = trim(list(row))
+                    if inv_rev is not None:
+                        h = poly_div_exact(
+                            field, p_w, qap.divisor_poly, inv_rev_den=inv_rev
+                        )
+                    else:
+                        h = poly_div_exact(field, p_w, qap.divisor_poly)
+                    h_rows.append(h)
+                except ValueError as exc:
+                    h_rows.append(exc)
+    out: list = []
+    for h in h_rows:
+        if isinstance(h, Exception):
+            out.append(h)
+            continue
+        h = trim(list(h))  # batched rows carry fixed-width zero padding
+        if len(h) > qap.h_length:
+            raise AssertionError("H(t) degree exceeds the protocol bound")
+        out.append(h + [0] * (qap.h_length - len(h)))
+    return out
 
 
 def build_proof_vector(qap: QAPInstance, witness: Sequence[int]) -> QAPProof:

@@ -97,15 +97,19 @@ class QuantileHistogram:
         """Nearest-rank quantile over the retained observations.
 
         None when nothing has been observed.  With ``exact`` True this
-        is the exact q-quantile of everything ever observed.
+        is the exact q-quantile of everything ever observed.  ``q`` is
+        clamped into [0, 1] (dashboards routinely probe q=0/q=1 and
+        float arithmetic can land a hair outside), and the endpoints
+        are pinned: q=0 is the minimum retained value, q=1 the maximum.
         """
         if not self._values:
             return None
-        if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile {q} outside [0, 1]")
+        q = min(1.0, max(0.0, float(q)))
         ordered = sorted(self._values)
         if q == 0.0:
             return ordered[0]
+        if q == 1.0:
+            return ordered[-1]
         rank = max(1, math.ceil(q * len(ordered)))
         return ordered[min(rank, len(ordered)) - 1]
 

@@ -23,8 +23,9 @@ from repro.argument import (
     transcript_from_checkpoint,
 )
 from repro.argument.checkpoint import CHECKPOINT_FILENAME
+from repro.argument.stats import ProverStats
 from repro.compiler import compile_program
-from repro.field import GOLDILOCKS, HAVE_NUMPY, PrimeField
+from repro.field import GOLDILOCKS, HAVE_NUMPY, NAMED_FIELDS, PrimeField
 from repro.pcp import SoundnessParams
 
 from ..conftest import build_sum_of_squares
@@ -55,6 +56,52 @@ def test_transcripts_cross_replay():
     assert replay_transcript(_program("numpy"), scalar_tr) == [True] * len(BATCH)
     numpy_tr, _ = record_batch(_program("numpy"), BATCH, FAST)
     assert replay_transcript(_program("scalar"), numpy_tr) == [True] * len(BATCH)
+
+
+def _named_program(name: str, backend: str):
+    field = PrimeField(NAMED_FIELDS[name], check_prime=False, backend=backend)
+    return compile_program(field, build_sum_of_squares(), name="sumsq")
+
+
+@pytest.mark.parametrize("name", ["goldilocks", "p128", "p220"])
+def test_batched_prover_transcripts_byte_identical(name):
+    """The batched prover route (stacked kernels + CRT planes) records
+    the same transcript bytes as the sequential scalar route."""
+    base = record_batch(
+        _named_program(name, "scalar"),
+        BATCH,
+        ArgumentConfig(params=FAST.params, batch_prover="never"),
+    )[0].to_json()
+    for backend in ("scalar", "numpy"):
+        batched, ok = record_batch(
+            _named_program(name, backend),
+            BATCH,
+            ArgumentConfig(params=FAST.params, batch_prover="always"),
+        )
+        assert ok
+        assert batched.to_json() == base, (name, backend)
+
+
+def test_batched_prover_answers_identical_p192():
+    """p192 has no commitment group, so transcripts cannot cover it;
+    compare the raw PCP query answers between routes instead."""
+    cfg = ArgumentConfig(
+        params=FAST.params, use_commitment=False, batch_prover="never"
+    )
+    seq_arg = ZaatarArgument(_named_program("p192", "scalar"), cfg)
+    setup = seq_arg.verifier_setup()
+    expected = [
+        seq_arg.prove_instance(values, setup, ProverStats())[3] for values in BATCH
+    ]
+    for backend in ("scalar", "numpy"):
+        arg = ZaatarArgument(
+            _named_program("p192", backend),
+            ArgumentConfig(
+                params=FAST.params, use_commitment=False, batch_prover="always"
+            ),
+        )
+        entries = arg.prove_batch(BATCH, arg.verifier_setup())
+        assert [entry[3] for entry in entries] == expected, backend
 
 
 def test_checkpoint_files_byte_identical(tmp_path):

@@ -193,6 +193,21 @@ class TestCrashTolerance:
         assert resumed.resumed == len(BATCH) - 1  # torn instance re-proved
         assert resumed.result.all_accepted
 
+    def test_midfile_corruption_refused(self, sumsq_program, tmp_path):
+        """Satellite regression: torn-tail tolerance must not extend to
+        a malformed record *followed by valid ones* — that is data
+        corruption, not a crash artifact, and silently dropping it
+        would re-prove an instance the file claims is done."""
+        arg = ZaatarArgument(sumsq_program, FAST)
+        run_parallel_batch(arg, BATCH, num_workers=1, checkpoint=tmp_path)
+        path = tmp_path / CHECKPOINT_FILENAME
+        lines = path.read_text().splitlines()
+        corrupt_at = len(lines) - 2  # a record with valid records after it
+        lines[corrupt_at] = lines[corrupt_at][: len(lines[corrupt_at]) // 2]
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match=f"corrupt record {corrupt_at}"):
+            BatchCheckpoint(tmp_path).load()
+
     def test_failed_instance_is_recorded_and_restored(self, sumsq_program, tmp_path):
         arg = ZaatarArgument(sumsq_program, FAST)
         batch = [[1, 2], [1, 2, 3]]  # wrong arity at index 0

@@ -154,6 +154,51 @@ class TestNumpyDispatch:
         for value in field.vec_add(a, a) + [field.inner_product(a, a)]:
             assert type(value) is int
 
+    def test_mat_kernels_tick_batch_counters(self):
+        field = _gold(backend="numpy")
+        rows = [[(i * j + 1) % field.p for j in range(64)] for i in range(4)]
+        tracer = telemetry.enable()
+        try:
+            with telemetry.span("t"):
+                field.mat_add(rows, rows)
+        finally:
+            telemetry.disable()
+        totals = tracer.total_counters()
+        assert totals.get("backend.numpy.batch_calls") == 1
+        assert totals.get("backend.numpy.batch_rows") == 4
+        assert totals.get("backend.numpy.elements") == 256
+
+    def test_scratch_publish_is_single_build_under_threads(self):
+        """Satellite regression: concurrent first-touch of one plan's
+        cached twiddle scratch must publish exactly one dict (setdefault
+        discipline) — racing threads used to overwrite each other's
+        arrays mid-transform."""
+        import threading
+
+        from repro.poly import get_ntt_plan
+
+        field = _gold(backend="numpy")
+        kernel = field.backend.kernel
+        plan = get_ntt_plan(field, 256)
+        plan.np_scratch.pop("u64", None)  # force a fresh first touch
+        n_threads = 16
+        results: list = [None] * n_threads
+        barrier = threading.Barrier(n_threads)
+
+        def work(slot: int) -> None:
+            barrier.wait()
+            results[slot] = kernel._scratch(plan)
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(r is results[0] for r in results)
+        assert plan.np_scratch["u64"] is results[0]
+
 
 def _counting_workload(backend_name: str) -> dict[str, float]:
     """A fixed batch-shaped workload; returns its field.* counter totals."""

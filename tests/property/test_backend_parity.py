@@ -136,6 +136,148 @@ def test_large_ntt_roundtrip_parity(name):
     assert ntt(vec, forward, invert=True) == values
 
 
+# -- 2-D batch-axis kernels ---------------------------------------------------
+
+
+def _matrix(p: int, batch: int, n: int):
+    return st.lists(
+        st.lists(_elements(p), min_size=n, max_size=n),
+        min_size=batch,
+        max_size=batch,
+    )
+
+
+@pytest.mark.parametrize("name", _MODULI)
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_mat_elementwise_parity(name, data):
+    """Batched add/sub/hadamard/addmul/inner product, scalar vs numpy.
+
+    batch=1 (the degenerate single-row matrix) is in range on purpose.
+    """
+    scalar, vec = _FIELDS[name]
+    p = scalar.p
+    batch = data.draw(st.integers(min_value=1, max_value=5), label="batch")
+    n = data.draw(st.integers(min_value=1, max_value=64), label="n")
+    a = data.draw(_matrix(p, batch, n), label="a")
+    b = data.draw(_matrix(p, batch, n), label="b")
+    c = data.draw(_elements(p), label="c")
+    assert vec.mat_add(a, b) == scalar.mat_add(a, b)
+    assert vec.mat_sub(a, b) == scalar.mat_sub(a, b)
+    assert vec.mat_hadamard(a, b) == scalar.mat_hadamard(a, b)
+    assert vec.mat_addmul(a, c, b) == scalar.mat_addmul(a, c, b)
+    assert vec.mat_inner_product(a, b) == scalar.mat_inner_product(a, b)
+
+
+@pytest.mark.parametrize("name", _MODULI)
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_mat_batch_inv_parity(name, data):
+    scalar, vec = _FIELDS[name]
+    p = scalar.p
+    batch = data.draw(st.integers(min_value=1, max_value=4), label="batch")
+    n = data.draw(st.integers(min_value=1, max_value=48), label="n")
+    rows = data.draw(
+        st.lists(
+            st.lists(st.integers(min_value=1, max_value=p - 1), min_size=n, max_size=n),
+            min_size=batch,
+            max_size=batch,
+        ),
+        label="rows",
+    )
+    got = vec.mat_batch_inv(rows)
+    assert got == scalar.mat_batch_inv(rows)
+    # agreement with one-at-a-time inverses, not just cross-backend
+    assert got == [[scalar.inv(v) for v in row] for row in rows]
+
+
+@pytest.mark.parametrize("name", _MODULI)
+def test_batch_inv_zero_escape_exception_parity(name):
+    """Satellite regression: a *non-canonical* zero (a multiple of p)
+    must raise ZeroDivisionError on both backends — it used to escape
+    the numpy guard and poison the whole prefix-product scan."""
+    scalar, vec = _FIELDS[name]
+    p = scalar.p
+    values = [(i % (p - 1)) + 1 for i in range(40)]  # ≥ MIN_VECTOR: vector path
+    values[17] = p
+    with pytest.raises(ZeroDivisionError):
+        scalar.batch_inv(values)
+    with pytest.raises(ZeroDivisionError):
+        vec.batch_inv(values)
+    with pytest.raises(ZeroDivisionError):
+        vec.mat_batch_inv([values[:20], values[20:]])
+
+
+@pytest.mark.parametrize("name", _MODULI)
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_mat_transform_parity(name, data):
+    """Stacked NTTs over one plan == per-row transforms, both directions."""
+    from repro.poly import get_ntt_plan
+
+    scalar, vec = _FIELDS[name]
+    p = scalar.p
+    max_log = min(scalar.two_adicity, 8)
+    log = data.draw(st.integers(min_value=1, max_value=max_log), label="log_size")
+    n = 1 << log
+    batch = data.draw(st.integers(min_value=1, max_value=4), label="batch")
+    rows = data.draw(_matrix(p, batch, n), label="rows")
+    plan_s = get_ntt_plan(scalar, n)
+    plan_v = get_ntt_plan(vec, n)
+    assert (
+        vec.mat_transform(plan_v, rows)
+        == scalar.mat_transform(plan_s, rows)
+        == [plan_s.forward(list(row)) for row in rows]
+    )
+    assert (
+        vec.mat_transform(plan_v, rows, invert=True)
+        == scalar.mat_transform(plan_s, rows, invert=True)
+        == [plan_s.inverse(list(row)) for row in rows]
+    )
+
+
+_BIG_MODULI = [name for name in _MODULI if _FIELDS[name][0].p.bit_length() > 64]
+
+
+@pytest.mark.parametrize("name", _BIG_MODULI)
+@settings(max_examples=15, deadline=None)
+@given(data=st.data())
+def test_mat_polymul_crt_bit_identity(name, data):
+    """The CRT residue-plane convolution reconstructs the exact scalar
+    product for every big (object-kernel) modulus, row for row."""
+    from repro.poly import poly_mul
+
+    scalar, vec = _FIELDS[name]
+    p = scalar.p
+    batch = data.draw(st.integers(min_value=1, max_value=4), label="batch")
+    la = data.draw(st.integers(min_value=1, max_value=48), label="la")
+    lb = data.draw(st.integers(min_value=1, max_value=48), label="lb")
+    rows_a = data.draw(_matrix(p, batch, la), label="rows_a")
+    rows_b = data.draw(_matrix(p, batch, lb), label="rows_b")
+    got = vec.mat_polymul(rows_a, rows_b)
+    assert got is not None, "big moduli must take the CRT fast path"
+    out_len = la + lb - 1
+    for out_row, ra, rb in zip(got, rows_a, rows_b):
+        ref = poly_mul(scalar, list(ra), list(rb))
+        assert out_row == ref + [0] * (out_len - len(ref))
+
+
+def test_object_kernel_partial_row_chunk():
+    """B=61 rows of n=300 on p128: the chunked object kernel's last
+    chunk holds a partial row group (8192 // 300 = 27 rows per chunk,
+    61 = 2·27 + 7), which must not change any value."""
+    import random
+
+    scalar, vec = _FIELDS[_BIG_MODULI[0]]
+    rng = random.Random(0xC47B17)
+    batch, n = 61, 300
+    a = [[rng.randrange(scalar.p) for _ in range(n)] for _ in range(batch)]
+    b = [[rng.randrange(scalar.p) for _ in range(n)] for _ in range(batch)]
+    assert vec.mat_hadamard(a, b) == scalar.mat_hadamard(a, b)
+    assert vec.mat_addmul(a, 12345, b) == scalar.mat_addmul(a, 12345, b)
+    assert vec.mat_inner_product(a, b) == scalar.mat_inner_product(a, b)
+
+
 @pytest.mark.parametrize("name", _MODULI)
 @settings(max_examples=15, deadline=None)
 @given(data=st.data())

@@ -41,8 +41,12 @@ def test_chacha_encrypt_is_involutive(key, message):
     nonce = b"\x01" * 12
     ct = chacha20_encrypt(key, nonce, message)
     assert chacha20_encrypt(key, nonce, ct) == message
-    if message:
-        assert ct != message or len(message) == 0  # keystream nonzero whp
+    # an all-zero keystream prefix has probability 2^-8·len; only at
+    # >= 16 bytes is "ciphertext differs" a sound whp assertion (short
+    # messages genuinely collide: a 1-byte keystream is 0x00 for 1 in
+    # 256 keys, and Hypothesis finds such a key)
+    if len(message) >= 16:
+        assert ct != message
 
 
 @settings(max_examples=20)

@@ -110,6 +110,55 @@ class TestProofVector:
             embed_h_query(qap, [0] * (qap.h_length - 1))
 
 
+class TestComputeHBatch:
+    """The batched H(t) pipeline must be bit-identical to the
+    sequential one — values *and* failures."""
+
+    def _witnesses(self, sumsq_program, count):
+        return [
+            sumsq_program.solve([i + 1, i + 2, i + 3]).quadratic_witness
+            for i in range(count)
+        ]
+
+    def test_batched_equals_sequential(self, qap_and_witness, sumsq_program):
+        from repro.qap.prover import compute_h_batch
+
+        qap, _ = qap_and_witness
+        witnesses = self._witnesses(sumsq_program, 5)
+        expected = [compute_h(qap, w) for w in witnesses]
+        assert compute_h_batch(qap, witnesses) == expected
+
+    def test_degenerate_batches(self, qap_and_witness, sumsq_program):
+        from repro.qap.prover import compute_h_batch
+
+        qap, _ = qap_and_witness
+        (witness,) = self._witnesses(sumsq_program, 1)
+        assert compute_h_batch(qap, []) == []
+        assert compute_h_batch(qap, [witness]) == [compute_h(qap, witness)]
+
+    def test_failure_isolation_with_exact_messages(
+        self, qap_and_witness, sumsq_program
+    ):
+        """A bad witness yields the exact sequential ValueError for its
+        row; batchmates are unaffected."""
+        from repro.qap.prover import compute_h_batch
+
+        qap, _ = qap_and_witness
+        witnesses = self._witnesses(sumsq_program, 4)
+        bad = list(witnesses[2])
+        bad[1] = (bad[1] + 1) % qap.field.p
+        witnesses[2] = bad
+        with pytest.raises(ValueError) as excinfo:
+            compute_h(qap, bad)
+        results = compute_h_batch(qap, witnesses)
+        for i, (result, witness) in enumerate(zip(results, witnesses)):
+            if i == 2:
+                assert isinstance(result, ValueError)
+                assert str(result) == str(excinfo.value)
+            else:
+                assert result == compute_h(qap, witness)
+
+
 class TestSubgroupDivision:
     def test_divide_by_vanishing_matches_generic(self, gold, rng):
         from repro.qap.prover import _divide_by_subgroup_vanishing

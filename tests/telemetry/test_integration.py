@@ -43,17 +43,28 @@ def counted_program():
 
 class TestTraceShape:
     def test_span_taxonomy_and_counters(self, counted_program):
+        """Batched-prover taxonomy: batches of ≥ 2 run the batched route."""
         with telemetry.session() as tracer:
             result = ZaatarArgument(counted_program, FAST).run_batch([[1, 2, 3], [4, 5, 6]])
         assert result.all_accepted
         trace = Trace.from_tracer(tracer)
 
+        (batch_span,) = trace.find("prover.batch")
+        assert batch_span.attrs["size"] == 2
+        batch_names = [s.name for s in trace.subtree(batch_span)]
+
+        solves = trace.find("prover.solve_constraints")
+        assert sorted(s.attrs["index"] for s in solves) == [0, 1]
+        (construct,) = trace.find("prover.construct_u")
+        assert construct.attrs["batch_size"] == 2
+        assert "prover.construct_u" in batch_names
+
         instances = trace.find("prover.instance")
         assert [s.attrs["index"] for s in instances] == [0, 1]
         for inst in instances:
             names = [s.name for s in trace.subtree(inst)]
-            for phase in PROVER_PHASES:
-                assert phase in names, f"missing {phase}"
+            assert "prover.crypto_ops" in names
+            assert "prover.answer_queries" in names
 
         assert len(trace.find("verifier.query_setup")) == 1
         assert len(trace.find("verifier.per_instance")) == 2
@@ -62,6 +73,22 @@ class TestTraceShape:
         assert totals.get("field.mul", 0) > 0
         assert totals.get("crypto.encryptions", 0) > 0
         assert totals.get("poly.interpolations", 0) > 0
+
+    def test_classic_taxonomy_when_batching_disabled(self, counted_program):
+        cfg = ArgumentConfig(
+            params=SoundnessParams(rho_lin=2, rho=1), batch_prover="never"
+        )
+        with telemetry.session() as tracer:
+            result = ZaatarArgument(counted_program, cfg).run_batch([[1, 2, 3], [4, 5, 6]])
+        assert result.all_accepted
+        trace = Trace.from_tracer(tracer)
+        assert not trace.find("prover.batch")
+        instances = trace.find("prover.instance")
+        assert [s.attrs["index"] for s in instances] == [0, 1]
+        for inst in instances:
+            names = [s.name for s in trace.subtree(inst)]
+            for phase in PROVER_PHASES:
+                assert phase in names, f"missing {phase}"
 
     def test_field_counters_attributed_to_prover_phases(self, counted_program):
         with telemetry.session() as tracer:

@@ -32,6 +32,29 @@ class TestQuantileHistogram:
         assert hist.quantile(0.5) is None
         assert hist.min is None and hist.max is None
 
+    def test_quantile_edges_pinned_in_exact_mode(self):
+        """Satellite regression: q=0 is the minimum, q=1 the maximum,
+        and out-of-range q clamps instead of indexing out of bounds."""
+        hist = QuantileHistogram(capacity=16)
+        for v in (5, 1, 9, 3):
+            hist.observe(v)
+        assert hist.exact
+        assert hist.quantile(0.0) == 1
+        assert hist.quantile(1.0) == 9
+        # clamped, not an IndexError / wrong-rank answer
+        assert hist.quantile(-0.5) == 1
+        assert hist.quantile(1.5) == 9
+        # interior ranks: ceil(q·n) with a floor of 1
+        assert hist.quantile(0.25) == 1
+        assert hist.quantile(0.26) == 3
+        assert hist.quantile(0.75) == 5
+        assert hist.quantile(0.99) == 9
+
+    def test_quantile_edges_clamped_on_empty(self):
+        hist = QuantileHistogram()
+        assert hist.quantile(-1.0) is None
+        assert hist.quantile(2.0) is None
+
     def test_reservoir_is_deterministic_under_seed(self):
         def run(seed):
             hist = QuantileHistogram(capacity=64, seed=seed)
