@@ -21,11 +21,13 @@ from .net import (
     ProtocolViolation,
     ProverServer,
     RetryPolicy,
+    SessionProver,
     fetch_stats,
     program_hash,
     verify_remote,
 )
-from .parallel import ParallelBatchResult, run_parallel_batch
+from .parallel import ParallelBatchResult, SessionWorkerPool, run_parallel_batch
+from .serve import GatewayServer, ProgramRegistry, RegisteredProgram
 from .protocol import (
     FAILURE_CODES,
     ArgumentConfig,
@@ -74,6 +76,7 @@ __all__ = [
     "RetryPolicy",
     "classify_failure",
     "transcript_from_checkpoint",
+    "GatewayServer",
     "GingerArgument",
     "HybridArgument",
     "choose_encoding",
@@ -81,8 +84,12 @@ __all__ = [
     "NetworkBatchResult",
     "NetworkTally",
     "ParallelBatchResult",
+    "ProgramRegistry",
     "ProtocolViolation",
     "ProverServer",
+    "RegisteredProgram",
+    "SessionProver",
+    "SessionWorkerPool",
     "fetch_stats",
     "program_hash",
     "verify_remote",

@@ -183,7 +183,11 @@ def _recv_exact(sock, n: int) -> bytes:
     while remaining:
         chunk = sock.recv(remaining)
         if not chunk:
-            raise ProtocolViolation("connection closed mid-frame")
+            # a transport-level drop, not a protocol offence: code "io"
+            # keeps the client's RetryPolicy treating a pre-commit
+            # disconnect as transient and files the failure under the
+            # server's session_errors.io bucket
+            raise ProtocolViolation("connection closed mid-frame", code="io")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)
@@ -191,9 +195,13 @@ def _recv_exact(sock, n: int) -> bytes:
 
 def _expect(payload: dict, expected_type: str) -> dict:
     if payload["type"] == "error":
+        retry_after = payload.get("retry_after")
+        if not isinstance(retry_after, (int, float)) or retry_after < 0:
+            retry_after = None
         raise ProtocolViolation(
             f"peer error [{payload.get('code', '?')}]: {payload.get('message')}",
             code=payload.get("code", "peer-error"),
+            retry_after=retry_after,
         )
     if payload["type"] != expected_type:
         raise ProtocolViolation(
@@ -212,6 +220,24 @@ def _get(payload, key: str):
             f"malformed {name!r} frame: missing or bad field {key!r}",
             code="bad-frame",
         ) from exc
+
+
+def _bound_poke(sock_family, address) -> tuple[socket.socket, tuple, tuple]:
+    """A pre-bound socket for waking a server's blocked ``accept()``.
+
+    Returns ``(socket, local_address, connect_target)`` with the socket
+    bound but **not yet connected** — the caller records the local
+    address first and only then connects, so the accept loop can never
+    observe the poke before its address is known (it must tell the poke
+    apart from a real client racing the shutdown).
+    """
+    host = address[0]
+    if host in ("0.0.0.0", "::"):
+        host = "127.0.0.1" if sock_family == socket.AF_INET else "::1"
+    sock = socket.socket(sock_family, socket.SOCK_STREAM)
+    sock.bind((host, 0))
+    sock.settimeout(1)
+    return sock, sock.getsockname(), (host,) + tuple(address[1:])
 
 
 def program_hash(program: CompiledProgram) -> str:
@@ -245,6 +271,164 @@ def _unhex_ciphertexts(pairs, *, what: str = "ciphertexts") -> list[ElGamalCiphe
         return [ElGamalCiphertext(int(c1, 16), int(c2, 16)) for c1, c2 in pairs]
     except (ValueError, TypeError) as exc:
         raise ProtocolViolation(f"malformed {what}: {exc}", code="bad-frame") from exc
+
+
+def parse_hello_params(hello: dict) -> tuple[SoundnessParams, bytes]:
+    """Validate a ``hello`` frame's soundness params and query seed.
+
+    Shared by :class:`ProverServer` and the multi-tenant gateway
+    (:mod:`repro.argument.serve`) so both ends of the deployment
+    enforce the same ``_MAX_RHO`` resource cap with the same codes.
+    """
+    params_spec = _get(hello, "params")
+    try:
+        params = SoundnessParams(
+            delta=params_spec["delta"],
+            rho_lin=int(params_spec["rho_lin"]),
+            rho=int(params_spec["rho"]),
+        )
+        seed = bytes.fromhex(_get(hello, "seed"))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ProtocolViolation(
+            f"malformed hello parameters: {exc}", code="bad-frame"
+        ) from exc
+    if not (1 <= params.rho_lin <= _MAX_RHO and 1 <= params.rho <= _MAX_RHO):
+        raise ProtocolViolation(
+            f"soundness repetitions out of range (max {_MAX_RHO})",
+            code="bad-request",
+        )
+    return params, seed
+
+
+# -- prover-side session state machine ----------------------------------------
+
+
+class SessionProver:
+    """The prover half of one session, detached from any transport.
+
+    Holds exactly the state a session accumulates between frames — the
+    QAP, the seed-derived query schedule, and the per-instance
+    commitment provers — and exposes the two server-side protocol
+    steps: :meth:`prove` (commit + inputs → outputs payload) and
+    :meth:`answer` (challenge → answers payload).  All inputs and
+    outputs use the wire encoding (hex strings), so the same object
+    serves a :class:`ProverServer` session thread or a gateway shard
+    worker on the far side of a process boundary.
+
+    Failures raise :class:`ProtocolViolation` with the structured code
+    vocabulary; the transport owner turns them into error frames.
+    """
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        config: ArgumentConfig,
+        params: SoundnessParams,
+        seed: bytes,
+        qap_mode: str = "arithmetic",
+        *,
+        qap=None,
+        schedule=None,
+    ):
+        self.program = program
+        self.config = config
+        self.field = program.field
+        if not (1 <= params.rho_lin <= _MAX_RHO and 1 <= params.rho <= _MAX_RHO):
+            raise ProtocolViolation(
+                f"soundness repetitions out of range (max {_MAX_RHO})",
+                code="bad-request",
+            )
+        if qap is None:
+            try:
+                qap = build_qap(program.quadratic, mode=qap_mode)
+            except (ValueError, KeyError) as exc:
+                raise ProtocolViolation(
+                    f"bad qap_mode {qap_mode!r}: {exc}", code="bad-request"
+                ) from exc
+        self.qap = qap
+        # regenerate the public-coin query schedule from the seed (§A.1)
+        self.schedule = schedule or zaatar_pcp.generate_schedule(
+            qap, params, FieldPRG(self.field, seed, "queries")
+        )
+        self._request: CommitRequest | None = None
+        self._provers: list[CommitmentProver] = []
+
+    def commit(self, enc_r) -> None:
+        """Decode and hold the commit frame's Enc(r) ciphertexts.
+
+        Decoding happens here, at frame-receipt time, so a malformed
+        commit is answered immediately — not after the server has
+        waited on an inputs frame the client may never send.
+        """
+        self._request = CommitRequest(
+            _unhex_ciphertexts(enc_r, what="commit enc_r")
+        )
+
+    def prove(
+        self,
+        batch_spec,
+        *,
+        budget_check: Callable[[], None] | None = None,
+    ) -> list[dict]:
+        """Run every instance of the batch; returns the outputs payload.
+
+        ``batch_spec`` is the inputs frame's batch, still wire-encoded;
+        :meth:`commit` must have run first.  ``budget_check`` (if
+        given) runs before each instance so a session wall-clock budget
+        can abort a long batch mid-way.
+        """
+        request = self._request
+        if request is None:
+            raise ProtocolViolation("prove before commit", code="internal")
+        if not isinstance(batch_spec, list):
+            raise ProtocolViolation("inputs 'batch' must be a list", code="bad-frame")
+        batch = [
+            _unhex_list(x, what="input vector", p=self.field.p) for x in batch_spec
+        ]
+        group = self.config.group(self.field)
+        outputs_payload = []
+        for index, input_values in enumerate(batch):
+            if budget_check is not None:
+                budget_check()
+            with telemetry.span("prover.instance", index=index):
+                try:
+                    with telemetry.span("prover.solve_constraints"):
+                        sol = self.program.solve(input_values, check=False)
+                    with telemetry.span("prover.construct_u"):
+                        proof = build_proof_vector(self.qap, sol.quadratic_witness)
+                    prover = CommitmentProver(self.field, group, proof.vector)
+                    with telemetry.span("prover.crypto_ops"):
+                        commitment = prover.commit(request)
+                except (ValueError, TypeError, KeyError, IndexError) as exc:
+                    raise ProtocolViolation(
+                        f"cannot prove instance {index}: {exc}", code="bad-request"
+                    ) from exc
+            self._provers.append(prover)
+            outputs_payload.append(
+                {
+                    "y": _hex_list(sol.output_values),
+                    "commitment": [format(commitment.c1, "x"), format(commitment.c2, "x")],
+                }
+            )
+        return outputs_payload
+
+    def answer(self, t_spec) -> list[list[str]]:
+        """Answer the decommit challenge; returns the answers payload."""
+        t = _unhex_list(t_spec, what="consistency query", p=self.field.p)
+        if len(t) != len(self.schedule.queries[0]):
+            raise ProtocolViolation(
+                f"consistency query length {len(t)} != proof vector "
+                f"length {len(self.schedule.queries[0])}",
+                code="bad-request",
+            )
+        queries = [list(q) for q in self.schedule.queries] + [t]
+        challenge = DecommitChallenge(queries)
+        answers_payload = []
+        with telemetry.span("prover.answer_queries", instances=len(self._provers)):
+            for prover in self._provers:
+                response = prover.answer(challenge)
+                answers_payload.append(_hex_list(response.answers))
+        return answers_payload
 
 
 # -- prover server ------------------------------------------------------------
@@ -302,6 +486,7 @@ class ProverServer:
         self.address = self._sock.getsockname()
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
+        self._poke_addr: tuple | None = None
         self._slots = threading.BoundedSemaphore(max_sessions)
         self._sessions_lock = threading.Lock()
         self._sessions: set[threading.Thread] = set()
@@ -327,17 +512,36 @@ class ProverServer:
         return self
 
     def close(self, *, drain: bool = True) -> None:
-        """Stop accepting; optionally drain in-flight sessions, then join."""
+        """Stop accepting; optionally drain in-flight sessions, then join.
+
+        Ordering matters: the accept loop (woken by the poke) and this
+        method both refuse any connection still queued in the kernel's
+        accept backlog with a structured ``shutting-down`` frame
+        *before* the listener closes — closing first would answer
+        queued clients with a bare RST.
+        """
         self._stop.set()
+        poke = None
         try:
             # a blocked accept() is not interrupted by closing the
-            # listening socket from another thread; poke it awake
-            socket.create_connection(self.address, timeout=1).close()
+            # listening socket from another thread; poke it awake.  The
+            # poke's local address is recorded *before* connecting so
+            # the accept loop can tell it apart from a real client
+            # racing the shutdown.
+            poke, self._poke_addr, target = _bound_poke(
+                self._sock.family, self.address
+            )
+            poke.connect(target)
         except OSError:
-            pass
-        self._sock.close()
+            if poke is not None:
+                poke.close()
+            poke = None
         if self._thread is not None:
             self._thread.join(timeout=5)
+        if poke is not None:
+            poke.close()
+        self._drain_backlog()
+        self._sock.close()
         if drain:
             deadline = time.monotonic() + self.drain_timeout
             for thread in self.active_sessions():
@@ -369,11 +573,20 @@ class ProverServer:
     def _serve(self) -> None:
         while True:
             try:
-                conn, _ = self._sock.accept()
+                conn, peer = self._sock.accept()
             except OSError:
                 return  # socket closed
             if self._stop.is_set():
-                conn.close()  # the close() wake-up poke, not a client
+                # close() raced us.  This connection is either its
+                # wake-up poke (identified by address) or a real client
+                # that slipped in after _stop was set — the latter gets
+                # a structured shutting-down frame, never a silent
+                # close.  Then refuse whatever else the kernel queued.
+                if peer == getattr(self, "_poke_addr", None):
+                    conn.close()
+                else:
+                    self._refuse_shutdown(conn)
+                self._drain_backlog()
                 return
             if not self._slots.acquire(blocking=False):
                 self._reject_busy(conn)
@@ -407,10 +620,57 @@ class ProverServer:
         except OSError:
             pass
 
+    def _refuse_shutdown(self, conn: socket.socket) -> None:
+        """Best-effort ``shutting-down`` frame to a late-arriving client."""
+        self._bump("sessions_refused_shutdown")
+        self.metrics.inc("sessions_refused_shutdown")
+        telemetry.count("net.sessions_refused_shutdown")
+        try:
+            with conn:
+                conn.settimeout(1.0)
+                send_frame(
+                    conn,
+                    {
+                        "type": "error",
+                        "code": "shutting-down",
+                        "message": "prover is shutting down; retry another endpoint",
+                    },
+                )
+        except OSError:
+            pass
+
+    def _drain_backlog(self) -> None:
+        """Refuse every connection still queued in the accept backlog.
+
+        The kernel completes handshakes on the listener's behalf, so by
+        the time ``close()`` runs there may be fully-connected clients
+        no ``accept()`` ever claimed; closing the listener would answer
+        them with a bare RST.  Accept each one non-blocking and send
+        the structured frame instead.
+        """
+        try:
+            self._sock.settimeout(0)
+        except OSError:
+            return  # listener already closed
+        while True:
+            try:
+                conn, peer = self._sock.accept()
+            except OSError:  # includes BlockingIOError: backlog empty
+                return
+            if peer == self._poke_addr:
+                conn.close()
+            else:
+                self._refuse_shutdown(conn)
+
     def _session_entry(
         self, conn: socket.socket, session_id: int, accepted_at: float
     ) -> None:
         started = time.monotonic()
+        # the wire-stats counter and the metrics counter move together
+        # here, before anything can fail, so the {"type": "stats"}
+        # reply and the Prometheus exposition can never disagree
+        self._bump("sessions_started")
+        telemetry.count("net.sessions_started")
         self.metrics.inc("sessions_started")
         self.metrics.observe("session_queue_wait_seconds", started - accepted_at)
         self.metrics.add_gauge("sessions_in_flight", 1)
@@ -429,8 +689,6 @@ class ProverServer:
     # -- one session -------------------------------------------------------------
 
     def _session(self, conn: socket.socket, session_id: int) -> None:
-        self._bump("sessions_started")
-        telemetry.count("net.sessions_started")
         conn.settimeout(self.deadlines.read)
         budget = None
         if self.deadlines.session is not None:
@@ -505,23 +763,7 @@ class ProverServer:
                 "program hash mismatch: this prover serves a different program",
                 code="unknown-program",
             )
-        params_spec = _get(hello, "params")
-        try:
-            params = SoundnessParams(
-                delta=params_spec["delta"],
-                rho_lin=int(params_spec["rho_lin"]),
-                rho=int(params_spec["rho"]),
-            )
-            seed = bytes.fromhex(_get(hello, "seed"))
-        except (KeyError, TypeError, ValueError) as exc:
-            raise ProtocolViolation(
-                f"malformed hello parameters: {exc}", code="bad-frame"
-            ) from exc
-        if not (1 <= params.rho_lin <= _MAX_RHO and 1 <= params.rho <= _MAX_RHO):
-            raise ProtocolViolation(
-                f"soundness repetitions out of range (max {_MAX_RHO})",
-                code="bad-request",
-            )
+        params, seed = parse_hello_params(hello)
         qap_mode = hello.get("qap_mode", "arithmetic")
 
         # cross-process trace propagation: a hello carrying a trace
@@ -592,80 +834,26 @@ class ProverServer:
         seed: bytes,
         qap_mode: str,
     ) -> list[dict]:
-        field = self.program.field
         self._budget_check(budget)
         send_frame(conn, {"type": "hello-ok"})
-
-        # regenerate the public-coin query schedule from the seed
         self._budget_check(budget)
-        try:
-            qap = build_qap(self.program.quadratic, mode=qap_mode)
-        except (ValueError, KeyError) as exc:
-            raise ProtocolViolation(
-                f"bad qap_mode {qap_mode!r}: {exc}", code="bad-request"
-            ) from exc
-        schedule = zaatar_pcp.generate_schedule(
-            qap, params, FieldPRG(field, seed, "queries")
-        )
+        prover = SessionProver(self.program, self.config, params, seed, qap_mode)
 
         commit = _expect(recv_frame(conn), "commit")
-        request = CommitRequest(
-            _unhex_ciphertexts(_get(commit, "enc_r"), what="commit enc_r")
-        )
-
+        prover.commit(_get(commit, "enc_r"))
         inputs_msg = _expect(recv_frame(conn), "inputs")
         batch_spec = _get(inputs_msg, "batch")
-        if not isinstance(batch_spec, list):
-            raise ProtocolViolation("inputs 'batch' must be a list", code="bad-frame")
-        batch = [
-            _unhex_list(x, what="input vector", p=field.p) for x in batch_spec
-        ]
-        self.metrics.observe("session_batch_size", len(batch))
-
-        group = self.config.group(field)
-        provers: list[CommitmentProver] = []
-        outputs_payload = []
-        for index, input_values in enumerate(batch):
-            self._budget_check(budget)
-            with telemetry.span("prover.instance", index=index):
-                try:
-                    with telemetry.span("prover.solve_constraints"):
-                        sol = self.program.solve(input_values, check=False)
-                    with telemetry.span("prover.construct_u"):
-                        proof = build_proof_vector(qap, sol.quadratic_witness)
-                    prover = CommitmentProver(field, group, proof.vector)
-                    with telemetry.span("prover.crypto_ops"):
-                        commitment = prover.commit(request)
-                except (ValueError, TypeError, KeyError, IndexError) as exc:
-                    raise ProtocolViolation(
-                        f"cannot prove instance {index}: {exc}", code="bad-request"
-                    ) from exc
-            provers.append(prover)
-            outputs_payload.append(
-                {
-                    "y": _hex_list(sol.output_values),
-                    "commitment": [format(commitment.c1, "x"), format(commitment.c2, "x")],
-                }
-            )
+        if isinstance(batch_spec, list):
+            self.metrics.observe("session_batch_size", len(batch_spec))
+        outputs_payload = prover.prove(
+            batch_spec,
+            budget_check=lambda: self._budget_check(budget),
+        )
         send_frame(conn, {"type": "outputs", "instances": outputs_payload})
 
         challenge_msg = _expect(recv_frame(conn), "challenge")
-        t = _unhex_list(_get(challenge_msg, "t"), what="consistency query", p=field.p)
-        if len(t) != len(schedule.queries[0]):
-            raise ProtocolViolation(
-                f"consistency query length {len(t)} != proof vector "
-                f"length {len(schedule.queries[0])}",
-                code="bad-request",
-            )
-        queries = [list(q) for q in schedule.queries] + [t]
         self._budget_check(budget)
-        challenge = DecommitChallenge(queries)
-        answers_payload = []
-        with telemetry.span("prover.answer_queries", instances=len(provers)):
-            for prover in provers:
-                response = prover.answer(challenge)
-                answers_payload.append(_hex_list(response.answers))
-        return answers_payload
+        return prover.answer(_get(challenge_msg, "t"))
 
 
 # -- verifier client ---------------------------------------------------------------
@@ -819,6 +1007,13 @@ def verify_remote(
                     f"retries exhausted after {attempts} attempts: {exc}",
                     code="io",
                 ) from exc
+            hint = getattr(exc, "retry_after", None)
+            if hint is not None:
+                # server-supplied load-shedding hint (the gateway's
+                # busy frames estimate when a slot frees up): trust it
+                # over the blind exponential backoff, capped by the
+                # policy so a hostile server cannot park the client
+                delay = min(float(hint), retry.max_delay)
             telemetry.count("net.client_retries")
             time.sleep(delay)
         finally:

@@ -42,6 +42,7 @@ import logging
 import multiprocessing
 import os
 import queue as queue_mod
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass
@@ -174,17 +175,143 @@ class _InstanceState:
 
 
 class _Worker:
-    """One pool member: a forked process plus its private task queue."""
+    """One pool member: a forked process plus its private task queue.
 
-    __slots__ = ("task_q", "process", "state")
+    ``target`` defaults to the batch engine's :func:`_worker_main`; the
+    session pool below forks workers around its own loop (a closure —
+    fine, fork inherits it).
+    """
 
-    def __init__(self, ctx, result_q):
+    __slots__ = ("task_q", "result_q", "process", "state")
+
+    def __init__(self, ctx, result_q, target=None):
         self.task_q = ctx.SimpleQueue()
+        self.result_q = result_q
         self.process = ctx.Process(
-            target=_worker_main, args=(self.task_q, result_q), daemon=True
+            target=target or _worker_main, args=(self.task_q, result_q), daemon=True
         )
         self.process.start()
         self.state: _InstanceState | None = None
+
+
+class SessionWorkerPool:
+    """Crash-surviving pool of forked workers *leased* for whole sessions.
+
+    The batch engine below fans independent instances out task by task;
+    the multi-tenant gateway (:mod:`repro.argument.serve`) instead pins
+    one worker to one session across a multi-step exchange — the
+    commitment provers built by the ``prove`` step must still be alive
+    in the same process for the ``answer`` step.  This pool provides
+    that shape on the engine's substrate (fork inheritance for
+    unpicklable compiled programs, a private task queue and result
+    queue per worker, liveness checks): :meth:`lease` checks a worker
+    out for exclusive use, :meth:`release` returns it, and
+    :meth:`replace` retires a dead or poisoned worker and forks a
+    fresh one so the pool never shrinks.  ``deaths`` counts
+    replacements of dead workers.
+    """
+
+    def __init__(self, target, size: int, *, ctx=None):
+        if size < 1:
+            raise ValueError("pool size must be >= 1")
+        if ctx is None:
+            if not _fork_available():
+                raise RuntimeError(
+                    "SessionWorkerPool needs the fork start method: compiled "
+                    "programs hold closures that cannot be pickled for spawn"
+                )
+            ctx = multiprocessing.get_context("fork")
+        self._ctx = ctx
+        self._target = target
+        self._lock = threading.Lock()
+        self._idle: queue_mod.Queue = queue_mod.Queue()
+        self._workers: list[_Worker] = []
+        self.deaths = 0
+        for _ in range(size):
+            self._spawn()
+
+    def _spawn(self) -> _Worker:
+        worker = _Worker(self._ctx, self._ctx.Queue(), target=self._target)
+        with self._lock:
+            self._workers.append(worker)
+        self._idle.put(worker)
+        return worker
+
+    @property
+    def size(self) -> int:
+        """Workers currently in the pool (leased or idle)."""
+        with self._lock:
+            return len(self._workers)
+
+    @property
+    def alive(self) -> int:
+        """Workers whose process currently reports alive."""
+        with self._lock:
+            return sum(1 for w in self._workers if w.process.is_alive())
+
+    def lease(self, timeout: float | None = None) -> _Worker | None:
+        """Check out a worker for exclusive use; None on timeout.
+
+        A worker that died while idle is replaced transparently — the
+        caller only ever sees a live lease or a timeout.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            try:
+                if deadline is None:
+                    worker = self._idle.get()
+                else:
+                    worker = self._idle.get(
+                        timeout=max(deadline - time.monotonic(), 0)
+                    )
+            except queue_mod.Empty:
+                return None
+            if worker.process.is_alive():
+                return worker
+            self.replace(worker)
+
+    def release(self, worker: _Worker) -> None:
+        """Return a healthy leased worker to the idle set."""
+        self._idle.put(worker)
+
+    def replace(self, worker: _Worker) -> _Worker | None:
+        """Retire ``worker`` and fork a replacement into the idle set.
+
+        The retired worker's queues die with it, so a half-written
+        result from the old process can never be read as a later
+        session's answer.  Idempotent: replacing an already-replaced
+        worker is a no-op returning None.
+        """
+        with self._lock:
+            if worker not in self._workers:
+                return None
+            self._workers.remove(worker)
+        self.deaths += 1
+        if worker.process.is_alive():  # poisoned, not dead: put it down
+            worker.process.kill()
+        worker.process.join(timeout=1.0)
+        worker.result_q.cancel_join_thread()
+        worker.result_q.close()
+        return self._spawn()
+
+    def close(self) -> None:
+        """Sentinel every worker, join, kill stragglers."""
+        with self._lock:
+            workers = list(self._workers)
+            self._workers.clear()
+        for worker in workers:
+            try:
+                worker.task_q.put(None)
+            except (OSError, ValueError):  # pragma: no cover - dead queue
+                pass
+        deadline = time.monotonic() + 5.0
+        for worker in workers:
+            worker.process.join(timeout=max(deadline - time.monotonic(), 0.1))
+            if worker.process.is_alive():  # pragma: no cover - stuck worker
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+            worker.result_q.cancel_join_thread()
+            worker.result_q.close()
 
 
 @dataclass

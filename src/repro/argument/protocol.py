@@ -42,7 +42,9 @@ from .stats import BatchStats, PhaseTimer, ProverStats, VerifierStats
 #: Structured ``error``-frame codes a client must *not* retry: the
 #: failure is a property of the request itself, so resending the same
 #: session can never succeed (everything else — ``busy``, ``bad-frame``,
-#: ``deadline``, ``io``, ``internal`` — is presumed transient).
+#: ``deadline``, ``io``, ``shutting-down``, ``internal`` — is presumed
+#: transient: another attempt may land on a healthy worker, a quieter
+#: server, or a replacement process behind the same address).
 NON_RETRYABLE_CODES = frozenset({"unknown-program", "bad-request"})
 
 #: The full structured error-code vocabulary (docs/NETWORKING.md).  The
@@ -57,6 +59,7 @@ FAILURE_CODES = frozenset(
         "deadline",
         "io",
         "violation",
+        "shutting-down",
         "internal",
     }
 )
@@ -99,11 +102,20 @@ class ProtocolViolation(RuntimeError):
     docs/NETWORKING.md): the server attaches it to the error frame it
     sends before dropping a session, and the client uses it to decide
     whether a failed attempt is safe and useful to retry.
+
+    ``retry_after`` carries the server's load-shedding hint (seconds)
+    when the error frame included one — the gateway's ``busy`` frames
+    estimate how long the accept queue needs to clear, and
+    ``verify_remote`` sleeps that long instead of its own blind
+    backoff.
     """
 
-    def __init__(self, message: str, *, code: str = "violation"):
+    def __init__(
+        self, message: str, *, code: str = "violation", retry_after: float | None = None
+    ):
         super().__init__(message)
         self.code = code
+        self.retry_after = retry_after
 
     @property
     def retryable(self) -> bool:

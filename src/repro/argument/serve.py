@@ -1,0 +1,918 @@
+"""Multi-tenant prover gateway: many programs, sharded sessions, admission.
+
+The §5 breakeven economics assume one prover amortizes its fixed costs
+over *many* verifiers and *many* outsourced computations at once.  The
+single-program, thread-per-session :class:`~repro.argument.net.ProverServer`
+(the §5.1 two-party deployment) cannot model that; this module is the
+deployment-shaped answer, three layers on the same wire protocol:
+
+* :class:`ProgramRegistry` — the gateway's program table, keyed by the
+  canonical ``program_hash`` from the ``hello`` frame.  Registration
+  **pre-warms** each program's proving artifacts (the QAP's subproduct
+  tree / NTT plans, divisor polynomial, barycentric weights, and
+  divisor-inverse power series) so the first session pays compile-time
+  costs zero times, and keeps a small LRU of seed-derived query
+  schedules (repeat verifiers with a stable seed skip schedule
+  regeneration entirely).
+* **Session sharding** — with ``shards > 0`` the proving work of each
+  session is pinned to one process from a
+  :class:`~repro.argument.parallel.SessionWorkerPool` (the PR-4
+  crash-surviving fork pool, leased for whole sessions because the
+  commitment provers built in the ``prove`` step must survive into the
+  ``answer`` step).  A worker that dies mid-session becomes a
+  structured, retryable ``internal`` error frame for that one client;
+  the pool forks a replacement and ``gateway.worker_deaths`` counts it.
+* **Admission control** — a bounded accept queue in front of
+  ``max_sessions`` handler threads, a global admitted-connections
+  limit (``max_sessions + accept_queue``), and an optional per-program
+  in-flight cap.  Load is shed with the existing ``busy`` vocabulary
+  plus a ``retry_after`` hint (seconds, estimated from the p50 session
+  latency and the current backlog) that
+  :func:`~repro.argument.net.verify_remote` honors instead of blind
+  exponential backoff.  Shutdown answers every queued or late-arriving
+  client with a structured ``shutting-down`` frame — never a bare RST.
+
+``benchmarks/bench_serve.py`` measures the resulting throughput
+(sessions/sec at N concurrent verifiers × M programs) against a
+single-session-at-a-time baseline; docs/NETWORKING.md documents the
+knobs and the failure-mode matrix, docs/OBSERVABILITY.md the
+``gateway.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import functools
+import itertools
+import json
+import queue as queue_mod
+import socket
+import threading
+import time
+from collections import Counter, OrderedDict
+from contextlib import contextmanager
+from typing import Iterator
+
+from .. import telemetry
+from ..telemetry import metrics as metrics_mod
+from ..compiler import CompiledProgram
+from ..crypto import FieldPRG
+from ..pcp import SoundnessParams
+from ..pcp import zaatar as zaatar_pcp
+from ..qap import build_qap
+from .faults import ProcessFaultPlan
+from .net import (
+    _MAX_TRACE_BYTES,
+    Deadlines,
+    SessionProver,
+    _bound_poke,
+    _expect,
+    _get,
+    _unhex_ciphertexts,
+    parse_hello_params,
+    program_hash,
+    recv_frame,
+    send_frame,
+)
+from .parallel import SessionWorkerPool
+from .protocol import ArgumentConfig, ProtocolViolation, classify_failure
+
+#: seed-derived query schedules kept per program (LRU); one entry per
+#: distinct (qap_mode, params, seed) a verifier population uses
+_SCHEDULE_CACHE = 32
+
+#: deterministic fault-plan "attempt" index for each shard step, so a
+#: test can kill a worker precisely between ``prove`` and ``answer``
+_FAULT_STEP = {"prove": 1, "answer": 2}
+
+
+# -- program registry ---------------------------------------------------------
+
+
+class RegisteredProgram:
+    """One hosted program plus its pre-warmed proving artifacts."""
+
+    def __init__(self, program: CompiledProgram, config: ArgumentConfig):
+        self.program = program
+        self.config = config
+        self.hash = program_hash(program)
+        self.name = program.name
+        self._lock = threading.Lock()
+        self._qaps: dict = {}
+        self._schedules: OrderedDict = OrderedDict()
+
+    def warm(self, qap_mode: str | None = None) -> "RegisteredProgram":
+        """Build the QAP and touch every lazily-computed artifact.
+
+        Registration-time warming moves the one-time costs (subproduct
+        tree for the NTT evaluation domain, divisor polynomial and its
+        inverse power series, barycentric weights) out of the first
+        session's latency — and, when the gateway forks shard workers,
+        into memory the children inherit copy-on-write.
+        """
+        qap = self.qap(qap_mode or self.config.qap_mode)
+        qap.subproduct_tree
+        qap.divisor_poly
+        qap.barycentric_weights
+        qap.divisor_inverse_series
+        return self
+
+    def qap(self, qap_mode: str):
+        """The program's QAP for ``qap_mode``, built once and cached."""
+        with self._lock:
+            qap = self._qaps.get(qap_mode)
+        if qap is None:
+            try:
+                built = build_qap(self.program.quadratic, mode=qap_mode)
+            except (ValueError, KeyError) as exc:
+                raise ProtocolViolation(
+                    f"bad qap_mode {qap_mode!r}: {exc}", code="bad-request"
+                ) from exc
+            with self._lock:
+                qap = self._qaps.setdefault(qap_mode, built)
+        return qap
+
+    def schedule(self, qap_mode: str, params: SoundnessParams, seed: bytes):
+        """The seed-derived query schedule, LRU-cached.
+
+        Returns ``(schedule, cache_hit)``.  Safe to share across
+        sessions: schedules are pure data, derived deterministically
+        from (QAP, params, seed) and only ever read afterwards.
+        """
+        key = (qap_mode, params.delta, params.rho_lin, params.rho, seed)
+        with self._lock:
+            if key in self._schedules:
+                self._schedules.move_to_end(key)
+                return self._schedules[key], True
+        qap = self.qap(qap_mode)
+        sched = zaatar_pcp.generate_schedule(
+            qap, params, FieldPRG(self.program.field, seed, "queries")
+        )
+        with self._lock:
+            self._schedules[key] = sched
+            while len(self._schedules) > _SCHEDULE_CACHE:
+                self._schedules.popitem(last=False)
+        return sched, False
+
+    def session_prover(
+        self, params: SoundnessParams, seed: bytes, qap_mode: str
+    ) -> tuple[SessionProver, bool]:
+        """A fresh per-session prover over the cached QAP + schedule."""
+        sched, hit = self.schedule(qap_mode, params, seed)
+        prover = SessionProver(
+            self.program,
+            self.config,
+            params,
+            seed,
+            qap_mode,
+            qap=self.qap(qap_mode),
+            schedule=sched,
+        )
+        return prover, hit
+
+
+class ProgramRegistry:
+    """The gateway's program table, keyed by canonical program hash."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._programs: dict[str, RegisteredProgram] = {}
+
+    def register(
+        self,
+        program: CompiledProgram,
+        config: ArgumentConfig | None = None,
+        *,
+        warm: bool = True,
+    ) -> RegisteredProgram:
+        """Host ``program``; pre-warms its artifacts unless ``warm=False``.
+
+        Re-registering the same program replaces its entry (same hash,
+        possibly new config).
+        """
+        entry = RegisteredProgram(program, config or ArgumentConfig())
+        if warm:
+            entry.warm()
+        with self._lock:
+            self._programs[entry.hash] = entry
+        return entry
+
+    def lookup(self, phash) -> RegisteredProgram | None:
+        """The entry whose canonical hash is ``phash``, or None."""
+        with self._lock:
+            return self._programs.get(phash)
+
+    def entries(self) -> list[RegisteredProgram]:
+        """Every hosted program (snapshot, registration order)."""
+        with self._lock:
+            return list(self._programs.values())
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._programs)
+
+    def __iter__(self) -> Iterator[RegisteredProgram]:
+        return iter(self.entries())
+
+
+# -- shard workers ------------------------------------------------------------
+
+
+def _shard_worker_main(
+    registry: ProgramRegistry,
+    faults: ProcessFaultPlan | None,
+    task_q,
+    result_q,
+) -> None:
+    """One shard's loop: whole-session exchanges in two steps.
+
+    Tasks are ``("prove", session_id, payload)`` then
+    ``("answer", session_id, payload)``; the :class:`SessionProver`
+    built by ``prove`` is held until its ``answer`` arrives (the lease
+    discipline in the gateway guarantees no interleaving).  Every
+    outcome is a message — an exception here would kill the shard and
+    turn one bad session into a pool problem.  Fork inheritance gives
+    each shard the registry (and its pre-warmed artifacts) for free.
+    """
+    session: SessionProver | None = None
+    tracer: telemetry.Tracer | None = None
+    mark = 0
+    while True:
+        task = task_q.get()
+        if task is None:
+            return
+        kind, session_id, payload = task
+        try:
+            if faults is not None:
+                faults.apply(session_id, _FAULT_STEP.get(kind, 1))
+            if kind == "prove":
+                phash, params_tuple, seed_hex, qap_mode, enc_r, batch_spec, trace_id = payload
+                entry = registry.lookup(phash)
+                if entry is None:  # gateway validated; a shard must re-check
+                    raise ProtocolViolation(
+                        f"unknown program {str(phash)[:16]}", code="unknown-program"
+                    )
+                delta, rho_lin, rho = params_tuple
+                params = SoundnessParams(delta=delta, rho_lin=rho_lin, rho=rho)
+                prover, _ = entry.session_prover(
+                    params, bytes.fromhex(seed_hex), qap_mode
+                )
+                prover.commit(enc_r)
+                tracer = telemetry.Tracer(trace_id=trace_id) if trace_id else None
+                if tracer is not None:
+                    with telemetry.thread_tracer(tracer):
+                        out = prover.prove(batch_spec)
+                    mark = tracer.mark()
+                    records = tracer.records_since(0)
+                else:
+                    out = prover.prove(batch_spec)
+                    records = None
+                session = prover
+                result_q.put(("ok", session_id, kind, out, records))
+            elif kind == "answer":
+                if session is None:
+                    raise ProtocolViolation(
+                        "answer step without a live prove step", code="internal"
+                    )
+                if tracer is not None:
+                    with telemetry.thread_tracer(tracer):
+                        out = session.answer(payload)
+                    records = tracer.records_since(mark)
+                else:
+                    out = session.answer(payload)
+                    records = None
+                session = tracer = None
+                result_q.put(("ok", session_id, kind, out, records))
+            else:
+                raise ProtocolViolation(f"unknown shard task {kind!r}", code="internal")
+        except Exception as exc:  # noqa: BLE001 - report, keep serving
+            session = tracer = None
+            result_q.put(
+                (
+                    "err",
+                    session_id,
+                    kind,
+                    classify_failure(exc),
+                    f"{type(exc).__name__}: {exc}",
+                )
+            )
+
+
+# -- the gateway --------------------------------------------------------------
+
+
+class GatewayServer:
+    """Serves every program in a registry to concurrent verifiers.
+
+    Speaks exactly the :mod:`repro.argument.net` session protocol — a
+    verifier cannot tell a gateway from a dedicated ``ProverServer``
+    except that the ``hello``'s program hash is looked up in the
+    registry instead of compared against one program (a miss is the
+    ``unknown-program`` error), busy frames carry a ``retry_after``
+    hint, and shutdown refusals use ``shutting-down``.
+
+    Threading model: one listener thread admits connections into a
+    bounded queue; ``max_sessions`` handler threads drain it.  With
+    ``shards > 0`` the CPU-heavy prove/answer steps run in leased
+    worker processes; ``shards = 0`` proves inline on the handler
+    thread.  ``process_faults`` (tests) installs a deterministic
+    :class:`~repro.argument.faults.ProcessFaultPlan` in the shard
+    workers, keyed by (session_id, step).
+    """
+
+    def __init__(
+        self,
+        registry: ProgramRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_sessions: int = 8,
+        shards: int = 0,
+        accept_queue: int = 16,
+        per_program_sessions: int | None = None,
+        deadlines: Deadlines | None = None,
+        drain_timeout: float = 10.0,
+        lease_timeout: float = 30.0,
+        trace_sessions: bool = True,
+        max_trace_bytes: int = _MAX_TRACE_BYTES,
+        metrics_seed: int = 0,
+        process_faults: ProcessFaultPlan | None = None,
+    ):
+        if len(registry) == 0:
+            raise ValueError("gateway registry has no programs")
+        self.registry = registry
+        self.max_sessions = max(1, max_sessions)
+        self.shards = max(0, shards)
+        self.accept_queue = max(0, accept_queue)
+        self.per_program_sessions = per_program_sessions
+        self.deadlines = deadlines or Deadlines(read=120.0)
+        self.drain_timeout = drain_timeout
+        self.lease_timeout = lease_timeout
+        self.trace_sessions = trace_sessions
+        self.max_trace_bytes = max_trace_bytes
+        self.process_faults = process_faults
+        self._sock = socket.create_server(
+            (host, port), backlog=max(self.max_sessions + self.accept_queue, 8)
+        )
+        self.address = self._sock.getsockname()
+        self._accept_thread: threading.Thread | None = None
+        self._handlers: list[threading.Thread] = []
+        self._stop = threading.Event()
+        self._poke_addr: tuple | None = None
+        self._accept_q: queue_mod.Queue = queue_mod.Queue()
+        self._session_ids = itertools.count(1)
+        self._stats: Counter = Counter()
+        self._stats_lock = threading.Lock()
+        self._admitted = 0  # connections accepted but not yet finished
+        self._per_program: Counter = Counter()
+        self._pool: SessionWorkerPool | None = None
+        self.metrics = metrics_mod.MetricsRegistry(
+            seed=metrics_seed,
+            role="gateway",
+            programs=len(registry),
+            max_sessions=self.max_sessions,
+            shards=self.shards,
+            accept_queue=self.accept_queue,
+        )
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "GatewayServer":
+        """Fork the shard pool (if any), start handlers and listener."""
+        if self.shards:
+            # fork AFTER registration so the children inherit every
+            # pre-warmed artifact copy-on-write (compiled programs hold
+            # closures and cannot be pickled for spawn)
+            self._pool = SessionWorkerPool(
+                functools.partial(
+                    _shard_worker_main, self.registry, self.process_faults
+                ),
+                self.shards,
+            )
+            self.metrics.set_gauge("gateway.shards_alive", self._pool.alive)
+        self._handlers = [
+            threading.Thread(
+                target=self._handler_loop, name=f"gateway-handler-{i}", daemon=True
+            )
+            for i in range(self.max_sessions)
+        ]
+        for thread in self._handlers:
+            thread.start()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="gateway-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def close(self, *, drain: bool = True) -> None:
+        """Stop accepting, answer the queued, drain in-flight, tear down.
+
+        Every connection the gateway ever admitted — including those
+        still waiting in the accept queue and those queued in the
+        kernel backlog — is answered with a structured frame before the
+        listener closes; in-flight sessions run to completion (bounded
+        by ``drain_timeout``).
+        """
+        self._stop.set()
+        poke = None
+        try:
+            # record the poke's address before connecting (see
+            # net._bound_poke): the accept loop must never mistake a
+            # real client for the poke, or refuse the poke as a client
+            poke, self._poke_addr, target = _bound_poke(
+                self._sock.family, self.address
+            )
+            poke.connect(target)
+        except OSError:
+            if poke is not None:
+                poke.close()
+            poke = None
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+        if poke is not None:
+            poke.close()
+        self._drain_backlog()
+        self._sock.close()
+        # handlers see _stop and answer every queued connection with a
+        # shutting-down frame, then exit on their sentinel (which the
+        # FIFO queue delivers after the stragglers)
+        for _ in self._handlers:
+            self._accept_q.put(None)
+        if drain:
+            deadline = time.monotonic() + self.drain_timeout
+            for thread in self._handlers:
+                thread.join(timeout=max(deadline - time.monotonic(), 0))
+        if self._pool is not None:
+            self._pool.close()
+            self.metrics.set_gauge("gateway.shards_alive", 0)
+
+    def __enter__(self) -> "GatewayServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Lifetime session counters (wire ``stats`` frame form)."""
+        with self._stats_lock:
+            return dict(self._stats)
+
+    def _bump(self, key: str) -> None:
+        with self._stats_lock:
+            self._stats[key] += 1
+
+    @property
+    def admitted(self) -> int:
+        """Connections admitted and not yet finished (queued + in flight)."""
+        with self._stats_lock:
+            return self._admitted
+
+    # -- admission ---------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        limit = self.max_sessions + self.accept_queue
+        while True:
+            try:
+                conn, peer = self._sock.accept()
+            except OSError:
+                return  # listener closed
+            if self._stop.is_set():
+                if peer == self._poke_addr:
+                    conn.close()
+                else:
+                    self._refuse_shutdown(conn)
+                self._drain_backlog()
+                return
+            with self._stats_lock:
+                admitted = self._admitted
+                if admitted < limit:
+                    self._admitted += 1
+            if admitted >= limit:
+                self._shed(conn)
+                continue
+            self._accept_q.put((conn, time.monotonic()))
+            self.metrics.set_gauge(
+                "gateway.accept_queue_depth", max(admitted + 1 - self.max_sessions, 0)
+            )
+
+    def retry_after_hint(self) -> float:
+        """Seconds until a shed client plausibly finds a free slot.
+
+        Estimated as (backlog + 1) sessions spread over ``max_sessions``
+        lanes at the observed p50 session latency; clamped to a sane
+        band so a cold server (no latency samples yet) still hints
+        something useful and a pathological one cannot park clients.
+        """
+        hist = self.metrics.histogram("session_latency_seconds")
+        p50 = hist.quantile(0.5) if hist is not None else None
+        per_session = p50 if p50 else 0.1
+        backlog = self.admitted
+        estimate = per_session * (backlog + 1) / self.max_sessions
+        return round(min(max(estimate, 0.05), 30.0), 3)
+
+    def _shed(self, conn: socket.socket) -> None:
+        """Refuse at the admission limit: busy frame + retry_after hint."""
+        self._bump("sessions_rejected")
+        telemetry.count("net.sessions_rejected")
+        self.metrics.inc("sessions_rejected")
+        self.metrics.inc("gateway.shed.global")
+        try:
+            with conn:
+                conn.settimeout(1.0)
+                send_frame(
+                    conn,
+                    {
+                        "type": "error",
+                        "code": "busy",
+                        "message": (
+                            f"gateway at capacity ({self.max_sessions} sessions"
+                            f" + {self.accept_queue} queued)"
+                        ),
+                        "retry_after": self.retry_after_hint(),
+                    },
+                )
+        except OSError:
+            pass
+
+    def _refuse_shutdown(self, conn: socket.socket) -> None:
+        """Best-effort ``shutting-down`` frame to a late or queued client."""
+        self._bump("sessions_refused_shutdown")
+        self.metrics.inc("sessions_refused_shutdown")
+        telemetry.count("net.sessions_refused_shutdown")
+        try:
+            with conn:
+                conn.settimeout(1.0)
+                send_frame(
+                    conn,
+                    {
+                        "type": "error",
+                        "code": "shutting-down",
+                        "message": "gateway is shutting down",
+                    },
+                )
+        except OSError:
+            pass
+
+    def _drain_backlog(self) -> None:
+        """Refuse every connection still queued in the kernel backlog."""
+        try:
+            self._sock.settimeout(0)
+        except OSError:
+            return
+        while True:
+            try:
+                conn, peer = self._sock.accept()
+            except OSError:  # includes BlockingIOError: backlog empty
+                return
+            if peer == self._poke_addr:
+                conn.close()
+            else:
+                self._refuse_shutdown(conn)
+
+    @contextmanager
+    def _program_slot(self, entry: RegisteredProgram) -> Iterator[None]:
+        """Hold one of the program's in-flight slots (busy when full)."""
+        limit = self.per_program_sessions
+        if limit is None:
+            yield
+            return
+        with self._stats_lock:
+            held = self._per_program[entry.hash]
+            if held < limit:
+                self._per_program[entry.hash] += 1
+        if held >= limit:
+            self.metrics.inc("gateway.shed.program")
+            raise ProtocolViolation(
+                f"program {entry.name!r} at its session limit ({limit})",
+                code="busy",
+                retry_after=self.retry_after_hint(),
+            )
+        try:
+            yield
+        finally:
+            with self._stats_lock:
+                self._per_program[entry.hash] -= 1
+
+    # -- session handling --------------------------------------------------
+
+    def _handler_loop(self) -> None:
+        while True:
+            item = self._accept_q.get()
+            if item is None:
+                return
+            conn, queued_at = item
+            try:
+                if self._stop.is_set():
+                    self._refuse_shutdown(conn)
+                else:
+                    self._session_entry(conn, queued_at)
+            finally:
+                with self._stats_lock:
+                    self._admitted -= 1
+
+    def _session_entry(self, conn: socket.socket, queued_at: float) -> None:
+        session_id = next(self._session_ids)
+        started = time.monotonic()
+        # wire-stats counter and metrics counter move together (the
+        # same invariant ProverServer keeps): the stats frame and the
+        # exposition page can never disagree on sessions_started
+        self._bump("sessions_started")
+        telemetry.count("net.sessions_started")
+        self.metrics.inc("sessions_started")
+        self.metrics.observe("gateway.queue_wait_seconds", started - queued_at)
+        self.metrics.add_gauge("sessions_in_flight", 1)
+        try:
+            with conn, metrics_mod.use(self.metrics):
+                self._session(conn, session_id)
+        finally:
+            self.metrics.add_gauge("sessions_in_flight", -1)
+            self.metrics.observe(
+                "session_latency_seconds", time.monotonic() - started
+            )
+
+    def _session(self, conn: socket.socket, session_id: int) -> None:
+        conn.settimeout(self.deadlines.read)
+        budget = None
+        if self.deadlines.session is not None:
+            budget = time.monotonic() + self.deadlines.session
+        try:
+            self._run_session(conn, budget, session_id)
+        except ProtocolViolation as exc:
+            self._fail(conn, session_id, exc.code, str(exc), exc.retry_after)
+        except TimeoutError as exc:
+            self._fail(conn, session_id, "deadline", f"read deadline exceeded: {exc}")
+        except OSError as exc:
+            self._fail(conn, session_id, "io", f"transport failure: {exc}")
+        except Exception as exc:  # noqa: BLE001 - a bad session must never
+            # take the gateway down; report it and keep serving
+            self._fail(conn, session_id, "internal", f"{type(exc).__name__}: {exc}")
+        else:
+            self._bump("sessions_ok")
+            telemetry.count("net.sessions_ok")
+            self.metrics.inc("sessions_ok")
+
+    def _fail(
+        self,
+        conn: socket.socket,
+        session_id: int,
+        code: str,
+        message: str,
+        retry_after: float | None = None,
+    ) -> None:
+        """Best-effort structured error frame, then count the failure."""
+        self._bump("session_errors")
+        telemetry.count("net.session_errors")
+        telemetry.count(f"net.session_errors.{code}")
+        self.metrics.inc("session_errors")
+        self.metrics.inc(f"session_errors.{code}")
+        frame = {
+            "type": "error",
+            "code": code,
+            "message": message,
+            "session": session_id,
+        }
+        if retry_after is not None:
+            frame["retry_after"] = retry_after
+        try:
+            conn.settimeout(1.0)
+            send_frame(conn, frame)
+        except OSError:
+            pass  # the peer may already be gone
+
+    @staticmethod
+    def _budget_check(budget: float | None) -> None:
+        if budget is not None and time.monotonic() > budget:
+            raise ProtocolViolation(
+                "session wall-clock budget exhausted", code="deadline"
+            )
+
+    def _run_session(
+        self, conn: socket.socket, budget: float | None, session_id: int
+    ) -> None:
+        first = recv_frame(conn)
+        if first.get("type") == "stats":
+            self.metrics.inc("stats_requests")
+            send_frame(conn, self._stats_frame())
+            return
+        hello = _expect(first, "hello")
+        phash = _get(hello, "program")
+        entry = self.registry.lookup(phash)
+        if entry is None:
+            self.metrics.inc("gateway.unknown_program")
+            raise ProtocolViolation(
+                f"unknown program {str(phash)[:16]}: not registered with "
+                f"this gateway ({len(self.registry)} programs hosted)",
+                code="unknown-program",
+            )
+        self.metrics.inc(f"gateway.sessions.{entry.name}")
+        params, seed = parse_hello_params(hello)
+        qap_mode = hello.get("qap_mode", entry.config.qap_mode)
+
+        session_tracer: telemetry.Tracer | None = None
+        trace_req = hello.get("trace")
+        if self.trace_sessions and isinstance(trace_req, dict):
+            session_tracer = telemetry.Tracer(
+                trace_id=str(trace_req.get("trace_id", "") or telemetry.new_trace_id())
+            )
+
+        with self._program_slot(entry):
+            if session_tracer is not None:
+                with telemetry.thread_tracer(session_tracer):
+                    answers_payload = self._serve_proofs(
+                        conn, budget, entry, params, seed, qap_mode,
+                        session_id, session_tracer,
+                    )
+                frame = {"type": "answers", "instances": answers_payload}
+                frame["trace"] = self._bounded_trace(session_tracer)
+            else:
+                answers_payload = self._serve_proofs(
+                    conn, budget, entry, params, seed, qap_mode, session_id, None
+                )
+                frame = {"type": "answers", "instances": answers_payload}
+        send_frame(conn, frame)
+
+    def _stats_frame(self) -> dict:
+        entries = self.registry.entries()
+        return {
+            "type": "stats",
+            "server": {
+                "role": "gateway",
+                # first program doubles as the headline identity so
+                # single-program tooling (repro top) renders something
+                "program": entries[0].name if entries else "?",
+                "program_hash": entries[0].hash if entries else "",
+                "address": list(self.address),
+                "max_sessions": self.max_sessions,
+                "shards": self.shards,
+                "accept_queue": self.accept_queue,
+                "programs": [
+                    {"name": e.name, "program_hash": e.hash} for e in entries
+                ],
+                "stats": self.stats,
+            },
+            "metrics": self.metrics.snapshot(),
+        }
+
+    def _bounded_trace(self, tracer: telemetry.Tracer) -> list[dict]:
+        """Span records capped at ``max_trace_bytes`` (root survives)."""
+        records = tracer.records_since(0)
+        if len(json.dumps(records)) > self.max_trace_bytes:
+            root = records[-1]
+            root.setdefault("attrs", {})["trace_truncated"] = len(records) - 1
+            records = [root]
+        return records
+
+    # -- the prove/answer exchange ----------------------------------------
+
+    def _serve_proofs(
+        self,
+        conn: socket.socket,
+        budget: float | None,
+        entry: RegisteredProgram,
+        params: SoundnessParams,
+        seed: bytes,
+        qap_mode: str,
+        session_id: int,
+        tracer: telemetry.Tracer | None,
+    ) -> list:
+        span = telemetry.start_span(
+            "wire.prover_session", session=session_id, program=entry.name
+        )
+        try:
+            if self._pool is not None:
+                return self._exchange_sharded(
+                    conn, budget, entry, params, seed, qap_mode,
+                    session_id, tracer, span,
+                )
+            return self._exchange_inline(
+                conn, budget, entry, params, seed, qap_mode
+            )
+        finally:
+            telemetry.end_span(span)
+
+    def _exchange_inline(
+        self, conn, budget, entry, params, seed, qap_mode
+    ) -> list:
+        """Prove on the handler thread (shards=0)."""
+        self._budget_check(budget)
+        send_frame(conn, {"type": "hello-ok"})
+        prover, cache_hit = entry.session_prover(params, seed, qap_mode)
+        self.metrics.inc(
+            "gateway.schedule_cache_hits" if cache_hit
+            else "gateway.schedule_cache_misses"
+        )
+        commit = _expect(recv_frame(conn), "commit")
+        prover.commit(_get(commit, "enc_r"))
+        inputs_msg = _expect(recv_frame(conn), "inputs")
+        batch_spec = _get(inputs_msg, "batch")
+        if isinstance(batch_spec, list):
+            self.metrics.observe("session_batch_size", len(batch_spec))
+        outputs_payload = prover.prove(
+            batch_spec,
+            budget_check=lambda: self._budget_check(budget),
+        )
+        send_frame(conn, {"type": "outputs", "instances": outputs_payload})
+        challenge_msg = _expect(recv_frame(conn), "challenge")
+        self._budget_check(budget)
+        return prover.answer(_get(challenge_msg, "t"))
+
+    def _exchange_sharded(
+        self, conn, budget, entry, params, seed, qap_mode, session_id, tracer, span
+    ) -> list:
+        """Pin the session to a leased shard worker for both steps."""
+        lease_timeout = self.lease_timeout
+        if budget is not None:
+            lease_timeout = min(lease_timeout, max(budget - time.monotonic(), 0))
+        with self.metrics.time("gateway.lease_wait_seconds"):
+            worker = self._pool.lease(timeout=lease_timeout)
+        if worker is None:
+            self.metrics.inc("gateway.shed.lease")
+            raise ProtocolViolation(
+                f"no prover shard free within {lease_timeout:.1f}s",
+                code="busy",
+                retry_after=self.retry_after_hint(),
+            )
+        try:
+            self._budget_check(budget)
+            send_frame(conn, {"type": "hello-ok"})
+            commit = _expect(recv_frame(conn), "commit")
+            # decode-validate at receipt so a malformed commit is
+            # answered before we wait on inputs (the shard decodes for
+            # real when the whole exchange ships over)
+            _unhex_ciphertexts(_get(commit, "enc_r"), what="commit enc_r")
+            inputs_msg = _expect(recv_frame(conn), "inputs")
+            batch_spec = _get(inputs_msg, "batch")
+            if isinstance(batch_spec, list):
+                self.metrics.observe("session_batch_size", len(batch_spec))
+            prove_payload = (
+                entry.hash,
+                (params.delta, params.rho_lin, params.rho),
+                seed.hex(),
+                qap_mode,
+                _get(commit, "enc_r"),
+                batch_spec,
+                tracer.trace_id if tracer is not None else None,
+            )
+            outputs_payload = self._shard_call(
+                worker, ("prove", session_id, prove_payload), budget, tracer, span
+            )
+            send_frame(conn, {"type": "outputs", "instances": outputs_payload})
+            challenge_msg = _expect(recv_frame(conn), "challenge")
+            self._budget_check(budget)
+            return self._shard_call(
+                worker,
+                ("answer", session_id, _get(challenge_msg, "t")),
+                budget,
+                tracer,
+                span,
+            )
+        finally:
+            if worker.process.is_alive():
+                self._pool.release(worker)
+            else:
+                self._pool.replace(worker)
+            self.metrics.set_gauge("gateway.shards_alive", self._pool.alive)
+
+    def _shard_call(self, worker, task, budget, tracer, span):
+        """One task round trip to a leased shard; survives its death.
+
+        A dead worker turns into a structured, *retryable* ``internal``
+        error for this client (the replacement fork happens in the
+        lease's ``finally``); stale messages from an exchange a prior
+        session abandoned on this worker are filtered by (session, step).
+        """
+        kind, session_id = task[0], task[1]
+        worker.task_q.put(task)
+        while True:
+            try:
+                msg = worker.result_q.get(timeout=0.05)
+            except queue_mod.Empty:
+                if not worker.process.is_alive():
+                    self._bump("worker_deaths")
+                    self.metrics.inc("gateway.worker_deaths")
+                    telemetry.count("net.gateway_worker_deaths")
+                    raise ProtocolViolation(
+                        f"prover shard died during {kind!r} step; "
+                        f"the session is safe to retry",
+                        code="internal",
+                    ) from None
+                self._budget_check(budget)
+                continue
+            status, msg_sid, msg_kind, *rest = msg
+            if msg_sid != session_id or msg_kind != kind:
+                continue  # stale result from an abandoned exchange
+            if status == "ok":
+                payload, records = rest
+                if records and tracer is not None:
+                    try:
+                        tracer.adopt(
+                            records,
+                            parent_id=span.span_id if span is not None else None,
+                        )
+                    except (KeyError, TypeError, ValueError):
+                        pass  # diagnostic data never fails a session
+                return payload
+            code, message = rest
+            raise ProtocolViolation(
+                f"shard failed during {kind!r} step: {message}", code=code
+            )

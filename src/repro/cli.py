@@ -34,6 +34,8 @@ from .argument import (
     ArgumentConfig,
     CheckpointError,
     Deadlines,
+    GatewayServer,
+    ProgramRegistry,
     ProtocolViolation,
     ProverServer,
     ZaatarArgument,
@@ -319,34 +321,66 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    """``repro serve``: run a prover server for one compiled program.
+    """``repro serve``: run a prover server (or multi-tenant gateway).
 
-    Serves concurrent verifier sessions until interrupted (or for
-    ``--duration`` seconds); the deadline/capacity knobs map onto
-    ``ProverServer`` — see docs/NETWORKING.md for what each bounds.
-    ``--metrics-port`` additionally serves the live metrics registry
-    over HTTP as a Prometheus-style plaintext page (``/json`` for the
-    snapshot form that ``repro top`` renders).
+    The default serves one compiled program through ``ProverServer``.
+    With ``--registry`` (repeatable, more programs to host) and/or
+    ``--shards`` (prover worker processes) it becomes a
+    ``GatewayServer``: every listed program is registered and
+    pre-warmed, sessions are dispatched by the ``hello`` frame's
+    program hash, and admission control (``--accept-queue``,
+    ``--per-program-sessions``) sheds overload with ``busy`` frames
+    carrying retry hints.  Serves until interrupted (or for
+    ``--duration`` seconds); ``--metrics-port`` additionally serves the
+    live metrics registry over HTTP as a Prometheus-style plaintext
+    page (``/json`` for the snapshot form that ``repro top`` renders).
     """
     field = _field(args.field)
     program = _load_program(args.program, field, args.bit_width)
     deadlines = Deadlines(read=args.read_timeout, session=args.session_budget)
-    server = ProverServer(
-        program,
-        ArgumentConfig(),
-        host=args.host,
-        port=args.port,
-        max_sessions=args.max_sessions,
-        deadlines=deadlines,
-    )
-    server.start()
-    host, port = server.address
-    print(
-        f"serving {program.name} on {host}:{port} "
-        f"(hash {program_hash(program)[:16]}…, max {args.max_sessions} sessions, "
-        f"read deadline {args.read_timeout:g}s"
-        + (f", session budget {args.session_budget:g}s)" if args.session_budget else ")")
-    )
+    gateway_mode = bool(args.registry) or args.shards is not None
+    if gateway_mode:
+        registry = ProgramRegistry()
+        registry.register(program, ArgumentConfig())
+        for path in args.registry:
+            extra = _load_program(path, field, args.bit_width)
+            registry.register(extra, ArgumentConfig())
+        server = GatewayServer(
+            registry,
+            host=args.host,
+            port=args.port,
+            max_sessions=args.max_sessions,
+            shards=args.shards or 0,
+            accept_queue=args.accept_queue,
+            per_program_sessions=args.per_program_sessions,
+            deadlines=deadlines,
+        )
+        server.start()
+        host, port = server.address
+        print(
+            f"gateway on {host}:{port} ({len(registry)} programs, "
+            f"max {args.max_sessions} sessions + {args.accept_queue} queued, "
+            f"{args.shards or 0} shard workers)"
+        )
+        for entry in registry:
+            print(f"  {entry.name}  hash {entry.hash[:16]}…")
+    else:
+        server = ProverServer(
+            program,
+            ArgumentConfig(),
+            host=args.host,
+            port=args.port,
+            max_sessions=args.max_sessions,
+            deadlines=deadlines,
+        )
+        server.start()
+        host, port = server.address
+        print(
+            f"serving {program.name} on {host}:{port} "
+            f"(hash {program_hash(program)[:16]}…, max {args.max_sessions} sessions, "
+            f"read deadline {args.read_timeout:g}s"
+            + (f", session budget {args.session_budget:g}s)" if args.session_budget else ")")
+        )
     exporter = None
     if args.metrics_port is not None:
         exporter = telemetry.start_http_exporter(
@@ -367,11 +401,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
             exporter.shutdown()
         server.close()
         stats = server.stats
-        print(
+        line = (
             f"sessions: {stats.get('sessions_ok', 0)} ok, "
             f"{stats.get('session_errors', 0)} failed, "
             f"{stats.get('sessions_rejected', 0)} rejected at capacity"
         )
+        if stats.get("worker_deaths"):
+            line += f", {stats['worker_deaths']} shard deaths"
+        if stats.get("sessions_refused_shutdown"):
+            line += f", {stats['sessions_refused_shutdown']} refused at shutdown"
+        print(line)
     return 0
 
 
@@ -683,6 +722,38 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="PORT",
         help="also serve live metrics over HTTP on this port (0 picks one)",
+    )
+    p_serve.add_argument(
+        "--registry",
+        action="append",
+        default=[],
+        metavar="PROGRAM.zr",
+        help="host this additional program too (repeatable; turns the "
+        "server into a multi-tenant gateway keyed by program hash)",
+    )
+    p_serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gateway mode: pin each session's proving to one of N "
+        "crash-surviving worker processes (0 proves on the session thread)",
+    )
+    p_serve.add_argument(
+        "--accept-queue",
+        type=int,
+        default=16,
+        metavar="N",
+        help="gateway mode: admitted connections may wait in a queue this "
+        "deep; past it clients are shed with busy + retry_after",
+    )
+    p_serve.add_argument(
+        "--per-program-sessions",
+        type=int,
+        default=None,
+        metavar="N",
+        help="gateway mode: cap concurrent sessions per hosted program "
+        "(default: no per-program cap)",
     )
     p_serve.set_defaults(fn=cmd_serve)
 

@@ -174,6 +174,20 @@ class MetricsRegistry:
                 hist = self._histograms[name] = QuantileHistogram(capacity, seed=hseed)
             hist.observe(value)
 
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Observe the block's wall-clock seconds into histogram ``name``.
+
+        The gateway times its admission and worker-exchange stages this
+        way; the duration is recorded even when the block raises (a
+        failed session's latency is still latency).
+        """
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(name, time.perf_counter() - start)
+
     def counter_value(self, name: str) -> float:
         """Current value of counter ``name`` (0 if never incremented)."""
         with self._lock:

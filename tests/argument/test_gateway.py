@@ -1,0 +1,399 @@
+"""Tests for the multi-tenant prover gateway (repro.argument.serve)."""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.argument import (
+    ArgumentConfig,
+    Deadlines,
+    GatewayServer,
+    ProcessFaultPlan,
+    ProcessFaultRule,
+    ProgramRegistry,
+    ProtocolViolation,
+    RetryPolicy,
+    fetch_stats,
+    program_hash,
+    verify_remote,
+)
+from repro.argument.net import recv_frame, send_frame
+from repro.compiler import compile_program
+from repro.pcp import SoundnessParams
+
+FAST = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+NO_RETRY = RetryPolicy.none()
+
+
+@pytest.fixture(scope="module")
+def affine_program(gold):
+    """A second hosted program, distinct from sumsq."""
+
+    def build(b):
+        x = b.input()
+        b.output(x * x + x)
+
+    return compile_program(gold, build, name="affine")
+
+
+@pytest.fixture(scope="module")
+def registry(sumsq_program, affine_program):
+    reg = ProgramRegistry()
+    reg.register(sumsq_program, FAST)
+    reg.register(affine_program, FAST)
+    return reg
+
+
+def _hello_frame(program, config=FAST):
+    """The client hello for ``program`` (for half-open raw sessions)."""
+    return {
+        "type": "hello",
+        "program": program_hash(program),
+        "params": {
+            "delta": config.params.delta,
+            "rho_lin": config.params.rho_lin,
+            "rho": config.params.rho,
+        },
+        "qap_mode": config.qap_mode,
+        "seed": config.seed.hex(),
+    }
+
+
+def _hold_session(address, program):
+    """Open a session and stall after hello-ok, pinning a handler/slot."""
+    sock = socket.create_connection(address, timeout=5)
+    sock.settimeout(10)
+    send_frame(sock, _hello_frame(program))
+    reply = recv_frame(sock)
+    assert reply["type"] == "hello-ok"
+    return sock
+
+
+class TestRegistry:
+    def test_lookup_by_canonical_hash(self, registry, sumsq_program):
+        entry = registry.lookup(program_hash(sumsq_program))
+        assert entry is not None and entry.name == "sumsq"
+        assert registry.lookup("no-such-hash") is None
+        assert len(registry) == 2
+        assert {e.name for e in registry} == {"sumsq", "affine"}
+
+    def test_reregistration_replaces_entry(self, sumsq_program):
+        reg = ProgramRegistry()
+        first = reg.register(sumsq_program, FAST)
+        second = reg.register(sumsq_program, FAST)
+        assert len(reg) == 1
+        assert reg.lookup(first.hash) is second
+
+    def test_warm_precomputes_qap_artifacts(self, registry, sumsq_program):
+        entry = registry.lookup(program_hash(sumsq_program))
+        # registration warmed the QAP: a session must find it cached
+        assert entry.qap(FAST.qap_mode) is entry.qap(FAST.qap_mode)
+
+    def test_schedule_cache_hits_on_repeat_seed(self, registry, sumsq_program):
+        entry = registry.lookup(program_hash(sumsq_program))
+        params = FAST.params
+        _, hit_first = entry.schedule(FAST.qap_mode, params, b"\x01" * 32)
+        _, hit_again = entry.schedule(FAST.qap_mode, params, b"\x01" * 32)
+        _, hit_other = entry.schedule(FAST.qap_mode, params, b"\x02" * 32)
+        assert (hit_first, hit_again, hit_other) == (False, True, False)
+
+    def test_empty_registry_rejected(self):
+        with pytest.raises(ValueError, match="no programs"):
+            GatewayServer(ProgramRegistry())
+
+
+class TestMultiProgramDispatch:
+    def test_two_programs_one_gateway(
+        self, registry, sumsq_program, affine_program
+    ):
+        with GatewayServer(registry) as gw:
+            r1 = verify_remote(sumsq_program, [[1, 2, 3]], gw.address, FAST)
+            r2 = verify_remote(affine_program, [[6]], gw.address, FAST)
+        assert r1.all_accepted and r2.all_accepted
+        assert [r.output_values for r in r1.instances] == [[14]]
+        assert [r.output_values for r in r2.instances] == [[42]]
+        assert gw.metrics.counter_value("gateway.sessions.sumsq") == 1
+        assert gw.metrics.counter_value("gateway.sessions.affine") == 1
+
+    def test_unknown_program_is_structured_and_non_retryable(
+        self, registry, gold
+    ):
+        def build(b):
+            b.output(b.input() * 7)
+
+        unhosted = compile_program(gold, build, name="unhosted")
+        with GatewayServer(registry) as gw:
+            with pytest.raises(ProtocolViolation) as excinfo:
+                verify_remote(unhosted, [[1]], gw.address, FAST)
+            assert excinfo.value.code == "unknown-program"
+            assert not excinfo.value.retryable
+            assert "not registered" in str(excinfo.value)
+            # the default retry policy must not have replayed the session
+            assert gw.stats["sessions_started"] == 1
+        assert gw.metrics.counter_value("gateway.unknown_program") == 1
+
+    def test_repeat_seed_hits_schedule_cache(self, registry, sumsq_program):
+        with GatewayServer(registry) as gw:
+            verify_remote(sumsq_program, [[1, 1, 1]], gw.address, FAST)
+            verify_remote(sumsq_program, [[2, 2, 2]], gw.address, FAST)
+        assert gw.metrics.counter_value("gateway.schedule_cache_hits") >= 1
+
+    def test_stats_frame_lists_every_program(self, registry, sumsq_program):
+        with GatewayServer(registry, max_sessions=3, shards=0) as gw:
+            verify_remote(sumsq_program, [[1, 2, 3]], gw.address, FAST)
+            # the final answers frame can race the session's own
+            # bookkeeping by a hair; wait for the session to retire
+            deadline = time.monotonic() + 5.0
+            while not gw.stats.get("sessions_ok") and time.monotonic() < deadline:
+                time.sleep(0.01)
+            payload = fetch_stats(gw.address)
+        server = payload["server"]
+        assert server["role"] == "gateway"
+        assert {p["name"] for p in server["programs"]} == {"sumsq", "affine"}
+        assert server["max_sessions"] == 3
+        assert server["stats"]["sessions_ok"] >= 1
+        assert payload["metrics"]["info"]["role"] == "gateway"
+
+    def test_stats_and_metrics_counters_agree(
+        self, registry, sumsq_program, gold
+    ):
+        """The wire-stats counters and the metrics registry must move
+        together — one ok session and one failed session may never make
+        the stats frame and the exposition page disagree."""
+
+        def build(b):
+            b.output(b.input() - 1)
+
+        unhosted = compile_program(gold, build)
+        with GatewayServer(registry) as gw:
+            verify_remote(sumsq_program, [[1, 2, 3]], gw.address, FAST)
+            with pytest.raises(ProtocolViolation):
+                verify_remote(unhosted, [[1]], gw.address, FAST)
+        stats = gw.stats
+        for key in ("sessions_started", "sessions_ok", "session_errors"):
+            assert stats[key] == gw.metrics.counter_value(key), key
+        assert stats["sessions_started"] == 2
+        assert stats["sessions_ok"] == 1
+        assert stats["session_errors"] == 1
+
+
+class TestAdmissionControl:
+    def test_overflow_sheds_with_busy_and_retry_after(
+        self, registry, sumsq_program
+    ):
+        with GatewayServer(registry, max_sessions=1, accept_queue=0) as gw:
+            held = _hold_session(gw.address, sumsq_program)
+            try:
+                with socket.create_connection(gw.address, timeout=5) as sock:
+                    sock.settimeout(10)
+                    frame = recv_frame(sock)
+                assert frame["type"] == "error"
+                assert frame["code"] == "busy"
+                assert 0.05 <= frame["retry_after"] <= 30.0
+            finally:
+                held.close()
+        assert gw.stats["sessions_rejected"] >= 1
+        assert gw.metrics.counter_value("gateway.shed.global") >= 1
+
+    def test_queued_connection_is_served_after_release(
+        self, registry, sumsq_program
+    ):
+        with GatewayServer(registry, max_sessions=1, accept_queue=4) as gw:
+            held = _hold_session(gw.address, sumsq_program)
+            outcome = {}
+
+            def client():
+                outcome["result"] = verify_remote(
+                    sumsq_program, [[2, 3, 4]], gw.address, FAST, retry=NO_RETRY
+                )
+
+            thread = threading.Thread(target=client, daemon=True)
+            thread.start()
+            # the client sits in the accept queue while the slot is held
+            deadline = time.monotonic() + 5
+            while gw.admitted < 2 and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert gw.admitted == 2
+            assert "result" not in outcome
+            held.close()  # frees the only handler
+            thread.join(timeout=30)
+        assert outcome["result"].all_accepted
+        waits = gw.metrics.histogram("gateway.queue_wait_seconds")
+        assert waits is not None and waits.count >= 1
+
+    def test_per_program_limit_sheds_only_that_program(
+        self, registry, sumsq_program, affine_program
+    ):
+        with GatewayServer(
+            registry, max_sessions=4, per_program_sessions=1
+        ) as gw:
+            held = _hold_session(gw.address, sumsq_program)
+            try:
+                with pytest.raises(ProtocolViolation) as excinfo:
+                    verify_remote(
+                        sumsq_program, [[1, 1, 1]], gw.address, FAST, retry=NO_RETRY
+                    )
+                assert excinfo.value.code == "busy"
+                assert excinfo.value.retryable
+                assert excinfo.value.retry_after is not None
+                # the other program's lane is unaffected
+                result = verify_remote(
+                    affine_program, [[3]], gw.address, FAST, retry=NO_RETRY
+                )
+                assert result.all_accepted
+            finally:
+                held.close()
+            # the released slot admits sumsq again
+            result = verify_remote(sumsq_program, [[5, 1, 1]], gw.address, FAST)
+            assert result.all_accepted
+        assert gw.metrics.counter_value("gateway.shed.program") >= 1
+
+
+class TestShutdown:
+    def test_late_client_gets_shutting_down_frame(self, registry):
+        gw = GatewayServer(registry).start()
+        gw._stop.set()  # simulate close() racing a connecting client
+        with socket.create_connection(gw.address, timeout=5) as sock:
+            sock.settimeout(10)
+            frame = recv_frame(sock)
+        assert frame["type"] == "error"
+        assert frame["code"] == "shutting-down"
+        gw.close()
+        assert gw.stats["sessions_refused_shutdown"] == 1
+        assert gw.metrics.counter_value("sessions_refused_shutdown") == 1
+
+    def test_kernel_backlog_drained_with_frames(self, registry):
+        # never started: connections complete in the kernel backlog and
+        # no accept loop ever claims them — close() must still answer
+        # each one with a structured frame, not a RST
+        gw = GatewayServer(registry)
+        clients = [socket.create_connection(gw.address, timeout=5) for _ in range(3)]
+        try:
+            for sock in clients:
+                sock.settimeout(10)
+            gw.close()
+            for sock in clients:
+                frame = recv_frame(sock)
+                assert frame["type"] == "error"
+                assert frame["code"] == "shutting-down"
+        finally:
+            for sock in clients:
+                sock.close()
+        assert gw.stats["sessions_refused_shutdown"] == 3
+
+    def test_shutdown_under_load_answers_every_client(
+        self, registry, sumsq_program
+    ):
+        """Queued clients get ``shutting-down`` frames at close — never
+        a bare RST — while the in-flight session drains."""
+        gw = GatewayServer(
+            registry,
+            max_sessions=1,
+            accept_queue=8,
+            deadlines=Deadlines(read=1.0),
+            drain_timeout=10.0,
+        ).start()
+        held = _hold_session(gw.address, sumsq_program)
+        outcomes = []
+        outcomes_lock = threading.Lock()
+
+        def client():
+            try:
+                verify_remote(
+                    sumsq_program, [[1, 2, 3]], gw.address, FAST, retry=NO_RETRY
+                )
+                outcome = "ok"
+            except ProtocolViolation as exc:
+                outcome = exc.code
+            except OSError as exc:  # a RST would land here — forbidden
+                outcome = f"os-error: {exc}"
+            with outcomes_lock:
+                outcomes.append(outcome)
+
+        threads = [threading.Thread(target=client, daemon=True) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        deadline = time.monotonic() + 5
+        while gw.admitted < 5 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        assert gw.admitted == 5  # 1 in flight + 4 queued
+
+        closer = threading.Thread(target=gw.close, daemon=True)
+        closer.start()
+        time.sleep(0.2)  # let close() stop the listener
+        held.close()  # ends the in-flight session; handlers drain the queue
+        closer.join(timeout=30)
+        assert not closer.is_alive()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert outcomes == ["shutting-down"] * 4
+        assert gw.stats["sessions_refused_shutdown"] == 4
+
+
+class TestSharding:
+    def test_sharded_sessions_verify(
+        self, registry, sumsq_program, affine_program
+    ):
+        with GatewayServer(registry, shards=2, max_sessions=2) as gw:
+            r1 = verify_remote(sumsq_program, [[1, 2, 3], [4, 5, 6]], gw.address, FAST)
+            r2 = verify_remote(affine_program, [[2]], gw.address, FAST)
+        assert r1.all_accepted and r2.all_accepted
+        assert [r.output_values for r in r1.instances] == [[14], [77]]
+        assert gw.stats.get("worker_deaths", 0) == 0
+
+    @pytest.mark.parametrize("step", ["prove", "answer"])
+    def test_worker_death_mid_session_is_retryable_error(
+        self, registry, sumsq_program, step
+    ):
+        """SIGKILL of the leased shard mid-session must surface as one
+        structured, retryable error — and the replenished pool must
+        serve the next session."""
+        attempt = {"prove": 1, "answer": 2}[step]
+        plan = ProcessFaultPlan(
+            [ProcessFaultRule(index=1, action="kill", attempt=attempt)]
+        )
+        with GatewayServer(
+            registry, shards=1, max_sessions=2, process_faults=plan
+        ) as gw:
+            with pytest.raises(ProtocolViolation) as excinfo:
+                verify_remote(
+                    sumsq_program, [[1, 2, 3]], gw.address, FAST, retry=NO_RETRY
+                )
+            assert excinfo.value.code == "internal"
+            assert excinfo.value.retryable
+            assert "shard died" in str(excinfo.value)
+            assert gw._pool.alive == 1  # replacement forked
+            result = verify_remote(sumsq_program, [[4, 5, 6]], gw.address, FAST)
+            assert result.all_accepted
+        assert gw.stats["worker_deaths"] == 1
+        assert gw.metrics.counter_value("gateway.worker_deaths") == 1
+
+    def test_shard_lease_starvation_sheds_busy(self, registry, sumsq_program):
+        """With every shard leased out, a session is shed with ``busy``
+        (plus a hint) instead of hanging on the lease."""
+        with GatewayServer(
+            registry,
+            shards=1,
+            max_sessions=2,
+            lease_timeout=0.2,
+        ) as gw:
+            # pin the only shard: drive a session up to the inputs frame
+            # so its handler holds the lease while proving
+            sock = socket.create_connection(gw.address, timeout=5)
+            sock.settimeout(10)
+            try:
+                send_frame(sock, _hello_frame(sumsq_program))
+                # the sharded exchange leases its worker before sending
+                # hello-ok, so once it arrives the pool is exhausted
+                assert recv_frame(sock)["type"] == "hello-ok"
+                with pytest.raises(ProtocolViolation) as excinfo:
+                    verify_remote(
+                        sumsq_program, [[2, 2, 2]], gw.address, FAST, retry=NO_RETRY
+                    )
+                assert excinfo.value.code == "busy"
+                assert excinfo.value.retry_after is not None
+            finally:
+                sock.close()
+        assert gw.metrics.counter_value("gateway.shed.lease") >= 1

@@ -10,6 +10,8 @@ import pytest
 from repro.argument import (
     ArgumentConfig,
     Deadlines,
+    FaultPlan,
+    FaultRule,
     ProtocolViolation,
     ProverServer,
     RetryPolicy,
@@ -217,6 +219,99 @@ class TestClientSideViolations:
             verify_remote(sumsq_program, [[1, 2, 3]], address, FAST)
 
 
+class TestIoClassification:
+    """A transport-level drop is code ``io`` — transient, retryable —
+    not a protocol offence (regression: it used to raise the generic
+    ``violation`` code, muddying the server's error buckets)."""
+
+    def test_mid_frame_close_is_io_and_retryable(self):
+        left, right = socket.socketpair()
+        try:
+            left.sendall(b"\x00\x00")  # half a header, then gone
+            left.close()
+            with pytest.raises(ProtocolViolation) as excinfo:
+                recv_frame(right)
+        finally:
+            right.close()
+        assert excinfo.value.code == "io"
+        assert excinfo.value.retryable
+
+    def test_pre_commit_drop_is_retried_transparently(
+        self, sumsq_program, server
+    ):
+        # drop the server's hello-ok (recv frame 0) once: the client
+        # must classify the dead connection as io and retry clean
+        plan = FaultPlan([FaultRule(frame=0, action="drop", direction="recv")])
+        result = verify_remote(
+            sumsq_program,
+            [[1, 2, 3]],
+            server.address,
+            FAST,
+            retry=RetryPolicy(max_attempts=3, base_delay=0.05, jitter=0.0),
+            socket_wrapper=plan.wrap,
+        )
+        assert result.all_accepted
+        assert result.attempts == 2
+
+    def test_server_buckets_client_drop_under_io(self, sumsq_program, server):
+        with socket.create_connection(server.address, timeout=5) as sock:
+            sock.sendall(b"\x00\x00\x01")  # partial header, then RST/close
+        deadline = time.monotonic() + 5
+        while (
+            server.stats.get("session_errors", 0) < 1
+            and time.monotonic() < deadline
+        ):
+            time.sleep(0.01)
+        assert server.stats["session_errors"] == 1
+        assert server.metrics.counter_value("session_errors.io") == 1
+
+
+class TestShutdownRace:
+    def test_late_client_gets_shutting_down_frame(self, sumsq_program):
+        server = ProverServer(sumsq_program, FAST).start()
+        # simulate close() racing a connecting client: _stop is set but
+        # the accept loop is still parked in accept()
+        server._stop.set()
+        with socket.create_connection(server.address, timeout=5) as sock:
+            sock.settimeout(10)
+            frame = recv_frame(sock)
+        assert frame["type"] == "error"
+        assert frame["code"] == "shutting-down"
+        server.close()
+        assert server.stats["sessions_refused_shutdown"] == 1
+        assert server.metrics.counter_value("sessions_refused_shutdown") == 1
+
+    def test_kernel_backlog_drained_with_frames(self, sumsq_program):
+        # the listener exists but nothing ever accepts: clients complete
+        # their handshakes in the kernel backlog.  close() must answer
+        # each one with a structured frame instead of a bare RST.
+        server = ProverServer(sumsq_program, FAST)
+        clients = [
+            socket.create_connection(server.address, timeout=5) for _ in range(3)
+        ]
+        try:
+            for sock in clients:
+                sock.settimeout(10)
+            server.close()
+            for sock in clients:
+                frame = recv_frame(sock)
+                assert frame["type"] == "error"
+                assert frame["code"] == "shutting-down"
+        finally:
+            for sock in clients:
+                sock.close()
+        assert server.stats["sessions_refused_shutdown"] == 3
+
+    def test_clean_close_refuses_nobody(self, sumsq_program):
+        # the close() poke itself must never be counted as a refused
+        # client (regression: the accept loop could observe the poke
+        # before its address was recorded)
+        for _ in range(5):
+            server = ProverServer(sumsq_program, FAST).start()
+            server.close()
+            assert "sessions_refused_shutdown" not in server.stats
+
+
 class TestRetryPolicy:
     def test_delays_are_capped_exponential(self):
         policy = RetryPolicy(
@@ -235,6 +330,49 @@ class TestRetryPolicy:
 
     def test_none_never_retries(self):
         assert list(RetryPolicy.none().delays()) == []
+
+    def test_server_retry_after_hint_overrides_backoff(self, sumsq_program):
+        """A busy frame carrying ``retry_after`` reschedules the retry
+        at the server's estimate instead of the blind exponential delay
+        (which is set pathologically long here to make the difference
+        observable)."""
+        listener = socket.create_server(("127.0.0.1", 0))
+
+        def refuse_twice():
+            for _ in range(2):
+                conn, _ = listener.accept()
+                with conn:
+                    recv_frame(conn)  # hello
+                    send_frame(
+                        conn,
+                        {
+                            "type": "error",
+                            "code": "busy",
+                            "message": "at capacity",
+                            "retry_after": 0.05,
+                        },
+                    )
+
+        thread = threading.Thread(target=refuse_twice, daemon=True)
+        thread.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(ProtocolViolation) as excinfo:
+                verify_remote(
+                    sumsq_program,
+                    [[1, 2, 3]],
+                    listener.getsockname(),
+                    FAST,
+                    retry=RetryPolicy(
+                        max_attempts=2, base_delay=30.0, max_delay=60.0
+                    ),
+                )
+        finally:
+            listener.close()
+            thread.join(timeout=10)
+        assert excinfo.value.code == "busy"
+        # the hint (0.05s) was honored over the 30s backoff
+        assert time.monotonic() - start < 5.0
 
     def test_connect_retries_through_late_server_start(self, sumsq_program):
         # reserve a port, but start the server only after the client's

@@ -182,3 +182,58 @@ class TestWireCounters:
         remote = trace.find("wire.verify_remote")[0]
         assert session_spans[0].parent_id == remote.span_id
         assert session_spans[0].trace_id == tracer.trace_id
+
+    def test_server_stats_and_metrics_counters_stay_in_sync(
+        self, counted_program
+    ):
+        """The wire-stats counter and the metrics counter are bumped at
+        the same point, so after any mix of ok and failed sessions the
+        ``stats`` frame and the exposition page agree exactly."""
+        other = compile_program(
+            counted_program.field, lambda b: b.output(b.input() + 5)
+        )
+        with ProverServer(counted_program, FAST) as server:
+            result = verify_remote(
+                counted_program, [[1, 2, 3]], server.address, FAST
+            )
+            assert result.all_accepted
+            from repro.argument import ProtocolViolation, RetryPolicy
+
+            with pytest.raises(ProtocolViolation):
+                verify_remote(
+                    other, [[1]], server.address, FAST, retry=RetryPolicy.none()
+                )
+        stats = server.stats
+        for key in ("sessions_started", "sessions_ok", "session_errors"):
+            assert stats[key] == server.metrics.counter_value(key), key
+        assert stats["sessions_started"] == 2
+        assert stats["sessions_ok"] == 1
+        assert stats["session_errors"] == 1
+
+
+class TestGatewayTraces:
+    def test_sharded_gateway_stitches_worker_spans(self, counted_program):
+        """Prover phase spans recorded inside a shard *process* come
+        back through the gateway and adopt into the client's trace as
+        children of the session span — one tree across three processes."""
+        from repro.argument import GatewayServer, ProgramRegistry
+
+        registry = ProgramRegistry()
+        registry.register(counted_program, FAST)
+        with telemetry.session() as tracer:
+            with GatewayServer(registry, shards=1, max_sessions=2) as gw:
+                result = verify_remote(
+                    counted_program, [[1, 2, 3]], gw.address, FAST
+                )
+        assert result.all_accepted
+        trace = Trace.from_tracer(tracer)
+        session_spans = trace.find("wire.prover_session")
+        assert len(session_spans) == 1
+        remote = trace.find("wire.verify_remote")[0]
+        assert session_spans[0].parent_id == remote.span_id
+        # the worker-side prover spans crossed both process boundaries
+        instance_spans = trace.find("prover.instance")
+        assert len(instance_spans) == 1
+        assert instance_spans[0].parent_id == session_spans[0].span_id
+        answer_spans = trace.find("prover.answer_queries")
+        assert len(answer_spans) == 1

@@ -215,6 +215,79 @@ class TestServeCommand:
         thread.join(timeout=30)
 
 
+class TestServeGateway:
+    @pytest.fixture
+    def second_program_file(self, tmp_path):
+        path = tmp_path / "square.zr"
+        path.write_text("input x\noutput y\ny = x * x\n")
+        return str(path)
+
+    def test_gateway_banner_and_stats(
+        self, program_file, second_program_file, capsys
+    ):
+        rc = main(
+            [
+                "serve",
+                program_file,
+                "--registry",
+                second_program_file,
+                "--duration",
+                "0.05",
+                "--max-sessions",
+                "2",
+                "--accept-queue",
+                "4",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "gateway on" in out
+        assert "2 programs" in out
+        assert "max 2 sessions + 4 queued" in out
+        assert "mul" in out and "square" in out
+
+    def test_gateway_serves_both_programs(
+        self, program_file, second_program_file
+    ):
+        import socket
+        import threading
+
+        from repro.argument import ArgumentConfig, RetryPolicy, verify_remote
+        from repro.cli import _field, _load_program
+        from repro.pcp import SoundnessParams
+
+        placeholder = socket.create_server(("127.0.0.1", 0))
+        port = placeholder.getsockname()[1]
+        placeholder.close()
+        thread = threading.Thread(
+            target=main,
+            args=(
+                [
+                    "serve",
+                    program_file,
+                    "--registry",
+                    second_program_file,
+                    "--port",
+                    str(port),
+                    "--duration",
+                    "5",
+                ],
+            ),
+            daemon=True,
+        )
+        thread.start()
+        field = _field("goldilocks")
+        config = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+        retry = RetryPolicy(max_attempts=10, base_delay=0.1, seed=0)
+        mul = _load_program(program_file, field, 32)
+        square = _load_program(second_program_file, field, 32)
+        r1 = verify_remote(mul, [[3, 4]], ("127.0.0.1", port), config, retry=retry)
+        r2 = verify_remote(square, [[9]], ("127.0.0.1", port), config, retry=retry)
+        assert r1.all_accepted and r1.instances[0].output_values == [reference(3, 4)]
+        assert r2.all_accepted and r2.instances[0].output_values == [81]
+        thread.join(timeout=30)
+
+
 class TestParser:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
