@@ -11,6 +11,8 @@ from .faults import (
     FaultRule,
     FaultySocket,
     InjectedWorkerFault,
+    LinkProfile,
+    LinkSocket,
     ProcessFaultPlan,
     ProcessFaultRule,
 )
@@ -69,6 +71,8 @@ __all__ = [
     "FaultRule",
     "FaultySocket",
     "InjectedWorkerFault",
+    "LinkProfile",
+    "LinkSocket",
     "MUTATIONS",
     "MUTATION_CATALOG",
     "ProcessFaultPlan",

@@ -36,15 +36,19 @@ directions of the wire, so one hook covers every fault site)::
 
 from __future__ import annotations
 
+import heapq
+import itertools
 import os
 import random
 import signal
 import struct
+import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Sequence
 
 from .. import telemetry
+from .protocol import ProtocolViolation
 
 _HEADER = struct.Struct("!I")
 
@@ -213,6 +217,7 @@ class FaultySocket:
     def __init__(self, sock, plan: FaultPlan):
         self._sock = sock
         self._plan = plan
+        self._timeout: float | None = sock.gettimeout() if hasattr(sock, "gettimeout") else None
         self._send_frame = 0
         # recv-side framing state
         self._recv_frame = 0
@@ -238,6 +243,7 @@ class FaultySocket:
         if rule is None:
             self._sock.sendall(data)
         elif rule.action == "delay":
+            self._check_deadline(rule)
             time.sleep(rule.delay)
             self._sock.sendall(data)
         elif rule.action == "drop":
@@ -280,6 +286,7 @@ class FaultySocket:
                 self._rx_flips = None
                 if self._rx_rule is not None:
                     if self._rx_rule.action == "delay":
+                        self._check_deadline(self._rx_rule)
                         time.sleep(self._rx_rule.delay)
                     elif self._rx_rule.action == "drop":
                         # the frame never arrives: retract this call's
@@ -330,10 +337,234 @@ class FaultySocket:
 
     # -- plumbing ----------------------------------------------------------
 
+    def _check_deadline(self, rule: FaultRule) -> None:
+        """A delay no reader could survive is a deadline, not an io blip.
+
+        Sleeping through the peer's read timeout would burn real
+        wall-clock in every test that injects it and then surface as a
+        generic transport error; raising ``deadline`` immediately keeps
+        the failure honest about *why* the frame never made it.
+        """
+        if self._timeout is not None and rule.delay >= self._timeout:
+            raise ProtocolViolation(
+                f"injected delay of {rule.delay:.3f}s exceeds the "
+                f"{self._timeout:.3f}s read deadline",
+                code="deadline",
+            )
+
     def settimeout(self, value) -> None:
         """Pass the timeout through to the wrapped socket."""
+        self._timeout = value
         self._sock.settimeout(value)
+
+    def gettimeout(self):
+        """Return the timeout last set via :meth:`settimeout`."""
+        return self._timeout
 
     def close(self) -> None:
         """Close the wrapped socket."""
         self._sock.close()
+
+
+# -- WAN link emulation -------------------------------------------------------
+
+
+class _LinkScheduler:
+    """One process-wide delivery thread for every :class:`LinkSocket`.
+
+    Emulated latency must not be slept on the sending thread — a
+    gateway handler that wrote an ``outputs`` frame would otherwise sit
+    inside the link emulation for the frame's flight time instead of
+    reading the next request.  ``sendall`` therefore only computes an
+    arrival time and enqueues; this thread delivers frames (and
+    deferred closes) when they fall due.  Per-socket ordering is
+    preserved because each socket's due times are non-decreasing (the
+    pacing model below) and the heap breaks ties by sequence number.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._heap: list = []  # (due, seq, sock, payload-or-None)
+        self._seq = itertools.count()
+        self._thread: threading.Thread | None = None
+
+    def schedule(self, due: float, sock: "LinkSocket", payload: bytes | None) -> None:
+        with self._cond:
+            heapq.heappush(self._heap, (due, next(self._seq), sock, payload))
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._run, name="link-emulator", daemon=True
+                )
+                self._thread.start()
+            self._cond.notify()
+
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._heap:
+                    self._cond.wait()
+                due = self._heap[0][0]
+                wait = due - time.monotonic()
+                if wait > 0:
+                    self._cond.wait(timeout=wait)
+                    continue
+                _, _, sock, payload = heapq.heappop(self._heap)
+            sock._deliver(payload)
+
+
+_SCHEDULER = _LinkScheduler()
+
+
+@dataclass
+class LinkProfile:
+    """A seeded emulated network link, applied per connection.
+
+    * ``latency``/``jitter`` — every frame arrives ``latency`` plus a
+      uniform ``[0, jitter)`` seconds after it clears the pipe (one-way;
+      wrap both peers to emulate a full RTT);
+    * ``bandwidth`` — bytes/second pacing: a frame occupies the pipe
+      for ``size / bandwidth`` seconds and later frames queue behind it
+      (None: infinite);
+    * ``loss`` — per-frame probability the frame vanishes.  The
+      transport is TCP, so a frame the network truly ate is a
+      retransmission stall ending in a dead connection; the emulation
+      cuts the connection at the frame's would-be arrival time;
+    * ``corrupt`` — per-frame probability of a payload bit-flip
+      (exercises the receiver's ``bad-frame`` path end to end).
+
+    ``wrap`` is a ``socket_wrapper`` for :func:`verify_remote`; servers
+    take the profile directly via their ``link=`` knob and wrap every
+    accepted connection.  Each wrapped connection draws its own RNG
+    stream from ``seed`` and a connection counter, so a multi-connection
+    run is reproducible connection by connection.
+    """
+
+    latency: float = 0.0
+    jitter: float = 0.0
+    bandwidth: float | None = None
+    loss: float = 0.0
+    corrupt: float = 0.0
+    seed: int = 0
+    _conn_ids: "itertools.count" = field(
+        init=False, repr=False, compare=False, default_factory=itertools.count
+    )
+
+    def wrap(self, sock) -> "LinkSocket":
+        """Wrap one connection (``socket_wrapper`` hook)."""
+        rng = random.Random(f"link:{self.seed}:{next(self._conn_ids)}")
+        return LinkSocket(sock, self, rng)
+
+
+class LinkSocket:
+    """Applies a :class:`LinkProfile` to the *send* side of a socket.
+
+    Sending never blocks beyond the enqueue: the frame's arrival time
+    is computed from the pacing model (``start = max(now, link_free)``,
+    then ``xmit = size/bandwidth`` occupies the pipe, then latency +
+    jitter ride on top) and the process-wide :class:`_LinkScheduler`
+    writes it out when due.  ``recv`` is a passthrough — delays are
+    already baked into when the peer's frames were written, so readers
+    (and gateway handler threads) block in plain ``socket.recv``, never
+    inside the emulation.  ``close`` is deferred behind any scheduled
+    frames so a caller closing right after its last send cannot beat
+    its own traffic to the wire.
+    """
+
+    def __init__(self, sock, profile: LinkProfile, rng: random.Random):
+        self._sock = sock
+        self._profile = profile
+        self._rng = rng
+        self._lock = threading.Lock()
+        self._link_free = 0.0  # when the emulated pipe next idles
+        self._last_due = 0.0  # latest scheduled arrival
+        self._cut = False  # a lost frame killed the connection
+        self._closed = False
+
+    # -- outgoing ----------------------------------------------------------
+
+    def sendall(self, data: bytes) -> None:
+        """Schedule ``data`` for delivery after the emulated flight time.
+
+        Returns immediately — the actual write happens on the shared
+        scheduler thread at the frame's due time, so a slow link never
+        blocks the sending thread. Loss cuts the connection at arrival
+        time; corruption flips one payload byte.
+        """
+        if self._cut or self._closed:
+            raise OSError("emulated link: connection is gone")
+        p = self._profile
+        lost = p.loss > 0 and self._rng.random() < p.loss
+        corrupt = not lost and p.corrupt > 0 and self._rng.random() < p.corrupt
+        now = time.monotonic()
+        with self._lock:
+            start = max(now, self._link_free)
+            xmit = len(data) / p.bandwidth if p.bandwidth else 0.0
+            flight = p.latency + (p.jitter * self._rng.random() if p.jitter else 0.0)
+            # TCP delivers in order: a frame that drew less jitter than
+            # its predecessor still queues behind it at the receiver
+            due = max(start + xmit + flight, self._last_due)
+            self._link_free = start + xmit
+            self._last_due = due
+        telemetry.count("net.link.frames")
+        if lost:
+            # TCP would retransmit into a black hole until the
+            # connection died; emulate the end state at arrival time
+            telemetry.count("net.link.lost")
+            self._cut = True
+            _SCHEDULER.schedule(due, self, None)
+            return
+        if corrupt:
+            telemetry.count("net.link.corrupted")
+            head, payload = data[: _HEADER.size], bytearray(data[_HEADER.size :])
+            if payload:
+                payload[0] ^= self._rng.randrange(1, 256)
+            data = bytes(head) + bytes(payload)
+        _SCHEDULER.schedule(due, self, data)
+
+    def _deliver(self, payload: bytes | None) -> None:
+        """Scheduler callback: write (or close) when the frame is due."""
+        if payload is None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            return
+        try:
+            self._sock.sendall(payload)
+        except OSError:
+            self._cut = True  # peer is gone; surface it on the next send
+
+    # -- plumbing ----------------------------------------------------------
+
+    def recv(self, n: int) -> bytes:
+        """Read from the wrapped socket (emulation is send-side only)."""
+        return self._sock.recv(n)
+
+    def settimeout(self, value) -> None:
+        """Pass the timeout through to the wrapped socket."""
+        self._sock.settimeout(value)
+
+    def gettimeout(self):
+        """Return the wrapped socket's timeout."""
+        return self._sock.gettimeout()
+
+    def close(self) -> None:
+        """Close once every scheduled frame has left the building."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._lock:
+            last = self._last_due
+        if last > time.monotonic():
+            _SCHEDULER.schedule(last, self, None)
+        else:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "LinkSocket":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

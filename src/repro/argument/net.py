@@ -222,6 +222,22 @@ def _get(payload, key: str):
         ) from exc
 
 
+def _tune_socket(sock: socket.socket) -> None:
+    """Per-connection TCP tuning, applied on both ends of the wire.
+
+    The protocol is strictly request/response over small frames, the
+    worst case for Nagle + delayed-ACK coupling: every ``commit`` or
+    ``challenge`` frame would otherwise wait out the peer's delayed-ACK
+    timer (~40 ms) before leaving the buffer, which under an emulated
+    WAN link stacks on top of the real latency.  ``TCP_NODELAY`` is the
+    whole fix; failures are ignored (AF_UNIX in tests, exotic stacks).
+    """
+    try:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    except (OSError, AttributeError):
+        pass
+
+
 def _bound_poke(sock_family, address) -> tuple[socket.socket, tuple, tuple]:
     """A pre-bound socket for waking a server's blocked ``accept()``.
 
@@ -484,6 +500,9 @@ class ProverServer:
         self.max_trace_bytes = max_trace_bytes
         self._sock = socket.create_server((host, port), backlog=max(max_sessions, 8))
         self.address = self._sock.getsockname()
+        #: jitters shutdown-refusal retry hints so a herd of clients
+        #: retrying against a restarting prover desynchronizes
+        self._refusal_rng = random.Random(metrics_seed)
         self._thread: threading.Thread | None = None
         self._stop = threading.Event()
         self._poke_addr: tuple | None = None
@@ -576,6 +595,7 @@ class ProverServer:
                 conn, peer = self._sock.accept()
             except OSError:
                 return  # socket closed
+            _tune_socket(conn)
             if self._stop.is_set():
                 # close() raced us.  This connection is either its
                 # wake-up poke (identified by address) or a real client
@@ -634,6 +654,12 @@ class ProverServer:
                         "type": "error",
                         "code": "shutting-down",
                         "message": "prover is shutting down; retry another endpoint",
+                        # jittered so a reconnect herd against a
+                        # restarting prover spreads out instead of
+                        # stampeding the replacement in lockstep
+                        "retry_after": round(
+                            0.1 + 0.4 * self._refusal_rng.random(), 3
+                        ),
                     },
                 )
         except OSError:
@@ -866,11 +892,31 @@ class NetworkBatchResult:
     bytes_received: int
     #: connection attempts this session took (1 = no retries)
     attempts: int = 1
+    #: reconnect attempts that presented a gateway resume token instead
+    #: of a fresh hello (0 = the session never needed to resume)
+    resumed: int = 0
 
     @property
     def all_accepted(self) -> bool:
         """True iff every instance verified."""
         return all(r.accepted for r in self.instances)
+
+
+@dataclass
+class _ResumeState:
+    """Cross-attempt resume bookkeeping for one ``verify_remote`` call.
+
+    ``token`` is the gateway-issued resume token from the last
+    ``hello-ok``/``resume-ok``; ``use_resume`` arms the next connection
+    attempt to open with a ``resume`` frame instead of a fresh
+    ``hello``; ``challenge_sent`` marks the hard floor past which no
+    disconnect is ever resumable (the consistency query t may have
+    reached the prover).
+    """
+
+    token: str | None = None
+    use_resume: bool = False
+    challenge_sent: bool = False
 
 
 class _CountingSocket:
@@ -952,13 +998,16 @@ def verify_remote(
 
     delays = retry.delays()
     attempts = 0
+    resumes = 0
     total_sent = total_received = 0
+    session = _ResumeState()
     while True:
         attempts += 1
         committed = [False]
         sock = None
         try:
             raw = socket.create_connection(address, timeout=deadlines.connect)
+            _tune_socket(raw)
             raw.settimeout(deadlines.read)
             if socket_wrapper is not None:
                 raw = socket_wrapper(raw)
@@ -979,15 +1028,32 @@ def verify_remote(
                     remote_span=remote_span,
                     collect_trace=collect_trace,
                     max_trace_bytes=max_trace_bytes,
+                    resume=session,
                 )
             return NetworkBatchResult(
                 instances=results,
                 bytes_sent=total_sent + sock.sent,
                 bytes_received=total_received + sock.received,
                 attempts=attempts,
+                resumed=resumes,
             )
         except (ProtocolViolation, OSError) as exc:
-            if committed[0]:
+            # a gateway-issued resume token makes an *io-flavored*
+            # post-commit disconnect recoverable: the gateway parks a
+            # session only while it is still awaiting the commit frame,
+            # so a successful resume proves no commit was ever
+            # processed and re-sending the identical commit is not a
+            # replay.  Anything past the challenge send stays final —
+            # the prover may have seen t.
+            resumable = (
+                session.token is not None
+                and not session.challenge_sent
+                and (
+                    not isinstance(exc, ProtocolViolation)
+                    or exc.code == "io"
+                )
+            )
+            if committed[0] and not resumable:
                 # the commit-then-query order must never be replayed
                 if isinstance(exc, ProtocolViolation):
                     raise
@@ -1014,6 +1080,14 @@ def verify_remote(
                 # over the blind exponential backoff, capped by the
                 # policy so a hostile server cannot park the client
                 delay = min(float(hint), retry.max_delay)
+            if resumable:
+                # once armed, the session only ever reconnects by
+                # resume: the commit is on the wire somewhere, and a
+                # fresh hello would draw the gateway into a second
+                # exchange against the same (r, α, t)
+                session.use_resume = True
+                resumes += 1
+                telemetry.count("net.client_resumes")
             telemetry.count("net.client_retries")
             time.sleep(delay)
         finally:
@@ -1036,33 +1110,46 @@ def _drive_session(
     remote_span=None,
     collect_trace: bool | None = None,
     max_trace_bytes: int = _MAX_CLIENT_TRACE_BYTES,
+    resume: _ResumeState | None = None,
 ) -> list[InstanceResult]:
     """One connection's worth of the client protocol (no retry logic)."""
     field = program.field
     tracer = telemetry.current()
     if collect_trace is None:
         collect_trace = tracer is not None
-    hello = {
-        "type": "hello",
-        "program": program_hash(program),
-        "params": {
-            "delta": config.params.delta,
-            "rho_lin": config.params.rho_lin,
-            "rho": config.params.rho,
-        },
-        "qap_mode": config.qap_mode,
-        "seed": config.seed.hex(),
-    }
-    if collect_trace and tracer is not None:
-        hello["trace"] = {
-            "trace_id": tracer.trace_id,
-            "parent_span": remote_span.span_id if remote_span is not None else None,
+    if resume is not None and resume.use_resume and resume.token is not None:
+        # reconnect into the parked gateway session: the same exchange
+        # continues, so commit and inputs are re-sent into a session
+        # that provably never processed them
+        send_frame(sock, {"type": "resume", "token": resume.token})
+        reply = _expect(recv_frame(sock), "resume-ok")
+    else:
+        hello = {
+            "type": "hello",
+            "program": program_hash(program),
+            "params": {
+                "delta": config.params.delta,
+                "rho_lin": config.params.rho_lin,
+                "rho": config.params.rho,
+            },
+            "qap_mode": config.qap_mode,
+            "seed": config.seed.hex(),
         }
-    send_frame(sock, hello)
-    _expect(recv_frame(sock), "hello-ok")
+        if collect_trace and tracer is not None:
+            hello["trace"] = {
+                "trace_id": tracer.trace_id,
+                "parent_span": remote_span.span_id if remote_span is not None else None,
+            }
+        send_frame(sock, hello)
+        reply = _expect(recv_frame(sock), "hello-ok")
+    if resume is not None:
+        token = reply.get("resume")
+        if isinstance(token, str) and token:
+            resume.token = token
     # point of no return: once any part of the commit frame may be on
     # the wire, a replay would reuse (r, α, t) against a prover that
-    # might have seen them — never retry past here
+    # might have seen them — never retry past here (a resume token
+    # relaxes this to resume-only reconnects; see verify_remote)
     committed[0] = True
     send_frame(
         sock,
@@ -1081,7 +1168,11 @@ def _drive_session(
     outputs = _get(_expect(recv_frame(sock), "outputs"), "instances")
     if not isinstance(outputs, list) or len(outputs) != len(batch_inputs):
         raise ProtocolViolation("instance count mismatch in outputs")
-    # queries are seed-derived on both sides; only t ships
+    # queries are seed-derived on both sides; only t ships.  Past this
+    # send the prover may have seen t, so no disconnect — resume token
+    # or not — is ever recoverable again.
+    if resume is not None:
+        resume.challenge_sent = True
     send_frame(
         sock, {"type": "challenge", "t": _hex_list(challenge.queries[-1])}
     )
@@ -1178,6 +1269,7 @@ def fetch_stats(
     """
     sock = socket.create_connection(address, timeout=connect_timeout)
     try:
+        _tune_socket(sock)
         sock.settimeout(read_timeout)
         send_frame(sock, {"type": "stats"})
         return _expect(recv_frame(sock), "stats")

@@ -44,8 +44,13 @@ from .stats import BatchStats, PhaseTimer, ProverStats, VerifierStats
 #: session can never succeed (everything else — ``busy``, ``bad-frame``,
 #: ``deadline``, ``io``, ``shutting-down``, ``internal`` — is presumed
 #: transient: another attempt may land on a healthy worker, a quieter
-#: server, or a replacement process behind the same address).
-NON_RETRYABLE_CODES = frozenset({"unknown-program", "bad-request"})
+#: server, or a replacement process behind the same address).  The two
+#: resume codes are terminal too: a rejected resume means the parked
+#: session is gone, and the commit material it guarded must not be
+#: replayed against a fresh session.
+NON_RETRYABLE_CODES = frozenset(
+    {"unknown-program", "bad-request", "session-expired", "resume-invalid"}
+)
 
 #: The full structured error-code vocabulary (docs/NETWORKING.md).  The
 #: batch engine reuses it for per-instance outcomes so a failure means
@@ -60,6 +65,8 @@ FAILURE_CODES = frozenset(
         "io",
         "violation",
         "shutting-down",
+        "session-expired",
+        "resume-invalid",
         "internal",
     }
 )

@@ -44,12 +44,15 @@ from __future__ import annotations
 import functools
 import itertools
 import json
+import os
 import queue as queue_mod
+import random
 import socket
 import threading
 import time
 from collections import Counter, OrderedDict
 from contextlib import contextmanager
+from dataclasses import dataclass
 from typing import Iterator
 
 from .. import telemetry
@@ -59,7 +62,7 @@ from ..crypto import FieldPRG
 from ..pcp import SoundnessParams
 from ..pcp import zaatar as zaatar_pcp
 from ..qap import build_qap
-from .faults import ProcessFaultPlan
+from .faults import LinkProfile, ProcessFaultPlan
 from .net import (
     _MAX_TRACE_BYTES,
     Deadlines,
@@ -67,6 +70,7 @@ from .net import (
     _bound_poke,
     _expect,
     _get,
+    _tune_socket,
     _unhex_ciphertexts,
     parse_hello_params,
     program_hash,
@@ -297,6 +301,45 @@ def _shard_worker_main(
             )
 
 
+# -- churn survival -----------------------------------------------------------
+
+
+class _SessionParked(Exception):
+    """Internal: the session disconnected awaiting-commit and was parked.
+
+    Not an error and not a success — the outcome is deferred until the
+    verifier resumes (``sessions_ok``) or the park expires
+    (``session_errors.session-expired``), keeping the
+    ``started == ok + errors`` ledger exact under churn.
+    """
+
+
+class _ResumeRejected(Exception):
+    """Internal: a resume frame was refused (frame already sent/counted)."""
+
+
+@dataclass
+class _SessionContext:
+    """What one session carries through the exchange (and into a park).
+
+    Everything needed to continue the protocol on a later connection:
+    the registry entry, the hello's validated parameters, and — on the
+    inline path — the already-built :class:`SessionProver` so a resume
+    skips schedule regeneration.  ``token`` is None when resume tokens
+    are disabled (or for the single-program :class:`ProverServer`,
+    which never parks).
+    """
+
+    token: str | None
+    entry: RegisteredProgram
+    params: SoundnessParams
+    seed: bytes
+    qap_mode: str
+    session_id: int
+    prover: SessionProver | None = None
+    expires_at: float = 0.0
+
+
 # -- the gateway --------------------------------------------------------------
 
 
@@ -332,6 +375,11 @@ class GatewayServer:
         deadlines: Deadlines | None = None,
         drain_timeout: float = 10.0,
         lease_timeout: float = 30.0,
+        resume_tokens: bool = True,
+        resume_timeout: float = 30.0,
+        accept_rate: float | None = None,
+        accept_burst: int = 8,
+        link: LinkProfile | None = None,
         trace_sessions: bool = True,
         max_trace_bytes: int = _MAX_TRACE_BYTES,
         metrics_seed: int = 0,
@@ -347,6 +395,11 @@ class GatewayServer:
         self.deadlines = deadlines or Deadlines(read=120.0)
         self.drain_timeout = drain_timeout
         self.lease_timeout = lease_timeout
+        self.resume_tokens = resume_tokens
+        self.resume_timeout = resume_timeout
+        self.accept_rate = accept_rate
+        self.accept_burst = max(1, accept_burst)
+        self.link = link
         self.trace_sessions = trace_sessions
         self.max_trace_bytes = max_trace_bytes
         self.process_faults = process_faults
@@ -365,6 +418,15 @@ class GatewayServer:
         self._admitted = 0  # connections accepted but not yet finished
         self._per_program: Counter = Counter()
         self._pool: SessionWorkerPool | None = None
+        # churn survival: parked awaiting-commit sessions by resume
+        # token, a reaper that expires them, and a token bucket that
+        # paces accepts through a reconnect storm
+        self._parked: dict[str, _SessionContext] = {}
+        self._parked_lock = threading.Lock()
+        self._reaper: threading.Thread | None = None
+        self._storm_rng = random.Random(metrics_seed)
+        self._bucket_level = float(self.accept_burst)
+        self._bucket_at = time.monotonic()
         self.metrics = metrics_mod.MetricsRegistry(
             seed=metrics_seed,
             role="gateway",
@@ -401,6 +463,11 @@ class GatewayServer:
             target=self._accept_loop, name="gateway-accept", daemon=True
         )
         self._accept_thread.start()
+        if self.resume_tokens:
+            self._reaper = threading.Thread(
+                target=self._reaper_loop, name="gateway-reaper", daemon=True
+            )
+            self._reaper.start()
         return self
 
     def close(self, *, drain: bool = True) -> None:
@@ -441,6 +508,11 @@ class GatewayServer:
             deadline = time.monotonic() + self.drain_timeout
             for thread in self._handlers:
                 thread.join(timeout=max(deadline - time.monotonic(), 0))
+        if self._reaper is not None:
+            self._reaper.join(timeout=2)
+        # every still-parked session is now unreachable: expire it so
+        # the ledger closes (started == ok + errors) and no token leaks
+        self._reap_parked(expire_all=True)
         if self._pool is not None:
             self._pool.close()
             self.metrics.set_gauge("gateway.shards_alive", 0)
@@ -467,6 +539,31 @@ class GatewayServer:
         with self._stats_lock:
             return self._admitted
 
+    @property
+    def pending_resumes(self) -> int:
+        """Parked sessions currently awaiting a resume."""
+        with self._parked_lock:
+            return len(self._parked)
+
+    def leak_check(self) -> dict:
+        """Post-drain hygiene snapshot for orchestrators and tests.
+
+        After ``close()`` every field must read empty/full-strength:
+        no connection still admitted, no parked resume token, no
+        program slot held, and (pre-close) every shard alive.
+        """
+        with self._stats_lock:
+            admitted = self._admitted
+            program_slots = {
+                k: v for k, v in self._per_program.items() if v
+            }
+        return {
+            "admitted": admitted,
+            "pending_resumes": self.pending_resumes,
+            "program_slots": program_slots,
+            "shards_alive": self._pool.alive if self._pool is not None else None,
+        }
+
     # -- admission ---------------------------------------------------------
 
     def _accept_loop(self) -> None:
@@ -476,6 +573,7 @@ class GatewayServer:
                 conn, peer = self._sock.accept()
             except OSError:
                 return  # listener closed
+            _tune_socket(conn)
             if self._stop.is_set():
                 if peer == self._poke_addr:
                     conn.close()
@@ -483,6 +581,9 @@ class GatewayServer:
                     self._refuse_shutdown(conn)
                 self._drain_backlog()
                 return
+            if self.accept_rate is not None and not self._storm_admit():
+                self._shed_storm(conn)
+                continue
             with self._stats_lock:
                 admitted = self._admitted
                 if admitted < limit:
@@ -534,6 +635,52 @@ class GatewayServer:
         except OSError:
             pass
 
+    def _storm_admit(self) -> bool:
+        """One token from the accept bucket, refilled at ``accept_rate``/s."""
+        now = time.monotonic()
+        with self._stats_lock:
+            self._bucket_level = min(
+                float(self.accept_burst),
+                self._bucket_level + (now - self._bucket_at) * self.accept_rate,
+            )
+            self._bucket_at = now
+            if self._bucket_level >= 1.0:
+                self._bucket_level -= 1.0
+                return True
+        return False
+
+    def _shed_storm(self, conn: socket.socket) -> None:
+        """Pace a reconnect storm: busy frame + *jittered* retry hint.
+
+        Every client of a killed link reconnects at the same instant;
+        an un-jittered hint would replay the same collision one backoff
+        later.  The hint spreads retries over roughly two bucket-refill
+        periods using the gateway's seeded RNG.
+        """
+        self._bump("sessions_rejected")
+        telemetry.count("net.sessions_rejected")
+        self.metrics.inc("sessions_rejected")
+        self.metrics.inc("gateway.shed.storm")
+        period = 1.0 / self.accept_rate if self.accept_rate else 1.0
+        retry_after = round(period * (0.5 + 1.5 * self._storm_rng.random()), 3)
+        try:
+            with conn:
+                conn.settimeout(1.0)
+                send_frame(
+                    conn,
+                    {
+                        "type": "error",
+                        "code": "busy",
+                        "message": (
+                            f"reconnect storm: accepts paced to "
+                            f"{self.accept_rate:.1f}/s (burst {self.accept_burst})"
+                        ),
+                        "retry_after": retry_after,
+                    },
+                )
+        except OSError:
+            pass
+
     def _refuse_shutdown(self, conn: socket.socket) -> None:
         """Best-effort ``shutting-down`` frame to a late or queued client."""
         self._bump("sessions_refused_shutdown")
@@ -548,6 +695,9 @@ class GatewayServer:
                         "type": "error",
                         "code": "shutting-down",
                         "message": "gateway is shutting down",
+                        "retry_after": round(
+                            0.1 + 0.4 * self._storm_rng.random(), 3
+                        ),
                     },
                 )
         except OSError:
@@ -613,12 +763,8 @@ class GatewayServer:
     def _session_entry(self, conn: socket.socket, queued_at: float) -> None:
         session_id = next(self._session_ids)
         started = time.monotonic()
-        # wire-stats counter and metrics counter move together (the
-        # same invariant ProverServer keeps): the stats frame and the
-        # exposition page can never disagree on sessions_started
-        self._bump("sessions_started")
-        telemetry.count("net.sessions_started")
-        self.metrics.inc("sessions_started")
+        if self.link is not None:
+            conn = self.link.wrap(conn)
         self.metrics.observe("gateway.queue_wait_seconds", started - queued_at)
         self.metrics.add_gauge("sessions_in_flight", 1)
         try:
@@ -630,41 +776,77 @@ class GatewayServer:
                 "session_latency_seconds", time.monotonic() - started
             )
 
-    def _session(self, conn: socket.socket, session_id: int) -> None:
+    def _mark_started(self, counted: list) -> None:
+        """Count this connection as a started session, exactly once.
+
+        The bump happens after first-frame classification (not at
+        accept time) because a ``resume`` connection *continues* a
+        session that was already counted — bumping again would break
+        ``sessions_started == sessions_ok + session_errors``.  The
+        wire-stats counter and the metrics counter still move together,
+        so the stats frame and the exposition page cannot disagree.
+        """
+        if counted[0]:
+            return
+        counted[0] = True
+        self._bump("sessions_started")
+        telemetry.count("net.sessions_started")
+        self.metrics.inc("sessions_started")
+
+    def _session(self, conn, session_id: int) -> None:
         conn.settimeout(self.deadlines.read)
         budget = None
         if self.deadlines.session is not None:
             budget = time.monotonic() + self.deadlines.session
+        counted = [False]
         try:
-            self._run_session(conn, budget, session_id)
+            self._run_session(conn, budget, session_id, counted)
+        except _SessionParked:
+            pass  # outcome deferred until the verifier resumes (or expires)
+        except _ResumeRejected:
+            pass  # refusal frame already sent and counted
         except ProtocolViolation as exc:
+            self._mark_started(counted)
             self._fail(conn, session_id, exc.code, str(exc), exc.retry_after)
         except TimeoutError as exc:
+            # an idle or half-open peer held a handler past the read
+            # deadline; reaping it is the deadline error it always was,
+            # now also visible in the churn ledger
+            self._mark_started(counted)
+            self.metrics.inc("gateway.reaped")
+            self.metrics.inc("gateway.reaped.idle")
+            telemetry.count("net.gateway_reaped")
             self._fail(conn, session_id, "deadline", f"read deadline exceeded: {exc}")
         except OSError as exc:
+            self._mark_started(counted)
             self._fail(conn, session_id, "io", f"transport failure: {exc}")
         except Exception as exc:  # noqa: BLE001 - a bad session must never
             # take the gateway down; report it and keep serving
+            self._mark_started(counted)
             self._fail(conn, session_id, "internal", f"{type(exc).__name__}: {exc}")
         else:
+            self._mark_started(counted)
             self._bump("sessions_ok")
             telemetry.count("net.sessions_ok")
             self.metrics.inc("sessions_ok")
 
+    def _count_error(self, code: str) -> None:
+        self._bump("session_errors")
+        telemetry.count("net.session_errors")
+        telemetry.count(f"net.session_errors.{code}")
+        self.metrics.inc("session_errors")
+        self.metrics.inc(f"session_errors.{code}")
+
     def _fail(
         self,
-        conn: socket.socket,
+        conn,
         session_id: int,
         code: str,
         message: str,
         retry_after: float | None = None,
     ) -> None:
         """Best-effort structured error frame, then count the failure."""
-        self._bump("session_errors")
-        telemetry.count("net.session_errors")
-        telemetry.count(f"net.session_errors.{code}")
-        self.metrics.inc("session_errors")
-        self.metrics.inc(f"session_errors.{code}")
+        self._count_error(code)
         frame = {
             "type": "error",
             "code": code,
@@ -679,6 +861,122 @@ class GatewayServer:
         except OSError:
             pass  # the peer may already be gone
 
+    # -- parking and resume ------------------------------------------------
+
+    def _park(self, ctx: _SessionContext) -> None:
+        """Park an awaiting-commit session for ``resume_timeout`` seconds."""
+        ctx.expires_at = time.monotonic() + self.resume_timeout
+        with self._parked_lock:
+            self._parked[ctx.token] = ctx
+            self.metrics.set_gauge("gateway.pending_resumes", len(self._parked))
+        self._bump("sessions_parked")
+        self.metrics.inc("gateway.parked")
+        telemetry.count("net.gateway_parked")
+
+    def _recv_commit(self, conn, ctx: _SessionContext | None) -> dict:
+        """The awaiting-commit read — the only parkable protocol state.
+
+        A disconnect here is provably pre-commit: nothing of the
+        exchange has been processed, so the session can continue on a
+        later connection without replaying anything.  A read *timeout*
+        is not a disconnect — the peer is connected but silent, and
+        idling a parked slot for it would reward half-open connections
+        — so it propagates to the deadline reaper instead.
+        """
+        try:
+            return _expect(recv_frame(conn), "commit")
+        except TimeoutError:
+            raise
+        except ProtocolViolation as exc:
+            if exc.code == "io" and ctx is not None and ctx.token is not None:
+                self._park(ctx)
+                raise _SessionParked() from exc
+            raise
+        except OSError as exc:
+            if ctx is not None and ctx.token is not None:
+                self._park(ctx)
+                raise _SessionParked() from exc
+            raise
+
+    def _resume_session(self, conn, budget, first: dict, session_id: int) -> None:
+        """Continue a parked session on a fresh connection."""
+        token = _get(first, "token")
+        ctx = None
+        if isinstance(token, str) and token:
+            with self._parked_lock:
+                ctx = self._parked.pop(token, None)
+                self.metrics.set_gauge(
+                    "gateway.pending_resumes", len(self._parked)
+                )
+        if ctx is None:
+            self._refuse_resume(
+                conn,
+                "resume-invalid",
+                "no parked session for this resume token",
+            )
+        if ctx.expires_at < time.monotonic():
+            # expired but not yet swept: account it exactly as the
+            # reaper would, then refuse the reconnect
+            self._expire_parked(ctx)
+            self._refuse_resume(
+                conn,
+                "session-expired",
+                f"parked session expired after {self.resume_timeout:.1f}s",
+            )
+        self._bump("sessions_resumed")
+        self.metrics.inc("gateway.resumed")
+        telemetry.count("net.gateway_resumed")
+        greeting = {"type": "resume-ok", "resume": ctx.token}
+        with self._program_slot(ctx.entry):
+            answers_payload = self._serve_proofs(
+                conn, budget, ctx, greeting, None
+            )
+        send_frame(conn, {"type": "answers", "instances": answers_payload})
+
+    def _refuse_resume(self, conn, code: str, message: str) -> None:
+        """Reject a resume attempt (counted apart from session errors).
+
+        A rejected resume is not a new failed session — the session it
+        tried to continue already settled its ledger entry (or never
+        existed), so it gets its own counters instead of ``_fail``.
+        """
+        self._bump("sessions_resume_rejected")
+        self.metrics.inc("gateway.resume_rejected")
+        self.metrics.inc(f"gateway.resume_rejected.{code}")
+        telemetry.count("net.gateway_resume_rejected")
+        try:
+            conn.settimeout(1.0)
+            send_frame(conn, {"type": "error", "code": code, "message": message})
+        except OSError:
+            pass
+        raise _ResumeRejected()
+
+    def _expire_parked(self, ctx: _SessionContext) -> None:
+        """Close a parked session's ledger entry as ``session-expired``."""
+        self._bump("sessions_reaped")
+        self._count_error("session-expired")
+        self.metrics.inc("gateway.reaped")
+        self.metrics.inc("gateway.reaped.expired")
+        telemetry.count("net.gateway_reaped")
+
+    def _reap_parked(self, expire_all: bool = False) -> None:
+        now = time.monotonic()
+        with self._parked_lock:
+            due = [
+                token
+                for token, ctx in self._parked.items()
+                if expire_all or ctx.expires_at < now
+            ]
+            expired = [self._parked.pop(token) for token in due]
+            self.metrics.set_gauge("gateway.pending_resumes", len(self._parked))
+        for ctx in expired:
+            self._expire_parked(ctx)
+
+    def _reaper_loop(self) -> None:
+        interval = max(0.05, min(self.resume_timeout / 4, 1.0))
+        while not self._stop.wait(interval):
+            self._reap_parked()
+
     @staticmethod
     def _budget_check(budget: float | None) -> None:
         if budget is not None and time.monotonic() > budget:
@@ -687,13 +985,20 @@ class GatewayServer:
             )
 
     def _run_session(
-        self, conn: socket.socket, budget: float | None, session_id: int
+        self, conn, budget: float | None, session_id: int, counted: list
     ) -> None:
         first = recv_frame(conn)
         if first.get("type") == "stats":
+            self._mark_started(counted)
             self.metrics.inc("stats_requests")
             send_frame(conn, self._stats_frame())
             return
+        if first.get("type") == "resume":
+            # continues an already-counted session: no started bump
+            counted[0] = True
+            self._resume_session(conn, budget, first, session_id)
+            return
+        self._mark_started(counted)
         hello = _expect(first, "hello")
         phash = _get(hello, "program")
         entry = self.registry.lookup(phash)
@@ -707,6 +1012,18 @@ class GatewayServer:
         self.metrics.inc(f"gateway.sessions.{entry.name}")
         params, seed = parse_hello_params(hello)
         qap_mode = hello.get("qap_mode", entry.config.qap_mode)
+        token = os.urandom(16).hex() if self.resume_tokens else None
+        ctx = _SessionContext(
+            token=token,
+            entry=entry,
+            params=params,
+            seed=seed,
+            qap_mode=qap_mode,
+            session_id=session_id,
+        )
+        greeting = {"type": "hello-ok"}
+        if token is not None:
+            greeting["resume"] = token
 
         session_tracer: telemetry.Tracer | None = None
         trace_req = hello.get("trace")
@@ -719,14 +1036,13 @@ class GatewayServer:
             if session_tracer is not None:
                 with telemetry.thread_tracer(session_tracer):
                     answers_payload = self._serve_proofs(
-                        conn, budget, entry, params, seed, qap_mode,
-                        session_id, session_tracer,
+                        conn, budget, ctx, greeting, session_tracer
                     )
                 frame = {"type": "answers", "instances": answers_payload}
                 frame["trace"] = self._bounded_trace(session_tracer)
             else:
                 answers_payload = self._serve_proofs(
-                    conn, budget, entry, params, seed, qap_mode, session_id, None
+                    conn, budget, ctx, greeting, None
                 )
                 frame = {"type": "answers", "instances": answers_payload}
         send_frame(conn, frame)
@@ -766,42 +1082,38 @@ class GatewayServer:
 
     def _serve_proofs(
         self,
-        conn: socket.socket,
+        conn,
         budget: float | None,
-        entry: RegisteredProgram,
-        params: SoundnessParams,
-        seed: bytes,
-        qap_mode: str,
-        session_id: int,
+        ctx: _SessionContext,
+        greeting: dict,
         tracer: telemetry.Tracer | None,
     ) -> list:
         span = telemetry.start_span(
-            "wire.prover_session", session=session_id, program=entry.name
+            "wire.prover_session", session=ctx.session_id, program=ctx.entry.name
         )
         try:
             if self._pool is not None:
-                return self._exchange_sharded(
-                    conn, budget, entry, params, seed, qap_mode,
-                    session_id, tracer, span,
-                )
-            return self._exchange_inline(
-                conn, budget, entry, params, seed, qap_mode
-            )
+                return self._exchange_sharded(conn, budget, ctx, greeting, tracer, span)
+            return self._exchange_inline(conn, budget, ctx, greeting)
         finally:
             telemetry.end_span(span)
 
-    def _exchange_inline(
-        self, conn, budget, entry, params, seed, qap_mode
-    ) -> list:
+    def _exchange_inline(self, conn, budget, ctx: _SessionContext, greeting) -> list:
         """Prove on the handler thread (shards=0)."""
         self._budget_check(budget)
-        send_frame(conn, {"type": "hello-ok"})
-        prover, cache_hit = entry.session_prover(params, seed, qap_mode)
-        self.metrics.inc(
-            "gateway.schedule_cache_hits" if cache_hit
-            else "gateway.schedule_cache_misses"
-        )
-        commit = _expect(recv_frame(conn), "commit")
+        send_frame(conn, greeting)
+        if ctx.prover is None:
+            prover, cache_hit = ctx.entry.session_prover(
+                ctx.params, ctx.seed, ctx.qap_mode
+            )
+            self.metrics.inc(
+                "gateway.schedule_cache_hits" if cache_hit
+                else "gateway.schedule_cache_misses"
+            )
+            ctx.prover = prover  # survives a park into the resume
+        else:
+            prover = ctx.prover  # resumed: schedule already derived
+        commit = self._recv_commit(conn, ctx)
         prover.commit(_get(commit, "enc_r"))
         inputs_msg = _expect(recv_frame(conn), "inputs")
         batch_spec = _get(inputs_msg, "batch")
@@ -817,9 +1129,18 @@ class GatewayServer:
         return prover.answer(_get(challenge_msg, "t"))
 
     def _exchange_sharded(
-        self, conn, budget, entry, params, seed, qap_mode, session_id, tracer, span
+        self, conn, budget, ctx: _SessionContext, greeting, tracer, span
     ) -> list:
-        """Pin the session to a leased shard worker for both steps."""
+        """Pin the session to a leased shard worker for both steps.
+
+        A disconnect while awaiting the commit parks the session *and
+        releases the lease* (the ``finally`` below runs on the way
+        out): nothing session-specific has shipped to the worker yet,
+        so a resume simply leases again.  Post-commit disconnects also
+        release — they fail the session for good.
+        """
+        entry, params, seed = ctx.entry, ctx.params, ctx.seed
+        session_id = ctx.session_id
         lease_timeout = self.lease_timeout
         if budget is not None:
             lease_timeout = min(lease_timeout, max(budget - time.monotonic(), 0))
@@ -834,8 +1155,8 @@ class GatewayServer:
             )
         try:
             self._budget_check(budget)
-            send_frame(conn, {"type": "hello-ok"})
-            commit = _expect(recv_frame(conn), "commit")
+            send_frame(conn, greeting)
+            commit = self._recv_commit(conn, ctx)
             # decode-validate at receipt so a malformed commit is
             # answered before we wait on inputs (the shard decodes for
             # real when the whole exchange ships over)
@@ -848,7 +1169,7 @@ class GatewayServer:
                 entry.hash,
                 (params.delta, params.rho_lin, params.rho),
                 seed.hex(),
-                qap_mode,
+                ctx.qap_mode,
                 _get(commit, "enc_r"),
                 batch_spec,
                 tracer.trace_id if tracer is not None else None,

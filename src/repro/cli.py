@@ -47,6 +47,7 @@ from .argument import (
 )
 from .compiler import compile_source
 from .costmodel import run_microbench
+from .deploy import LINK_PROFILES
 from .field import NAMED_FIELDS, PrimeField, counting_field
 from .pcp import PAPER_PARAMS, SoundnessParams
 
@@ -354,6 +355,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
             accept_queue=args.accept_queue,
             per_program_sessions=args.per_program_sessions,
             deadlines=deadlines,
+            accept_rate=args.accept_rate,
+            resume_timeout=args.resume_timeout,
         )
         server.start()
         host, port = server.address
@@ -568,6 +571,75 @@ def cmd_bench_check(args: argparse.Namespace) -> int:
     return 1
 
 
+def cmd_deploy(args: argparse.Namespace) -> int:
+    """``repro deploy``: run the deployment-grid chaos orchestrator.
+
+    One gateway + ``--verifiers`` forked verifier processes per grid
+    cell, swept over the repeatable ``--batch``/``--shards``/
+    ``--link``/``--churn`` axes.  Churn is seeded and deterministic:
+    per session the plan picks none / drop-the-commit (exercises the
+    resume-token path) / kill-the-verifier (the parked session must
+    expire and the slot is respawned).  Every cell is audited against
+    the churn invariants (no leaked sessions or leases, balanced
+    ledgers, every completed session verified); the consolidated
+    artifact lands in ``--out``/BENCH_deploy.json for
+    ``repro bench-check``.  With ``--check``, exits 1 unless every
+    cell's invariants hold.
+    """
+    from .benchgate import bench_metadata
+    from .deploy import grid_cells, run_grid
+
+    field = _field(args.field)
+    registry = _trace_app_registry()
+    if args.app not in registry:
+        print(
+            f"error: unknown app {args.app!r} "
+            f"(choose from {', '.join(sorted(registry))})",
+            file=sys.stderr,
+        )
+        return 2
+    app = registry[args.app]
+    program = app.compile(field)
+    config = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+    cells = grid_cells(
+        batches=args.batch or [2],
+        shards=args.shards if args.shards is not None else [0],
+        links=args.link or ["lan"],
+        churns=args.churn or [0.0],
+        verifiers=args.verifiers,
+        sessions=args.sessions,
+    )
+    print(
+        f"deploy grid: {len(cells)} cells over app {app.name!r} "
+        f"({args.verifiers} verifiers x {args.sessions} sessions each)"
+    )
+    results = run_grid(
+        program,
+        config,
+        cells,
+        seed=args.seed,
+        input_generator=lambda rng: app.generate_inputs(rng),
+        read_timeout=args.read_timeout,
+        resume_timeout=args.resume_timeout,
+        log=print,
+    )
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / "BENCH_deploy.json"
+    document = {
+        "figure": "deploy",
+        "meta": bench_metadata(backend=field.backend.name),
+        "results": results,
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n")
+    print(f"wrote {path}")
+    if not results["grid_ok"]:
+        print("deploy: INVARIANT VIOLATION", file=sys.stderr)
+        return 1 if args.check else 0
+    print("deploy: all cell invariants hold")
+    return 0
+
+
 def cmd_microbench(args: argparse.Namespace) -> int:
     """``repro microbench``: measure the Figure-3 cost parameters."""
     field = _field(args.field)
@@ -755,7 +827,96 @@ def build_parser() -> argparse.ArgumentParser:
         help="gateway mode: cap concurrent sessions per hosted program "
         "(default: no per-program cap)",
     )
+    p_serve.add_argument(
+        "--accept-rate",
+        type=float,
+        default=None,
+        metavar="PER_SEC",
+        help="gateway mode: token-bucket accept pacing against reconnect "
+        "storms; excess connects get busy + jittered retry_after "
+        "(default: off)",
+    )
+    p_serve.add_argument(
+        "--resume-timeout",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="gateway mode: how long a disconnected pre-commit session "
+        "may park awaiting a resume before it is reaped (default: 30)",
+    )
     p_serve.set_defaults(fn=cmd_serve)
+
+    p_deploy = sub.add_parser(
+        "deploy",
+        parents=[common],
+        help="deployment-grid chaos run: gateway + N verifier processes "
+        "under seeded churn and WAN link emulation",
+    )
+    p_deploy.add_argument(
+        "--app",
+        default="pam_clustering",
+        help="benchmark app to serve (see 'repro trace --app'; default pam_clustering)",
+    )
+    p_deploy.add_argument(
+        "--verifiers", type=int, default=4, help="verifier processes per cell"
+    )
+    p_deploy.add_argument(
+        "--sessions", type=int, default=3, help="sessions each verifier drives"
+    )
+    p_deploy.add_argument(
+        "--batch",
+        action="append",
+        type=int,
+        metavar="N",
+        help="batch-size axis (repeatable; default 2)",
+    )
+    p_deploy.add_argument(
+        "--shards",
+        action="append",
+        type=int,
+        default=None,
+        metavar="N",
+        help="shard-count axis (repeatable; default 0 = inline proving)",
+    )
+    p_deploy.add_argument(
+        "--link",
+        action="append",
+        choices=sorted(LINK_PROFILES),
+        metavar="PROFILE",
+        help="link-profile axis (repeatable; lan, wan-50ms, wan-100ms, "
+        "wan-100ms-lossy, dsl-1mbps; default lan)",
+    )
+    p_deploy.add_argument(
+        "--churn",
+        action="append",
+        type=float,
+        metavar="P",
+        help="churn-probability axis (repeatable; default 0.0)",
+    )
+    p_deploy.add_argument("--seed", type=int, default=0)
+    p_deploy.add_argument(
+        "--read-timeout",
+        type=float,
+        default=30.0,
+        help="per-recv deadline on both sides (default: 30)",
+    )
+    p_deploy.add_argument(
+        "--resume-timeout",
+        type=float,
+        default=3.0,
+        help="gateway park window before an abandoned session is reaped",
+    )
+    p_deploy.add_argument(
+        "--out",
+        default="benchmarks/out",
+        help="artifact directory (default: benchmarks/out)",
+    )
+    p_deploy.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every cell's churn invariants hold",
+    )
+    p_deploy.set_defaults(fn=cmd_deploy)
 
     p_top = sub.add_parser(
         "top", help="live one-screen stats view of a running prover server"

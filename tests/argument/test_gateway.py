@@ -397,3 +397,34 @@ class TestSharding:
             finally:
                 sock.close()
         assert gw.metrics.counter_value("gateway.shed.lease") >= 1
+
+    def test_dead_verifier_releases_lease_and_park_expires(
+        self, registry, sumsq_program
+    ):
+        """Lease hygiene under churn: a verifier killed while the
+        gateway awaits its commit must release the shard lease at park
+        time (not hold it hostage for the resume window), and the
+        orphaned resume token must expire without leaking."""
+        with GatewayServer(
+            registry, shards=1, max_sessions=2, resume_timeout=0.3
+        ) as gw:
+            sock = _hold_session(gw.address, sumsq_program)
+            sock.close()  # the verifier dies awaiting-commit
+            # the lease came back immediately: a full session can run
+            # on the only shard while the dead one is still parked
+            result = verify_remote(sumsq_program, [[1, 2, 3]], gw.address, FAST)
+            assert result.all_accepted
+            assert gw._pool.alive == 1
+            # ... and the park expires instead of leaking
+            deadline = time.monotonic() + 5
+            while gw.pending_resumes and time.monotonic() < deadline:
+                time.sleep(0.05)
+            leak = gw.leak_check()
+            assert leak["pending_resumes"] == 0
+            assert leak["shards_alive"] == 1
+            assert not leak["program_slots"]
+        assert gw.metrics.counter_value("gateway.reaped.expired") == 1
+        stats = gw.stats
+        assert stats["sessions_started"] == stats.get("sessions_ok", 0) + stats.get(
+            "session_errors", 0
+        )

@@ -181,3 +181,135 @@ class TestGracefulShutdown:
         t0 = time.monotonic()
         server.close()
         assert time.monotonic() - t0 < 3.0
+
+
+class TestWireTuning:
+    def test_tcp_nodelay_on_both_peers(self, sumsq_program):
+        """Nagle + delayed-ACK stalls every frame of a chatty protocol
+        by ~40ms; both the dialing and the accepting socket must opt
+        out."""
+        import repro.argument.net as net_mod
+
+        seen = []
+        original = net_mod._tune_socket
+
+        def spy(sock):
+            original(sock)
+            seen.append(
+                sock.getsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY)
+            )
+
+        net_mod._tune_socket = spy
+        try:
+            with ProverServer(sumsq_program, FAST) as server:
+                result = verify_remote(
+                    sumsq_program, [[1, 2, 3]], server.address, FAST
+                )
+        finally:
+            net_mod._tune_socket = original
+        assert result.all_accepted
+        # one accept-side socket + one (or more) client dials
+        assert len(seen) >= 2
+        assert all(flag != 0 for flag in seen)
+
+    def test_warm_loopback_session_latency(self, sumsq_program):
+        """Latency tripwire: a warm session (schedule cached) over
+        loopback is pure protocol cost — seven small frames.  Nagle
+        stalls or emulation sleeping on the send path would blow this."""
+        with ProverServer(sumsq_program, FAST) as server:
+            verify_remote(sumsq_program, [[1, 2, 3]], server.address, FAST)
+            best = min(
+                _timed_session(sumsq_program, server.address) for _ in range(3)
+            )
+        assert best < 1.0, f"warm loopback session took {best:.3f}s"
+
+
+def _timed_session(program, address) -> float:
+    t0 = time.monotonic()
+    assert verify_remote(program, [[2, 2, 2]], address, FAST).all_accepted
+    return time.monotonic() - t0
+
+
+class TestConnectRetry:
+    def test_connection_refused_retried_until_server_arrives(
+        self, sumsq_program
+    ):
+        """A dead port is transient under RetryPolicy: the verifier
+        keeps dialing and succeeds once the server comes up."""
+        placeholder = socket.socket()
+        placeholder.bind(("127.0.0.1", 0))
+        address = placeholder.getsockname()
+        placeholder.close()  # now the port refuses connections
+
+        server_box = {}
+
+        def late_start():
+            time.sleep(0.6)
+            server_box["server"] = ProverServer(
+                sumsq_program, FAST, host=address[0], port=address[1]
+            ).start()
+
+        thread = threading.Thread(target=late_start)
+        thread.start()
+        try:
+            result = verify_remote(
+                sumsq_program,
+                [[1, 2, 3]],
+                address,
+                FAST,
+                retry=RetryPolicy(max_attempts=12, base_delay=0.2, seed=4),
+                deadlines=Deadlines(connect=2, read=30),
+            )
+        finally:
+            thread.join(timeout=10)
+            if "server" in server_box:
+                server_box["server"].close()
+        assert result.all_accepted
+        assert result.attempts > 1, "the refused dials must have counted"
+
+    def test_shutting_down_refusal_is_retried_not_fatal(self, sumsq_program):
+        """A draining server's refusal frame must burn one retry
+        attempt (with its jittered hint honored), not kill the call."""
+        listener = socket.create_server(("127.0.0.1", 0))
+        accepted = []
+        stop = threading.Event()
+
+        def refuse_all():
+            listener.settimeout(0.2)
+            while not stop.is_set():
+                try:
+                    conn, _ = listener.accept()
+                except TimeoutError:
+                    continue
+                accepted.append(conn)
+                send_frame(
+                    conn,
+                    {
+                        "type": "error",
+                        "code": "shutting-down",
+                        "message": "draining",
+                        "retry_after": 0.05,
+                    },
+                )
+                conn.close()
+
+        thread = threading.Thread(target=refuse_all)
+        thread.start()
+        try:
+            with pytest.raises(ProtocolViolation) as excinfo:
+                verify_remote(
+                    sumsq_program,
+                    [[1, 2, 3]],
+                    listener.getsockname(),
+                    FAST,
+                    retry=RetryPolicy(max_attempts=3, base_delay=0.05, seed=5),
+                    deadlines=Deadlines(connect=2, read=5),
+                )
+        finally:
+            stop.set()
+            thread.join(timeout=5)
+            listener.close()
+        assert excinfo.value.code == "shutting-down"
+        assert excinfo.value.retryable
+        # every attempt in the budget dialed in (no pre-commit fail-fast)
+        assert len(accepted) == 3

@@ -1,0 +1,86 @@
+"""The deployment-grid chaos orchestrator (``repro.deploy``)."""
+
+import random
+
+import pytest
+
+from repro.argument import ArgumentConfig
+from repro.deploy import (
+    KILLED_EXIT,
+    LINK_PROFILES,
+    DeployCell,
+    churn_plan,
+    grid_cells,
+    run_cell,
+)
+from repro.pcp import SoundnessParams
+
+FAST = ArgumentConfig(params=SoundnessParams(rho_lin=2, rho=1))
+
+
+class TestGrid:
+    def test_cartesian_grid(self):
+        cells = grid_cells(
+            batches=[1, 2], shards=[0, 1], links=["lan", "wan-50ms"],
+            churns=[0.0, 0.2], verifiers=2, sessions=2,
+        )
+        assert len(cells) == 16
+        assert len({c.key for c in cells}) == 16
+
+    def test_unknown_link_rejected(self):
+        with pytest.raises(ValueError, match="link profile"):
+            DeployCell(link="carrier-pigeon")
+
+    def test_every_named_profile_is_wrappable(self):
+        from repro.argument import LinkProfile
+
+        for name, kwargs in LINK_PROFILES.items():
+            LinkProfile(**kwargs, seed=1)  # constructor accepts the shape
+
+    def test_churn_plan_is_deterministic_and_seeded(self):
+        cell = DeployCell(churn=0.5, sessions=20)
+        first = churn_plan(cell, seed=9, slot=0)
+        assert first == churn_plan(cell, seed=9, slot=0)
+        assert first != churn_plan(cell, seed=10, slot=0)
+        assert set(first) <= {"none", "drop", "kill"}
+        # at 50% churn over 20 draws, some sessions must be disturbed
+        assert any(d != "none" for d in first)
+
+    def test_zero_churn_plan_is_all_none(self):
+        cell = DeployCell(churn=0.0, sessions=10)
+        assert churn_plan(cell, seed=0, slot=3) == ["none"] * 10
+
+
+class TestRunCell:
+    def test_churny_cell_keeps_every_invariant(self, sumsq_program):
+        """A small cell with real kills and drops: the ledger must
+        balance, nothing may leak, and the counts must match the plan."""
+        cell = DeployCell(
+            batch=2, shards=0, link="lan", churn=0.4, verifiers=2, sessions=2
+        )
+        seed = 3
+        decisions = [
+            d
+            for slot in range(cell.verifiers)
+            for d in churn_plan(cell, seed, slot)
+        ]
+        kills = decisions.count("kill")
+        drops = decisions.count("drop")
+        assert kills + drops > 0, "seed must actually churn (pick another)"
+        row = run_cell(
+            sumsq_program,
+            FAST,
+            cell,
+            seed=seed,
+            input_generator=lambda rng: [rng.randrange(5) for _ in range(3)],
+            read_timeout=5.0,
+            resume_timeout=1.0,
+        )
+        assert row["invariants_ok"], row["invariants"]
+        assert row["outcomes"].get("killed", 0) == kills
+        assert row["outcomes"].get("ok", 0) == len(decisions) - kills
+        assert row["gateway"]["resumed"] == drops
+        assert row["gateway"]["expired"] == kills
+        assert row["respawns"] == kills
+        assert row["gateway"]["started"] == len(decisions)
+        assert row["sessions_per_second"] > 0
