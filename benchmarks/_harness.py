@@ -20,7 +20,7 @@ from functools import lru_cache
 from pathlib import Path
 
 from repro import telemetry
-from repro.apps import ALL_APPS, BenchmarkApp
+from repro.apps import ALL_APPS, SCENARIO_APPS, BenchmarkApp
 from repro.benchgate import bench_metadata
 from repro.argument import ArgumentConfig, ProverStats, ZaatarArgument
 from repro.costmodel import (
@@ -108,7 +108,7 @@ def emit_results(figure: str) -> Path:
 
 @lru_cache(maxsize=None)
 def compiled(app_name: str, sizes_key: tuple = ()) -> object:
-    app = ALL_APPS[app_name]
+    app = SCENARIO_APPS[app_name]
     return app.compile(FIELD, dict(sizes_key))
 
 
@@ -133,7 +133,7 @@ def local_seconds(app: BenchmarkApp, sizes: dict | None, repeats: int = 5) -> fl
 
 
 def profile_for(app_name: str, sizes: dict | None = None) -> ComputationProfile:
-    app = ALL_APPS[app_name]
+    app = SCENARIO_APPS[app_name]
     prog = compiled(app_name, sizes_key(sizes))
     return ComputationProfile(
         stats=prog.stats(),
@@ -153,7 +153,7 @@ class MeasuredInstance:
 
 def measure_zaatar(app_name: str, sizes: dict | None = None, batch: int = 1) -> MeasuredInstance:
     """Run the full Zaatar argument and return measured per-phase costs."""
-    app = ALL_APPS[app_name]
+    app = SCENARIO_APPS[app_name]
     prog = compiled(app_name, sizes_key(sizes))
     rng = random.Random(13)
     arg = ZaatarArgument(prog, ArgumentConfig(params=BENCH_PARAMS))

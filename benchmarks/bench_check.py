@@ -1,0 +1,148 @@
+"""Differential-checker gate over the scenario library → BENCH_check.json.
+
+Runs ``repro.compiler.check`` (semantics oracle, unsat-witness prober,
+compiler-mutation harness) against every scenario app and stamps the
+per-app verdicts — oracle coverage, probe kill counts, mutation kill
+rate — into a ``BENCH_check.json`` artifact for ``repro bench-check``.
+
+The two scenario-library extensions (private aggregation, streaming
+automaton) additionally get the §5 cost-model validation the paper
+apps receive in ``bench_model_validation.py``: measured Zaatar prover
+cost vs the Figure-3 prediction, which must agree within the same
+tolerance band (0.2 < measured/predicted < 30).
+
+``--check`` turns the printout into a gate: exit 1 unless every app
+passes the checker with a 100% mutation-kill rate and both extensions
+validate against the cost model.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.apps import SCENARIO_APPS
+from repro.compiler.check import check_app
+from repro.costmodel import zaatar_costs
+
+from _harness import (
+    BENCH_PARAMS,
+    FIELD,
+    RESULTS,
+    emit_results,
+    fmt_seconds,
+    measure_zaatar,
+    measured_microbench,
+    print_table,
+    profile_for,
+)
+
+#: the scenario-library extensions that owe a fresh cost-model validation
+NEW_SCENARIOS = ("private_aggregation", "streaming_automaton")
+
+
+def run_checker(seed: int) -> dict:
+    rows = {}
+    for name in sorted(SCENARIO_APPS):
+        app = SCENARIO_APPS[name]
+        start = time.perf_counter()
+        report = check_app(app, FIELD, seed=seed)
+        elapsed = time.perf_counter() - start
+        rows[name] = {
+            "passed": report.passed,
+            "oracle_cases": report.oracle["cases"],
+            "oracle_ok": report.oracle["ok"],
+            "oracle_failed": report.oracle["failed"],
+            "skipped_domain": report.oracle["skipped_domain"],
+            "probe_wires": report.probes["wires_probed"],
+            "probe_killed": report.probes["killed"],
+            "benign_free_wires": len(report.probes["survivors"]),
+            "output_survivors": len(report.probes["output_survivors"]),
+            "mutation_catalog": report.mutations["catalog"],
+            "mutation_kinds": len(report.mutations["kinds"]),
+            "mutations_killed": report.mutations["killed"],
+            "kill_rate": report.mutations["kill_rate"],
+            "seconds": elapsed,
+        }
+    return rows
+
+
+def run_cost_validation() -> dict:
+    mb = measured_microbench()
+    rows = {}
+    for name in NEW_SCENARIOS:
+        measured = measure_zaatar(name)
+        predicted = zaatar_costs(profile_for(name), mb, BENCH_PARAMS)
+        ratio = measured.prover.e2e / predicted.prover_per_instance
+        rows[name] = {
+            "measured_prover_s": measured.prover.e2e,
+            "predicted_prover_s": predicted.prover_per_instance,
+            "ratio": ratio,
+            "within_tolerance": 0.2 < ratio < 30,
+        }
+    return rows
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seed", type=int, default=0, help="checker RNG seed")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless every app passes with a 100%% kill rate and "
+        "the new scenarios validate against the cost model",
+    )
+    args = parser.parse_args()
+
+    checker_rows = run_checker(args.seed)
+    print_table(
+        f"Differential checker over the scenario library (seed {args.seed})",
+        ["app", "oracle", "probes", "mutations", "kill rate", "time"],
+        [
+            [
+                name,
+                f"{r['oracle_ok']}/{r['oracle_cases']}",
+                f"{r['probe_killed']}/{r['probe_wires']}",
+                f"{r['mutations_killed']}/{r['mutation_catalog']}",
+                f"{r['kill_rate']:.0%}",
+                fmt_seconds(r["seconds"]),
+            ]
+            for name, r in checker_rows.items()
+        ],
+    )
+
+    cost_rows = run_cost_validation()
+    print_table(
+        "Cost-model validation for the scenario extensions (Figure-3 band)",
+        ["app", "measured", "predicted", "measured/predicted", "in band"],
+        [
+            [
+                name,
+                fmt_seconds(r["measured_prover_s"]),
+                fmt_seconds(r["predicted_prover_s"]),
+                f"{r['ratio']:.2f}x",
+                "yes" if r["within_tolerance"] else "NO",
+            ]
+            for name, r in cost_rows.items()
+        ],
+    )
+
+    for name, row in checker_rows.items():
+        RESULTS[("check", name)] = row
+    for name, row in cost_rows.items():
+        RESULTS[("check", f"{name}_costmodel")] = row
+    path = emit_results("check")
+    print(f"\nwrote {path}")
+
+    ok = all(
+        r["passed"] and r["kill_rate"] == 1.0 and r["mutation_kinds"] >= 4
+        for r in checker_rows.values()
+    ) and all(r["within_tolerance"] for r in cost_rows.values())
+    if args.check and not ok:
+        print("bench_check: GATE FAILED", file=sys.stderr)
+        return 1
+    print(f"bench_check: {'OK' if ok else 'not ok (informational run)'}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,16 @@ carries three size configurations:
   Figure 8's "double the input size twice".
 """
 
-from . import bisection, fannkuch, floyd_warshall, lcs, matmul, pam
+from . import (
+    aggregation,
+    automaton,
+    bisection,
+    fannkuch,
+    floyd_warshall,
+    lcs,
+    matmul,
+    pam,
+)
 from .base import BenchmarkApp
 
 PAM = BenchmarkApp(
@@ -64,6 +73,7 @@ FANNKUCH = BenchmarkApp(
     build_factory=fannkuch.build_factory,
     reference_fn=fannkuch.reference,
     input_generator=fannkuch.generate_inputs,
+    validate_fn=fannkuch.validate_inputs,
     default_sizes={"m": 4, "n": 5},
     paper_sizes={"m": 100, "n": 13},
     sweep=(
@@ -110,8 +120,56 @@ MATMUL = BenchmarkApp(
     ),
 )
 
+#: scenario-library extensions beyond the paper's suite: the
+#: secure-aggregation shape (pia-mpc demo) and a streaming DFA — both
+#: landed via the differential checker (`repro check`), see
+#: docs/LANGUAGE.md.
+AGGREGATION = BenchmarkApp(
+    name="private_aggregation",
+    complexity="O(n d)",
+    build_factory=aggregation.build_factory,
+    reference_fn=aggregation.reference,
+    input_generator=aggregation.generate_inputs,
+    validate_fn=aggregation.validate_inputs,
+    default_sizes={"n": 8, "d": 4, "value_bits": 8},
+    paper_sizes={"n": 128, "d": 16, "value_bits": 32},
+    sweep=(
+        {"n": 4, "d": 4, "value_bits": 8},
+        {"n": 8, "d": 4, "value_bits": 8},
+        {"n": 16, "d": 4, "value_bits": 8},
+    ),
+)
+
+AUTOMATON = BenchmarkApp(
+    name="streaming_automaton",
+    complexity="O(m k a)",
+    build_factory=automaton.build_factory,
+    reference_fn=automaton.reference,
+    input_generator=automaton.generate_inputs,
+    validate_fn=automaton.validate_inputs,
+    default_sizes={"m": 8, "k": 4, "a": 4},
+    paper_sizes={"m": 128, "k": 8, "a": 8},
+    sweep=(
+        {"m": 4, "k": 4, "a": 4},
+        {"m": 8, "k": 4, "a": 4},
+        {"m": 16, "k": 4, "a": 4},
+    ),
+)
+
+#: the full scenario library: the paper's five plus the extensions.
+#: ALL_APPS stays exactly the §5 suite so the figure benches reproduce
+#: the paper; everything CLI-facing (trace, check, serve) uses this.
+SCENARIO_APPS: dict[str, BenchmarkApp] = {
+    **ALL_APPS,
+    MATMUL.name: MATMUL,
+    AGGREGATION.name: AGGREGATION,
+    AUTOMATON.name: AUTOMATON,
+}
+
 __all__ = [
+    "AGGREGATION",
     "ALL_APPS",
+    "AUTOMATON",
     "BISECTION",
     "BenchmarkApp",
     "FANNKUCH",
@@ -119,4 +177,5 @@ __all__ = [
     "LCS",
     "MATMUL",
     "PAM",
+    "SCENARIO_APPS",
 ]

@@ -1,0 +1,94 @@
+"""Private aggregation — scenario-library extension (pia-mpc shape).
+
+The secure-aggregation workload: ``n`` clients each submit a
+participation mask bit and ``d`` bounded values; the aggregate reveals
+the participant count and the per-dimension masked sums without
+revealing which client contributed what.  In the verified-computation
+setting the prover is the aggregator: the constraint system forces
+every mask to be boolean and every value to fit ``value_bits``, so a
+cheating aggregator can neither weight a client twice nor smuggle an
+out-of-range contribution into a sum.
+
+Inputs (per client, concatenated): mask, v₁..v_d — ``n·(d+1)`` total.
+Outputs: participant count, then the d masked sums.  Soundness of the
+sums needs no extra range checks: n·2^value_bits ≪ p at every size
+point, so the field arithmetic is exact integer arithmetic.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..compiler import Builder, assert_boolean, to_bits
+
+
+def build_factory(n: int, d: int = 4, value_bits: int = 8):
+    """Constraint program: masked sums over n clients × d dimensions."""
+
+    def build(b: Builder) -> None:
+        masks = []
+        values = []
+        for _ in range(n):
+            mask = b.input()
+            assert_boolean(b, mask)
+            masks.append(mask)
+            row = []
+            for _ in range(d):
+                v = b.input()
+                to_bits(b, v, value_bits)  # range proof v < 2^value_bits
+                row.append(v)
+            values.append(row)
+        count = masks[0]
+        for mask in masks[1:]:
+            count = count + mask
+        b.output(b.define(count))
+        for k in range(d):
+            acc = masks[0] * values[0][k]
+            for i in range(1, n):
+                acc = b.define(acc + masks[i] * values[i][k])
+            b.output(acc)
+
+    return build
+
+
+def reference(inputs: list[int], n: int, d: int = 4, value_bits: int = 8) -> list[int]:
+    """Plain-Python aggregation: [count, sum_1..sum_d]."""
+    if len(inputs) != n * (d + 1):
+        raise ValueError(f"expected {n * (d + 1)} inputs, got {len(inputs)}")
+    count = 0
+    sums = [0] * d
+    for i in range(n):
+        row = inputs[i * (d + 1) : (i + 1) * (d + 1)]
+        mask = row[0]
+        count += mask
+        for k in range(d):
+            sums[k] += mask * row[k + 1]
+    return [count, *sums]
+
+
+def generate_inputs(
+    rng: random.Random, n: int, d: int = 4, value_bits: int = 8
+) -> list[int]:
+    """n clients: random participation bit + d random bounded values."""
+    bound = 1 << value_bits
+    out: list[int] = []
+    for _ in range(n):
+        out.append(rng.randrange(2))
+        out.extend(rng.randrange(bound) for _ in range(d))
+    return out
+
+
+def validate_inputs(
+    inputs: list[int], n: int, d: int = 4, value_bits: int = 8
+) -> bool:
+    """Masks boolean, values within value_bits — the circuit's own checks."""
+    if len(inputs) != n * (d + 1):
+        return False
+    bound = 1 << value_bits
+    for i in range(n):
+        row = inputs[i * (d + 1) : (i + 1) * (d + 1)]
+        if row[0] not in (0, 1):
+            return False
+        if any(not 0 <= v < bound for v in row[1:]):
+            return False
+    return True

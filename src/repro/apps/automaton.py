@@ -1,0 +1,77 @@
+"""Streaming DFA evaluation — scenario-library extension.
+
+A streaming/state-machine workload: run a public deterministic finite
+automaton with ``k`` states over a private stream of ``m`` tokens from
+an alphabet of size ``a``, outputting the final state and how many
+steps landed in the accepting state.  This is the dynamic-programming
+shape §5.4 warns about: the transition δ(state, token) is a
+data-dependent table lookup, which the compiler must expand into an
+O(k·a) linear scan per step (``array_get``), so constraints grow as
+O(m·k·a) even though the computation is O(m) locally.
+
+The transition table is a fixed pseudorandom function of (k, a) —
+public, deterministic, and seeded so every party derives the same
+automaton.  Tokens are range-checked (< a) in-circuit; state 0 is the
+start state and the sole accepting state.
+
+Inputs: the m tokens.  Outputs: final state, accepting-visit count.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..compiler import Builder, array_get, assert_less_than, is_zero
+
+
+def transition_table(k: int, a: int) -> list[list[int]]:
+    """The public δ table: k states × a tokens, pseudorandom in (k, a)."""
+    rng = random.Random(k * 7919 + a)
+    return [[rng.randrange(k) for _ in range(a)] for _ in range(k)]
+
+
+def build_factory(m: int, k: int = 4, a: int = 4):
+    """Constraint program: m DFA steps with table lookups by linear scan."""
+    table = transition_table(k, a)
+    flat = [table[s][t] for s in range(k) for t in range(a)]
+    token_bits = max(a - 1, 1).bit_length() + 1
+
+    def build(b: Builder) -> None:
+        tokens = [b.input() for _ in range(m)]
+        for t in tokens:
+            assert_less_than(b, t, a, bit_width=token_bits)
+        cells = [b.constant(v) for v in flat]
+        state = b.constant(0)
+        visits = b.constant(0)
+        for t in tokens:
+            index = state * a + t
+            state = b.define(array_get(b, cells, index))
+            visits = visits + is_zero(b, state)
+        b.output(b.define(state))
+        b.output(b.define(visits))
+
+    return build
+
+
+def reference(inputs: list[int], m: int, k: int = 4, a: int = 4) -> list[int]:
+    """Plain-Python DFA walk: [final state, accepting visits]."""
+    if len(inputs) != m:
+        raise ValueError(f"expected {m} inputs, got {len(inputs)}")
+    table = transition_table(k, a)
+    state = 0
+    visits = 0
+    for t in inputs:
+        state = table[state][t]
+        if state == 0:
+            visits += 1
+    return [state, visits]
+
+
+def generate_inputs(rng: random.Random, m: int, k: int = 4, a: int = 4) -> list[int]:
+    """A random token stream."""
+    return [rng.randrange(a) for _ in range(m)]
+
+
+def validate_inputs(inputs: list[int], m: int, k: int = 4, a: int = 4) -> bool:
+    """Tokens must index the alphabet (the circuit's range check)."""
+    return len(inputs) == m and all(0 <= t < a for t in inputs)

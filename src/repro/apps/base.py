@@ -34,6 +34,11 @@ class BenchmarkApp:
     paper_sizes: dict[str, int]
     #: three points, doubling as in Figure 8
     sweep: tuple[dict[str, int], ...]
+    #: input-domain predicate (inputs, **sizes) → bool.  Apps whose
+    #: reference is only total on part of the input space (fannkuch's
+    #: flip count diverges off the permutation domain) declare it here
+    #: so the differential checker can skip out-of-domain probe vectors.
+    validate_fn: Callable[..., bool] | None = None
 
     def compile(self, field: PrimeField, sizes: SizeParams | None = None) -> CompiledProgram:
         """Compile at given sizes (merged over the scaled defaults)."""
@@ -58,3 +63,12 @@ class BenchmarkApp:
         if sizes:
             params.update(sizes)
         return self.input_generator(rng, **params)
+
+    def validate(self, inputs: Sequence[int], sizes: SizeParams | None = None) -> bool:
+        """True iff ``inputs`` lies in the app's declared input domain."""
+        if self.validate_fn is None:
+            return True
+        params = dict(self.default_sizes)
+        if sizes:
+            params.update(sizes)
+        return self.validate_fn(list(inputs), **params)

@@ -93,6 +93,23 @@ def reference(inputs: list[int], m: int, n: int = 5, max_steps: int | None = Non
     return [max(counts), *counts]
 
 
+def validate_inputs(
+    inputs: list[int], m: int, n: int = 5, max_steps: int | None = None
+) -> bool:
+    """Domain predicate: every n-block is a permutation of {1..n}.
+
+    ``flips`` never terminates off the permutation domain (a leading 0
+    reverses an empty prefix forever), so the differential checker must
+    not feed it arbitrary boundary vectors.
+    """
+    if len(inputs) != m * n:
+        return False
+    expected = list(range(1, n + 1))
+    return all(
+        sorted(inputs[i * n : (i + 1) * n]) == expected for i in range(m)
+    )
+
+
 def generate_inputs(
     rng: random.Random, m: int, n: int = 5, max_steps: int | None = None
 ) -> list[int]:

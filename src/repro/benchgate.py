@@ -138,6 +138,8 @@ class Regression:
     @property
     def change(self) -> float:
         """Signed relative change, positive = worse."""
+        if self.current == self.baseline:
+            return 0.0  # no movement is never a regression, even from 0
         if self.baseline == 0:
             return float("inf")
         rel = (self.current - self.baseline) / abs(self.baseline)

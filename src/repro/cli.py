@@ -159,13 +159,25 @@ def cmd_prove(args: argparse.Namespace) -> int:
 
 
 def _trace_app_registry() -> dict:
-    """Benchmark apps addressable from ``repro trace --app``."""
-    from .apps import ALL_APPS, MATMUL
+    """Benchmark apps addressable from ``repro trace/check/deploy --app``."""
+    from .apps import MATMUL, SCENARIO_APPS
 
-    registry = dict(ALL_APPS)
-    registry[MATMUL.name] = MATMUL
+    registry = dict(SCENARIO_APPS)
     registry["matmul"] = MATMUL
     return registry
+
+
+def _parse_sizes(specs: list[str]) -> dict | None:
+    """Parse repeated ``--size name=int``; None on malformed input."""
+    sizes: dict[str, int] = {}
+    for spec in specs:
+        key, _, value = spec.partition("=")
+        try:
+            sizes[key] = int(value)
+        except ValueError:
+            print(f"error: bad --size {spec!r} (want name=int)", file=sys.stderr)
+            return None
+    return sizes
 
 
 def _parse_address(spec: str) -> tuple[str, int] | None:
@@ -205,14 +217,9 @@ def cmd_trace(args: argparse.Namespace) -> int:
             )
             return 2
         app = registry[args.app]
-        sizes = {}
-        for spec in args.size:
-            key, _, value = spec.partition("=")
-            try:
-                sizes[key] = int(value)
-            except ValueError:
-                print(f"error: bad --size {spec!r} (want name=int)", file=sys.stderr)
-                return 2
+        sizes = _parse_sizes(args.size)
+        if sizes is None:
+            return 2
         program = app.compile(field, sizes)
         rng = random.Random(args.seed)
         batch = [app.generate_inputs(rng, sizes) for _ in range(args.batch)]
@@ -319,6 +326,130 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print(f"\nbatch of {len(batch)}: {verdict}")
     print(f"trace written to {out} ({len(tracer.spans)} spans)")
     return 0 if accepted else 1
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    """``repro check``: differentially test compiled constraint systems.
+
+    Runs the semantics oracle (reference execution over random +
+    boundary + adversarial inputs), the unsat-witness prober (seeded
+    single-wire mutations must be rejected, with the firing constraint
+    localized), and — unless ``--no-mutations`` — the compiler-mutation
+    harness, which injects seeded faults into the compiled system and
+    requires a 100% kill rate.  ``--app NAME`` checks a built-in
+    scenario (``--app all`` sweeps the whole library); a program path
+    checks a ``.zr`` file.  The JSON report is byte-deterministic for a
+    fixed seed.  Exit 0 iff every checked program passed.
+    """
+    from .compiler.check import check_app, check_program
+
+    field = _field(args.field)
+    sizes = _parse_sizes(args.size)
+    if sizes is None:
+        return 2
+
+    jobs: list[tuple[str, object]] = []  # (label, callable)
+    if args.app:
+        registry = _trace_app_registry()
+        if args.app == "all":
+            apps = {app.name: app for app in registry.values()}
+            jobs = [(name, apps[name]) for name in sorted(apps)]
+        elif args.app in registry:
+            jobs = [(registry[args.app].name, registry[args.app])]
+        else:
+            print(
+                f"error: unknown app {args.app!r} "
+                f"(choose from all, {', '.join(sorted(registry))})",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        if not args.program:
+            print("error: provide a program path or --app", file=sys.stderr)
+            return 2
+        jobs = [(Path(args.program).stem, None)]
+
+    reports = {}
+    tracer = telemetry.enable()
+    try:
+        for label, app in jobs:
+            if app is None:
+                program = _load_program(args.program, field, args.bit_width)
+                report = check_program(
+                    program,
+                    seed=args.seed,
+                    num_random=args.random,
+                    input_bits=args.input_bits,
+                    mutations=args.mutations,
+                    mutations_per_kind=args.mutations_per_kind,
+                )
+            else:
+                report = check_app(
+                    app,
+                    field,
+                    sizes or None,
+                    seed=args.seed,
+                    num_random=args.random,
+                    mutations=args.mutations,
+                    mutations_per_kind=args.mutations_per_kind,
+                )
+            reports[label] = report
+    finally:
+        telemetry.disable()
+    totals = tracer.total_counters()
+
+    all_passed = all(r.passed for r in reports.values())
+    document = {
+        "check_version": 1,
+        "field": field.name,
+        "seed": args.seed,
+        "passed": all_passed,
+        "programs": {label: r.to_document() for label, r in reports.items()},
+        "counter_totals": {
+            k: int(v) for k, v in sorted(totals.items()) if k.startswith("check.")
+        },
+    }
+    text = json.dumps(document, indent=2, sort_keys=True) + "\n"
+    if args.out:
+        Path(args.out).parent.mkdir(parents=True, exist_ok=True)
+        Path(args.out).write_text(text)
+    if args.json:
+        print(text, end="")
+        return 0 if all_passed else 1
+
+    for label, report in reports.items():
+        o, p, m = report.oracle, report.probes, report.mutations
+        line = (
+            f"{label}: {'PASS' if report.passed else 'FAIL'}  "
+            f"oracle {o['ok']}/{o['cases']} ok"
+        )
+        if o.get("skipped_domain"):
+            line += f" ({o['skipped_domain']} out-of-domain skipped)"
+        if p:
+            line += (
+                f"  probes {p['killed']}/{p['wires_probed']} killed"
+                f" ({len(p['survivors'])} benign free wires)"
+            )
+        if m.get("ran"):
+            line += f"  mutations {m['killed']}/{m['catalog']} killed"
+        print(line)
+        for failure in o.get("failures", []):
+            print(f"  oracle failure: {failure}")
+        if p and p.get("output_survivors"):
+            print(f"  SOUNDNESS: free output wires {p['output_survivors']}")
+        if m.get("ran"):
+            for entry in m["results"]:
+                if not entry["killed"]:
+                    print(f"  SURVIVED: {entry['mutation']}")
+    if args.out:
+        print(f"report written to {args.out}")
+    print(
+        f"check: {'OK' if all_passed else 'FAILED'} "
+        f"({sum(1 for r in reports.values() if r.passed)}/{len(reports)} programs, "
+        f"{document['counter_totals'].get('check.inputs', 0)} oracle inputs, "
+        f"{document['counter_totals'].get('check.mutations_killed', 0)} mutations killed)"
+    )
+    return 0 if all_passed else 1
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -754,6 +885,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the run (spans, counters, verdict) as JSON on stdout",
     )
     p_trace.set_defaults(fn=cmd_trace)
+
+    p_check = sub.add_parser(
+        "check",
+        parents=[common],
+        help="differentially test compiled constraint systems "
+        "(semantics oracle + unsat probes + mutation-kill gate)",
+    )
+    p_check.add_argument("program", nargs="?", help="path to a .zr source file")
+    p_check.add_argument("--bit-width", type=int, default=32)
+    p_check.add_argument(
+        "--app",
+        help="check a built-in scenario app instead of a .zr file "
+        "('all' sweeps the whole scenario library)",
+    )
+    p_check.add_argument(
+        "--size",
+        action="append",
+        default=[],
+        metavar="NAME=INT",
+        help="app size parameter; repeat (e.g. --size m=2)",
+    )
+    p_check.add_argument("--seed", type=int, default=0, help="checker RNG seed")
+    p_check.add_argument(
+        "--random", type=int, default=6, metavar="N", help="random oracle inputs"
+    )
+    p_check.add_argument(
+        "--input-bits",
+        type=int,
+        default=8,
+        help="input magnitude for .zr programs without a generator (default 8)",
+    )
+    p_check.add_argument(
+        "--no-mutations",
+        dest="mutations",
+        action="store_false",
+        help="skip the compiler-mutation harness (oracle + probes only)",
+    )
+    p_check.add_argument(
+        "--mutations-per-kind",
+        type=int,
+        default=3,
+        metavar="N",
+        help="seeded faults per mutation kind (default 3)",
+    )
+    p_check.add_argument("--out", help="also write the JSON report here")
+    p_check.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the byte-deterministic JSON report on stdout",
+    )
+    p_check.set_defaults(fn=cmd_check)
 
     p_serve = sub.add_parser(
         "serve",

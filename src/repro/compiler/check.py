@@ -1,0 +1,666 @@
+"""Differential checker for compiled constraint systems.
+
+The paper's generality claim rests on the compiler faithfully turning
+high-level programs into constraints — this module checks that claim
+mechanically instead of trusting it, in the spirit of the
+zero-knowledge-circuit verification line (arXiv:2311.08858,
+arXiv:2104.05516 in PAPERS.md).  Three layers:
+
+* **Semantics oracle** — execute the program's reference Python
+  semantics over random, boundary, and structure-aware adversarial
+  inputs, and assert that the solver's witness satisfies both the
+  Ginger and the canonical quadratic system and that the circuit's
+  outputs equal the reference outputs.  Any disagreement is a
+  completeness bug in the compiler (or a wrong reference).
+
+* **Unsat-witness prober** — apply seeded single-wire mutations to an
+  honest witness and assert the quadratic system rejects, reporting
+  exactly which constraint fired.  A non-input wire the prober can
+  move freely without firing any constraint is *prover freedom*; if
+  that wire is an output, it is a soundness hole.  Because a mutated
+  residual is a degree-≤2 polynomial in the probe delta, three
+  distinct deltas suffice: a wire that survives all three has genuine
+  freedom along that axis, not an unlucky root.
+
+* **Compiler-mutation harness** — inject seeded faults into a *copy*
+  of the compiled quadratic system (dropped constraint, sign flip,
+  off-by-one coefficient, swapped wires) and require the oracle +
+  prober to catch every one.  The measured kill rate gates CI: a
+  surviving mutant means the checker has a blind spot.
+
+The mutation catalog is filtered only against the *honest* witness
+(standard equivalent-mutant avoidance), never against the checker's
+own verdict, so a 100% kill requirement is a real gate rather than a
+tautology.  Dropped-constraint candidates are restricted to
+constraints that pin a *private* wire (one mentioned by no other
+constraint — e.g. an output's defining constraint, or the M wire of
+``assert_nonzero``), which makes their detection structurally
+guaranteed: dropping the constraint frees the wire, and the prober
+sees a survivor that the pristine system did not have.
+
+Everything is seeded and the JSON report contains no clocks, so two
+runs with the same seed produce byte-identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+from dataclasses import dataclass, field as dataclass_field
+from typing import Callable, Sequence
+
+from .. import telemetry
+from ..constraints.linear import CONST, LinearCombination
+from ..constraints.quadratic import QuadraticConstraint, QuadraticSystem
+from .program import CompiledProgram
+
+#: Probe deltas.  A mutated residual is degree ≤ 2 in the delta, so if
+#: three distinct deltas all leave every touched constraint satisfied,
+#: the freedom is real (a nonzero quadratic has ≤ 2 roots).
+PROBE_DELTAS = (1, 2, 3)
+
+#: The four seeded compiler-fault kinds the harness must kill.
+MUTATION_KINDS = ("drop-constraint", "flip-sign", "off-by-one", "swap-wires")
+
+CHECK_VERSION = 1
+
+
+# -- witness probing -------------------------------------------------------------
+
+
+@dataclass
+class ProbeResult:
+    """Outcome of a single-wire sweep over one honest witness."""
+
+    wires_probed: int
+    killed: int
+    #: non-input wires movable by every probe delta without firing anything
+    survivors: list[int]
+    #: the subset of ``survivors`` that are output wires (soundness holes)
+    output_survivors: list[int]
+    #: wire → index of the first constraint that fired (localization)
+    firing_constraint: dict[int, int]
+    #: constraints never observed firing during the sweep (per-constraint
+    #: liveness; a constraint over input wires only is reported here too)
+    constraints_unfired: list[int]
+    constraints_probed: int
+
+
+class _Prober:
+    """Single-wire witness mutations with O(1) per-probe residuals.
+
+    Per constraint j the honest evaluations (a₀, b₀, c₀) are cached;
+    bumping wire v by δ changes the residual to
+    ``(a₀+a_v δ)(b₀+b_v δ) − (c₀+c_v δ)`` — no re-evaluation of the
+    linear combinations is needed.
+    """
+
+    def __init__(self, system: QuadraticSystem, witness: Sequence[int]):
+        self.system = system
+        self.witness = witness
+        p = system.field.p
+        self.p = p
+        self.evals = [
+            (
+                c.a.evaluate(system.field, witness),
+                c.b.evaluate(system.field, witness),
+                c.c.evaluate(system.field, witness),
+            )
+            for c in system.constraints
+        ]
+        index: dict[int, list[int]] = {}
+        for j, c in enumerate(system.constraints):
+            for v in c.variables():
+                index.setdefault(v, []).append(j)
+        self.wire_index = index
+
+    def residual(self, j: int, wire: int, delta: int) -> int:
+        """Residual of constraint j with ``witness[wire] += delta``."""
+        a0, b0, c0 = self.evals[j]
+        c = self.system.constraints[j]
+        av = c.a.terms.get(wire, 0)
+        bv = c.b.terms.get(wire, 0)
+        cv = c.c.terms.get(wire, 0)
+        return ((a0 + av * delta) * (b0 + bv * delta) - (c0 + cv * delta)) % self.p
+
+    def fires(self, wire: int, delta: int) -> int | None:
+        """Index of the first constraint violated by the bump, if any."""
+        for j in self.wire_index.get(wire, ()):
+            if self.residual(j, wire, delta):
+                return j
+        return None
+
+    def sweep(self) -> ProbeResult:
+        """Probe every non-input wire with every delta."""
+        system = self.system
+        inputs = set(system.input_vars)
+        outputs = set(system.output_vars)
+        survivors: list[int] = []
+        firing: dict[int, int] = {}
+        fired_constraints: set[int] = set()
+        probed = 0
+        for wire in range(1, system.num_vars + 1):
+            if wire in inputs:
+                continue
+            probed += 1
+            telemetry.count("check.probes")
+            free = True
+            for delta in PROBE_DELTAS:
+                hit = None
+                for j in self.wire_index.get(wire, ()):
+                    if self.residual(j, wire, delta):
+                        hit = j
+                        fired_constraints.add(j)
+                        break
+                if hit is None:
+                    continue
+                free = False
+                if wire not in firing:
+                    firing[wire] = hit
+            if free:
+                survivors.append(wire)
+        unfired = [
+            j for j in range(len(system.constraints)) if j not in fired_constraints
+        ]
+        return ProbeResult(
+            wires_probed=probed,
+            killed=probed - len(survivors),
+            survivors=survivors,
+            output_survivors=sorted(set(survivors) & outputs),
+            firing_constraint=firing,
+            constraints_unfired=unfired,
+            constraints_probed=len(system.constraints),
+        )
+
+
+# -- compiler mutations ----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One seeded fault injected into a compiled quadratic system."""
+
+    kind: str
+    constraint: int
+    side: str = ""
+    wires: tuple[int, ...] = ()
+
+    def describe(self) -> str:
+        """Human-readable location: kind @ constraint/side/wires."""
+        where = f"constraint {self.constraint}"
+        if self.side:
+            where += f" side {self.side}"
+        if self.wires:
+            where += " wire " + "/".join(f"W{v}" for v in self.wires)
+        return f"{self.kind} @ {where}"
+
+
+def _mutate_lc(lc: LinearCombination, mut: Mutation, p: int) -> LinearCombination:
+    terms = dict(lc.terms)
+    if mut.kind == "flip-sign":
+        v = mut.wires[0]
+        terms[v] = (-terms.get(v, 0)) % p
+    elif mut.kind == "off-by-one":
+        v = mut.wires[0]
+        terms[v] = (terms.get(v, 0) + 1) % p
+    elif mut.kind == "swap-wires":
+        v, u = mut.wires
+        terms[v], terms[u] = terms.get(u, 0), terms.get(v, 0)
+    else:  # pragma: no cover - guarded by apply_mutation
+        raise ValueError(mut.kind)
+    return LinearCombination({i: c for i, c in terms.items() if c})
+
+
+def apply_mutation(system: QuadraticSystem, mut: Mutation) -> QuadraticSystem:
+    """A fresh system with one fault injected; the original is untouched."""
+    if mut.kind not in MUTATION_KINDS:
+        raise ValueError(f"unknown mutation kind: {mut.kind}")
+    constraints = list(system.constraints)
+    if mut.kind == "drop-constraint":
+        del constraints[mut.constraint]
+    else:
+        c = constraints[mut.constraint]
+        sides = {"a": c.a, "b": c.b, "c": c.c}
+        sides[mut.side] = _mutate_lc(sides[mut.side], mut, system.field.p)
+        constraints[mut.constraint] = QuadraticConstraint(
+            sides["a"], sides["b"], sides["c"]
+        )
+    return QuadraticSystem(
+        field=system.field,
+        num_vars=system.num_vars,
+        constraints=constraints,
+        input_vars=list(system.input_vars),
+        output_vars=list(system.output_vars),
+    )
+
+
+# -- oracle cases ----------------------------------------------------------------
+
+
+@dataclass
+class OracleCase:
+    kind: str                       # random | boundary | adversarial
+    inputs: list[int]
+    status: str = "pending"         # ok | skipped | failed
+    detail: str = ""
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``repro check`` run learned about a program."""
+
+    program: str
+    seed: int
+    field_bits: int
+    passed: bool
+    oracle: dict
+    probes: dict
+    mutations: dict
+
+    def to_document(self) -> dict:
+        """The report as one JSON-ready dict (what ``to_json`` serializes)."""
+        return {
+            "check_version": CHECK_VERSION,
+            "program": self.program,
+            "seed": self.seed,
+            "field_bits": self.field_bits,
+            "passed": self.passed,
+            "oracle": self.oracle,
+            "probes": self.probes,
+            "mutations": self.mutations,
+        }
+
+    def to_json(self) -> str:
+        """Deterministic serialization: same seed ⇒ identical bytes."""
+        return json.dumps(self.to_document(), indent=2, sort_keys=True) + "\n"
+
+
+#: how many localization entries the JSON report keeps (full maps can
+#: run to thousands of wires; the sample is for humans, the counts for CI)
+_LOCALIZATION_SAMPLE = 24
+
+
+class ProgramChecker:
+    """Differential checker for one :class:`CompiledProgram`.
+
+    ``reference`` maps an input vector to expected outputs (omit for
+    programs without a reference — the oracle then only checks witness
+    satisfiability).  ``input_generator`` draws one valid random input
+    vector; without one, inputs are uniform ``input_bits``-bit values.
+    ``validate`` is the input-domain predicate: boundary/adversarial
+    vectors that fail it are skipped rather than fed to a reference
+    that may not terminate outside its domain (e.g. fannkuch's flip
+    count on a non-permutation).
+    """
+
+    def __init__(
+        self,
+        program: CompiledProgram,
+        *,
+        reference: Callable[[list[int]], Sequence[int]] | None = None,
+        input_generator: Callable[[random.Random], Sequence[int]] | None = None,
+        validate: Callable[[list[int]], bool] | None = None,
+        seed: int = 0,
+        num_random: int = 6,
+        input_bits: int = 8,
+        mutations_per_kind: int = 3,
+    ):
+        self.program = program
+        self.reference = reference
+        self.input_generator = input_generator
+        self.validate = validate
+        self.seed = seed
+        self.num_random = num_random
+        self.input_bits = input_bits
+        self.mutations_per_kind = mutations_per_kind
+
+    # -- input generation ---------------------------------------------------
+
+    def _draw(self, rng: random.Random) -> list[int]:
+        if self.input_generator is not None:
+            return list(self.input_generator(rng))
+        bound = 1 << self.input_bits
+        return [rng.randrange(bound) for _ in range(self.program.num_inputs)]
+
+    def oracle_vectors(self) -> tuple[list[OracleCase], int]:
+        """(cases, skipped_count): seeded random + boundary + adversarial.
+
+        Boundary and adversarial vectors are built from *position-wise
+        observed value pools* so they stay inside each position's
+        domain (masks stay boolean, tokens stay below the alphabet),
+        plus explicit 0/1 injections; anything the app's domain
+        predicate rejects is counted as skipped, not run.
+        """
+        rng = random.Random(self.seed)
+        base = [self._draw(rng) for _ in range(self.num_random)]
+        cases = [OracleCase("random", v) for v in base]
+        n = len(base[0]) if base else 0
+        if n == 0:
+            return cases, 0
+
+        observed = [sorted({v[i] for v in base}) for i in range(n)]
+        candidates: list[tuple[str, list[int]]] = [
+            ("boundary", [obs[0] for obs in observed]),     # position-wise min
+            ("boundary", [obs[-1] for obs in observed]),    # position-wise max
+            ("boundary", [0] * n),
+            ("boundary", [1] * n),
+        ]
+        positions = sorted(rng.sample(range(n), min(n, 6)))
+        for pos in positions:
+            for value in sorted({0, 1, observed[pos][-1]}):
+                patched = list(base[0])
+                patched[pos] = value
+                candidates.append(("boundary", patched))
+
+        candidates.append(("adversarial", list(reversed(base[0]))))
+        if n >= 2:
+            i, j = rng.sample(range(n), 2)
+            swapped = list(base[0])
+            swapped[i], swapped[j] = swapped[j], swapped[i]
+            candidates.append(("adversarial", swapped))
+        if len(base) >= 2:
+            candidates.append(
+                ("adversarial", [min(a, b) for a, b in zip(base[0], base[1])])
+            )
+            candidates.append(
+                ("adversarial", [max(a, b) for a, b in zip(base[0], base[1])])
+            )
+
+        seen = {tuple(v) for v in base}
+        skipped = 0
+        for kind, vec in candidates:
+            key = tuple(vec)
+            if key in seen:
+                continue
+            if self.validate is not None and not self.validate(vec):
+                skipped += 1
+                continue
+            seen.add(key)
+            cases.append(OracleCase(kind, vec))
+        return cases, skipped
+
+    # -- the oracle ---------------------------------------------------------
+
+    def _run_oracle(self, cases: list[OracleCase]) -> tuple[list, list[dict]]:
+        """Solve every case; returns (solved witnesses, failures)."""
+        program = self.program
+        field = program.field
+        solved = []
+        failures: list[dict] = []
+
+        def fail(case: OracleCase, what: str) -> None:
+            case.status = "failed"
+            case.detail = what
+            failures.append({"kind": case.kind, "inputs": case.inputs, "error": what})
+
+        for case in cases:
+            telemetry.count("check.inputs")
+            try:
+                sol = program.solve(case.inputs, check=False)
+            except Exception as exc:  # hint blew up: completeness bug
+                fail(case, f"solve raised: {exc}")
+                continue
+            if not program.ginger.is_satisfied(sol.ginger_witness):
+                bad = [
+                    j for j, r in enumerate(program.ginger.residuals(sol.ginger_witness)) if r
+                ]
+                fail(case, f"ginger unsatisfied at constraints {bad[:8]}")
+                continue
+            if not program.quadratic.is_satisfied(sol.quadratic_witness):
+                bad = [
+                    j
+                    for j, r in enumerate(program.quadratic.residuals(sol.quadratic_witness))
+                    if r
+                ]
+                fail(case, f"quadratic unsatisfied at constraints {bad[:8]}")
+                continue
+            if self.reference is not None:
+                try:
+                    expected = [field.reduce(v) for v in self.reference(list(case.inputs))]
+                except Exception as exc:
+                    case.status = "skipped"
+                    case.detail = f"reference raised: {exc}"
+                    continue
+                if expected != sol.output_values:
+                    fail(
+                        case,
+                        f"outputs {sol.output_values} != reference {expected}",
+                    )
+                    continue
+            case.status = "ok"
+            solved.append((case, sol))
+        return solved, failures
+
+    # -- mutation catalog ---------------------------------------------------
+
+    def _drop_candidates(self, prober: _Prober) -> list[Mutation]:
+        """Constraints pinning a private wire (occurs in no other constraint).
+
+        The wire must actually be pinned at the probe witness (some
+        delta fires the constraint) — otherwise dropping the constraint
+        is locally equivalent and no single-wire probe can see it.
+        """
+        system = self.program.quadratic
+        inputs = set(system.input_vars)
+        out: list[Mutation] = []
+        for j, c in enumerate(system.constraints):
+            for v in sorted(c.variables()):
+                if v in inputs or v == CONST:
+                    continue
+                if len(prober.wire_index.get(v, ())) != 1:
+                    continue
+                if any(prober.residual(j, v, d) for d in PROBE_DELTAS):
+                    out.append(Mutation("drop-constraint", j, wires=(v,)))
+                    break
+        return out
+
+    def _coefficient_candidate(
+        self, rng: random.Random, kind: str, prober: _Prober, tries: int = 200
+    ) -> Mutation | None:
+        """Rejection-sample one coefficient fault that the honest witness sees.
+
+        Acceptance consults only the honest witness (the mutated
+        constraint's residual must be nonzero there) — the standard
+        equivalent-mutant filter, independent of the checker verdict.
+        """
+        system = self.program.quadratic
+        field = system.field
+        w = prober.witness
+        num = len(system.constraints)
+        for _ in range(tries):
+            j = rng.randrange(num)
+            c = system.constraints[j]
+            side = rng.choice("abc")
+            lc = getattr(c, side)
+            terms = [v for v in sorted(lc.terms)]
+            if kind == "swap-wires":
+                vars_only = [v for v in terms if v != CONST]
+                if len(vars_only) < 2:
+                    continue
+                pair = tuple(rng.sample(vars_only, 2))
+                mut = Mutation(kind, j, side=side, wires=pair)
+            else:
+                if not terms:
+                    continue
+                v = rng.choice(terms)
+                mut = Mutation(kind, j, side=side, wires=(v,))
+            mutated = apply_mutation(system, mut)
+            if mutated.constraints[j].residual(field, w):
+                return mut
+        return None
+
+    def build_catalog(self, rng: random.Random, prober: _Prober) -> list[Mutation]:
+        """≥ ``mutations_per_kind`` seeded faults of each of the four kinds."""
+        catalog: list[Mutation] = []
+        droppable = self._drop_candidates(prober)
+        take = min(self.mutations_per_kind, len(droppable))
+        if take:
+            catalog.extend(rng.sample(droppable, take))
+        for kind in ("flip-sign", "off-by-one", "swap-wires"):
+            picked: list[Mutation] = []
+            for _ in range(self.mutations_per_kind * 4):
+                mut = self._coefficient_candidate(rng, kind, prober)
+                if mut is not None and mut not in picked:
+                    picked.append(mut)
+                if len(picked) >= self.mutations_per_kind:
+                    break
+            catalog.extend(picked)
+        return catalog
+
+    def _run_mutant(
+        self,
+        mut: Mutation,
+        solved: list,
+        baseline: ProbeResult,
+    ) -> str | None:
+        """How the checker killed the mutant, or None if it survived."""
+        mutated = apply_mutation(self.program.quadratic, mut)
+        for _case, sol in solved:
+            if not mutated.is_satisfied(sol.quadratic_witness):
+                return "oracle"
+        probe = _Prober(mutated, solved[0][1].quadratic_witness).sweep()
+        if set(probe.output_survivors) - set(baseline.output_survivors):
+            return "probe-output"
+        if set(probe.survivors) - set(baseline.survivors):
+            return "probe-freedom"
+        return None
+
+    # -- top level ----------------------------------------------------------
+
+    def run(self, *, mutations: bool = True) -> CheckReport:
+        """Oracle + prober (+ mutation harness); returns the full report."""
+        cases, skipped_domain = self.oracle_vectors()
+        solved, failures = self._run_oracle(cases)
+        by_kind: dict[str, int] = {}
+        for case in cases:
+            if case.status == "ok":
+                by_kind[case.kind] = by_kind.get(case.kind, 0) + 1
+        oracle_doc = {
+            "cases": len(cases),
+            "ok": sum(1 for c in cases if c.status == "ok"),
+            "failed": len(failures),
+            "skipped": sum(1 for c in cases if c.status == "skipped"),
+            "skipped_domain": skipped_domain,
+            "by_kind": dict(sorted(by_kind.items())),
+            "failures": failures[:8],
+        }
+
+        probes_doc: dict = {}
+        mutations_doc: dict = {"ran": False}
+        passed = not failures and bool(solved)
+        if not solved:
+            oracle_doc["failures"] = failures[:8] or [
+                {"error": "no oracle case produced a witness"}
+            ]
+        else:
+            prober = _Prober(self.program.quadratic, solved[0][1].quadratic_witness)
+            baseline = prober.sweep()
+            sample = [
+                {"wire": v, "constraint": baseline.firing_constraint[v]}
+                for v in sorted(baseline.firing_constraint)[:_LOCALIZATION_SAMPLE]
+            ]
+            probes_doc = {
+                "deltas": list(PROBE_DELTAS),
+                "wires_probed": baseline.wires_probed,
+                "killed": baseline.killed,
+                "survivors": baseline.survivors,
+                "output_survivors": baseline.output_survivors,
+                "constraints_probed": baseline.constraints_probed,
+                "constraints_unfired": len(baseline.constraints_unfired),
+                "localization_sample": sample,
+            }
+            if baseline.output_survivors:
+                passed = False
+
+            if mutations:
+                rng = random.Random(self.seed + 0x5EED)
+                catalog = self.build_catalog(rng, prober)
+                results = []
+                killed = 0
+                for mut in catalog:
+                    how = self._run_mutant(mut, solved, baseline)
+                    if how is not None:
+                        killed += 1
+                        telemetry.count("check.mutations_killed")
+                    else:
+                        telemetry.count("check.mutations_survived")
+                    results.append(
+                        {
+                            "mutation": mut.describe(),
+                            "kind": mut.kind,
+                            "killed": how is not None,
+                            "how": how or "SURVIVED",
+                        }
+                    )
+                kinds_present = sorted({m.kind for m in catalog})
+                mutations_doc = {
+                    "ran": True,
+                    "catalog": len(catalog),
+                    "kinds": kinds_present,
+                    "killed": killed,
+                    "survived": len(catalog) - killed,
+                    "kill_rate": (killed / len(catalog)) if catalog else 1.0,
+                    "results": results,
+                }
+                if killed != len(catalog):
+                    passed = False
+
+        return CheckReport(
+            program=self.program.name,
+            seed=self.seed,
+            field_bits=self.program.field.bits,
+            passed=passed,
+            oracle=oracle_doc,
+            probes=probes_doc,
+            mutations=mutations_doc,
+        )
+
+
+def check_program(
+    program: CompiledProgram,
+    *,
+    reference: Callable[[list[int]], Sequence[int]] | None = None,
+    input_generator: Callable[[random.Random], Sequence[int]] | None = None,
+    validate: Callable[[list[int]], bool] | None = None,
+    seed: int = 0,
+    num_random: int = 6,
+    input_bits: int = 8,
+    mutations: bool = True,
+    mutations_per_kind: int = 3,
+) -> CheckReport:
+    """Run the full differential check against one compiled program."""
+    checker = ProgramChecker(
+        program,
+        reference=reference,
+        input_generator=input_generator,
+        validate=validate,
+        seed=seed,
+        num_random=num_random,
+        input_bits=input_bits,
+        mutations_per_kind=mutations_per_kind,
+    )
+    return checker.run(mutations=mutations)
+
+
+def check_app(
+    app,
+    field,
+    sizes: dict | None = None,
+    *,
+    seed: int = 0,
+    num_random: int = 6,
+    mutations: bool = True,
+    mutations_per_kind: int = 3,
+) -> CheckReport:
+    """Check a :class:`repro.apps.BenchmarkApp` end to end."""
+    program = app.compile(field, sizes)
+    return check_program(
+        program,
+        reference=lambda v: app.reference(v, sizes),
+        input_generator=lambda rng: app.generate_inputs(rng, sizes),
+        validate=(lambda v: app.validate(v, sizes)) if app.validate_fn else None,
+        seed=seed,
+        num_random=num_random,
+        mutations=mutations,
+        mutations_per_kind=mutations_per_kind,
+    )

@@ -97,6 +97,14 @@ def to_bits(b: Builder, x: Wire, width: int) -> list[Wire]:
     """
     from .expr import Expr
 
+    if (1 << width) > b.field.p:
+        # 2^width > p makes the decomposition ambiguous: some residues
+        # have two valid bit patterns (v and v + p), so to_bits would
+        # no longer pin its witness — a prover could present either.
+        raise ValueError(
+            f"to_bits width {width} exceeds field capacity "
+            f"(need 2^width <= p; p has {b.field.p.bit_length()} bits)"
+        )
     x = b.define(x)
     if b.enable_cse:
         # Exact-width reuse only: to_bits doubles as the range proof

@@ -120,9 +120,21 @@ def div_mod(
     the range constraint then fails, surfacing the error).
     """
     width = bit_width if bit_width is not None else b.default_bit_width
+    p = b.field.p
+    if ((1 << width) - 1) ** 2 + (1 << width) - 1 >= p:
+        # Soundness needs q·d + r to be wrap-free: with q, d, r all
+        # width-bit values the true integer q·d + r can reach
+        # (2^w−1)² + (2^w−1), and once that crosses p a cheating
+        # (q', r') = (q + ⌊(p+r)/d⌋, (p+r) mod d) passes every range
+        # check while q'·d + r' ≡ x (mod p).  Goldilocks at width 32
+        # is exactly safe (the maximum is p−1); width 33 is not.
+        raise ValueError(
+            f"div_mod bit_width {width} unsound for this field: "
+            f"(2^{width}-1)^2 + 2^{width}-1 wraps mod p "
+            f"(p has {p.bit_length()} bits)"
+        )
     x_w = b.define(x if isinstance(x, Wire) else b.constant(x))
     d_w = b.define(d if isinstance(d, Wire) else b.constant(d))
-    p = b.field.p
     x_expr, d_expr = x_w.expr, d_w.expr
 
     def q_hint(values):
@@ -150,8 +162,17 @@ def integer_sqrt(b: Builder, x: Wire | int, *, bit_width: int | None = None) -> 
     difference.
     """
     width = bit_width if bit_width is not None else b.default_bit_width
-    x_w = b.define(x if isinstance(x, Wire) else b.constant(x))
     p = b.field.p
+    if (1 << (width + 3)) + (1 << width) > p:
+        # s is range-checked to ~width/2+1 bits, so s² can reach
+        # ~2^(width+3); the x − s² range proof is only wrap-free while
+        # p − 2^(width+3) stays above 2^width, else an oversized s
+        # wraps x − s² back into the accepted range.
+        raise ValueError(
+            f"integer_sqrt bit_width {width} unsound for this field "
+            f"(need 2^(width+3) + 2^width <= p; p has {p.bit_length()} bits)"
+        )
+    x_w = b.define(x if isinstance(x, Wire) else b.constant(x))
     x_expr = x_w.expr
 
     def s_hint(values):

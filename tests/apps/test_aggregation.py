@@ -1,0 +1,91 @@
+"""Unit + property tests for the private-aggregation scenario app."""
+
+import random
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import AGGREGATION, aggregation
+from repro.compiler import compile_program
+from repro.field import GOLDILOCKS, PrimeField
+
+FIELD = PrimeField(GOLDILOCKS, check_prime=False)
+N, D, BITS = 3, 2, 4
+
+
+@lru_cache(maxsize=1)
+def small_program():
+    return compile_program(
+        FIELD, aggregation.build_factory(N, d=D, value_bits=BITS)
+    )
+
+
+class TestReference:
+    def test_known_example(self):
+        # clients: (mask, v1, v2) = (1, 3, 5), (0, 9, 9), (1, 2, 2)
+        inputs = [1, 3, 5, 0, 9, 9, 1, 2, 2]
+        assert aggregation.reference(inputs, n=3, d=2) == [2, 5, 7]
+
+    def test_masked_out_client_contributes_nothing(self):
+        assert aggregation.reference([0, 15, 15], n=1, d=2) == [0, 0, 0]
+
+    def test_input_length_validated(self):
+        with pytest.raises(ValueError):
+            aggregation.reference([1, 2], n=2, d=2)
+
+
+class TestConstraints:
+    def test_compiled_matches_reference(self):
+        rng = random.Random(7)
+        prog = small_program()
+        for _ in range(5):
+            inputs = aggregation.generate_inputs(rng, N, d=D, value_bits=BITS)
+            expected = aggregation.reference(inputs, N, d=D, value_bits=BITS)
+            assert prog.solve(inputs).output_values == expected
+
+    def test_non_boolean_mask_rejected(self):
+        inputs = aggregation.generate_inputs(random.Random(1), N, d=D, value_bits=BITS)
+        inputs[0] = 2  # a weight-2 client would be double counted
+        with pytest.raises(RuntimeError):
+            small_program().solve(inputs)
+
+    def test_out_of_range_value_rejected(self):
+        inputs = aggregation.generate_inputs(random.Random(1), N, d=D, value_bits=BITS)
+        inputs[1] = 1 << BITS  # smuggled oversized contribution
+        with pytest.raises(RuntimeError):
+            small_program().solve(inputs)
+
+    def test_validate_inputs_mirrors_the_circuit(self):
+        good = aggregation.generate_inputs(random.Random(2), N, d=D, value_bits=BITS)
+        assert aggregation.validate_inputs(good, N, d=D, value_bits=BITS)
+        assert not aggregation.validate_inputs([2] + good[1:], N, d=D, value_bits=BITS)
+        assert not aggregation.validate_inputs(good[:-1], N, d=D, value_bits=BITS)
+        assert AGGREGATION.validate(good, {"n": N, "d": D, "value_bits": BITS})
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=1),
+            st.lists(
+                st.integers(min_value=0, max_value=(1 << BITS) - 1),
+                min_size=D,
+                max_size=D,
+            ),
+        ),
+        min_size=N,
+        max_size=N,
+    )
+)
+def test_property_matches_reference(clients):
+    inputs = [x for mask, vals in clients for x in (mask, *vals)]
+    expected = aggregation.reference(inputs, N, d=D, value_bits=BITS)
+    assert small_program().solve(inputs).output_values == expected
+    # the reference really is the masked sum
+    assert expected[0] == sum(mask for mask, _ in clients)
+    for k in range(D):
+        assert expected[1 + k] == sum(
+            mask * vals[k] for mask, vals in clients
+        )

@@ -1,0 +1,81 @@
+"""Unit + property tests for the streaming-automaton scenario app."""
+
+import random
+from functools import lru_cache
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import AUTOMATON, automaton
+from repro.compiler import compile_program
+from repro.field import GOLDILOCKS, PrimeField
+
+FIELD = PrimeField(GOLDILOCKS, check_prime=False)
+M, K, A = 5, 3, 3
+
+
+@lru_cache(maxsize=1)
+def small_program():
+    return compile_program(FIELD, automaton.build_factory(M, k=K, a=A))
+
+
+class TestTransitionTable:
+    def test_deterministic_in_shape(self):
+        assert automaton.transition_table(4, 4) == automaton.transition_table(4, 4)
+        assert automaton.transition_table(4, 4) != automaton.transition_table(4, 5)
+
+    def test_states_in_range(self):
+        table = automaton.transition_table(K, A)
+        assert len(table) == K and all(len(row) == A for row in table)
+        assert all(0 <= s < K for row in table for s in row)
+
+
+class TestReference:
+    def test_walks_the_table(self):
+        table = automaton.transition_table(K, A)
+        tokens = [0, 1, 2, 0, 1]
+        state, visits = 0, 0
+        for t in tokens:
+            state = table[state][t]
+            visits += state == 0
+        assert automaton.reference(tokens, m=M, k=K, a=A) == [state, visits]
+
+    def test_input_length_validated(self):
+        with pytest.raises(ValueError):
+            automaton.reference([0, 1], m=3, k=K, a=A)
+
+
+class TestConstraints:
+    def test_compiled_matches_reference(self):
+        rng = random.Random(11)
+        prog = small_program()
+        for _ in range(5):
+            tokens = automaton.generate_inputs(rng, M, k=K, a=A)
+            expected = automaton.reference(tokens, M, k=K, a=A)
+            assert prog.solve(tokens).output_values == expected
+
+    def test_out_of_alphabet_token_rejected(self):
+        tokens = automaton.generate_inputs(random.Random(3), M, k=K, a=A)
+        tokens[2] = A  # one past the alphabet: the range check must fire
+        with pytest.raises(RuntimeError):
+            small_program().solve(tokens)
+
+    def test_validate_inputs_mirrors_the_circuit(self):
+        good = automaton.generate_inputs(random.Random(4), M, k=K, a=A)
+        assert automaton.validate_inputs(good, M, k=K, a=A)
+        assert not automaton.validate_inputs([A] + good[1:], M, k=K, a=A)
+        assert not automaton.validate_inputs(good[:-1], M, k=K, a=A)
+        assert AUTOMATON.validate(good, {"m": M, "k": K, "a": A})
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=0, max_value=A - 1), min_size=M, max_size=M
+    )
+)
+def test_property_matches_reference(tokens):
+    expected = automaton.reference(tokens, M, k=K, a=A)
+    assert small_program().solve(tokens).output_values == expected
+    assert 0 <= expected[0] < K
+    assert 0 <= expected[1] <= M

@@ -1,0 +1,276 @@
+"""Unit tests for the differential checker (``repro.compiler.check``).
+
+Covers the three layers on small known programs: the semantics oracle
+must flag wrong references and bad hints, the unsat-witness prober
+must pin every non-input wire of an honest system and see the freedom
+a dropped constraint introduces, and the mutation harness must kill
+all four fault kinds with byte-deterministic reports.  Also pins the
+field-capacity guard regressions the checker surfaced (div_mod /
+to_bits / integer_sqrt width limits on goldilocks).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import telemetry
+from repro.compiler import (
+    MUTATION_KINDS,
+    Mutation,
+    apply_mutation,
+    check_app,
+    check_program,
+    compile_program,
+    div_mod,
+    integer_sqrt,
+    to_bits,
+)
+from repro.compiler.check import PROBE_DELTAS, _Prober
+
+
+def sumsq_reference(inputs):
+    acc = sum(x * x for x in inputs)
+    return [acc if acc < 100 else 100]
+
+
+def small_inputs(rng):
+    # keep |acc - cap| within the 12-bit comparison window
+    return [rng.randrange(30) for _ in range(3)]
+
+
+class TestProber:
+    def test_honest_witness_is_fully_pinned(self, sumsq_program):
+        sol = sumsq_program.solve([1, 2, 3])
+        result = _Prober(sumsq_program.quadratic, sol.quadratic_witness).sweep()
+        assert result.survivors == []
+        assert result.output_survivors == []
+        assert result.killed == result.wires_probed > 0
+        # every killed wire gets a localized firing constraint
+        assert len(result.firing_constraint) == result.killed
+
+    def test_residual_matches_full_reevaluation(self, sumsq_program):
+        system = sumsq_program.quadratic
+        sol = sumsq_program.solve([4, 5, 6])
+        prober = _Prober(system, sol.quadratic_witness)
+        rng = random.Random(1)
+        for _ in range(20):
+            j = rng.randrange(len(system.constraints))
+            wire = rng.choice(sorted(system.constraints[j].variables()))
+            delta = rng.choice(PROBE_DELTAS)
+            bumped = list(sol.quadratic_witness)
+            bumped[wire] = (bumped[wire] + delta) % system.field.p
+            assert prober.residual(j, wire, delta) == system.constraints[j].residual(
+                system.field, bumped
+            )
+
+    def test_dropped_pin_frees_the_output(self, sumsq_program):
+        system = sumsq_program.quadratic
+        sol = sumsq_program.solve([2, 3, 4])
+        prober = _Prober(system, sol.quadratic_witness)
+        out = system.output_vars[0]
+        (j,) = prober.wire_index[out]  # the output's sole defining constraint
+        mutated = apply_mutation(system, Mutation("drop-constraint", j))
+        result = _Prober(mutated, sol.quadratic_witness).sweep()
+        assert out in result.output_survivors
+
+
+class TestMutations:
+    def test_apply_leaves_original_untouched(self, sumsq_program):
+        system = sumsq_program.quadratic
+        before = len(system.constraints)
+        mutated = apply_mutation(system, Mutation("drop-constraint", 0))
+        assert len(mutated.constraints) == before - 1
+        assert len(system.constraints) == before
+
+    def test_coefficient_mutations_change_one_constraint(self, sumsq_program):
+        system = sumsq_program.quadratic
+        c = system.constraints[0]
+        wire = sorted(c.a.terms)[0]
+        for kind in ("flip-sign", "off-by-one"):
+            mutated = apply_mutation(
+                system, Mutation(kind, 0, side="a", wires=(wire,))
+            )
+            assert mutated.constraints[0].a.terms != c.a.terms
+            assert mutated.constraints[1:] == list(system.constraints[1:])
+
+    def test_unknown_kind_rejected(self, sumsq_program):
+        with pytest.raises(ValueError):
+            apply_mutation(sumsq_program.quadratic, Mutation("scramble", 0))
+
+    def test_all_four_kinds_killed_end_to_end(self, sumsq_program):
+        report = check_program(
+            sumsq_program,
+            reference=sumsq_reference,
+            input_generator=small_inputs,
+            seed=11,
+        )
+        assert report.passed
+        assert report.oracle["failed"] == 0
+        m = report.mutations
+        assert m["ran"]
+        assert m["kill_rate"] == 1.0
+        assert m["survived"] == 0
+        assert sorted(m["kinds"]) == sorted(MUTATION_KINDS)
+
+
+class TestOracle:
+    def test_wrong_reference_is_a_failure(self, sumsq_program):
+        report = check_program(
+            sumsq_program,
+            reference=lambda v: [sumsq_reference(v)[0] + 1],
+            input_generator=small_inputs,
+            seed=3,
+            mutations=False,
+        )
+        assert not report.passed
+        assert report.oracle["failed"] > 0
+        assert any("reference" in f["error"] for f in report.oracle["failures"])
+
+    def test_bad_hint_is_a_completeness_failure(self, gold):
+        def build(b):
+            x = b.input()
+            x_expr = x.expr
+            p = b.field.p
+
+            def off_by_one_hint(values):
+                return (x_expr.evaluate(p, values) + 1) % p
+
+            h = b.hint_var(off_by_one_hint)
+            b.assert_zero(h - x)  # wants h == x; the hint disagrees
+            b.output(b.define(h))
+
+        prog = compile_program(gold, build, name="bad_hint")
+        report = check_program(prog, seed=0, mutations=False)
+        assert not report.passed
+        assert report.oracle["failed"] == report.oracle["cases"]
+        assert any("unsatisfied" in f["error"] for f in report.oracle["failures"])
+
+    def test_domain_predicate_skips_offending_vectors(self, sumsq_program):
+        report = check_program(
+            sumsq_program,
+            reference=sumsq_reference,
+            input_generator=lambda rng: [rng.randrange(1, 15) * 2 for _ in range(3)],
+            validate=lambda v: all(x % 2 == 0 for x in v),  # the all-ones probe is odd
+            seed=5,
+            mutations=False,
+        )
+        assert report.passed
+        assert report.oracle["skipped_domain"] > 0
+
+    def test_reference_exception_is_skipped_not_failed(self, sumsq_program):
+        def touchy_reference(inputs):
+            if 0 in inputs:
+                raise ZeroDivisionError("outside my domain")
+            return sumsq_reference(inputs)
+
+        report = check_program(
+            sumsq_program,
+            reference=touchy_reference,
+            input_generator=lambda rng: [rng.randrange(1, 30) for _ in range(3)],
+            seed=5,
+            mutations=False,
+        )
+        assert report.passed  # boundary 0-vectors skip instead of failing
+        assert report.oracle["skipped"] > 0
+
+
+class TestDeterminism:
+    def test_same_seed_means_identical_bytes(self, sumsq_program):
+        runs = [
+            check_program(
+                sumsq_program,
+                reference=sumsq_reference,
+                input_generator=small_inputs,
+                seed=42,
+            ).to_json()
+            for _ in range(2)
+        ]
+        assert runs[0] == runs[1]
+
+    def test_counters_flow_through_telemetry(self, sumsq_program):
+        tracer = telemetry.enable()
+        try:
+            check_program(
+                sumsq_program,
+                reference=sumsq_reference,
+                input_generator=small_inputs,
+                seed=1,
+            )
+        finally:
+            telemetry.disable()
+        totals = tracer.total_counters()
+        assert totals.get("check.inputs", 0) > 0
+        assert totals.get("check.probes", 0) > 0
+        assert totals.get("check.mutations_killed", 0) > 0
+        assert totals.get("check.mutations_survived", 0) == 0
+
+
+class TestCheckApp:
+    def test_aggregation_app_end_to_end(self, gold):
+        from repro.apps import AGGREGATION
+
+        report = check_app(
+            AGGREGATION, gold, {"n": 2, "d": 2, "value_bits": 4}, seed=9
+        )
+        assert report.passed
+        assert report.mutations["kill_rate"] == 1.0
+
+
+class TestWidthGuards:
+    """Regressions for the capacity bugs the checker surfaced.
+
+    div_mod soundness needs q·d + r wrap-free: on goldilocks the
+    width-32 maximum (2³²−1)² + 2³²−1 is exactly p−1, so 32 is the
+    last safe width — at 33 a cheating (q', r') wraps mod p and passes
+    every range check (demonstrated before the guard landed).
+    """
+
+    def test_goldilocks_capacity_identity(self, gold):
+        assert ((1 << 32) - 1) ** 2 + (1 << 32) - 1 == gold.p - 1
+
+    def test_div_mod_width_32_is_allowed(self, gold):
+        def build(b):
+            x, d = b.inputs(2)
+            q, r = div_mod(b, x, d, bit_width=32)
+            b.output(b.define(q))
+            b.output(b.define(r))
+
+        prog = compile_program(gold, build)
+        assert prog.solve([1000, 7]).output_values == [142, 6]
+
+    def test_div_mod_width_33_is_rejected(self, gold):
+        def build(b):
+            x, d = b.inputs(2)
+            div_mod(b, x, d, bit_width=33)
+
+        with pytest.raises(ValueError, match="unsound"):
+            compile_program(gold, build)
+
+    def test_to_bits_width_64_is_rejected(self, gold):
+        def build(b):
+            to_bits(b, b.input(), 64)  # 2^64 > p: two patterns per residue
+
+        with pytest.raises(ValueError, match="field capacity"):
+            compile_program(gold, build)
+
+    def test_to_bits_width_63_still_compiles(self, gold):
+        def build(b):
+            bits = to_bits(b, b.input(), 63)
+            b.output(b.define(bits[0] + 0))
+
+        assert compile_program(gold, build).solve([5]).output_values == [1]
+
+    def test_integer_sqrt_oversized_width_is_rejected(self, gold):
+        def build(b):
+            integer_sqrt(b, b.input(), bit_width=61)
+
+        with pytest.raises(ValueError, match="unsound"):
+            compile_program(gold, build)
+
+    def test_integer_sqrt_width_32_works(self, gold):
+        def build(b):
+            b.output(b.define(integer_sqrt(b, b.input(), bit_width=32) + 0))
+
+        assert compile_program(gold, build).solve([99]).output_values == [9]

@@ -203,3 +203,117 @@ class TestDynamicIndexing:
             return compile_program(gold, build).ginger.num_constraints
 
         assert make(16) > 2 * make(4)
+
+
+class TestBoundaryProbes:
+    """Unsat-witness probes at the field boundaries 0, 1, p−1, p/2.
+
+    For every gadget: solve at the boundary, then sweep seeded
+    single-wire witness mutations (the differential checker's prober)
+    and require every mutation to be rejected — in particular no
+    *output* wire may move freely.  Out-of-contract boundary inputs
+    (e.g. p−1 into a width-8 decomposition) must be rejected at solve
+    time by the range constraints, not silently accepted.
+    """
+
+    @staticmethod
+    def probe(gold, build, inputs):
+        from repro.compiler.check import _Prober
+
+        prog = compile_program(gold, build)
+        sol = prog.solve(inputs)
+        return sol, _Prober(prog.quadratic, sol.quadratic_witness).sweep()
+
+    def boundaries(self, gold):
+        return [0, 1, gold.p - 1, gold.p // 2]
+
+    def test_is_zero_pinned_at_all_boundaries(self, gold):
+        def build(b):
+            b.output(b.define(is_zero(b, b.input()) + 0))
+
+        for x in self.boundaries(gold):
+            sol, result = self.probe(gold, build, [x])
+            assert sol.output_values == [1 if x == 0 else 0]
+            assert result.output_survivors == []
+            if x == 0:
+                # the inverse hint M is a genuine don't-care at x = 0 —
+                # benign, but it must never be the output
+                assert len(result.survivors) <= 1
+            else:
+                assert result.survivors == []
+
+    def test_is_equal_pinned_at_boundary_pairs(self, gold):
+        def build(b):
+            x, y = b.inputs(2)
+            b.output(b.define(is_equal(b, x, y) + 0))
+
+        p = gold.p
+        for x, y, expected in [
+            (0, 0, 1),
+            (p - 1, p - 1, 1),
+            (p // 2, p // 2 + 1, 0),
+            (0, p - 1, 0),
+        ]:
+            sol, result = self.probe(gold, build, [x, y])
+            assert sol.output_values == [expected]
+            assert result.output_survivors == []
+
+    def test_less_than_pinned_at_signed_boundaries(self, gold):
+        def build(b):
+            x, y = b.inputs(2)
+            b.output(b.define(less_than(b, x, y, bit_width=8) + 0))
+
+        p = gold.p
+        # p−1 is signed −1 — in contract for a width-8 signed compare
+        for x, y, expected in [(0, 0, 0), (1, 0, 0), (p - 1, 0, 1), (0, p - 1, 0)]:
+            sol, result = self.probe(gold, build, [x, y])
+            assert sol.output_values == [expected]
+            assert result.output_survivors == []
+            assert result.survivors == []
+
+    def test_to_bits_pinned_in_range_rejected_out_of_range(self, gold):
+        def build(b):
+            bits = to_bits(b, b.input(), 8)
+            b.output(b.define(bits[7] + 0))
+
+        for x in (0, 1, 255):
+            sol, result = self.probe(gold, build, [x])
+            assert sol.output_values == [x >> 7]
+            assert result.survivors == []
+        prog = compile_program(gold, build)
+        for x in (gold.p - 1, gold.p // 2, 256):
+            with pytest.raises(RuntimeError):
+                prog.solve([x])
+
+    def test_div_mod_pinned_in_range_rejected_at_field_boundaries(self, gold):
+        from repro.compiler import div_mod
+
+        def build(b):
+            x, d = b.inputs(2)
+            q, r = div_mod(b, x, d, bit_width=8)
+            b.output(b.define(q + 0))
+            b.output(b.define(r + 0))
+
+        for x, d in [(0, 1), (1, 1), (255, 255), (254, 7)]:
+            sol, result = self.probe(gold, build, [x, d])
+            assert sol.output_values == [x // d, x % d]
+            assert result.output_survivors == []
+            assert result.survivors == []
+        prog = compile_program(gold, build)
+        for x, d in [(gold.p - 1, 3), (gold.p // 2, 3), (7, 0)]:
+            with pytest.raises(RuntimeError):
+                prog.solve([x, d])
+
+    def test_assert_less_than_exact_threshold(self, gold):
+        def build(b):
+            x = b.input()
+            assert_less_than(b, x, 4, bit_width=4)
+            b.output(b.define(x + 0))
+
+        prog = compile_program(gold, build)
+        assert prog.solve([3]).output_values == [3]
+        # p−1 is signed −1, which honestly satisfies −1 < 4
+        assert prog.solve([gold.p - 1]).output_values == [gold.p - 1]
+        for x in (4, gold.p // 2):
+            with pytest.raises(RuntimeError):
+                prog.solve([x])

@@ -12,6 +12,7 @@ net — every gadget interacts with every other here.
 from hypothesis import given, settings, strategies as st
 
 from repro.compiler import (
+    check_program,
     compile_program,
     is_equal,
     less_than,
@@ -154,6 +155,31 @@ def test_random_program_pipeline(data):
     stats = prog.stats()
     assert stats.z_zaatar == stats.z_ginger + stats.k2_terms
     assert stats.c_zaatar == stats.c_ginger + stats.k2_terms
+
+
+@settings(max_examples=10, deadline=None)
+@given(programs())
+def test_random_program_survives_differential_check(data):
+    """Every random program runs through the full differential checker:
+    semantics oracle against the interpreter, unsat-witness probes on
+    the honest witness (no free output wires), and one seeded compiler
+    mutation of each kind — all must be killed."""
+    num_inputs, steps, inputs = data
+    prog = compile_program(FIELD, build_from(num_inputs, steps))
+    report = check_program(
+        prog,
+        reference=lambda v: [interpret(steps, v)],
+        input_generator=lambda rng: [
+            rng.randrange(BOUND) for _ in range(num_inputs)
+        ],
+        seed=17,
+        num_random=3,
+        mutations_per_kind=1,
+    )
+    assert report.oracle["failed"] == 0, report.oracle["failures"]
+    assert report.probes["output_survivors"] == [], report.probes
+    assert report.mutations["kill_rate"] == 1.0, report.mutations["results"]
+    assert report.passed
 
 
 @settings(max_examples=15, deadline=None)

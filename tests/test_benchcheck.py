@@ -150,6 +150,13 @@ class TestCompare:
         assert comparison.ok
         assert comparison.regressions == comparison.improvements == []
 
+    def test_zero_to_zero_is_not_a_regression(self):
+        # 0 -> 0 has no movement; it used to read as an infinite
+        # regression because the zero baseline short-circuited first
+        doc = _doc({"check": {"output_survivors": 0, "warm_seconds": 0.0}})
+        comparison = compare(doc, doc, 0.0)
+        assert comparison.ok, [r.describe() for r in comparison.regressions]
+
 
 class TestCheckFiles:
     def test_round_trip_through_files(self, tmp_path):

@@ -470,3 +470,76 @@ class TestBenchCheckCommand:
     def test_bad_tolerance_is_usage_error(self, tmp_path):
         base = self._write(tmp_path, "base.json", {})
         assert main(["bench-check", base, base, "--max-regress", "soon"]) == 2
+
+
+class TestCheckCommand:
+    AGG = [
+        "check",
+        "--app",
+        "private_aggregation",
+        "--size",
+        "n=2",
+        "--size",
+        "d=2",
+        "--size",
+        "value_bits=4",
+    ]
+
+    def test_app_passes_and_prints_summary(self, capsys):
+        assert main(self.AGG) == 0
+        out = capsys.readouterr().out
+        assert "private_aggregation: PASS" in out
+        assert "check: OK" in out
+        assert "mutations" in out
+
+    def test_checks_a_program_file(self, program_file, capsys):
+        assert main(["check", program_file, "--random", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "mul: PASS" in out
+
+    def test_json_report_is_byte_deterministic(self, capsys, tmp_path):
+        runs = []
+        for i in range(2):
+            out_path = tmp_path / f"report{i}.json"
+            rc = main(self.AGG + ["--seed", "5", "--json", "--out", str(out_path)])
+            assert rc == 0
+            runs.append((capsys.readouterr().out, out_path.read_bytes()))
+        assert runs[0][0] == runs[1][0]      # identical stdout
+        assert runs[0][1] == runs[1][1]      # identical artifact bytes
+        import json as json_mod
+
+        document = json_mod.loads(runs[0][0])
+        assert document["passed"] is True
+        assert document["seed"] == 5
+        assert document["counter_totals"]["check.inputs"] > 0
+        report = document["programs"]["private_aggregation"]
+        assert report["mutations"]["kill_rate"] == 1.0
+
+    def test_different_seed_changes_the_report(self, capsys):
+        outputs = []
+        for seed in ("5", "6"):
+            assert main(self.AGG + ["--seed", seed, "--json"]) == 0
+            outputs.append(capsys.readouterr().out)
+        assert outputs[0] != outputs[1]
+
+    def test_no_mutations_flag(self, capsys):
+        assert main(self.AGG + ["--no-mutations"]) == 0
+        out = capsys.readouterr().out
+        assert "mutations" not in out.split("\n")[0]
+
+    def test_unknown_app_is_usage_error(self, capsys):
+        assert main(["check", "--app", "nope"]) == 2
+        assert "unknown app" in capsys.readouterr().err
+
+    def test_no_program_no_app_is_usage_error(self, capsys):
+        assert main(["check"]) == 2
+        assert "provide a program path or --app" in capsys.readouterr().err
+
+    def test_bad_size_is_usage_error(self):
+        assert main(["check", "--app", "matmul", "--size", "m"]) == 2
+
+    def test_telemetry_left_disabled(self):
+        from repro import telemetry
+
+        assert main(self.AGG) == 0
+        assert not telemetry.enabled()
